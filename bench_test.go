@@ -1,0 +1,442 @@
+package mrts
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 5) and measures the cost of the core algorithms.
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches (BenchmarkFig*) run the full experiment pipeline and
+// report the headline quantity of the figure as a custom metric; ablation
+// benches (BenchmarkAblation*) quantify the design choices DESIGN.md calls
+// out; the remaining benches measure the building blocks.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/baseline"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/exp"
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+	"mrts/internal/iselib"
+	"mrts/internal/mpu"
+	"mrts/internal/profit"
+	"mrts/internal/selector"
+	"mrts/internal/sim"
+	"mrts/internal/trace"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchW    *workload.Result
+	benchRISC *sim.Report
+)
+
+// benchWorkload builds the shared experiment workload once: 8 QCIF frames
+// with a scene cut, the calibrated regime of the evaluation.
+func benchWorkload(b *testing.B) (*workload.Result, *sim.Report) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchW = workload.MustBuild(workload.Options{
+			Frames: 8,
+			Video:  video.Options{SceneCuts: []int{4}},
+		})
+		var err error
+		benchRISC, err = sim.RunRISC(benchW.App, benchW.Trace)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchW, benchRISC
+}
+
+// --- Figure benches -------------------------------------------------------
+
+// BenchmarkFig1 regenerates the motivational case study: the Performance
+// Improvement Factor of the three deblocking-filter ISEs (paper Fig. 1).
+func BenchmarkFig1(b *testing.B) {
+	var crossovers int
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig1(10000, 100)
+		crossovers = len(r.Crossovers)
+	}
+	b.ReportMetric(float64(crossovers), "regions-1")
+}
+
+// BenchmarkFig2 regenerates the execution behaviour of the deblocking
+// filter over the frame sequence (paper Fig. 2).
+func BenchmarkFig2(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var changes int
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig2(w)
+		changes = r.Changes
+	}
+	b.ReportMetric(float64(changes), "best-ISE-changes")
+}
+
+// BenchmarkFig8 regenerates the state-of-the-art comparison (paper Fig. 8):
+// RISPP-like, offline-optimal, Morpheus/4S-like and mRTS over the fabric
+// sweep. Reported metrics are mRTS's average speedups per competitor.
+func BenchmarkFig8(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var r exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig8(w, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgSpeedup[exp.PolicyRISPP], "avg-vs-RISPP-x")
+	b.ReportMetric(r.AvgSpeedup[exp.PolicyOffline], "avg-vs-offline-x")
+	b.ReportMetric(r.AvgSpeedup[exp.PolicyMorpheus], "avg-vs-morpheus-x")
+}
+
+// BenchmarkFig9 regenerates the heuristic-vs-optimal selection comparison
+// (paper Fig. 9) and reports the average and worst percentage difference.
+func BenchmarkFig9(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var r exp.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig9(w, 3, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Avg, "avg-diff-%")
+	b.ReportMetric(r.Worst, "worst-diff-%")
+}
+
+// BenchmarkFig10 regenerates the speedup-over-RISC analysis (paper
+// Fig. 10) and reports the per-class averages.
+func BenchmarkFig10(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var r exp.Fig10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Fig10(w, 3, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgByClass[arch.GrainFG], "avg-FG-only-x")
+	b.ReportMetric(r.AvgByClass[arch.GrainCG], "avg-CG-only-x")
+	b.ReportMetric(r.AvgByClass[arch.GrainMG], "avg-MG-x")
+}
+
+// BenchmarkOverhead regenerates the Section 5.4 analysis: the mRTS
+// selection overhead in cycles per trigger instruction.
+func BenchmarkOverhead(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var r exp.OverheadResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Overhead(w, arch.Config{NPRC: 2, NCG: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CyclesPerSelection, "cycles/selection")
+	b.ReportMetric(100*r.VisiblePerBlockShare, "visible-%-of-block")
+}
+
+// --- Ablation benches (design choices of DESIGN.md Section 5) -------------
+
+// ablate runs mRTS with the given options on the 2 PRC / 2 CG combination
+// and reports the speedup over RISC mode.
+func ablate(b *testing.B, opts core.Options) {
+	w, risc := benchWorkload(b)
+	cfg := arch.Config{NPRC: 2, NCG: 2}
+	b.ResetTimer()
+	var rep *sim.Report
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = sim.Run(w.App, w.Trace, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Speedup(risc), "speedup-x")
+	b.ReportMetric(100*rep.ModeShare(ecu.MonoCG), "monoCG-%")
+}
+
+// BenchmarkAblationBaselineMRTS is the reference point for the ablations:
+// full mRTS.
+func BenchmarkAblationBaselineMRTS(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true})
+}
+
+// BenchmarkAblationNoMonoCG removes the monoCG-Extension from the ECU.
+func BenchmarkAblationNoMonoCG(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true, ECU: ecu.Options{DisableMonoCG: true}})
+}
+
+// BenchmarkAblationNoIntermediate removes intermediate-ISE execution from
+// the ECU: kernels wait in RISC/monoCG until the selected ISE is complete.
+func BenchmarkAblationNoIntermediate(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true, ECU: ecu.Options{DisableIntermediate: true}})
+}
+
+// BenchmarkAblationFGTunedProfit swaps the multi-grained profit function
+// for the RISPP-style FG-tuned cost model (keeping everything else).
+func BenchmarkAblationFGTunedProfit(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true, Model: profit.FGTuned})
+}
+
+// BenchmarkAblationNoMPU disables the run-time forecast correction.
+func BenchmarkAblationNoMPU(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true, MPU: []mpu.Option{mpu.Disabled()}})
+}
+
+// BenchmarkAblationOptimalSelector replaces the greedy heuristic with the
+// exhaustive optimal selection (overhead not charged — quality bound).
+func BenchmarkAblationOptimalSelector(b *testing.B) {
+	ablate(b, core.Options{Select: selector.Optimal})
+}
+
+// --- Building-block benches ------------------------------------------------
+
+// BenchmarkProfitFunction measures one profit-function evaluation — the
+// unit of the Section 5.4 overhead model.
+func BenchmarkProfitFunction(b *testing.B) {
+	app := iselib.MustNewApplication()
+	k := app.Kernel("sad")
+	e := k.ISEs[1]
+	p := profit.Params{E: 2000, TF: 3000, TB: 400}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profit.Profit(k, e, nil, p, profit.Multigrained)
+	}
+}
+
+// BenchmarkGreedySelection measures one run of the Fig. 6 selection
+// algorithm over a full functional block.
+func BenchmarkGreedySelection(b *testing.B) {
+	w, _ := benchWorkload(b)
+	blk := w.App.Block("enc")
+	triggers := w.Trace.ProfileFor("enc", "P")
+	req := selector.Request{
+		Block:    blk,
+		Triggers: triggers,
+		Fabric:   ise.EmptyFabric{PRC: 3, CG: 3},
+		Model:    profit.Multigrained,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selector.Greedy(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSelection measures the exhaustive selection on the same
+// block — the cost that makes it infeasible at run time (paper
+// Section 4.1).
+func BenchmarkOptimalSelection(b *testing.B) {
+	w, _ := benchWorkload(b)
+	blk := w.App.Block("enc")
+	triggers := w.Trace.ProfileFor("enc", "P")
+	req := selector.Request{
+		Block:    blk,
+		Triggers: triggers,
+		Fabric:   ise.EmptyFabric{PRC: 3, CG: 3},
+		Model:    profit.Multigrained,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selector.Optimal(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnapsackDP measures the offline multi-choice knapsack over the
+// whole application.
+func BenchmarkKnapsackDP(b *testing.B) {
+	app := iselib.MustNewApplication()
+	var groups [][]selector.Option
+	for _, blk := range app.Blocks {
+		for _, k := range blk.Kernels {
+			var opts []selector.Option
+			for _, e := range k.ISEs {
+				opts = append(opts, selector.Option{
+					Label: e.ID, PRC: e.CostPRC(), CG: e.CostCG(),
+					Profit: profit.SteadyStateProfit(k, e, 10000),
+				})
+			}
+			groups = append(groups, opts)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selector.MultiChoiceKnapsack(groups, 4, 3)
+	}
+}
+
+// BenchmarkEncoderFrame measures encoding one QCIF frame — the workload
+// substrate's cost.
+func BenchmarkEncoderFrame(b *testing.B) {
+	gen, err := video.NewGenerator(176, 144, 1, video.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := h264.NewEncoder(176, 144, h264.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := gen.Sequence(2)
+	if _, err := enc.EncodeFrame(frames[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.EncodeFrame(frames[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRun measures one full simulator run (events/op scale
+// with the workload).
+func BenchmarkSimulatorRun(b *testing.B) {
+	w, _ := benchWorkload(b)
+	m := core.MustNew(arch.Config{NPRC: 2, NCG: 2}, core.Options{ChargeOverhead: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w.App, w.Trace, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceMerge measures the single-core schedule merge of one
+// functional-block iteration.
+func BenchmarkTraceMerge(b *testing.B) {
+	w, _ := benchWorkload(b)
+	var it *trace.Iteration
+	for i := range w.Trace.Iterations {
+		if w.Trace.Iterations[i].Block == "me" {
+			it = &w.Trace.Iterations[i]
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Merge(it.Loads)
+	}
+}
+
+// BenchmarkRISPPLike / BenchmarkMorpheus / BenchmarkOfflineOptimal measure
+// a full simulated run under each baseline on the 2/2 combination.
+func BenchmarkRISPPLike(b *testing.B) {
+	w, _ := benchWorkload(b)
+	r, err := baseline.NewRISPPLike(arch.Config{NPRC: 2, NCG: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w.App, w.Trace, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMorpheus(b *testing.B) {
+	w, _ := benchWorkload(b)
+	r, err := baseline.NewMorpheus4S(arch.Config{NPRC: 2, NCG: 2}, w.App, w.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w.App, w.Trace, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfflineOptimal(b *testing.B) {
+	w, _ := benchWorkload(b)
+	r, err := baseline.NewOfflineOptimal(arch.Config{NPRC: 2, NCG: 2}, w.App, w.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w.App, w.Trace, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectorScalability measures the greedy Fig. 6 heuristic across
+// synthetic library sizes up to the paper's extremes (6 kernels x 60 ISEs,
+// a nominal combination space beyond 78 million).
+func BenchmarkSelectorScalability(b *testing.B) {
+	for _, sz := range []struct{ n, m int }{
+		{2, 8}, {4, 20}, {6, 60}, {10, 60},
+	} {
+		blk, triggers := iselib.GenerateBlock("s", sz.n, sz.m, 11)
+		req := selector.Request{
+			Block:    blk,
+			Triggers: triggers,
+			Fabric:   ise.EmptyFabric{PRC: 4, CG: 3},
+			Model:    profit.Multigrained,
+		}
+		b.Run(fmt.Sprintf("%dx%d", sz.n, sz.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := selector.Greedy(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimalScalability shows why the exhaustive algorithm cannot
+// run on the processor: branch-and-bound still explodes combinatorially
+// as the library grows.
+func BenchmarkOptimalScalability(b *testing.B) {
+	for _, sz := range []struct{ n, m int }{
+		{2, 8}, {4, 12}, {5, 12},
+	} {
+		blk, triggers := iselib.GenerateBlock("s", sz.n, sz.m, 13)
+		req := selector.Request{
+			Block:    blk,
+			Triggers: triggers,
+			Fabric:   ise.EmptyFabric{PRC: 3, CG: 3},
+			Model:    profit.Multigrained,
+		}
+		b.Run(fmt.Sprintf("%dx%d", sz.n, sz.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := selector.Optimal(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPortBlindProfit removes the configuration-port
+// awareness from the profit estimate (the paper's original formulation):
+// reconfigurations are costed as if the ports were idle.
+func BenchmarkAblationPortBlindProfit(b *testing.B) {
+	ablate(b, core.Options{ChargeOverhead: true, Model: profit.PortBlind})
+}

@@ -1,0 +1,61 @@
+// Command mrts-case regenerates the paper's motivational case study:
+// Fig. 1 (Performance Improvement Factor of three deblocking-filter ISEs
+// over the number of kernel executions) and Fig. 2 (execution behaviour of
+// the deblocking filter over a frame sequence).
+//
+// Usage:
+//
+//	mrts-case            # both figures
+//	mrts-case -fig 1 -max 6000 -step 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrts/internal/exp"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1|2|all")
+		max    = flag.Int64("max", 6000, "Fig. 1: maximum execution count")
+		step   = flag.Int64("step", 200, "Fig. 1: execution-count step")
+		frames = flag.Int("frames", 16, "Fig. 2: video frames to encode")
+		seed   = flag.Uint64("seed", 1, "Fig. 2: synthetic video seed")
+		chart  = flag.Bool("chart", false, "render Fig. 1 as an ASCII line chart")
+	)
+	flag.Parse()
+
+	if *fig == "1" || *fig == "all" {
+		r := exp.Fig1(*max, *step)
+		if *chart {
+			r.RenderChart(os.Stdout)
+		} else {
+			r.Render(os.Stdout)
+		}
+	}
+	if *fig == "2" || *fig == "all" {
+		if *fig == "all" {
+			fmt.Println()
+		}
+		w, err := workload.Build(workload.Options{
+			Frames: *frames,
+			Seed:   *seed,
+			Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrts-case:", err)
+			os.Exit(1)
+		}
+		r2 := exp.Fig2(w)
+		if *chart {
+			r2.RenderChart(os.Stdout)
+		} else {
+			r2.Render(os.Stdout)
+		}
+	}
+}

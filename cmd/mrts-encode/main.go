@@ -1,0 +1,101 @@
+// Command mrts-encode runs the instrumented H.264 encoder over synthetic
+// video and writes the resulting workload trace (trigger-instruction
+// forecasts plus ground-truth kernel loads) as JSON, for inspection or
+// replay by external tooling.
+//
+// Usage:
+//
+//	mrts-encode -frames 16 -o trace.json
+//	mrts-encode -frames 8 -width 352 -height 288 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrts/internal/h264"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func encoderConfig(qp int) h264.Config {
+	return h264.Config{QP: qp}
+}
+
+func main() {
+	var (
+		frames   = flag.Int("frames", 16, "video frames to encode")
+		width    = flag.Int("width", 176, "frame width (multiple of 16)")
+		height   = flag.Int("height", 144, "frame height (multiple of 16)")
+		seed     = flag.Uint64("seed", 1, "synthetic video seed")
+		qp       = flag.Int("qp", 24, "encoder quantisation parameter")
+		out      = flag.String("o", "", "output trace file (default stdout)")
+		stats    = flag.Bool("stats", false, "print per-frame encoder statistics instead of the trace")
+		sceneCut = flag.Int("scenecut", 0, "scene-cut frame (0 = defaults at 1/3 and 2/3)")
+		bitsOut  = flag.String("bitstream", "", "also write the concatenated frame bitstreams to this file")
+	)
+	flag.Parse()
+
+	cuts := []int{*frames / 3, 2 * *frames / 3}
+	if *sceneCut > 0 {
+		cuts = []int{*sceneCut}
+	}
+	w, err := workload.Build(workload.Options{
+		Width:   *width,
+		Height:  *height,
+		Frames:  *frames,
+		Seed:    *seed,
+		Video:   video.Options{SceneCuts: cuts},
+		Encoder: encoderConfig(*qp),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bitsOut != "" {
+		bf, err := os.Create(*bitsOut)
+		if err != nil {
+			fatal(err)
+		}
+		var total int64
+		for _, st := range w.Frames {
+			n, err := bf.Write(st.Stream)
+			if err != nil {
+				fatal(err)
+			}
+			total += int64(n)
+		}
+		if err := bf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrts-encode: wrote %d bitstream bytes for %d frames to %s\n",
+			total, len(w.Frames), *bitsOut)
+	}
+
+	if *stats {
+		fmt.Printf("%6s %8s %8s %8s %10s %8s\n", "frame", "intra", "inter", "skip", "bits", "PSNR")
+		for _, st := range w.Frames {
+			fmt.Printf("%6d %8d %8d %8d %10d %8.2f\n",
+				st.Frame, st.Intra, st.Inter, st.Skip, st.Bits, st.PSNR)
+		}
+		return
+	}
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := w.Trace.Encode(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrts-encode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command mrts-report regenerates the complete evaluation in one run and
+// emits a self-contained markdown report: every figure of the paper
+// (Figs. 1, 2, 8, 9, 10), the Section 5.4 overhead analysis, the
+// fabric-sharing sweep, and the hardware-model calibration table. It is
+// the tool behind EXPERIMENTS.md.
+//
+//	mrts-report > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrts/internal/arch"
+	"mrts/internal/cgedpe"
+	"mrts/internal/exp"
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+	"mrts/internal/iselib"
+	"mrts/internal/leon"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	var (
+		frames = flag.Int("frames", 16, "video frames to encode")
+		seed   = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC = flag.Int("maxprc", 4, "maximum PRC count of the sweeps")
+		maxCG  = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweeps")
+	)
+	flag.Parse()
+	out := os.Stdout
+
+	w, err := workload.Build(workload.Options{
+		Frames: *frames,
+		Seed:   *seed,
+		Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
+	})
+	check(err)
+
+	fmt.Fprintf(out, "# mRTS evaluation report\n\n")
+	fmt.Fprintf(out, "Workload: %d QCIF frames, seed %d, scene cuts at %d and %d; fabric sweep PRCs 0-%d x CG-EDPEs 0-%d.\n\n",
+		*frames, *seed, *frames/3, 2**frames/3, *maxPRC, *maxCG)
+
+	section := func(title string) { fmt.Fprintf(out, "\n## %s\n\n```\n", title) }
+	endSection := func() { fmt.Fprintf(out, "```\n") }
+
+	section("Fig. 1 — motivational case study (pif regions)")
+	fig1 := exp.Fig1(6000, 200)
+	fig1.RenderChart(out)
+	fmt.Fprintf(out, "crossovers at %v executions\n", fig1.Crossovers)
+	endSection()
+
+	section("Fig. 2 — deblocking-filter execution behaviour")
+	exp.Fig2(w).Render(out)
+	endSection()
+
+	section("Fig. 8 — comparison with state-of-the-art")
+	fig8, err := exp.Fig8(w, *maxPRC, *maxCG)
+	check(err)
+	fig8.Render(out)
+	endSection()
+
+	section("Fig. 9 — selection heuristic vs. optimal algorithm")
+	fig9, err := exp.Fig9(w, *maxPRC, *maxCG)
+	check(err)
+	fig9.Render(out)
+	endSection()
+
+	section("Fig. 10 — speedup over RISC mode")
+	fig10, err := exp.Fig10(w, min(*maxPRC, 3), *maxCG)
+	check(err)
+	fig10.Render(out)
+	endSection()
+
+	section("Section 5.4 — runtime-system overhead")
+	ovh, err := exp.Overhead(w, arch.Config{NPRC: 2, NCG: 2})
+	check(err)
+	ovh.Render(out)
+	endSection()
+
+	section("Fabric sharing — run-time adaptation vs. recompiled oracle")
+	shared, err := exp.Shared(w, arch.Config{NPRC: *maxPRC, NCG: *maxCG})
+	check(err)
+	shared.Render(out)
+	endSection()
+
+	section("Hardware-model calibration")
+	calibration(out)
+	endSection()
+}
+
+// calibration reproduces the mrts-isa table.
+func calibration(out *os.File) {
+	app := iselib.MustNewApplication()
+	cur := make([]byte, 256)
+	ref := make([]byte, 256)
+	for i := range cur {
+		cur[i] = byte(i * 7)
+		ref[i] = byte(i*5 + 3)
+	}
+	coeffs := [16]int32{120, -55, 910, 3, -4, 0, 66, -2000, 8, 0, 1, -1, 300, -300, 12, 99}
+	var blk [16]int32
+	for i := range blk {
+		blk[i] = int32(i*13 - 90)
+	}
+	fmt.Fprintf(out, "%-22s %14s %14s %8s\n", "kernel / target", "measured (cy)", "library (cy)", "ratio")
+	row := func(name string, measured int64, library arch.Cycles) {
+		fmt.Fprintf(out, "%-22s %14d %14d %8.2f\n", name, measured, library, float64(library)/float64(measured))
+	}
+	_, c1, err := leon.MeasureSAD(cur, ref)
+	check(err)
+	row("sad @ LEON", c1, app.Kernel(ise.KernelID(h264.KernelSAD)).RISCLatency)
+	_, c2, err := leon.MeasureQuant(coeffs, 13107, 43690, 17)
+	check(err)
+	row("quant @ LEON", c2, app.Kernel(ise.KernelID(h264.KernelQuant)).RISCLatency)
+	_, c3, err := leon.MeasureBS(false, false, false, false, 1, 1)
+	check(err)
+	row("bs @ LEON", c3, app.Kernel(ise.KernelID(h264.KernelBS)).RISCLatency)
+	_, c4, err := leon.MeasureDCT(blk)
+	check(err)
+	row("dct @ LEON", c4, app.Kernel(ise.KernelID(h264.KernelDCT)).RISCLatency)
+	_, c5, err := cgedpe.MeasureSAD(cur, ref)
+	check(err)
+	row("sad @ CG-EDPE", c5, app.Kernel(ise.KernelID(h264.KernelSAD)).ISEByID("sad.cg1").FullLatency())
+	_, c6, err := cgedpe.MeasureDCT(blk)
+	check(err)
+	row("dct @ CG-EDPE", c6, app.Kernel(ise.KernelID(h264.KernelDCT)).ISEByID("dct.cg1").FullLatency())
+	_, c7, err := cgedpe.MeasureQuant(coeffs, 13107, 43690, 17)
+	check(err)
+	row("quant @ CG-EDPE", c7, app.Kernel(ise.KernelID(h264.KernelQuant)).ISEByID("quant.cg1").FullLatency())
+	rows := [4][4]uint8{
+		{100, 100, 104, 104}, {100, 101, 105, 104},
+		{99, 100, 103, 104}, {101, 100, 105, 106},
+	}
+	_, c8, err := leon.MeasureFilt(rows, 20, 6, 2)
+	check(err)
+	row("filt @ LEON", c8, app.Kernel(ise.KernelID(h264.KernelFilt)).RISCLatency)
+	var resid [16]int32
+	for i := range resid {
+		resid[i] = int32(i*7 - 50)
+	}
+	_, c9, err := cgedpe.MeasureSATD(resid)
+	check(err)
+	row("satd @ CG-EDPE", c9, app.Kernel(ise.KernelID(h264.KernelSATD)).ISEByID("satd.cg1").FullLatency())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrts-report:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command mrts-sim runs one simulation: the H.264 encoder workload on a
+// multi-grained reconfigurable processor with a chosen fabric budget and
+// runtime policy, and prints the cycle accounting.
+//
+// Usage:
+//
+//	mrts-sim -prc 2 -cg 1 -policy mrts -frames 16
+//
+// Policies: mrts, rispp, morpheus, offline, optimal, risc.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mrts/internal/arch"
+	"mrts/internal/baseline"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/ise"
+	"mrts/internal/sim"
+	"mrts/internal/trace"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	var (
+		prc      = flag.Int("prc", 2, "number of PRCs (fine-grained fabric)")
+		cgN      = flag.Int("cg", 1, "number of CG-EDPEs (coarse-grained fabric)")
+		policy   = flag.String("policy", "mrts", "runtime policy: mrts|rispp|morpheus|offline|optimal|risc")
+		frames   = flag.Int("frames", 16, "video frames to encode")
+		seed     = flag.Uint64("seed", 1, "synthetic video seed")
+		sceneCut = flag.Int("scenecut", 8, "frame of the scene cut (0 = none)")
+		verbose  = flag.Bool("v", false, "print per-block and reconfiguration details")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	var cuts []int
+	if *sceneCut > 0 {
+		cuts = []int{*sceneCut}
+	}
+	w, err := workload.Build(workload.Options{
+		Frames: *frames,
+		Seed:   *seed,
+		Video:  video.Options{SceneCuts: cuts},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := arch.Config{NPRC: *prc, NCG: *cgN}
+	rts, err := makePolicy(*policy, cfg, w.App, w.Trace)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := sim.Run(w.App, w.Trace, rts)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := sim.RunRISC(w.App, w.Trace)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		out := map[string]any{
+			"policy":           rep.Policy,
+			"prc":              cfg.NPRC,
+			"cg":               cfg.NCG,
+			"total_cycles":     rep.TotalCycles,
+			"risc_cycles":      ref.TotalCycles,
+			"speedup":          rep.Speedup(ref),
+			"executions":       rep.Executions,
+			"overhead_cycles":  rep.OverheadCycles,
+			"software_cycles":  rep.SoftwareCycles,
+			"kernel_cycles":    rep.KernelCycles,
+			"mode_executions":  rep.ModeExecs,
+			"block_cycles":     rep.BlockCycles,
+			"block_iterations": rep.BlockIterations,
+			"reconfig":         rep.Reconfig,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("policy        %s\n", rep.Policy)
+	fmt.Printf("fabric        %d PRC / %d CG-EDPE\n", cfg.NPRC, cfg.NCG)
+	fmt.Printf("frames        %d  (iterations: %d, kernel executions: %d)\n",
+		*frames, rep.Iterations, rep.Executions)
+	fmt.Printf("total         %.2f Mcycles (%.1f ms @400MHz)\n",
+		rep.TotalCycles.MCycles(), rep.TotalCycles.Millis())
+	fmt.Printf("speedup       %.2fx vs RISC-mode (%.2f Mcycles)\n",
+		rep.Speedup(ref), ref.TotalCycles.MCycles())
+	fmt.Printf("exec modes    RISC %.1f%%  monoCG %.1f%%  intermediate %.1f%%  full-ISE %.1f%%\n",
+		100*rep.ModeShare(ecu.RISC), 100*rep.ModeShare(ecu.MonoCG),
+		100*rep.ModeShare(ecu.Intermediate), 100*rep.ModeShare(ecu.Full))
+	fmt.Printf("overhead      %.3f Mcycles visible (%.2f%% of total)\n",
+		rep.OverheadCycles.MCycles(), 100*float64(rep.OverheadCycles)/float64(rep.TotalCycles))
+
+	if *verbose {
+		fmt.Printf("software      %.2f Mcycles, kernels %.2f Mcycles\n",
+			rep.SoftwareCycles.MCycles(), rep.KernelCycles.MCycles())
+		for _, fb := range []string{"me", "enc", "dbf"} {
+			if c, ok := rep.BlockCycles[fb]; ok {
+				fmt.Printf("block %-6s  %.2f Mcycles over %d iterations\n",
+					fb, c.MCycles(), rep.BlockIterations[fb])
+			}
+		}
+		rc := rep.Reconfig
+		fmt.Printf("reconfig      FG %d (%.2f Mcycles busy), CG %d (%.3f Mcycles busy), evictions %d, monoCG loads %d\n",
+			rc.FGReconfigs, rc.FGBusyCycles.MCycles(), rc.CGReconfigs, rc.CGBusyCycles.MCycles(),
+			rc.Evictions, rc.MonoCGLoads)
+	}
+}
+
+func makePolicy(name string, cfg arch.Config, app *ise.Application, tr *trace.Trace) (core.RuntimeSystem, error) {
+	switch name {
+	case "mrts":
+		return core.New(cfg, core.Options{ChargeOverhead: true})
+	case "rispp":
+		return baseline.NewRISPPLike(cfg)
+	case "morpheus":
+		return baseline.NewMorpheus4S(cfg, app, tr)
+	case "offline":
+		return baseline.NewOfflineOptimal(cfg, app, tr)
+	case "optimal":
+		return baseline.NewOnlineOptimal(cfg)
+	case "risc":
+		return core.NewRISCOnly(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrts-sim:", err)
+	os.Exit(1)
+}

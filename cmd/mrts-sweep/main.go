@@ -1,0 +1,113 @@
+// Command mrts-sweep regenerates the fabric-combination sweeps of the
+// paper's evaluation: Fig. 8 (state-of-the-art comparison), Fig. 9
+// (heuristic vs. optimal selection) and Fig. 10 (speedup over RISC mode),
+// plus the Section 5.4 overhead analysis.
+//
+// Usage:
+//
+//	mrts-sweep -fig 8            # one figure
+//	mrts-sweep -fig all          # everything
+//	mrts-sweep -fig 10 -frames 16 -maxprc 3 -maxcg 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 8|9|10|overhead|shared|mix|all")
+		frames = flag.Int("frames", 16, "video frames to encode")
+		seed   = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC = flag.Int("maxprc", 4, "maximum PRC count of the sweep")
+		maxCG  = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
+		chart  = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
+	)
+	flag.Parse()
+
+	w, err := workload.Build(workload.Options{
+		Frames: *frames,
+		Seed:   *seed,
+		Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "8":
+			r, err := exp.Fig8(w, *maxPRC, *maxCG)
+			if err != nil {
+				fatal(err)
+			}
+			if *chart {
+				r.RenderChart(os.Stdout)
+			} else {
+				r.Render(os.Stdout)
+			}
+		case "9":
+			r, err := exp.Fig9(w, *maxPRC, *maxCG)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "10":
+			r, err := exp.Fig10(w, min(*maxPRC, 3), *maxCG)
+			if err != nil {
+				fatal(err)
+			}
+			if *chart {
+				r.RenderChart(os.Stdout)
+			} else {
+				r.Render(os.Stdout)
+			}
+		case "mix":
+			for _, total := range []int{3, 5, 7} {
+				r, err := exp.MixFrontier(w, total)
+				if err != nil {
+					fatal(err)
+				}
+				r.Render(os.Stdout)
+				fmt.Println()
+			}
+		case "shared":
+			r, err := exp.Shared(w, arch.Config{NPRC: 4, NCG: 3})
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "overhead":
+			r, err := exp.Overhead(w, arch.Config{NPRC: 2, NCG: 2})
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		default:
+			fatal(fmt.Errorf("unknown figure %q", name))
+		}
+	}
+
+	if *fig == "all" {
+		for i, name := range []string{"8", "9", "10", "overhead", "shared"} {
+			if i > 0 {
+				fmt.Println()
+			}
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrts-sweep:", err)
+	os.Exit(1)
+}

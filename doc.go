@@ -1,0 +1,21 @@
+// Package mrts reproduces the DATE 2011 paper "mRTS: Run-Time System for
+// Reconfigurable Processors with Multi-Grained Instruction-Set Extensions"
+// (W. Ahmed, M. Shafique, L. Bauer, J. Henkel — Karlsruhe Institute of
+// Technology) as a self-contained Go library.
+//
+// The repository contains the complete system stack the paper builds on:
+// an architecture model of a multi-grained reconfigurable processor
+// (internal/arch, internal/reconfig), the domain model of multi-grained
+// instruction-set extensions (internal/ise, internal/iselib), the mRTS
+// runtime system itself — profit function, greedy ISE selector, Monitoring
+// & Prediction Unit and Execution Control Unit (internal/profit,
+// internal/selector, internal/mpu, internal/ecu, internal/core) — the
+// state-of-the-art baselines (internal/baseline), a discrete-event
+// architecture simulator (internal/sim), and a real simplified H.264
+// encoder over synthetic video as the workload substrate (internal/h264,
+// internal/video, internal/workload, internal/trace).
+//
+// The benchmark harness in bench_test.go regenerates every figure of the
+// paper's evaluation; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package mrts

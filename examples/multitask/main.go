@@ -1,0 +1,94 @@
+// Multitask demonstrates run-time varying fabric budgets (paper Section 1:
+// the reconfigurable fabric is shared among various tasks). The example
+// drives the runtime system manually — trigger, executions, block end — so
+// it can reserve fabric for a competing task in the middle of the run and
+// show how the next ISE selection adapts to the shrunken budget.
+//
+//	go run ./examples/multitask
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ise"
+	"mrts/internal/mpu"
+	"mrts/internal/trace"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	w, err := workload.Build(workload.Options{
+		Frames: 6,
+		Video:  video.Options{SceneCuts: nil},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := arch.Config{NPRC: 2, NCG: 3}
+	rts, err := core.New(cfg, core.Options{ChargeOverhead: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rts.Reset()
+
+	fmt.Printf("fabric budget: %d PRC / %d CG-EDPE\n", cfg.NPRC, cfg.NCG)
+	fmt.Println("a competing task reserves 1 PRC + 2 CG-EDPEs from frame 3 on")
+
+	var t arch.Cycles
+	frame := -1
+	for i := range w.Trace.Iterations {
+		it := &w.Trace.Iterations[i]
+		if it.Seq != frame {
+			frame = it.Seq
+			if frame == 3 {
+				// The other task arrives: shrink our budget.
+				// Reservations cannot displace pinned data paths,
+				// so release the current selection first.
+				rts.Controller().EvictAll()
+				if err := rts.Controller().Reserve(1, 2); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("--- competing task arrived: budget now 1 PRC / 1 CG ---")
+			}
+		}
+
+		blk := w.App.Block(it.Block)
+		profile := w.Trace.ProfileFor(it.Block, it.Phase)
+		visible, err := rts.OnTrigger(blk, it.Phase, profile, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t += visible + it.Prologue
+
+		if it.Block == "me" {
+			var picks []string
+			for _, k := range blk.Kernels {
+				if e := rts.Selected(k.ID); e != nil {
+					picks = append(picks, fmt.Sprintf("%s(%s)", e.ID, e.Grain()))
+				}
+			}
+			fmt.Printf("frame %d: motion-estimation selection %v\n", it.Seq, picks)
+		}
+
+		// Execute the block's kernel schedule.
+		var obs []mpu.Observation
+		counts := map[ise.KernelID]int64{}
+		for _, ev := range trace.Merge(it.Loads) {
+			k := blk.Kernel(ev.Kernel)
+			t += ev.Gap
+			d := rts.Execute(k, t)
+			t += d.Latency
+			counts[ev.Kernel]++
+		}
+		for _, l := range it.Loads {
+			obs = append(obs, mpu.Observation{Kernel: l.Kernel, E: counts[l.Kernel], TF: 0, TB: 0})
+		}
+		rts.OnBlockEnd(blk, it.Phase, profile, obs, t)
+	}
+	fmt.Printf("total: %.2f Mcycles for 6 frames under a varying budget\n", t.MCycles())
+}

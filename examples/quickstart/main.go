@@ -1,0 +1,65 @@
+// Quickstart: encode synthetic video, replay the workload on a
+// multi-grained reconfigurable processor with 2 PRCs and 2 CG-EDPEs under
+// the mRTS runtime system, and print the speedup over RISC-mode execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/sim"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	// 1. Build the workload: the instrumented H.264 encoder runs over
+	//    deterministic synthetic video and emits a trace of functional-
+	//    block iterations with trigger-instruction forecasts.
+	w, err := workload.Build(workload.Options{
+		Frames: 8,
+		Video:  video.Options{SceneCuts: []int{4}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d frames, %d block iterations, %d kernels\n",
+		len(w.Frames), len(w.Trace.Iterations), len(w.App.KernelIDs()))
+
+	// 2. Create the runtime system for a fabric budget of 2 Partially
+	//    Reconfigurable Containers and 2 CG-EDPEs.
+	cfg := arch.Config{NPRC: 2, NCG: 2}
+	rts, err := core.New(cfg, core.Options{ChargeOverhead: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Replay the trace on the architecture simulator, once under mRTS
+	//    and once in pure RISC mode as the reference.
+	rep, err := sim.Run(w.App, w.Trace, rts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := sim.RunRISC(w.App, w.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Report.
+	fmt.Printf("fabric:   %d PRC / %d CG-EDPE\n", cfg.NPRC, cfg.NCG)
+	fmt.Printf("RISC:     %.2f Mcycles\n", ref.TotalCycles.MCycles())
+	fmt.Printf("mRTS:     %.2f Mcycles  -> %.2fx speedup\n",
+		rep.TotalCycles.MCycles(), rep.Speedup(ref))
+	fmt.Printf("dispatch: %.1f%% full-ISE, %.1f%% intermediate, %.1f%% monoCG, %.1f%% RISC\n",
+		100*rep.ModeShare(ecu.Full), 100*rep.ModeShare(ecu.Intermediate),
+		100*rep.ModeShare(ecu.MonoCG), 100*rep.ModeShare(ecu.RISC))
+	st := rts.Stats()
+	fmt.Printf("selector: %d selections, %d profit evaluations, %.0f cycles/selection\n",
+		st.Selections, st.Evaluations,
+		float64(st.OverheadTotal)/float64(st.Selections))
+}

@@ -1,0 +1,3 @@
+module mrts
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package arch models the multi-grained reconfigurable processor of the
+// mRTS paper (DATE 2011): a core RISC processor tightly coupled with a
+// fine-grained (FG) fabric — an embedded FPGA partitioned into Partially
+// Reconfigurable Containers (PRCs) — and a coarse-grained (CG) fabric — an
+// array of CG-EDPEs with context memories.
+//
+// All times in this module (and everywhere else in the repository) are
+// expressed in core clock cycles. The LEON (SPARC V8) core and the FG
+// fabric (a Virtex-4 class FPGA) run at 100 MHz; the CG fabric runs at
+// 400 MHz (paper Section 5.1), i.e. four CG-fabric cycles per core cycle.
+package arch
+
+import "fmt"
+
+// Cycles counts core clock cycles at 100 MHz (10 ns per cycle).
+type Cycles int64
+
+// Timing constants of the modelled processor, taken from the paper
+// (Sections 2 and 5.1).
+const (
+	// CoreClockHz is the clock of the core processor and the FG fabric.
+	CoreClockHz = 100_000_000
+	// CGClockHz is the clock of the CG fabric (CG-EDPE array).
+	CGClockHz = 400_000_000
+	// CGCyclesPerCycle converts CG-fabric cycles to core cycles.
+	CGCyclesPerCycle = CGClockHz / CoreClockHz
+
+	// FGReconfigCycles is the time to reconfigure a single data path in
+	// the FG fabric: ~1.2 ms (paper footnote 2) at the 100 MHz core clock.
+	FGReconfigCycles Cycles = 120_000
+	// CGReconfigCycles is the time to reconfigure the same data path on
+	// the CG fabric: ~0.15 us (paper footnote 2), rounded up to 15 core
+	// cycles.
+	CGReconfigCycles Cycles = 15
+
+	// CGContextSwitchCycles is the cost of switching between contexts
+	// already stored in a CG-EDPE's context memory.
+	CGContextSwitchCycles Cycles = 2
+	// CGContextInstructions is the capacity of a CG-EDPE context memory.
+	CGContextInstructions = 32
+	// CGInstructionBits is the instruction word width of the CG fabric.
+	CGInstructionBits = 80
+
+	// CGCommCycles is the latency of the point-to-point connection
+	// between two CG-EDPEs.
+	CGCommCycles Cycles = 2
+	// FGCommCycles is the latency of communication between two PRCs.
+	FGCommCycles Cycles = 1
+
+	// FGReconfigBandwidthKBps is the configuration-port bandwidth of the
+	// FG fabric (paper Section 5.1). It is exposed for documentation and
+	// for deriving per-data-path bitstream sizes; the per-data-path
+	// reconfiguration latency above is what the simulator consumes.
+	FGReconfigBandwidthKBps = 67_584
+)
+
+// Millis converts cycles to milliseconds at the core clock.
+func (c Cycles) Millis() float64 { return float64(c) * 1e3 / CoreClockHz }
+
+// Micros converts cycles to microseconds at the core clock.
+func (c Cycles) Micros() float64 { return float64(c) * 1e6 / CoreClockHz }
+
+// MCycles converts cycles to millions of cycles.
+func (c Cycles) MCycles() float64 { return float64(c) / 1e6 }
+
+// FabricKind distinguishes the two reconfigurable fabrics of the processor.
+type FabricKind int
+
+const (
+	// FG is the fine-grained fabric (embedded FPGA, PRC-partitioned).
+	FG FabricKind = iota
+	// CG is the coarse-grained fabric (CG-EDPE array).
+	CG
+)
+
+func (k FabricKind) String() string {
+	switch k {
+	case FG:
+		return "FG"
+	case CG:
+		return "CG"
+	default:
+		return fmt.Sprintf("FabricKind(%d)", int(k))
+	}
+}
+
+// ReconfigCycles returns the per-data-path reconfiguration latency of the
+// fabric kind.
+func (k FabricKind) ReconfigCycles() Cycles {
+	if k == FG {
+		return FGReconfigCycles
+	}
+	return CGReconfigCycles
+}
+
+// Grain classifies an ISE by the fabrics its data paths occupy.
+type Grain int
+
+const (
+	// GrainNone marks an ISE with no data paths (RISC-mode placeholder).
+	GrainNone Grain = iota
+	// GrainFG marks a pure fine-grained ISE.
+	GrainFG
+	// GrainCG marks a pure coarse-grained ISE.
+	GrainCG
+	// GrainMG marks a multi-grained ISE (both fabrics).
+	GrainMG
+)
+
+func (g Grain) String() string {
+	switch g {
+	case GrainNone:
+		return "none"
+	case GrainFG:
+		return "FG"
+	case GrainCG:
+		return "CG"
+	case GrainMG:
+		return "MG"
+	default:
+		return fmt.Sprintf("Grain(%d)", int(g))
+	}
+}
+
+// Config fixes the reconfigurable-fabric budget of one processor instance.
+// The amount of fabric is fixed and known at compile time (paper Section 4);
+// run-time sharing with other tasks is modelled by shrinking the budget via
+// Reserve on the fabric State.
+type Config struct {
+	// NPRC is the total number of Partially Reconfigurable Containers
+	// across all FG fabrics.
+	NPRC int
+	// NCG is the number of CG-EDPEs.
+	NCG int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NPRC < 0 {
+		return fmt.Errorf("arch: negative PRC count %d", c.NPRC)
+	}
+	if c.NCG < 0 {
+		return fmt.Errorf("arch: negative CG-EDPE count %d", c.NCG)
+	}
+	return nil
+}
+
+// String renders the combination the way the paper's figures label them,
+// e.g. "2/1" for 2 PRCs and 1 CG-EDPE.
+func (c Config) String() string { return fmt.Sprintf("%d/%d", c.NPRC, c.NCG) }
+
+// IsRISCOnly reports whether no reconfigurable fabric is present, i.e. the
+// whole application executes in RISC mode.
+func (c Config) IsRISCOnly() bool { return c.NPRC == 0 && c.NCG == 0 }
+
+// Class groups a configuration the way Fig. 10 groups the x-axis.
+func (c Config) Class() Grain {
+	switch {
+	case c.NPRC == 0 && c.NCG == 0:
+		return GrainNone
+	case c.NCG == 0:
+		return GrainFG
+	case c.NPRC == 0:
+		return GrainCG
+	default:
+		return GrainMG
+	}
+}

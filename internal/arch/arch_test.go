@@ -1,0 +1,107 @@
+package arch
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{}, true},
+		{Config{NPRC: 4, NCG: 3}, true},
+		{Config{NPRC: -1}, false},
+		{Config{NCG: -2}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := (Config{NPRC: 2, NCG: 1}).String(); got != "2/1" {
+		t.Errorf("String() = %q, want 2/1", got)
+	}
+}
+
+func TestConfigClass(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want Grain
+	}{
+		{Config{}, GrainNone},
+		{Config{NPRC: 1}, GrainFG},
+		{Config{NCG: 2}, GrainCG},
+		{Config{NPRC: 1, NCG: 1}, GrainMG},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Class(); got != c.want {
+			t.Errorf("Class(%+v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestConfigIsRISCOnly(t *testing.T) {
+	if !(Config{}).IsRISCOnly() {
+		t.Error("empty config should be RISC-only")
+	}
+	if (Config{NPRC: 1}).IsRISCOnly() {
+		t.Error("1 PRC is not RISC-only")
+	}
+}
+
+func TestFabricKindReconfigCycles(t *testing.T) {
+	if FG.ReconfigCycles() != FGReconfigCycles {
+		t.Errorf("FG reconfig = %d, want %d", FG.ReconfigCycles(), FGReconfigCycles)
+	}
+	if CG.ReconfigCycles() != CGReconfigCycles {
+		t.Errorf("CG reconfig = %d, want %d", CG.ReconfigCycles(), CGReconfigCycles)
+	}
+	if FG.ReconfigCycles() <= CG.ReconfigCycles() {
+		t.Error("FG reconfiguration must be orders of magnitude slower than CG")
+	}
+}
+
+func TestFabricKindString(t *testing.T) {
+	if FG.String() != "FG" || CG.String() != "CG" {
+		t.Errorf("FabricKind strings wrong: %s %s", FG, CG)
+	}
+	if FabricKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestGrainString(t *testing.T) {
+	for g, want := range map[Grain]string{
+		GrainNone: "none", GrainFG: "FG", GrainCG: "CG", GrainMG: "MG",
+	} {
+		if g.String() != want {
+			t.Errorf("Grain(%d).String() = %q, want %q", g, g.String(), want)
+		}
+	}
+}
+
+func TestCyclesConversions(t *testing.T) {
+	// 1.2 ms at the 100 MHz core clock.
+	if got := FGReconfigCycles.Millis(); got < 1.19 || got > 1.21 {
+		t.Errorf("FG reconfiguration = %.3f ms, want ~1.2 ms", got)
+	}
+	// 0.15 us for the CG fabric.
+	if got := CGReconfigCycles.Micros(); got < 0.14 || got > 0.16 {
+		t.Errorf("CG reconfiguration = %.3f us, want ~0.15 us", got)
+	}
+	if got := Cycles(2_500_000).MCycles(); got != 2.5 {
+		t.Errorf("MCycles = %v, want 2.5", got)
+	}
+}
+
+func TestPaperTimingRatio(t *testing.T) {
+	// The paper's footnote 2: FG reconfiguration is ~4 orders of
+	// magnitude slower than CG reconfiguration.
+	ratio := float64(FGReconfigCycles) / float64(CGReconfigCycles)
+	if ratio < 1000 || ratio > 100000 {
+		t.Errorf("FG/CG reconfiguration ratio = %.0f, want around 8000", ratio)
+	}
+}

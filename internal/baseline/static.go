@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/ise"
+	"mrts/internal/mpu"
+	"mrts/internal/profit"
+	"mrts/internal/reconfig"
+	"mrts/internal/selector"
+	"mrts/internal/trace"
+)
+
+// StaticRTS is a runtime system whose ISE selection was fixed offline. Two
+// flavours exist:
+//
+//   - global mode (Morpheus/4S-like and high-budget offline-optimal): all
+//     selected ISEs are configured once at application start;
+//   - multiplex mode (low-budget offline-optimal): each functional block
+//     has its own static set, committed — with eviction — whenever the
+//     block is entered, time-multiplexing the fabric across blocks.
+//
+// Static systems have no Execution Control Unit: a kernel runs its selected
+// ISE once it is fully reconfigured, and in RISC mode before that.
+type StaticRTS struct {
+	name string
+	ctrl *reconfig.Controller
+
+	// global is committed at Reset (empty in multiplex mode).
+	global []*ise.ISE
+	// perBlock is committed at block entry (empty in global mode).
+	perBlock map[string][]*ise.ISE
+	// byKernel is the static kernel -> ISE assignment.
+	byKernel map[ise.KernelID]*ise.ISE
+
+	stats core.Stats
+}
+
+var _ core.RuntimeSystem = (*StaticRTS)(nil)
+
+// Name implements core.RuntimeSystem.
+func (s *StaticRTS) Name() string { return s.name }
+
+// Controller implements core.RuntimeSystem.
+func (s *StaticRTS) Controller() *reconfig.Controller { return s.ctrl }
+
+// Stats returns a snapshot of the accumulated counters.
+func (s *StaticRTS) Stats() core.Stats { return s.stats }
+
+// Selected returns the static ISE assignment of the kernel, or nil.
+func (s *StaticRTS) Selected(id ise.KernelID) *ise.ISE { return s.byKernel[id] }
+
+// OnTrigger implements core.RuntimeSystem. Static systems perform no
+// run-time selection (zero overhead); in multiplex mode the block's
+// precomputed set is committed to the fabric.
+func (s *StaticRTS) OnTrigger(block *ise.FunctionalBlock, _ string, _ []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
+	s.ctrl.Advance(now)
+	if set, ok := s.perBlock[block.ID]; ok {
+		if _, err := s.ctrl.CommitSelection(set, now); err != nil {
+			return 0, fmt.Errorf("baseline: %s: %w", s.name, err)
+		}
+	}
+	return 0, nil
+}
+
+// Execute implements core.RuntimeSystem: the selected ISE when fully
+// reconfigured, RISC mode otherwise.
+func (s *StaticRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
+	s.ctrl.Advance(now)
+	d := ecu.Decision{Mode: ecu.RISC, Latency: k.RISCLatency}
+	if e := s.byKernel[k.ID]; e != nil && s.ctrl.ConfiguredPrefix(e) == e.NumDataPaths() {
+		d = ecu.Decision{Mode: ecu.Full, Level: e.NumDataPaths(), Latency: e.FullLatency()}
+	}
+	s.stats.Execs[d.Mode]++
+	s.stats.ExecCycles[d.Mode] += d.Latency
+	return d
+}
+
+// OnBlockEnd implements core.RuntimeSystem (static systems do not monitor).
+func (s *StaticRTS) OnBlockEnd(*ise.FunctionalBlock, string, []ise.Trigger, []mpu.Observation, arch.Cycles) {
+}
+
+// Reset implements core.RuntimeSystem: in global mode the whole selection
+// is configured at time zero (application start).
+func (s *StaticRTS) Reset() {
+	s.ctrl.Reset()
+	s.stats = core.Stats{}
+	if len(s.global) > 0 {
+		if _, err := s.ctrl.CommitSelection(s.global, 0); err != nil {
+			// The constructor verified the fit; a failure here is a bug.
+			panic(fmt.Sprintf("baseline: %s: global selection no longer fits: %v", s.name, err))
+		}
+	}
+}
+
+// aggregateExecutions sums the per-kernel execution counts over the whole
+// trace (the offline profile a compile-time selection works from).
+func aggregateExecutions(tr *trace.Trace) map[ise.KernelID]int64 {
+	total := make(map[ise.KernelID]int64)
+	for i := range tr.Iterations {
+		for _, l := range tr.Iterations[i].Loads {
+			total[l.Kernel] += l.E
+		}
+	}
+	return total
+}
+
+// NewMorpheus4S builds the Morpheus/4S-like baseline: one combined offline
+// selection over all kernels of all functional blocks, restricted to
+// pure-FG and pure-CG ISEs (loosely coupled fabrics cannot host one ISE
+// across both), solved exactly as a two-dimensional multi-choice knapsack
+// over steady-state profits, configured once at application start.
+func NewMorpheus4S(cfg arch.Config, app *ise.Application, tr *trace.Trace) (*StaticRTS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := reconfig.NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	totals := aggregateExecutions(tr)
+
+	var kernels []*ise.Kernel
+	for _, b := range app.Blocks {
+		kernels = append(kernels, b.Kernels...)
+	}
+	groups := make([][]selector.Option, len(kernels))
+	for i, k := range kernels {
+		for _, e := range k.ISEs {
+			if g := e.Grain(); g != arch.GrainFG && g != arch.GrainCG {
+				continue // no multi-grained ISEs on loosely coupled fabrics
+			}
+			groups[i] = append(groups[i], selector.Option{
+				Label:  e.ID,
+				PRC:    e.CostPRC(),
+				CG:     e.CostCG(),
+				Profit: profit.SteadyStateProfit(k, e, totals[k.ID]),
+			})
+		}
+	}
+	picks, _ := selector.MultiChoiceKnapsack(groups, cfg.NPRC, cfg.NCG)
+
+	s := &StaticRTS{
+		name:     "Morpheus/4S-like",
+		ctrl:     ctrl,
+		perBlock: map[string][]*ise.ISE{},
+		byKernel: make(map[ise.KernelID]*ise.ISE),
+	}
+	for i, pi := range picks {
+		if pi < 0 {
+			continue
+		}
+		e := kernels[i].ISEByID(groups[i][pi].Label)
+		s.global = append(s.global, e)
+		s.byKernel[kernels[i].ID] = e
+	}
+	s.Reset()
+	return s, nil
+}
+
+// NewOfflineOptimal builds the offline-optimal baseline: the optimal
+// *static* selection for tightly coupled multi-grained fabrics (paper
+// Section 5.2). Unlike Morpheus/4S it may pick multi-grained ISEs, and
+// unlike mRTS it never revises the selection at run time — the paper notes
+// that "run-time replacement gets less important" only as resources grow,
+// which is exactly where this baseline catches up. The selection is the
+// exact solution of the two-dimensional multi-choice knapsack over
+// steady-state profits from the full trace (the offline scheme knows the
+// true execution counts), configured once at application start.
+func NewOfflineOptimal(cfg arch.Config, app *ise.Application, tr *trace.Trace) (*StaticRTS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := reconfig.NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	totals := aggregateExecutions(tr)
+
+	var kernels []*ise.Kernel
+	for _, b := range app.Blocks {
+		kernels = append(kernels, b.Kernels...)
+	}
+	groups := make([][]selector.Option, len(kernels))
+	for i, k := range kernels {
+		for _, e := range k.ISEs {
+			groups[i] = append(groups[i], selector.Option{
+				Label:  e.ID,
+				PRC:    e.CostPRC(),
+				CG:     e.CostCG(),
+				Profit: profit.SteadyStateProfit(k, e, totals[k.ID]),
+			})
+		}
+	}
+	picks, _ := selector.MultiChoiceKnapsack(groups, cfg.NPRC, cfg.NCG)
+
+	s := &StaticRTS{
+		name:     "Offline-optimal",
+		ctrl:     ctrl,
+		perBlock: map[string][]*ise.ISE{},
+		byKernel: make(map[ise.KernelID]*ise.ISE),
+	}
+	for i, pi := range picks {
+		if pi < 0 {
+			continue
+		}
+		e := kernels[i].ISEByID(groups[i][pi].Label)
+		s.global = append(s.global, e)
+		s.byKernel[kernels[i].ID] = e
+	}
+	s.Reset()
+	return s, nil
+}

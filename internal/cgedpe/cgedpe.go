@@ -1,0 +1,308 @@
+// Package cgedpe is a functional model of one CG-EDPE — the coarse-grained
+// processing element of the paper's platform (Section 5.1): 80-bit
+// instruction words with two ALU slots issued in parallel, two 32x32-bit
+// register files, a context memory of 32 instructions (2-cycle context
+// switch), a zero-overhead loop instruction, a 32-bit load/store unit into
+// the fabric's scratch-pad, and the published operation timing (ALU ops in
+// a single cycle, multiply 2, divide 10).
+//
+// Like internal/leon for the core processor, the model exists to *measure*
+// the execution latency of kernels mapped to the CG fabric: the CG-ISE
+// latency constants of the ISE library are checked against context
+// programs executed here.
+package cgedpe
+
+import "fmt"
+
+// Op enumerates the ALU/memory operations of one slot.
+type Op uint8
+
+// Slot operations. Absd and Sad4 are the sub-word multimedia operations
+// coarse-grained arrays provide (the paper motivates the CG fabric with
+// exactly this class of (sub-)word processing).
+const (
+	OpNop Op = iota
+	OpMov
+	OpMovI
+	OpAdd
+	OpAddI
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSra
+	OpMul
+	OpDiv
+	// Absd computes |a - b|.
+	OpAbsd
+	// Sad4 accumulates the four packed byte absolute differences of a
+	// and b into the destination (dst += SAD of 4 byte lanes).
+	OpSad4
+	// Ld loads a 32-bit word from scratch-pad address a+imm.
+	OpLd
+	// St stores b to scratch-pad address a+imm.
+	OpSt
+	OpHalt
+)
+
+// slotCycles is the per-operation latency contribution of a slot.
+var slotCycles = map[Op]int64{
+	OpNop: 1, OpMov: 1, OpMovI: 1, OpAdd: 1, OpAddI: 1, OpSub: 1,
+	OpAnd: 1, OpOr: 1, OpXor: 1, OpShl: 1, OpShr: 1, OpSra: 1,
+	OpMul: 2, OpDiv: 10, OpAbsd: 1, OpSad4: 1,
+	OpLd: 1, OpSt: 1, OpHalt: 0,
+}
+
+// Reg addresses one of the 64 registers: 0..31 in register file 0,
+// 32..63 in register file 1.
+type Reg uint8
+
+// Slot is one of the two parallel operations of an instruction word.
+type Slot struct {
+	Op     Op
+	Dst    Reg
+	A, B   Reg
+	Imm    int32
+	UseImm bool // B is replaced by Imm
+}
+
+// Instr is one 80-bit CG instruction word: two slots issued together, or a
+// zero-overhead loop marker.
+type Instr struct {
+	SlotA, SlotB Slot
+	// LoopCount > 0 marks a zero-overhead loop over the next LoopBody
+	// instructions, repeated LoopCount times.
+	LoopCount int32
+	LoopBody  int
+}
+
+// Loop builds a zero-overhead loop instruction.
+func Loop(count int32, body int) Instr {
+	return Instr{LoopCount: count, LoopBody: body}
+}
+
+// Word builds a two-slot instruction.
+func Word(a, b Slot) Instr { return Instr{SlotA: a, SlotB: b} }
+
+// Single builds an instruction with only slot A active.
+func Single(a Slot) Instr { return Instr{SlotA: a, SlotB: Slot{Op: OpNop}} }
+
+// EDPE is the processing-element state.
+type EDPE struct {
+	Regs [64]int32
+	// Scratch is the fabric's scratch-pad memory (byte addressed,
+	// 32-bit load/store unit).
+	Scratch []byte
+	// Cycles accumulates execution time, including context switches.
+	Cycles int64
+	// ContextSwitches counts 32-instruction context boundaries crossed.
+	ContextSwitches int64
+
+	prog []Instr
+	pc   int
+}
+
+// ContextSize is the instruction capacity of the context memory.
+const ContextSize = 32
+
+// ContextSwitchCycles is the cost of switching to the next stored context.
+const ContextSwitchCycles = 2
+
+// New creates an EDPE with the given scratch-pad size.
+func New(scratchBytes int) *EDPE {
+	return &EDPE{Scratch: make([]byte, scratchBytes)}
+}
+
+// Load installs a context program. Programs longer than ContextSize span
+// multiple contexts; crossing a context boundary costs ContextSwitchCycles.
+// Zero-overhead loops must fit within one context (the loop hardware
+// addresses the context memory), which Load validates.
+func (e *EDPE) Load(prog []Instr) error {
+	for i, in := range prog {
+		if in.LoopCount > 0 {
+			if in.LoopBody <= 0 {
+				return fmt.Errorf("cgedpe: loop at %d with empty body", i)
+			}
+			end := i + in.LoopBody
+			if end >= len(prog) {
+				return fmt.Errorf("cgedpe: loop at %d exceeds program", i)
+			}
+			if i/ContextSize != end/ContextSize {
+				return fmt.Errorf("cgedpe: loop at %d crosses a context boundary", i)
+			}
+			for j := i + 1; j <= end; j++ {
+				if prog[j].LoopCount > 0 {
+					return fmt.Errorf("cgedpe: nested zero-overhead loop at %d", j)
+				}
+			}
+		}
+	}
+	e.prog = prog
+	e.pc = 0
+	return nil
+}
+
+func (e *EDPE) reg(r Reg) int32 { return e.Regs[r&63] }
+
+func (e *EDPE) setReg(r Reg, v int32) { e.Regs[r&63] = v }
+
+func (e *EDPE) execSlot(s Slot, isA bool) (halt bool, err error) {
+	b := e.reg(s.B)
+	if s.UseImm {
+		b = s.Imm
+	}
+	a := e.reg(s.A)
+	switch s.Op {
+	case OpNop:
+	case OpHalt:
+		return true, nil
+	case OpMov:
+		e.setReg(s.Dst, a)
+	case OpMovI:
+		e.setReg(s.Dst, s.Imm)
+	case OpAdd:
+		e.setReg(s.Dst, a+b)
+	case OpAddI:
+		e.setReg(s.Dst, a+s.Imm)
+	case OpSub:
+		e.setReg(s.Dst, a-b)
+	case OpAnd:
+		e.setReg(s.Dst, a&b)
+	case OpOr:
+		e.setReg(s.Dst, a|b)
+	case OpXor:
+		e.setReg(s.Dst, a^b)
+	case OpShl:
+		e.setReg(s.Dst, a<<(uint32(b)&31))
+	case OpShr:
+		e.setReg(s.Dst, int32(uint32(a)>>(uint32(b)&31)))
+	case OpSra:
+		e.setReg(s.Dst, a>>(uint32(b)&31))
+	case OpMul:
+		e.setReg(s.Dst, a*b)
+	case OpDiv:
+		if b == 0 {
+			return false, fmt.Errorf("cgedpe: division by zero")
+		}
+		e.setReg(s.Dst, a/b)
+	case OpAbsd:
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		e.setReg(s.Dst, d)
+	case OpSad4:
+		var sum int32
+		for i := 0; i < 4; i++ {
+			ba := int32(uint32(a) >> (8 * i) & 0xFF)
+			bb := int32(uint32(b) >> (8 * i) & 0xFF)
+			d := ba - bb
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		e.setReg(s.Dst, e.reg(s.Dst)+sum)
+	case OpLd:
+		addr := int(a + s.Imm)
+		if addr < 0 || addr+4 > len(e.Scratch) {
+			return false, fmt.Errorf("cgedpe: load at %d out of scratch-pad range", addr)
+		}
+		e.setReg(s.Dst, int32(uint32(e.Scratch[addr])|uint32(e.Scratch[addr+1])<<8|
+			uint32(e.Scratch[addr+2])<<16|uint32(e.Scratch[addr+3])<<24))
+	case OpSt:
+		addr := int(a + s.Imm)
+		if addr < 0 || addr+4 > len(e.Scratch) {
+			return false, fmt.Errorf("cgedpe: store at %d out of scratch-pad range", addr)
+		}
+		v := uint32(b)
+		e.Scratch[addr] = byte(v)
+		e.Scratch[addr+1] = byte(v >> 8)
+		e.Scratch[addr+2] = byte(v >> 16)
+		e.Scratch[addr+3] = byte(v >> 24)
+	default:
+		return false, fmt.Errorf("cgedpe: unknown op %d", s.Op)
+	}
+	_ = isA
+	return false, nil
+}
+
+// Run executes the loaded context program to completion (OpHalt in any
+// slot) and returns an error on fault or when maxWords instruction words
+// have issued without halting.
+func (e *EDPE) Run(maxWords int64) error {
+	type loopState struct {
+		start, end int
+		remaining  int32
+	}
+	var loop *loopState
+	var issued int64
+	for {
+		if e.pc < 0 || e.pc >= len(e.prog) {
+			return fmt.Errorf("cgedpe: PC %d outside program", e.pc)
+		}
+		in := e.prog[e.pc]
+
+		if in.LoopCount > 0 {
+			if in.LoopCount > 1 {
+				loop = &loopState{start: e.pc + 1, end: e.pc + in.LoopBody, remaining: in.LoopCount - 1}
+			}
+			// The loop set-up word itself issues in one cycle.
+			e.Cycles++
+			e.pc++
+			continue
+		}
+
+		// Structural constraint: one memory access per word (single
+		// 32-bit load/store unit).
+		if isMem(in.SlotA.Op) && isMem(in.SlotB.Op) {
+			return fmt.Errorf("cgedpe: two memory operations in one word at PC %d", e.pc)
+		}
+
+		cost := slotCycles[in.SlotA.Op]
+		if c := slotCycles[in.SlotB.Op]; c > cost {
+			cost = c
+		}
+		if in.SlotA.Op == OpHalt || in.SlotB.Op == OpHalt {
+			cost = 0 // halting consumes no issue cycle
+		}
+		e.Cycles += cost
+
+		haltA, err := e.execSlot(in.SlotA, true)
+		if err != nil {
+			return err
+		}
+		haltB, err := e.execSlot(in.SlotB, false)
+		if err != nil {
+			return err
+		}
+		if haltA || haltB {
+			return nil
+		}
+
+		issued++
+		if issued >= maxWords {
+			return fmt.Errorf("cgedpe: word budget %d exhausted", maxWords)
+		}
+
+		next := e.pc + 1
+		if loop != nil && e.pc == loop.end {
+			if loop.remaining > 0 {
+				loop.remaining--
+				next = loop.start // zero overhead: no extra cycle
+			} else {
+				loop = nil
+			}
+		}
+		// Context boundary crossing costs a context switch.
+		if next/ContextSize != e.pc/ContextSize && next < len(e.prog) {
+			e.Cycles += ContextSwitchCycles
+			e.ContextSwitches++
+		}
+		e.pc = next
+	}
+}
+
+func isMem(o Op) bool { return o == OpLd || o == OpSt }

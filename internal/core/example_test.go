@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ise"
+)
+
+// ExampleMRTS drives the runtime system by hand: a trigger instruction
+// arrives, mRTS selects an ISE and starts its reconfiguration, and the
+// Execution Control Unit steers the kernel's executions — RISC first, the
+// full ISE once the coarse-grained context has streamed in.
+func ExampleMRTS() {
+	kernel := &ise.Kernel{
+		ID: "filter", RISCLatency: 1000,
+		ISEs: []*ise.ISE{{
+			ID: "filter.cg", Kernel: "filter",
+			DataPaths: []ise.DataPath{{ID: "taps", Kind: arch.CG, CGs: 1}},
+			Latencies: []arch.Cycles{200},
+		}},
+	}
+	block := &ise.FunctionalBlock{ID: "blk", Kernels: []*ise.Kernel{kernel}}
+
+	rts := core.MustNew(arch.Config{NCG: 1}, core.Options{})
+	if _, err := rts.OnTrigger(block, "", []ise.Trigger{
+		{Kernel: "filter", E: 500, TF: 100, TB: 40},
+	}, 0); err != nil {
+		panic(err)
+	}
+	fmt.Println("selected:", rts.Selected("filter").ID)
+
+	// The CG context needs 15 cycles to stream: the first execution at
+	// t=5 still runs in RISC mode, the one at t=100 uses the full ISE.
+	for _, t := range []arch.Cycles{5, 100} {
+		d := rts.Execute(kernel, t)
+		fmt.Printf("t=%d: %s (%d cycles)\n", t, d.Mode, d.Latency)
+	}
+	// Output:
+	// selected: filter.cg
+	// t=5: RISC (1000 cycles)
+	// t=100: full-ISE (200 cycles)
+}

@@ -1,0 +1,216 @@
+package ecu
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+	"mrts/internal/reconfig"
+)
+
+func fgDP(id string) ise.DataPath {
+	return ise.DataPath{ID: ise.DataPathID(id), Kind: arch.FG, PRCs: 1}
+}
+func cgDP(id string) ise.DataPath {
+	return ise.DataPath{ID: ise.DataPathID(id), Kind: arch.CG, CGs: 1}
+}
+
+func testKernel() *ise.Kernel {
+	return &ise.Kernel{
+		ID:          "k",
+		RISCLatency: 1000,
+		MonoCG:      ise.MonoCGExt{Latency: 400, Instructions: 16},
+		ISEs: []*ise.ISE{
+			{
+				ID: "k.fg2", Kernel: "k",
+				DataPaths: []ise.DataPath{fgDP("a"), fgDP("b")},
+				Latencies: []arch.Cycles{500, 100},
+			},
+		},
+	}
+}
+
+func newCtrl(t *testing.T, prc, cg int) *reconfig.Controller {
+	t.Helper()
+	c, err := reconfig.NewController(arch.Config{NPRC: prc, NCG: cg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDecideFullISE(t *testing.T) {
+	ctrl := newCtrl(t, 2, 0)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	d := u.Decide(k, sel, 2*arch.FGReconfigCycles)
+	if d.Mode != Full || d.Latency != 100 || d.Level != 2 {
+		t.Errorf("decision = %+v, want full ISE @100", d)
+	}
+}
+
+func TestDecideIntermediate(t *testing.T) {
+	ctrl := newCtrl(t, 2, 0)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	// After one FG reconfiguration only data path "a" is ready.
+	d := u.Decide(k, sel, arch.FGReconfigCycles)
+	if d.Mode != Intermediate || d.Level != 1 || d.Latency != 500 {
+		t.Errorf("decision = %+v, want intermediate level 1 @500", d)
+	}
+}
+
+func TestDecideMonoCGBridging(t *testing.T) {
+	ctrl := newCtrl(t, 2, 1)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	// Long before the first FG data path is ready: no intermediate
+	// exists; the ECU loads a monoCG-Extension. The triggering
+	// execution itself still runs in RISC mode...
+	d := u.Decide(k, sel, 100)
+	if d.Mode != RISC {
+		t.Errorf("first decision = %+v, want RISC while monoCG streams in", d)
+	}
+	// ...but the next execution (contexts streamed) uses the extension.
+	d = u.Decide(k, sel, 100+k.MonoCG.ReconfigCycles())
+	if d.Mode != MonoCG || d.Latency != 400 {
+		t.Errorf("second decision = %+v, want monoCG @400", d)
+	}
+}
+
+func TestDecideRISCFallback(t *testing.T) {
+	// No CG-EDPE at all: no monoCG possible, no data path ready.
+	ctrl := newCtrl(t, 2, 0)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	d := u.Decide(k, sel, 10)
+	if d.Mode != RISC || d.Latency != 1000 {
+		t.Errorf("decision = %+v, want RISC @1000", d)
+	}
+}
+
+func TestDecideNoSelection(t *testing.T) {
+	ctrl := newCtrl(t, 0, 1)
+	k := testKernel()
+	u := New(ctrl, Options{})
+	// Unselected kernel with a free CG-EDPE: monoCG bridges.
+	d := u.Decide(k, nil, 0)
+	if d.Mode != RISC {
+		t.Errorf("first decision = %v, want RISC (context streaming)", d.Mode)
+	}
+	d = u.Decide(k, nil, k.MonoCG.ReconfigCycles())
+	if d.Mode != MonoCG {
+		t.Errorf("second decision = %v, want monoCG", d.Mode)
+	}
+}
+
+func TestDisableMonoCG(t *testing.T) {
+	ctrl := newCtrl(t, 0, 1)
+	k := testKernel()
+	u := New(ctrl, Options{DisableMonoCG: true})
+	d := u.Decide(k, nil, 0)
+	if d.Mode != RISC {
+		t.Errorf("decision = %v, want RISC with monoCG disabled", d.Mode)
+	}
+	d = u.Decide(k, nil, 1_000_000)
+	if d.Mode != RISC {
+		t.Errorf("monoCG used despite being disabled: %v", d.Mode)
+	}
+}
+
+func TestDisableIntermediate(t *testing.T) {
+	ctrl := newCtrl(t, 2, 0)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{DisableIntermediate: true})
+	d := u.Decide(k, sel, arch.FGReconfigCycles)
+	if d.Mode != RISC {
+		t.Errorf("decision = %v, want RISC with intermediates disabled", d.Mode)
+	}
+	d = u.Decide(k, sel, 2*arch.FGReconfigCycles)
+	if d.Mode != Full {
+		t.Errorf("full ISE not used once complete: %v", d.Mode)
+	}
+}
+
+func TestPaperPriorityOrder(t *testing.T) {
+	// Fig. 7: intermediate ISEs take precedence over monoCG even when a
+	// free CG-EDPE exists.
+	ctrl := newCtrl(t, 2, 1)
+	k := testKernel()
+	sel := k.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{sel}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	d := u.Decide(k, sel, arch.FGReconfigCycles)
+	if d.Mode != Intermediate {
+		t.Errorf("decision = %v, want intermediate before monoCG", d.Mode)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		RISC: "RISC", MonoCG: "monoCG", Intermediate: "intermediate", Full: "full-ISE",
+	} {
+		if m.String() != want {
+			t.Errorf("Mode(%d) = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Mode(17).String() == "" {
+		t.Error("unknown mode should render")
+	}
+}
+
+func TestIntermediateFromSharedDataPaths(t *testing.T) {
+	// Paper Section 4.1: intermediate ISEs "may become available ... due
+	// to the completed reconfigurations of other ISEs that share some
+	// data paths with the specific ISE". Kernel B's selected ISE starts
+	// with a data path that kernel A's committed ISE already configured:
+	// B executes as an intermediate immediately.
+	ctrl := newCtrl(t, 2, 0)
+	shared := fgDP("shared")
+	aISE := &ise.ISE{
+		ID: "a.fg1", Kernel: "a",
+		DataPaths: []ise.DataPath{shared},
+		Latencies: []arch.Cycles{100},
+	}
+	bKernel := &ise.Kernel{
+		ID: "b", RISCLatency: 900,
+		ISEs: []*ise.ISE{{
+			ID: "b.fg2", Kernel: "b",
+			DataPaths: []ise.DataPath{shared, fgDP("own")},
+			Latencies: []arch.Cycles{400, 120},
+		}},
+	}
+	bISE := bKernel.ISEs[0]
+	if _, err := ctrl.CommitSelection([]*ise.ISE{aISE, bISE}, 0); err != nil {
+		t.Fatal(err)
+	}
+	u := New(ctrl, Options{})
+	// After one FG reconfiguration, the shared path is up; B's second
+	// path is still streaming — B runs as intermediate level 1.
+	d := u.Decide(bKernel, bISE, arch.FGReconfigCycles)
+	if d.Mode != Intermediate || d.Level != 1 || d.Latency != 400 {
+		t.Errorf("decision = %+v, want intermediate level 1 via the shared path", d)
+	}
+}

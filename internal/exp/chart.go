@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mrts/internal/arch"
+)
+
+// ASCII chart rendering: the experiment results can be printed as terminal
+// charts that mirror the paper's figures — bar groups per fabric
+// combination for Fig. 8/10, a multi-series line chart for Fig. 1.
+
+const barGlyph = "#"
+
+// bar renders a single horizontal bar scaled to max over width cells.
+func bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 1 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat(barGlyph, n)
+}
+
+// RenderChart prints the Fig. 8 comparison as grouped horizontal bars
+// (execution time per policy, one group per fabric combination), mirroring
+// the paper's figure.
+func (r Fig8Result) RenderChart(w io.Writer) {
+	fprintf(w, "Fig. 8 (chart): execution time by policy, grouped by PRC/CG combination\n")
+	max := float64(r.RISCCycles)
+	fprintf(w, "%-6s %-9s %-*s\n", "0/0", "RISC", 40, bar(max, max, 40)+fmt.Sprintf(" %.1fM", r.RISCCycles.MCycles()))
+	for _, row := range r.Rows {
+		for i, p := range Fig8Policies {
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%d/%d", row.Config.NPRC, row.Config.NCG)
+			}
+			c := row.Cycles[p]
+			fprintf(w, "%-6s %-9s %s %.1fM\n", label, shortPolicy(p), bar(float64(c), max, 40), c.MCycles())
+		}
+		fprintf(w, "\n")
+	}
+}
+
+// RenderChart prints the Fig. 10 speedups as one bar per combination,
+// grouped by fabric class the way the paper sorts its x-axis.
+func (r Fig10Result) RenderChart(w io.Writer) {
+	fprintf(w, "Fig. 10 (chart): mRTS speedup over RISC mode\n")
+	var max float64
+	for _, row := range r.Rows {
+		if row.Speedup > max {
+			max = row.Speedup
+		}
+	}
+	for _, class := range []arch.Grain{arch.GrainFG, arch.GrainCG, arch.GrainMG} {
+		fprintf(w, "%s:\n", class)
+		for _, row := range r.Rows {
+			if row.Class != class {
+				continue
+			}
+			fprintf(w, "  %d/%-3d %s %.2fx\n",
+				row.Config.NPRC, row.Config.NCG, bar(row.Speedup, max, 40), row.Speedup)
+		}
+	}
+	fprintf(w, "average %.2fx\n", r.Avg)
+}
+
+// RenderChart prints the Fig. 1 pif curves as an ASCII line chart: one
+// column per sampled execution count, one glyph per ISE.
+func (r Fig1Result) RenderChart(w io.Writer) {
+	if len(r.Rows) == 0 {
+		return
+	}
+	const height = 16
+	glyphs := [3]byte{'1', '2', '3'}
+	var max float64
+	for _, row := range r.Rows {
+		for _, v := range row.PIF {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", len(r.Rows)))
+	}
+	for x, row := range r.Rows {
+		for i, v := range row.PIF {
+			y := height - 1 - int(v/max*float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = glyphs[i]
+		}
+	}
+	fprintf(w, "Fig. 1 (chart): pif of ISE-1 (FG), ISE-2 (CG), ISE-3 (MG); y max %.1f\n", max)
+	for _, line := range grid {
+		fprintf(w, "|%s\n", string(line))
+	}
+	fprintf(w, "+%s\n", strings.Repeat("-", len(r.Rows)))
+	fprintf(w, " executions %d..%d (crossovers at %v)\n",
+		r.Rows[0].Executions, r.Rows[len(r.Rows)-1].Executions, r.Crossovers)
+}
+
+func shortPolicy(p Policy) string {
+	switch p {
+	case PolicyRISPP:
+		return "RISPP"
+	case PolicyOffline:
+		return "Offline"
+	case PolicyMorpheus:
+		return "Morph+4S"
+	case PolicyMRTS:
+		return "mRTS"
+	default:
+		return string(p)
+	}
+}
+
+// RenderChart prints the Fig. 2 series as one bar per frame, annotated
+// with the pif-best case-study ISE — the paper's visual argument that the
+// best ISE changes at run time.
+func (r Fig2Result) RenderChart(w io.Writer) {
+	fprintf(w, "Fig. 2 (chart): deblocking-filter executions per frame (best ISE annotated)\n")
+	var max float64
+	for _, row := range r.Rows {
+		if float64(row.Executions) > max {
+			max = float64(row.Executions)
+		}
+	}
+	for _, row := range r.Rows {
+		fprintf(w, "frame %2d %s %d (ISE-%d)\n",
+			row.Frame, bar(float64(row.Executions), max, 36), row.Executions, row.BestISE)
+	}
+	fprintf(w, "best-ISE changes: %d\n", r.Changes)
+}

@@ -1,0 +1,85 @@
+// Package exp is the experiment harness: one entry point per table/figure
+// of the paper's evaluation (Section 5). Each function runs the complete
+// pipeline — workload, policies, simulator — and returns the same rows or
+// series the paper reports, plus a text renderer used by the command-line
+// tools and the benchmark harness.
+//
+// EXPERIMENTS.md records the paper-vs-measured comparison for every entry
+// point here.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"mrts/internal/arch"
+	"mrts/internal/baseline"
+	"mrts/internal/core"
+	"mrts/internal/ise"
+	"mrts/internal/sim"
+	"mrts/internal/trace"
+	"mrts/internal/workload"
+)
+
+// Policy identifies a runtime system in experiment rows.
+type Policy string
+
+// Policies of the Fig. 8 comparison, in the paper's bar order.
+const (
+	PolicyRISPP    Policy = "RISPP-like"
+	PolicyOffline  Policy = "Offline-optimal"
+	PolicyMorpheus Policy = "Morpheus/4S-like"
+	PolicyMRTS     Policy = "mRTS"
+	PolicyOptimal  Policy = "Online-optimal"
+	PolicyRISC     Policy = "RISC-mode"
+)
+
+// NewPolicy builds a runtime system by name for the given fabric budget.
+func NewPolicy(p Policy, cfg arch.Config, app *ise.Application, tr *trace.Trace) (core.RuntimeSystem, error) {
+	switch p {
+	case PolicyMRTS:
+		return core.New(cfg, core.Options{ChargeOverhead: true})
+	case PolicyRISPP:
+		return baseline.NewRISPPLike(cfg)
+	case PolicyMorpheus:
+		return baseline.NewMorpheus4S(cfg, app, tr)
+	case PolicyOffline:
+		return baseline.NewOfflineOptimal(cfg, app, tr)
+	case PolicyOptimal:
+		return baseline.NewOnlineOptimal(cfg)
+	case PolicyRISC:
+		return core.NewRISCOnly(), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown policy %q", p)
+	}
+}
+
+// runPolicy builds and runs one policy on the workload.
+func runPolicy(p Policy, cfg arch.Config, w *workload.Result) (*sim.Report, error) {
+	rts, err := NewPolicy(p, cfg, w.App, w.Trace)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(w.App, w.Trace, rts)
+}
+
+// Combos enumerates fabric combinations the way Fig. 8 orders its x-axis:
+// the PRC count is the outer digit, the CG-EDPE count the inner one.
+func Combos(maxPRC, maxCG int, includeRISC bool) []arch.Config {
+	var out []arch.Config
+	for p := 0; p <= maxPRC; p++ {
+		for c := 0; c <= maxCG; c++ {
+			if p == 0 && c == 0 && !includeRISC {
+				continue
+			}
+			out = append(out, arch.Config{NPRC: p, NCG: c})
+		}
+	}
+	return out
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

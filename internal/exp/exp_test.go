@@ -1,0 +1,448 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+// expWorkload is shared across the integration tests in this package; the
+// sweeps are the most expensive tests in the repository. It uses the
+// calibrated QCIF frame size (the experiments' regime: functional-block
+// windows a few multiples of the FG reconfiguration time) with a shortened
+// sequence.
+var expWorkload = workload.MustBuild(workload.Options{
+	Frames: 8,
+	Video:  video.Options{SceneCuts: []int{4}},
+})
+
+func TestFig1ThreeRegions(t *testing.T) {
+	r := Fig1(6000, 100)
+	if len(r.Rows) != 60 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if len(r.Crossovers) != 2 {
+		t.Fatalf("crossovers = %v, want exactly 2 (three regions)", r.Crossovers)
+	}
+	// Region order: ISE-2 (CG) first, ISE-3 (MG) middle, ISE-1 (FG) last.
+	if r.Rows[0].Best != 2 {
+		t.Errorf("first region dominated by ISE-%d, want ISE-2", r.Rows[0].Best)
+	}
+	if last := r.Rows[len(r.Rows)-1]; last.Best != 1 {
+		t.Errorf("last region dominated by ISE-%d, want ISE-1", last.Best)
+	}
+	mid := r.Rows[len(r.Rows)/3]
+	if mid.Best != 3 {
+		t.Errorf("middle region dominated by ISE-%d, want ISE-3", mid.Best)
+	}
+}
+
+func TestFig1PIFMonotone(t *testing.T) {
+	r := Fig1(6000, 200)
+	for i := 1; i < len(r.Rows); i++ {
+		for j := 0; j < 3; j++ {
+			if r.Rows[i].PIF[j] < r.Rows[i-1].PIF[j]-1e-9 {
+				t.Fatalf("pif of ISE-%d decreased at %d executions", j+1, r.Rows[i].Executions)
+			}
+		}
+	}
+}
+
+func TestFig2SeriesAndVariation(t *testing.T) {
+	r := Fig2(expWorkload)
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want one per frame", len(r.Rows))
+	}
+	// Execution counts must vary across frames (the paper's argument).
+	min, max := r.Rows[0].Executions, r.Rows[0].Executions
+	for _, row := range r.Rows {
+		if row.Executions < min {
+			min = row.Executions
+		}
+		if row.Executions > max {
+			max = row.Executions
+		}
+		if row.BestISE < 1 || row.BestISE > 3 {
+			t.Errorf("frame %d: best ISE %d", row.Frame, row.BestISE)
+		}
+	}
+	if max < 2*min {
+		t.Errorf("executions hardly vary: %d..%d", min, max)
+	}
+	if r.Changes < 1 {
+		t.Error("the best ISE never changes across frames")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(expWorkload, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 3x3 minus 0/0
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.RISCCycles <= 0 {
+		t.Fatal("no RISC reference")
+	}
+	for _, row := range r.Rows {
+		mrts := row.Cycles[PolicyMRTS]
+		if mrts <= 0 {
+			t.Fatalf("combo %v: no mRTS cycles", row.Config)
+		}
+		// mRTS never slower than RISC mode.
+		if mrts > r.RISCCycles {
+			t.Errorf("combo %v: mRTS slower than RISC", row.Config)
+		}
+		// The headline claim: mRTS at least roughly matches every
+		// competitor everywhere (small tolerance for transients).
+		for _, p := range Fig8Policies[:3] {
+			if float64(mrts) > 1.06*float64(row.Cycles[p]) {
+				t.Errorf("combo %v: mRTS (%d) notably slower than %s (%d)",
+					row.Config, mrts, p, row.Cycles[p])
+			}
+		}
+	}
+	// Paper: mRTS ~ RISPP-like when no CG-EDPE is available.
+	for _, row := range r.Rows {
+		if row.Config.NCG != 0 {
+			continue
+		}
+		ratio := float64(row.Cycles[PolicyRISPP]) / float64(row.Cycles[PolicyMRTS])
+		if ratio < 0.97 || ratio > 1.03 {
+			t.Errorf("FG-only combo %v: mRTS/RISPP ratio %v, want ~1", row.Config, ratio)
+		}
+	}
+	// Averages computed over all rows.
+	for _, p := range Fig8Policies[:3] {
+		if r.AvgSpeedup[p] <= 0 || r.MaxSpeedup[p] < r.AvgSpeedup[p] {
+			t.Errorf("aggregate speedups wrong for %s: avg %v max %v", p, r.AvgSpeedup[p], r.MaxSpeedup[p])
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(expWorkload, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.DiffPercent < 0 {
+			t.Errorf("combo %v: negative difference", row.Config)
+		}
+		if row.DiffPercent > 25 {
+			t.Errorf("combo %v: heuristic loses %v%% to optimal", row.Config, row.DiffPercent)
+		}
+	}
+	if r.Worst < r.Avg {
+		t.Error("worst < average")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Fig10(expWorkload, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Speedup < 1 {
+			t.Errorf("combo %v: speedup %v < 1", row.Config, row.Speedup)
+		}
+		if row.Class != row.Config.Class() {
+			t.Errorf("combo %v: class %v", row.Config, row.Class)
+		}
+	}
+	// The paper's core result: multi-grained combinations beat
+	// single-grain ones on average.
+	if r.AvgByClass[arch.GrainMG] <= r.AvgByClass[arch.GrainFG] {
+		t.Errorf("MG average (%v) not above FG-only (%v)",
+			r.AvgByClass[arch.GrainMG], r.AvgByClass[arch.GrainFG])
+	}
+	if r.MaxByClass[arch.GrainMG] < r.MaxByClass[arch.GrainCG] {
+		t.Errorf("MG max (%v) below CG-only max (%v)",
+			r.MaxByClass[arch.GrainMG], r.MaxByClass[arch.GrainCG])
+	}
+}
+
+func TestOverheadWithinPaperBounds(t *testing.T) {
+	r, err := Overhead(expWorkload, arch.Config{NPRC: 2, NCG: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Selections == 0 || r.Evaluations == 0 {
+		t.Fatal("no selections measured")
+	}
+	// Paper Section 5.4: less than 3000 cycles per selection.
+	if r.CyclesPerSelection <= 0 || r.CyclesPerSelection >= 3000 {
+		t.Errorf("cycles per selection = %v, want (0, 3000)", r.CyclesPerSelection)
+	}
+	// Visible overhead is a small share of the execution time.
+	if r.VisibleShare < 0 || r.VisibleShare > 0.05 {
+		t.Errorf("visible share = %v", r.VisibleShare)
+	}
+	if r.HiddenShare < 0 || r.HiddenShare > 1 {
+		t.Errorf("hidden share = %v", r.HiddenShare)
+	}
+}
+
+func TestCombos(t *testing.T) {
+	all := Combos(1, 1, true)
+	if len(all) != 4 {
+		t.Errorf("combos with RISC = %d", len(all))
+	}
+	noRISC := Combos(1, 1, false)
+	if len(noRISC) != 3 {
+		t.Errorf("combos without RISC = %d", len(noRISC))
+	}
+	for _, c := range noRISC {
+		if c.IsRISCOnly() {
+			t.Error("0/0 included")
+		}
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy("bogus", arch.Config{}, expWorkload.App, expWorkload.Trace); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1(2000, 500).Render(&buf)
+	Fig2(expWorkload).Render(&buf)
+	if r, err := Fig8(expWorkload, 1, 1); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Fig9(expWorkload, 1, 1); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Fig10(expWorkload, 1, 1); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Fatal(err)
+	}
+	if r, err := Overhead(expWorkload, arch.Config{NPRC: 1, NCG: 1}); err == nil {
+		r.Render(&buf)
+	} else {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 1", "Fig. 2", "Fig. 8", "Fig. 9", "Fig. 10", "Section 5.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+	// Render must tolerate a nil writer.
+	Fig1(1000, 500).Render(nil)
+}
+
+func TestRenderCharts(t *testing.T) {
+	var buf bytes.Buffer
+	fig1 := Fig1(3000, 100)
+	fig1.RenderChart(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 1 (chart)") {
+		t.Error("Fig. 1 chart header missing")
+	}
+	// All three curves must appear.
+	for _, glyph := range []string{"1", "2", "3"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("curve glyph %s missing from chart", glyph)
+		}
+	}
+
+	buf.Reset()
+	r8, err := Fig8(expWorkload, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8.RenderChart(&buf)
+	if !strings.Contains(buf.String(), "RISC") || !strings.Contains(buf.String(), "#") {
+		t.Error("Fig. 8 chart missing bars")
+	}
+
+	buf.Reset()
+	r10, err := Fig10(expWorkload, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10.RenderChart(&buf)
+	if !strings.Contains(buf.String(), "MG:") {
+		t.Error("Fig. 10 chart missing class groups")
+	}
+
+	// Nil writers must not panic.
+	fig1.RenderChart(nil)
+	r8.RenderChart(nil)
+	r10.RenderChart(nil)
+}
+
+func TestBarScaling(t *testing.T) {
+	if bar(10, 10, 20) != strings.Repeat("#", 20) {
+		t.Error("full bar wrong")
+	}
+	if bar(5, 10, 20) != strings.Repeat("#", 10) {
+		t.Error("half bar wrong")
+	}
+	if got := bar(0.0001, 10, 20); got != "#" {
+		t.Errorf("tiny positive value should render one glyph, got %q", got)
+	}
+	if bar(1, 0, 20) != "" {
+		t.Error("zero max should render nothing")
+	}
+}
+
+func TestSharedSweep(t *testing.T) {
+	r, err := Shared(expWorkload, arch.Config{NPRC: 2, NCG: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 { // reservations 0..1 x 0..1
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Effective.NPRC+row.ReservedPRC != 2 || row.Effective.NCG+row.ReservedCG != 2 {
+			t.Errorf("budgets do not add up: %+v", row)
+		}
+		if row.Speedup < 1 {
+			t.Errorf("reservation %d/%d: speedup %v < 1", row.ReservedPRC, row.ReservedCG, row.Speedup)
+		}
+		// Run-time adaptation must stay within a reasonable factor of
+		// the recompiled-oracle selection (in practice it beats it).
+		if row.Retention < 0.85 {
+			t.Errorf("reservation %d/%d: retention %v", row.ReservedPRC, row.ReservedCG, row.Retention)
+		}
+	}
+	// More reservation means less fabric means no more speed.
+	if r.Rows[0].Speedup < r.Rows[len(r.Rows)-1].Speedup {
+		t.Error("speedup should not grow as the budget shrinks")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fabric sharing") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSyntheticWorkloadRunsUnderAllPolicies(t *testing.T) {
+	w, err := workload.Synthetic(3, 4, 16, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.Config{NPRC: 2, NCG: 2}
+	for _, p := range []Policy{PolicyMRTS, PolicyRISPP, PolicyMorpheus, PolicyOffline} {
+		rep, err := runPolicy(p, cfg, w)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if rep.TotalCycles > risc.TotalCycles {
+			t.Errorf("%s slower than RISC on the synthetic workload", p)
+		}
+	}
+}
+
+func TestMixFrontier(t *testing.T) {
+	r, err := MixFrontier(expWorkload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 splits of 4 units", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Config.NPRC+row.Config.NCG != 4 {
+			t.Errorf("split %v does not sum to 4", row.Config)
+		}
+		if row.Speedup < 1 {
+			t.Errorf("split %v: speedup %v < 1", row.Config, row.Speedup)
+		}
+	}
+	// The paper's architecture point: a mixed split beats the pure-FG
+	// extreme at equal area.
+	pureFG := r.Rows[len(r.Rows)-1] // 4 PRC + 0 CG
+	if r.Best.Config == pureFG.Config {
+		t.Errorf("pure FG split should not be the frontier optimum")
+	}
+	if r.Best.Config.Class() != arch.GrainMG {
+		t.Logf("best mix %v is not multi-grained (workload-dependent)", r.Best.Config)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "<- best") {
+		t.Error("render missing best marker")
+	}
+}
+
+// TestFig1Golden pins the exact case-study numbers: they follow
+// analytically from Eq. 1 and the ISE library constants, so any change to
+// either shows up here.
+func TestFig1Golden(t *testing.T) {
+	r := Fig1(3000, 1000)
+	var buf bytes.Buffer
+	r.Render(&buf)
+	golden := []string{
+		"      1000      4.040      5.333      4.762  ISE-2",
+		"      2000      5.333      5.333      5.555  ISE-3",
+		"      3000      5.970      5.333      5.882  ISE-1",
+		"region crossovers at executions: [2000 3000]",
+	}
+	out := buf.String()
+	for _, want := range golden {
+		if !strings.Contains(out, want) {
+			t.Errorf("golden line missing:\n%s\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
+func TestParMap(t *testing.T) {
+	// Order preserved.
+	out, err := parMap(20, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// Errors propagate; all workers complete.
+	_, err = parMap(10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("error not propagated: %v", err)
+	}
+	// Zero items.
+	if out, err := parMap(0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Error("empty parMap wrong")
+	}
+}
+
+func TestFig2Chart(t *testing.T) {
+	var buf bytes.Buffer
+	Fig2(expWorkload).RenderChart(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 2 (chart)") || !strings.Contains(out, "ISE-") {
+		t.Errorf("Fig. 2 chart incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/iselib"
+	"mrts/internal/profit"
+)
+
+// Fig1Row is one x-position of the Fig. 1 case study: the Performance
+// Improvement Factor (Eq. 1) of the three deblocking-filter ISEs at a given
+// number of kernel executions.
+type Fig1Row struct {
+	Executions int64
+	// PIF holds the pif of ISE-1 (pure FG), ISE-2 (pure CG) and ISE-3
+	// (multi-grained), in paper order.
+	PIF [3]float64
+	// Best is the 1-based index of the dominating ISE at this point.
+	Best int
+}
+
+// Fig1Result is the full Fig. 1 series.
+type Fig1Result struct {
+	Rows []Fig1Row
+	// Crossovers lists the execution counts at which the dominating ISE
+	// changes (the paper's three-region structure yields two of them).
+	Crossovers []int64
+}
+
+// Fig1 reproduces the motivational case study (paper Fig. 1): the pif of
+// the three ISEs of the H.264 deblocking filter for execution counts from
+// step to max. The expected structure: ISE-2 (CG) dominates for few
+// executions, ISE-3 (MG) in the middle region, ISE-1 (FG) for many.
+func Fig1(max, step int64) Fig1Result {
+	k := iselib.CaseStudyKernel()
+	var res Fig1Result
+	prevBest := 0
+	for e := step; e <= max; e += step {
+		row := Fig1Row{Executions: e}
+		for i, ext := range k.ISEs {
+			row.PIF[i] = profit.PIF(k, ext, e)
+		}
+		row.Best = 1
+		for i := 1; i < 3; i++ {
+			if row.PIF[i] > row.PIF[row.Best-1] {
+				row.Best = i + 1
+			}
+		}
+		if prevBest != 0 && row.Best != prevBest {
+			res.Crossovers = append(res.Crossovers, e)
+		}
+		prevBest = row.Best
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render writes the series as a text table.
+func (r Fig1Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 1: Performance Improvement Factor of three deblocking-filter ISEs\n")
+	fprintf(w, "%10s %10s %10s %10s  %s\n", "executions", "ISE-1(FG)", "ISE-2(CG)", "ISE-3(MG)", "best")
+	for _, row := range r.Rows {
+		fprintf(w, "%10d %10.3f %10.3f %10.3f  ISE-%d\n",
+			row.Executions, row.PIF[0], row.PIF[1], row.PIF[2], row.Best)
+	}
+	fprintf(w, "region crossovers at executions: %v\n", r.Crossovers)
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/arch"
+	"mrts/internal/stats"
+	"mrts/internal/workload"
+)
+
+// Fig10Row is one fabric combination of the RISC-mode speedup analysis
+// (paper Fig. 10).
+type Fig10Row struct {
+	Config arch.Config
+	// Class groups the combination: FG-only, CG-only or multi-grained.
+	Class arch.Grain
+	// Speedup of mRTS versus pure RISC-mode execution.
+	Speedup float64
+}
+
+// Fig10Result is the full analysis.
+type Fig10Result struct {
+	Rows []Fig10Row
+	// Avg is the average speedup over all combinations (the line in the
+	// paper's figure); AvgByClass splits it by combination class.
+	Avg        float64
+	AvgByClass map[arch.Grain]float64
+	MaxByClass map[arch.Grain]float64
+}
+
+// Fig10 reproduces the general speedup analysis (paper Fig. 10): mRTS's
+// application speedup over RISC-mode execution for every fabric
+// combination, grouped into FG-only, CG-only and multi-grained classes.
+// The paper's shape: FG-only combinations reach 1.8-2.2x, while
+// multi-grained combinations exceed 5x, and 1 PRC + 1 CG-EDPE beats
+// considerably larger single-grain budgets.
+func Fig10(w *workload.Result, maxPRC, maxCG int) (Fig10Result, error) {
+	res := Fig10Result{
+		AvgByClass: map[arch.Grain]float64{},
+		MaxByClass: map[arch.Grain]float64{},
+	}
+	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	if err != nil {
+		return res, err
+	}
+	combos := Combos(maxPRC, maxCG, false)
+	rows, err := parMap(len(combos), func(i int) (Fig10Row, error) {
+		cfg := combos[i]
+		rep, err := runPolicy(PolicyMRTS, cfg, w)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		return Fig10Row{Config: cfg, Class: cfg.Class(), Speedup: rep.Speedup(risc)}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	byClass := map[arch.Grain][]float64{}
+	var all []float64
+	for _, row := range rows {
+		byClass[row.Class] = append(byClass[row.Class], row.Speedup)
+		all = append(all, row.Speedup)
+	}
+	res.Avg = stats.Mean(all)
+	for c, xs := range byClass {
+		res.AvgByClass[c] = stats.Mean(xs)
+		res.MaxByClass[c] = stats.Max(xs)
+	}
+	return res, nil
+}
+
+// Render writes the analysis as a text table, grouped by class the way the
+// paper's figure sorts its x-axis.
+func (r Fig10Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 10: mRTS speedup compared to RISC-mode\n")
+	for _, class := range []arch.Grain{arch.GrainFG, arch.GrainCG, arch.GrainMG} {
+		fprintf(w, "\n%s combinations:\n", class)
+		for _, row := range r.Rows {
+			if row.Class != class {
+				continue
+			}
+			fprintf(w, "  %d PRC / %d CG: %6.2fx\n", row.Config.NPRC, row.Config.NCG, row.Speedup)
+		}
+		fprintf(w, "  class average %.2fx, max %.2fx\n", r.AvgByClass[class], r.MaxByClass[class])
+	}
+	fprintf(w, "\noverall average speedup %.2fx\n", r.Avg)
+}

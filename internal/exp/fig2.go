@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+	"mrts/internal/iselib"
+	"mrts/internal/profit"
+	"mrts/internal/workload"
+)
+
+// Fig2Row is one frame of the Fig. 2 series: how often the deblocking
+// filter kernel executes within the functional block of that frame, and
+// which of the three case-study ISEs the pif ranks best at that count.
+type Fig2Row struct {
+	Frame      int
+	Executions int64
+	// BestISE is 1, 2 or 3 (paper numbering: FG, CG, MG).
+	BestISE int
+}
+
+// Fig2Result is the full Fig. 2 series.
+type Fig2Result struct {
+	Rows []Fig2Row
+	// Changes counts how often the best ISE flips between consecutive
+	// frames — the paper's argument for run-time selection.
+	Changes int
+}
+
+// Fig2 reproduces the execution behaviour of the H.264 deblocking filter
+// (paper Fig. 2): the number of kernel executions within the deblocking
+// functional block varies from frame to frame with the video content, so
+// the performance-wise best ISE changes over time.
+func Fig2(w *workload.Result) Fig2Result {
+	k := iselib.CaseStudyKernel()
+	var res Fig2Result
+	prev := 0
+	for i := range w.Trace.Iterations {
+		it := &w.Trace.Iterations[i]
+		if it.Block != "dbf" {
+			continue
+		}
+		var execs int64
+		for _, l := range it.Loads {
+			if l.Kernel == ise.KernelID(h264.KernelFilt) {
+				execs = l.E
+			}
+		}
+		best, bestPIF := 0, -1.0
+		for j, ext := range k.ISEs {
+			if p := profit.PIF(k, ext, execs); p > bestPIF {
+				best, bestPIF = j+1, p
+			}
+		}
+		if prev != 0 && best != prev {
+			res.Changes++
+		}
+		prev = best
+		res.Rows = append(res.Rows, Fig2Row{Frame: it.Seq, Executions: execs, BestISE: best})
+	}
+	return res
+}
+
+// Render writes the series as a text table.
+func (r Fig2Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 2: Deblocking-filter executions per functional-block iteration\n")
+	fprintf(w, "%6s %12s  %s\n", "frame", "executions", "best suited")
+	for _, row := range r.Rows {
+		fprintf(w, "%6d %12d  ISE-%d\n", row.Frame, row.Executions, row.BestISE)
+	}
+	fprintf(w, "best-ISE changes across frames: %d\n", r.Changes)
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/arch"
+	"mrts/internal/stats"
+	"mrts/internal/workload"
+)
+
+// Fig8Row is one fabric combination of the state-of-the-art comparison
+// (paper Fig. 8): execution times of the four policies plus the speedups of
+// mRTS over each competitor.
+type Fig8Row struct {
+	Config arch.Config
+	// Cycles holds the execution time per policy.
+	Cycles map[Policy]arch.Cycles
+	// Speedup of mRTS versus each competitor.
+	Speedup map[Policy]float64
+}
+
+// Fig8Result is the full comparison.
+type Fig8Result struct {
+	// RISCCycles is the execution time of the first x-axis combination
+	// (no reconfigurable fabric at all).
+	RISCCycles arch.Cycles
+	Rows       []Fig8Row
+	// AvgSpeedup / MaxSpeedup aggregate mRTS's speedup per competitor
+	// over all combinations (the numbers quoted in paper Section 5.2).
+	AvgSpeedup map[Policy]float64
+	MaxSpeedup map[Policy]float64
+}
+
+// Fig8Policies are the competitors, in the paper's bar order.
+var Fig8Policies = []Policy{PolicyRISPP, PolicyOffline, PolicyMorpheus, PolicyMRTS}
+
+// Fig8 reproduces the comparison with state-of-the-art approaches (paper
+// Fig. 8): execution time of the whole H.264 encoder for every combination
+// of PRCs (0..maxPRC) and CG-EDPEs (0..maxCG) under the RISPP-like,
+// offline-optimal, Morpheus/4S-like and mRTS policies.
+//
+// Expected shape (paper Section 5.2): mRTS is fastest or tied everywhere;
+// it matches RISPP-like when no CG-EDPE is available and approaches the
+// loosely coupled schemes on single-grain combinations; the largest gaps
+// appear on multi-grained combinations.
+func Fig8(w *workload.Result, maxPRC, maxCG int) (Fig8Result, error) {
+	res := Fig8Result{
+		AvgSpeedup: map[Policy]float64{},
+		MaxSpeedup: map[Policy]float64{},
+	}
+	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	if err != nil {
+		return res, err
+	}
+	res.RISCCycles = risc.TotalCycles
+
+	combos := Combos(maxPRC, maxCG, false)
+	rows, err := parMap(len(combos), func(i int) (Fig8Row, error) {
+		cfg := combos[i]
+		row := Fig8Row{
+			Config:  cfg,
+			Cycles:  map[Policy]arch.Cycles{},
+			Speedup: map[Policy]float64{},
+		}
+		for _, p := range Fig8Policies {
+			rep, err := runPolicy(p, cfg, w)
+			if err != nil {
+				return row, err
+			}
+			row.Cycles[p] = rep.TotalCycles
+		}
+		for _, p := range Fig8Policies[:3] {
+			row.Speedup[p] = float64(row.Cycles[p]) / float64(row.Cycles[PolicyMRTS])
+		}
+		return row, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	ratios := map[Policy][]float64{}
+	for _, row := range rows {
+		for _, p := range Fig8Policies[:3] {
+			ratios[p] = append(ratios[p], row.Speedup[p])
+		}
+	}
+	res.Rows = rows
+	for p, rs := range ratios {
+		res.AvgSpeedup[p] = stats.Mean(rs)
+		res.MaxSpeedup[p] = stats.Max(rs)
+	}
+	return res, nil
+}
+
+// Render writes the comparison as a text table.
+func (r Fig8Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 8: Comparison with state-of-the-art (execution time, Mcycles)\n")
+	fprintf(w, "RISC-mode (combination 0/0): %.2f Mcycles\n\n", r.RISCCycles.MCycles())
+	fprintf(w, "%-6s %12s %12s %12s %12s | %8s %8s %8s\n",
+		"P/C", "RISPP-like", "Offline-opt", "Morph+4S", "mRTS",
+		"vs RISPP", "vs Offl", "vs Morph")
+	for _, row := range r.Rows {
+		fprintf(w, "%d/%-4d %12.2f %12.2f %12.2f %12.2f | %8.2f %8.2f %8.2f\n",
+			row.Config.NPRC, row.Config.NCG,
+			row.Cycles[PolicyRISPP].MCycles(),
+			row.Cycles[PolicyOffline].MCycles(),
+			row.Cycles[PolicyMorpheus].MCycles(),
+			row.Cycles[PolicyMRTS].MCycles(),
+			row.Speedup[PolicyRISPP],
+			row.Speedup[PolicyOffline],
+			row.Speedup[PolicyMorpheus])
+	}
+	fprintf(w, "\nmRTS speedup vs RISPP-like:       avg %.2fx, max %.2fx (paper: avg 1.3x, max 1.8x)\n",
+		r.AvgSpeedup[PolicyRISPP], r.MaxSpeedup[PolicyRISPP])
+	fprintf(w, "mRTS speedup vs Offline-optimal:  avg %.2fx, max %.2fx (paper: avg 1.45x, max 2.2x)\n",
+		r.AvgSpeedup[PolicyOffline], r.MaxSpeedup[PolicyOffline])
+	fprintf(w, "mRTS speedup vs Morpheus/4S-like: avg %.2fx, max %.2fx (paper: avg 1.78x, max 2.3x)\n",
+		r.AvgSpeedup[PolicyMorpheus], r.MaxSpeedup[PolicyMorpheus])
+}

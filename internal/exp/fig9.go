@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/arch"
+	"mrts/internal/stats"
+	"mrts/internal/workload"
+)
+
+// Fig9Row is one fabric combination of the heuristic-vs-optimal comparison
+// (paper Fig. 9).
+type Fig9Row struct {
+	Config arch.Config
+	// HeuristicCycles / OptimalCycles are the execution times under the
+	// greedy ISE selection algorithm and the exhaustive optimal one.
+	HeuristicCycles arch.Cycles
+	OptimalCycles   arch.Cycles
+	// DiffPercent is the percentage difference between the performance
+	// improvements (over RISC mode) of the two algorithms.
+	DiffPercent float64
+}
+
+// Fig9Result is the full comparison.
+type Fig9Result struct {
+	Rows []Fig9Row
+	// Avg/Worst aggregate the percentage differences.
+	Avg   float64
+	Worst float64
+	// WorstConfig is the combination with the largest difference.
+	WorstConfig arch.Config
+}
+
+// Fig9 reproduces the ISE-selection-algorithm quality analysis (paper
+// Fig. 9): the percentage difference between the performance improvement of
+// the optimal run-time selection and the greedy heuristic, per fabric
+// combination. The paper reports differences within ~3% whenever at least
+// one CG-fabric is available, and a worst case of ~11% on a PRC-only
+// combination, where the heuristic gives most PRCs to one kernel while the
+// optimal algorithm splits them between the two most important kernels.
+func Fig9(w *workload.Result, maxPRC, maxCG int) (Fig9Result, error) {
+	var res Fig9Result
+	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	if err != nil {
+		return res, err
+	}
+	combos := Combos(maxPRC, maxCG, false)
+	rows, err := parMap(len(combos), func(i int) (Fig9Row, error) {
+		cfg := combos[i]
+		row := Fig9Row{Config: cfg}
+		heur, err := runPolicy(PolicyMRTS, cfg, w)
+		if err != nil {
+			return row, err
+		}
+		opt, err := runPolicy(PolicyOptimal, cfg, w)
+		if err != nil {
+			return row, err
+		}
+		impH := float64(risc.TotalCycles - heur.TotalCycles)
+		impO := float64(risc.TotalCycles - opt.TotalCycles)
+		d := stats.PercentDiff(impO, impH)
+		if d < 0 {
+			// The heuristic occasionally beats the "optimal"
+			// algorithm on the real timeline, because both optimise
+			// the profit estimate, not the simulated future.
+			d = 0
+		}
+		row.HeuristicCycles = heur.TotalCycles
+		row.OptimalCycles = opt.TotalCycles
+		row.DiffPercent = d
+		return row, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	var diffs []float64
+	for _, row := range rows {
+		diffs = append(diffs, row.DiffPercent)
+		if row.DiffPercent > res.Worst {
+			res.Worst = row.DiffPercent
+			res.WorstConfig = row.Config
+		}
+	}
+	res.Avg = stats.Mean(diffs)
+	return res, nil
+}
+
+// Render writes the comparison as a text table.
+func (r Fig9Result) Render(w io.Writer) {
+	fprintf(w, "Fig. 9: ISE selection algorithm vs. optimal (run-time) algorithm\n")
+	fprintf(w, "%-6s %14s %14s %10s\n", "P/C", "heuristic (M)", "optimal (M)", "diff %")
+	for _, row := range r.Rows {
+		fprintf(w, "%d/%-4d %14.2f %14.2f %10.2f\n",
+			row.Config.NPRC, row.Config.NCG,
+			row.HeuristicCycles.MCycles(), row.OptimalCycles.MCycles(), row.DiffPercent)
+	}
+	fprintf(w, "\naverage difference %.2f%%, worst %.2f%% at combination %d PRC / %d CG (paper: worst ~11%% at a PRC-only combination)\n",
+		r.Avg, r.Worst, r.WorstConfig.NPRC, r.WorstConfig.NCG)
+}

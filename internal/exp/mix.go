@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"io"
+
+	"mrts/internal/arch"
+	"mrts/internal/workload"
+)
+
+// MixRow is one fabric mix of the equal-area frontier: a fixed total number
+// of reconfigurable units split between PRCs and CG-EDPEs.
+type MixRow struct {
+	Config  arch.Config
+	Speedup float64
+}
+
+// MixResult is the frontier for one total-area budget.
+type MixResult struct {
+	Total int
+	Rows  []MixRow
+	// Best is the mix with the highest speedup.
+	Best MixRow
+}
+
+// MixFrontier extends the paper's Fig. 10 observation ("1 PRC + 1 CG-EDPE
+// performs significantly better than even 3 PRCs") into a full equal-area
+// analysis: for a fixed total unit count, it sweeps every PRC/CG split and
+// reports mRTS's speedup — answering the architecture question of how a
+// silicon budget should be divided between the fabrics.
+func MixFrontier(w *workload.Result, total int) (MixResult, error) {
+	res := MixResult{Total: total}
+	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	if err != nil {
+		return res, err
+	}
+	cfgs := make([]arch.Config, 0, total+1)
+	for prc := 0; prc <= total; prc++ {
+		cfgs = append(cfgs, arch.Config{NPRC: prc, NCG: total - prc})
+	}
+	rows, err := parMap(len(cfgs), func(i int) (MixRow, error) {
+		rep, err := runPolicy(PolicyMRTS, cfgs[i], w)
+		if err != nil {
+			return MixRow{}, err
+		}
+		return MixRow{Config: cfgs[i], Speedup: rep.Speedup(risc)}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	for _, r := range rows {
+		if r.Speedup > res.Best.Speedup {
+			res.Best = r
+		}
+	}
+	return res, nil
+}
+
+// Render writes the frontier as a text table with bars.
+func (r MixResult) Render(w io.Writer) {
+	fprintf(w, "Fabric mix frontier: %d reconfigurable units split between PRCs and CG-EDPEs\n", r.Total)
+	var max float64
+	for _, row := range r.Rows {
+		if row.Speedup > max {
+			max = row.Speedup
+		}
+	}
+	for _, row := range r.Rows {
+		marker := ""
+		if row.Config == r.Best.Config {
+			marker = "  <- best"
+		}
+		fprintf(w, "%d PRC + %d CG  %s %.2fx%s\n",
+			row.Config.NPRC, row.Config.NCG, bar(row.Speedup, max, 36), row.Speedup, marker)
+	}
+}

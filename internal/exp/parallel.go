@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parMap evaluates f(0..n-1) concurrently (bounded by GOMAXPROCS) and
+// returns the results in index order. The first error wins; remaining
+// results are still awaited. Simulation runs are independent — each builds
+// its own runtime system and only reads the shared workload — so the
+// fabric sweeps parallelise over combinations.
+func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

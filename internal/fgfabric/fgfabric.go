@@ -1,0 +1,107 @@
+// Package fgfabric models the fine-grained fabric's configuration path at
+// the bitstream level: partial bitstreams for Partially Reconfigurable
+// Containers stream through a single ICAP-class configuration port with
+// the paper's published bandwidth (67584 KB/s, Section 5.1). The model
+// validates the coarse per-data-path reconfiguration constant used by the
+// reconfiguration controller — 1.2 ms per data path is exactly an ~81 KiB
+// partial bitstream at that bandwidth — and lets experiments explore data
+// paths with non-uniform bitstream sizes.
+package fgfabric
+
+import (
+	"fmt"
+	"sort"
+
+	"mrts/internal/arch"
+)
+
+// BytesPerDataPath is the partial bitstream size that reproduces the
+// paper's 1.2 ms per-data-path reconfiguration time at the published port
+// bandwidth.
+const BytesPerDataPath = arch.FGReconfigBandwidthKBps * 1024 * 12 / 10000 // 1.2 ms worth of bytes
+
+// StreamCycles converts a partial bitstream size to core cycles through
+// the configuration port.
+func StreamCycles(bytes int) arch.Cycles {
+	if bytes <= 0 {
+		return 0
+	}
+	// cycles = bytes / (bandwidth in bytes/s) * core clock.
+	return arch.Cycles(int64(bytes) * arch.CoreClockHz / (arch.FGReconfigBandwidthKBps * 1024))
+}
+
+// Load is one queued partial reconfiguration.
+type Load struct {
+	// ID names the data path being configured.
+	ID string
+	// Bytes is the partial bitstream size.
+	Bytes int
+	// Enqueued is when the load was requested.
+	Enqueued arch.Cycles
+	// Ready is when streaming completes.
+	Ready arch.Cycles
+}
+
+// Port is the serial configuration port: loads stream strictly in order.
+type Port struct {
+	end   arch.Cycles
+	loads []Load
+}
+
+// Enqueue schedules a partial bitstream at time now and returns its
+// completion time.
+func (p *Port) Enqueue(id string, bytes int, now arch.Cycles) (arch.Cycles, error) {
+	if bytes <= 0 {
+		return 0, fmt.Errorf("fgfabric: bitstream for %q has no bytes", id)
+	}
+	start := now
+	if p.end > start {
+		start = p.end
+	}
+	ready := start + StreamCycles(bytes)
+	p.end = ready
+	p.loads = append(p.loads, Load{ID: id, Bytes: bytes, Enqueued: now, Ready: ready})
+	return ready, nil
+}
+
+// Backlog returns the remaining busy time of the port relative to now.
+func (p *Port) Backlog(now arch.Cycles) arch.Cycles {
+	if p.end <= now {
+		return 0
+	}
+	return p.end - now
+}
+
+// Progress returns the fraction of the load with the given ID that has
+// streamed by time now (0 before start, 1 after completion), and whether
+// the ID is known.
+func (p *Port) Progress(id string, now arch.Cycles) (float64, bool) {
+	for _, l := range p.loads {
+		if l.ID != id {
+			continue
+		}
+		start := l.Ready - StreamCycles(l.Bytes)
+		switch {
+		case now <= start:
+			return 0, true
+		case now >= l.Ready:
+			return 1, true
+		default:
+			return float64(now-start) / float64(l.Ready-start), true
+		}
+	}
+	return 0, false
+}
+
+// Loads returns the scheduled loads sorted by readiness.
+func (p *Port) Loads() []Load {
+	out := append([]Load(nil), p.loads...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Ready < out[j].Ready })
+	return out
+}
+
+// Reset clears the port.
+func (p *Port) Reset() {
+	p.end = 0
+	p.loads = nil
+}

@@ -1,0 +1,97 @@
+package h264
+
+// CAVLC-style entropy-coding cost model: the "cavlc" kernel scans a
+// quantised 4x4 block in zig-zag order and estimates the number of bits the
+// context-adaptive variable-length coder would spend — coefficient tokens,
+// trailing ones, level codes, total-zeros and run-before codes. The bit
+// estimate follows the structure (not the exact tables) of the standard;
+// the kernel's control-dominant bit/byte-level nature is what matters for
+// the reproduction.
+
+// zigzag4 is the 4x4 zig-zag scan order.
+var zigzag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}
+
+// CAVLCStats summarises one coded block.
+type CAVLCStats struct {
+	TotalCoeffs  int
+	TrailingOnes int
+	TotalZeros   int
+	Bits         int
+}
+
+// EstimateCAVLC scans the block and estimates its CAVLC bit cost.
+func EstimateCAVLC(b *Block4) CAVLCStats {
+	var st CAVLCStats
+	// Scan in reverse zig-zag to find trailing ones and runs.
+	lastNZ := -1
+	for i := 15; i >= 0; i-- {
+		if b[zigzag4[i]] != 0 {
+			lastNZ = i
+			break
+		}
+	}
+	if lastNZ < 0 {
+		st.Bits = 1 // coded_block_flag / empty token
+		return st
+	}
+	trailing := true
+	for i := lastNZ; i >= 0; i-- {
+		v := b[zigzag4[i]]
+		if v == 0 {
+			if st.TotalCoeffs > 0 {
+				st.TotalZeros++
+			}
+			continue
+		}
+		st.TotalCoeffs++
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if trailing && a == 1 && st.TrailingOnes < 3 {
+			st.TrailingOnes++
+			st.Bits++ // sign bit only
+		} else {
+			trailing = false
+			st.Bits += levelBits(a)
+		}
+	}
+	// coeff_token: roughly 2 bits + 2 per coefficient beyond the first.
+	st.Bits += 2 + 2*max0(st.TotalCoeffs-1)
+	// total_zeros and run_before.
+	st.Bits += zerosBits(st.TotalZeros)
+	st.Bits += st.TotalCoeffs - 1 // one run code between coefficients
+	if st.Bits < 1 {
+		st.Bits = 1
+	}
+	return st
+}
+
+// levelBits approximates the Exp-Golomb-like level code length.
+func levelBits(a int32) int {
+	bits := 1 // sign
+	n := 0
+	for v := a; v > 0; v >>= 1 {
+		n++
+	}
+	bits += 2*n - 1
+	return bits
+}
+
+func zerosBits(z int) int {
+	if z == 0 {
+		return 1
+	}
+	n := 0
+	for v := z; v > 0; v >>= 1 {
+		n++
+	}
+	return n + 2
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

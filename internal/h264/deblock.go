@@ -1,0 +1,158 @@
+package h264
+
+import "mrts/internal/video"
+
+// In-loop deblocking filter (simplified H.264): per 4-pixel edge segment a
+// boundary strength is computed from the coding decisions of the adjacent
+// blocks (the control-dominant, bit-level "bs" kernel of the paper's
+// motivational case study), and where the strength and the sample gradients
+// demand it, a short low-pass filter modifies the edge samples (the
+// data-dominant "filt" kernel).
+
+// BS levels.
+const (
+	BSNone  = 0
+	BSCoded = 1
+	BSMV    = 2
+	BSIntra = 3
+)
+
+// alphaTable / betaTable follow the closed forms underlying the H.264
+// threshold tables: alpha grows exponentially with the index, beta
+// linearly; both are zero below index 16 (filtering disabled).
+func alphaOf(idx int) int32 {
+	if idx < 16 {
+		return 0
+	}
+	if idx > 51 {
+		idx = 51
+	}
+	// 0.8 * (2^(idx/6) - 1), in integer arithmetic.
+	p := int32(1) << uint(idx/6)
+	frac := []int32{0, 1, 2, 3, 4, 5}[idx%6]
+	v := p + p*frac/6 - 1
+	return v * 4 / 5
+}
+
+func betaOf(idx int) int32 {
+	if idx < 16 {
+		return 0
+	}
+	if idx > 51 {
+		idx = 51
+	}
+	return int32(idx/2 - 7)
+}
+
+// BlockInfo carries the per-4x4-block coding decisions the boundary
+// strength depends on.
+type BlockInfo struct {
+	Intra bool
+	Coded bool
+	MV    MV
+}
+
+// BoundaryStrength computes the filter strength across the edge between
+// blocks p and q (bit/byte-level decision logic).
+func BoundaryStrength(p, q BlockInfo) int {
+	switch {
+	case p.Intra || q.Intra:
+		return BSIntra
+	case p.Coded || q.Coded:
+		return BSCoded
+	default:
+		dx := p.MV.X - q.MV.X
+		dy := p.MV.Y - q.MV.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx >= 2 || dy >= 2 { // >= 1 pel in half-pel units
+			return BSMV
+		}
+		return BSNone
+	}
+}
+
+// FilterEdge applies the deblocking filter to one 4-sample edge segment.
+// vertical selects a vertical edge (samples left/right) versus horizontal
+// (samples above/below). (x, y) is the first sample of the segment on the
+// q side. It returns whether any sample was modified.
+func FilterEdge(rec *video.Frame, x, y int, vertical bool, bs int, qp int) bool {
+	if bs == BSNone {
+		return false
+	}
+	alpha := alphaOf(qp)
+	beta := betaOf(qp)
+	if alpha == 0 {
+		return false
+	}
+	tc0 := int32(bs) // simplified clipping table: tc grows with bs
+	changed := false
+	for i := 0; i < 4; i++ {
+		var p1, p0, q0, q1 int32
+		var setP0, setQ0 func(uint8)
+		if vertical {
+			yy := y + i
+			p1 = int32(rec.At(x-2, yy))
+			p0 = int32(rec.At(x-1, yy))
+			q0 = int32(rec.At(x, yy))
+			q1 = int32(rec.At(x+1, yy))
+			setP0 = func(v uint8) { rec.Set(x-1, yy, v) }
+			setQ0 = func(v uint8) { rec.Set(x, yy, v) }
+		} else {
+			xx := x + i
+			p1 = int32(rec.At(xx, y-2))
+			p0 = int32(rec.At(xx, y-1))
+			q0 = int32(rec.At(xx, y))
+			q1 = int32(rec.At(xx, y+1))
+			setP0 = func(v uint8) { rec.Set(xx, y-1, v) }
+			setQ0 = func(v uint8) { rec.Set(xx, y, v) }
+		}
+		d0 := q0 - p0
+		if d0 < 0 {
+			d0 = -d0
+		}
+		d1 := p1 - p0
+		if d1 < 0 {
+			d1 = -d1
+		}
+		d2 := q1 - q0
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d0 >= alpha || d1 >= beta || d2 >= beta {
+			continue
+		}
+		delta := clip3(((q0-p0)<<2+(p1-q1)+4)>>3, -tc0, tc0)
+		if delta == 0 {
+			continue
+		}
+		setP0(clipPixel(p0 + delta))
+		setQ0(clipPixel(q0 - delta))
+		changed = true
+	}
+	return changed
+}
+
+func clip3(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clipPixel(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,128 @@
+package h264
+
+import (
+	"bytes"
+	"testing"
+
+	"mrts/internal/video"
+)
+
+func TestNewDecoderValidates(t *testing.T) {
+	if _, err := NewDecoder(30, 48); err == nil {
+		t.Error("non-multiple-of-16 width accepted")
+	}
+}
+
+// TestDecoderBitExactRoundTrip is the codec's strongest integration test:
+// decoding the bitstream must reproduce the encoder's own reconstruction
+// bit-exactly on every plane, frame after frame.
+func TestDecoderBitExactRoundTrip(t *testing.T) {
+	for _, qp := range []int{18, 24, 32} {
+		g, err := video.NewGenerator(64, 48, 31, video.Options{Objects: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := NewEncoder(64, 48, Config{QP: qp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(64, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 5; f++ {
+			st, err := enc.EncodeFrame(g.Next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dec.DecodeFrame(st.Stream)
+			if err != nil {
+				t.Fatalf("qp %d frame %d: decode: %v", qp, f, err)
+			}
+			want := enc.Reconstructed()
+			if !bytes.Equal(got.Y, want.Y) {
+				t.Fatalf("qp %d frame %d: luma mismatch (%d bytes)", qp, f, diffCount(got.Y, want.Y))
+			}
+			if !bytes.Equal(got.Cb, want.Cb) || !bytes.Equal(got.Cr, want.Cr) {
+				t.Fatalf("qp %d frame %d: chroma mismatch (Cb %d, Cr %d bytes)",
+					qp, f, diffCount(got.Cb, want.Cb), diffCount(got.Cr, want.Cr))
+			}
+		}
+	}
+}
+
+func diffCount(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDecoderRejectsWrongFrameOrder(t *testing.T) {
+	g, _ := video.NewGenerator(32, 32, 3, video.Options{})
+	enc, _ := NewEncoder(32, 32, Config{})
+	st0, err := enc.EncodeFrame(g.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := enc.EncodeFrame(g.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewDecoder(32, 32)
+	if _, err := dec.DecodeFrame(st1.Stream); err == nil {
+		t.Error("decoding frame 1 before frame 0 accepted")
+	}
+	if _, err := dec.DecodeFrame(st0.Stream); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderRejectsInterInFirstFrame(t *testing.T) {
+	// Hand-craft a stream whose first macroblock claims to be inter.
+	var w BitWriter
+	w.WriteUE(0) // frame 0
+	w.WriteUE(24)
+	w.WriteBit(0)
+	w.WriteUE(mbTypeInter)
+	w.WriteSE(0)
+	w.WriteSE(0)
+	dec, _ := NewDecoder(32, 32)
+	if _, err := dec.DecodeFrame(w.Bytes()); err == nil {
+		t.Error("inter macroblock without a reference accepted")
+	}
+}
+
+func TestDecoderRejectsTruncatedStream(t *testing.T) {
+	g, _ := video.NewGenerator(32, 32, 3, video.Options{})
+	enc, _ := NewEncoder(32, 32, Config{})
+	st, err := enc.EncodeFrame(g.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewDecoder(32, 32)
+	if _, err := dec.DecodeFrame(st.Stream[:len(st.Stream)/3]); err == nil {
+		t.Error("truncated stream decoded")
+	}
+}
+
+func TestDecodedQualityMatchesEncoderPSNR(t *testing.T) {
+	g, _ := video.NewGenerator(64, 48, 13, video.Options{Objects: 2})
+	enc, _ := NewEncoder(64, 48, Config{QP: 20})
+	dec, _ := NewDecoder(64, 48)
+	src := g.Next()
+	st, err := enc.EncodeFrame(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeFrame(st.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(src, got); p < st.PSNR-0.01 || p > st.PSNR+0.01 {
+		t.Errorf("decoded PSNR %.2f differs from encoder-reported %.2f", p, st.PSNR)
+	}
+}

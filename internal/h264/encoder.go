@@ -1,0 +1,383 @@
+package h264
+
+import (
+	"fmt"
+	"math"
+
+	"mrts/internal/video"
+)
+
+// Kernel names of the encoder's compute-intensive loops, grouped by the
+// functional block they belong to. The ISE library (internal/iselib) maps
+// them to kernels of the multi-grained processor.
+const (
+	// Motion-estimation / mode-decision functional block.
+	KernelSAD   = "sad"
+	KernelSATD  = "satd"
+	KernelIPred = "ipred"
+	// Encoding-engine functional block.
+	KernelDCT      = "dct"
+	KernelQuant    = "quant"
+	KernelIQuant   = "iquant"
+	KernelIDCT     = "idct"
+	KernelHadamard = "hadamard"
+	KernelMC       = "mc"
+	KernelCAVLC    = "cavlc"
+	// In-loop deblocking-filter functional block.
+	KernelBS   = "bs"
+	KernelFilt = "filt"
+)
+
+// FunctionalBlocks maps each functional block of the encoder to its
+// kernels, in pipeline order.
+var FunctionalBlocks = []struct {
+	ID      string
+	Name    string
+	Kernels []string
+}{
+	{ID: "me", Name: "Motion Estimation & Mode Decision", Kernels: []string{KernelSAD, KernelSATD, KernelIPred}},
+	{ID: "enc", Name: "Encoding Engine", Kernels: []string{KernelMC, KernelDCT, KernelQuant, KernelCAVLC, KernelIQuant, KernelIDCT, KernelHadamard}},
+	{ID: "dbf", Name: "In-Loop Deblocking Filter", Kernels: []string{KernelBS, KernelFilt}},
+}
+
+// FrameStats records what encoding one frame cost.
+type FrameStats struct {
+	Frame  int
+	Counts map[string]int64
+	Intra  int // intra-coded macroblocks
+	Inter  int // inter-coded macroblocks
+	Skip   int // skipped macroblocks
+	// Bits is the exact size of the frame's serialised stream.
+	Bits int64
+	// Stream is the frame's serialised bitstream (the encoder's own
+	// format; see ParseStream).
+	Stream []byte
+	PSNR   float64
+}
+
+// Config tunes the encoder.
+type Config struct {
+	// QP is the quantisation parameter (default 28).
+	QP int
+	// SearchRange is the motion-search range in pels (default 8).
+	SearchRange int
+	// SkipThreshold is the zero-MV SAD below which a macroblock is
+	// skipped (default 600).
+	SkipThreshold int32
+	// ForceIntraEvery inserts periodic intra frames (0 = only frame 0).
+	ForceIntraEvery int
+}
+
+func (c *Config) defaults() {
+	if c.QP == 0 {
+		c.QP = 28
+	}
+	if c.SearchRange == 0 {
+		c.SearchRange = 8
+	}
+	if c.SkipThreshold == 0 {
+		c.SkipThreshold = 600
+	}
+}
+
+// Encoder encodes a frame sequence and counts kernel invocations.
+type Encoder struct {
+	cfg     Config
+	w, h    int
+	mbW     int
+	mbH     int
+	ref     *video.Frame // previous reconstructed frame
+	frameNo int
+	bw      BitWriter // per-frame bitstream
+}
+
+// NewEncoder creates an encoder for w x h video. Dimensions must be
+// multiples of 16 (macroblock size).
+func NewEncoder(w, h int, cfg Config) (*Encoder, error) {
+	if w <= 0 || h <= 0 || w%16 != 0 || h%16 != 0 {
+		return nil, fmt.Errorf("h264: frame size %dx%d is not a multiple of 16", w, h)
+	}
+	cfg.defaults()
+	return &Encoder{cfg: cfg, w: w, h: h, mbW: w / 16, mbH: h / 16}, nil
+}
+
+// FrameNo returns the index the next EncodeFrame call will encode.
+func (e *Encoder) FrameNo() int { return e.frameNo }
+
+// Reconstructed returns the most recent reconstructed frame (the decoder
+// reference), or nil before the first EncodeFrame.
+func (e *Encoder) Reconstructed() *video.Frame { return e.ref }
+
+// EncodeFrame encodes one frame against the previous reconstructed frame
+// and returns the per-kernel invocation counts.
+func (e *Encoder) EncodeFrame(cur *video.Frame) (*FrameStats, error) {
+	if cur.W != e.w || cur.H != e.h {
+		return nil, fmt.Errorf("h264: frame size %dx%d does not match encoder %dx%d", cur.W, cur.H, e.w, e.h)
+	}
+	st := &FrameStats{Frame: e.frameNo, Counts: make(map[string]int64)}
+	rec := video.NewFrame(e.w, e.h)
+	forceIntra := e.ref == nil ||
+		(e.cfg.ForceIntraEvery > 0 && e.frameNo%e.cfg.ForceIntraEvery == 0)
+	e.bw.Reset()
+	e.writeFrameHeader(forceIntra)
+
+	// Per-4x4-block coding info for the deblocking filter.
+	info := make([]BlockInfo, (e.w/4)*(e.h/4))
+	infoAt := func(bx, by int) *BlockInfo { return &info[(by/4)*(e.w/4)+(bx/4)] }
+
+	for my := 0; my < e.mbH; my++ {
+		for mx := 0; mx < e.mbW; mx++ {
+			mbx, mby := mx*16, my*16
+			e.encodeMB(cur, rec, mbx, mby, forceIntra, st, infoAt)
+		}
+	}
+
+	// In-loop deblocking over the reconstructed frame.
+	e.deblock(rec, info, st)
+
+	st.PSNR = psnr(cur, rec)
+	st.Bits = int64(e.bw.Bits())
+	st.Stream = append([]byte(nil), e.bw.Bytes()...)
+	e.ref = rec
+	e.frameNo++
+	return st, nil
+}
+
+func (e *Encoder) encodeMB(cur, rec *video.Frame, mbx, mby int, forceIntra bool, st *FrameStats, infoAt func(int, int) *BlockInfo) {
+	intra := forceIntra
+	var motion MotionResult
+	if !forceIntra {
+		// --- Motion estimation & mode decision functional block ---
+		motion = MotionSearch(cur, e.ref, mbx, mby, e.cfg.SearchRange, e.cfg.SkipThreshold)
+		st.Counts[KernelSAD] += motion.Candidates
+		if motion.Skip {
+			// Skip macroblock: motion-compensated copy, no coding.
+			e.bw.WriteUE(mbTypeSkip)
+			var buf [64]uint8
+			for q := 0; q < 4; q++ {
+				MotionCompensate(e.ref, mbx, mby, q, motion.MV, buf[:])
+				st.Counts[KernelMC]++
+				writeQuadrant(rec, mbx, mby, q, buf[:])
+			}
+			e.copyChromaMB(rec, mbx, mby, motion.MV, st)
+			for by := mby; by < mby+16; by += 4 {
+				for bx := mbx; bx < mbx+16; bx += 4 {
+					*infoAt(bx, by) = BlockInfo{MV: motion.MV}
+				}
+			}
+			st.Skip++
+			return
+		}
+		// Intra estimate on the four corner 4x4 blocks (sub-sampled
+		// mode decision, as fast encoders do).
+		var intraEst int32
+		for _, off := range [4][2]int{{0, 0}, {12, 0}, {0, 12}, {12, 12}} {
+			_, cost, modes := BestIntraMode(cur, rec, mbx+off[0], mby+off[1])
+			st.Counts[KernelIPred] += int64(modes)
+			st.Counts[KernelSATD] += int64(modes)
+			intraEst += cost
+		}
+		intraEst *= 4 // scale the 4 sampled blocks to all 16
+		intra = intraEst < motion.SAD
+	}
+
+	if intra {
+		e.bw.WriteUE(mbTypeIntra)
+		e.encodeIntraMB(cur, rec, mbx, mby, st, infoAt)
+		e.encodeChromaMB(cur, rec, mbx, mby, true, MV{}, st)
+		st.Intra++
+		return
+	}
+	e.bw.WriteUE(mbTypeInter)
+	e.bw.WriteSE(int32(motion.MV.X))
+	e.bw.WriteSE(int32(motion.MV.Y))
+	e.encodeInterMB(cur, rec, mbx, mby, motion.MV, st, infoAt)
+	e.encodeChromaMB(cur, rec, mbx, mby, false, motion.MV, st)
+	st.Inter++
+}
+
+func (e *Encoder) encodeIntraMB(cur, rec *video.Frame, mbx, mby int, st *FrameStats, infoAt func(int, int) *BlockInfo) {
+	var dcBlock Block4
+	dcIdx := 0
+	for by := mby; by < mby+16; by += 4 {
+		for bx := mbx; bx < mbx+16; bx += 4 {
+			mode, _, modes := BestIntraMode(cur, rec, bx, by)
+			st.Counts[KernelIPred] += int64(modes)
+			st.Counts[KernelSATD] += int64(modes)
+			e.bw.WriteUE(uint32(mode))
+
+			var pred Block4
+			PredictIntra4(rec, bx, by, mode, &pred)
+			st.Counts[KernelIPred]++
+
+			var resid Block4
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					resid[y*4+x] = int32(cur.At(bx+x, by+y)) - pred[y*4+x]
+				}
+			}
+			DCT4(&resid)
+			st.Counts[KernelDCT]++
+			dcBlock[dcIdx] = resid[0]
+			dcIdx++
+			nz := Quant(&resid, e.cfg.QP, true)
+			st.Counts[KernelQuant]++
+			writeBlock(&e.bw, &resid)
+
+			coded := nz > 0
+			if coded {
+				st.Counts[KernelCAVLC]++
+				Dequant(&resid, e.cfg.QP)
+				st.Counts[KernelIQuant]++
+				IDCT4(&resid)
+				st.Counts[KernelIDCT]++
+			} else {
+				resid = Block4{}
+			}
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					rec.Set(bx+x, by+y, clipPixel(pred[y*4+x]+resid[y*4+x]))
+				}
+			}
+			*infoAt(bx, by) = BlockInfo{Intra: true, Coded: coded}
+		}
+	}
+	// Luma-DC Hadamard path (the DC coefficients' own transform and
+	// entropy coding).
+	Hadamard4(&dcBlock)
+	st.Counts[KernelHadamard]++
+	if nz := QuantDC(&dcBlock, e.cfg.QP); nz > 0 {
+		st.Counts[KernelCAVLC]++
+	}
+	writeBlock(&e.bw, &dcBlock)
+}
+
+func (e *Encoder) encodeInterMB(cur, rec *video.Frame, mbx, mby int, mv MV, st *FrameStats, infoAt func(int, int) *BlockInfo) {
+	var pred [256]int32
+	var buf [64]uint8
+	for q := 0; q < 4; q++ {
+		MotionCompensate(e.ref, mbx, mby, q, mv, buf[:])
+		st.Counts[KernelMC]++
+		ox, oy := (q&1)*8, (q>>1)*8
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				pred[(oy+y)*16+ox+x] = int32(buf[y*8+x])
+			}
+		}
+	}
+	for by := 0; by < 16; by += 4 {
+		for bx := 0; bx < 16; bx += 4 {
+			var resid Block4
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					resid[y*4+x] = int32(cur.At(mbx+bx+x, mby+by+y)) - pred[(by+y)*16+bx+x]
+				}
+			}
+			DCT4(&resid)
+			st.Counts[KernelDCT]++
+			nz := Quant(&resid, e.cfg.QP, false)
+			st.Counts[KernelQuant]++
+			writeBlock(&e.bw, &resid)
+
+			coded := nz > 0
+			if coded {
+				st.Counts[KernelCAVLC]++
+				Dequant(&resid, e.cfg.QP)
+				st.Counts[KernelIQuant]++
+				IDCT4(&resid)
+				st.Counts[KernelIDCT]++
+			} else {
+				resid = Block4{}
+			}
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					rec.Set(mbx+bx+x, mby+by+y, clipPixel(pred[(by+y)*16+bx+x]+resid[y*4+x]))
+				}
+			}
+			*infoAt(mbx+bx, mby+by) = BlockInfo{Coded: coded, MV: mv}
+		}
+	}
+}
+
+// deblock runs the in-loop deblocking filter functional block over the
+// reconstructed frame, counting kernel invocations.
+func (e *Encoder) deblock(rec *video.Frame, info []BlockInfo, st *FrameStats) {
+	runDeblock(rec, info, e.w, e.h, e.cfg.QP, st.Counts)
+}
+
+// runDeblock applies the in-loop deblocking filter; it is shared by the
+// encoder and the decoder (which passes nil counts) so both sides filter
+// identically — a requirement for bit-exact reconstruction.
+func runDeblock(rec *video.Frame, info []BlockInfo, w, h, qp int, counts map[string]int64) {
+	w4 := w / 4
+	at := func(bx, by int) BlockInfo { return info[by*w4+bx] }
+	count := func(k string) {
+		if counts != nil {
+			counts[k]++
+		}
+	}
+	// Vertical edges (filter left edge of every 4x4 block except column 0).
+	for by := 0; by < h/4; by++ {
+		for bx := 1; bx < w4; bx++ {
+			bs := BoundaryStrength(at(bx-1, by), at(bx, by))
+			count(KernelBS)
+			if bs != BSNone {
+				FilterEdge(rec, bx*4, by*4, true, bs, qp)
+				count(KernelFilt)
+			}
+		}
+	}
+	// Horizontal edges.
+	for by := 1; by < h/4; by++ {
+		for bx := 0; bx < w4; bx++ {
+			bs := BoundaryStrength(at(bx, by-1), at(bx, by))
+			count(KernelBS)
+			if bs != BSNone {
+				FilterEdge(rec, bx*4, by*4, false, bs, qp)
+				count(KernelFilt)
+			}
+		}
+	}
+	// Chroma edges sit on every second luma 4x4 boundary and reuse the
+	// luma boundary strength (no extra bs kernel invocations).
+	for by := 0; by < h/4; by++ {
+		for bx := 2; bx < w4; bx += 2 {
+			bs := BoundaryStrength(at(bx-1, by), at(bx, by))
+			if bs != BSNone {
+				FilterChromaEdge(rec, bx*2, by*2, true, bs, qp)
+				count(KernelFilt)
+			}
+		}
+	}
+	for by := 2; by < h/4; by += 2 {
+		for bx := 0; bx < w4; bx++ {
+			bs := BoundaryStrength(at(bx, by-1), at(bx, by))
+			if bs != BSNone {
+				FilterChromaEdge(rec, bx*2, by*2, false, bs, qp)
+				count(KernelFilt)
+			}
+		}
+	}
+}
+
+func writeQuadrant(rec *video.Frame, mbx, mby, q int, buf []uint8) {
+	ox, oy := (q&1)*8, (q>>1)*8
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			rec.Set(mbx+ox+x, mby+oy+y, buf[y*8+x])
+		}
+	}
+}
+
+func psnr(a, b *video.Frame) float64 {
+	var sse float64
+	for i := range a.Y {
+		d := float64(a.Y[i]) - float64(b.Y[i])
+		sse += d * d
+	}
+	if sse == 0 {
+		return 99
+	}
+	mse := sse / float64(len(a.Y))
+	return 10 * math.Log10(255*255/mse)
+}

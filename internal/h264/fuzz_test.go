@@ -1,0 +1,50 @@
+package h264
+
+import (
+	"testing"
+
+	"mrts/internal/video"
+)
+
+// FuzzParseStream feeds arbitrary bytes to the frame parser: it must
+// return an error or statistics, never panic or loop.
+func FuzzParseStream(f *testing.F) {
+	// Seed with a real frame and a few degenerate inputs.
+	g, err := video.NewGenerator(32, 32, 5, video.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := NewEncoder(32, 32, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := enc.EncodeFrame(g.Next())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(st.Stream)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0xAA})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseStream(data, 32, 32)
+	})
+}
+
+// FuzzBitReaderExpGolomb checks the Exp-Golomb decoder never panics and,
+// when it succeeds, re-encoding fits within the consumed bits.
+func FuzzBitReaderExpGolomb(f *testing.F) {
+	f.Add([]byte{0b10000000})
+	f.Add([]byte{0b00100110, 0xF0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBitReader(data)
+		v, err := r.ReadUE()
+		if err != nil {
+			return
+		}
+		var w BitWriter
+		w.WriteUE(v)
+		if w.Bits() > r.Pos() {
+			t.Fatalf("re-encoding ue(%d) uses %d bits, reader consumed %d", v, w.Bits(), r.Pos())
+		}
+	})
+}

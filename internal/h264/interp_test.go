@@ -1,0 +1,88 @@
+package h264
+
+import (
+	"testing"
+
+	"mrts/internal/video"
+)
+
+func flatFrame(v uint8) *video.Frame {
+	f := video.NewFrame(32, 32)
+	for i := range f.Y {
+		f.Y[i] = v
+	}
+	return f
+}
+
+func TestSixTapIdentityOnFlat(t *testing.T) {
+	// The 6-tap filter preserves constant signals (taps sum to 32).
+	if got := sixTap(100, 100, 100, 100, 100, 100); got != 100 {
+		t.Errorf("sixTap on flat = %d, want 100", got)
+	}
+}
+
+func TestSixTapClips(t *testing.T) {
+	if got := sixTap(255, 0, 0, 0, 0, 255); got < 0 || got > 255 {
+		t.Errorf("sixTap out of range: %d", got)
+	}
+	// Overshoot clipping: strong positive centre taps.
+	if got := sixTap(0, 0, 255, 255, 0, 0); got != 255 {
+		t.Errorf("sixTap = %d, want clipped 255", got)
+	}
+}
+
+func TestLumaHalfPelIntegerPosition(t *testing.T) {
+	f := flatFrame(0)
+	f.Set(5, 7, 99)
+	if got := LumaHalfPel(f, 10, 14); got != 99 {
+		t.Errorf("integer position = %d, want 99", got)
+	}
+}
+
+func TestLumaHalfPelFlat(t *testing.T) {
+	// All fractional positions of a flat frame stay flat.
+	f := flatFrame(73)
+	for _, pos := range [][2]int{{11, 14}, {10, 15}, {11, 15}} {
+		if got := LumaHalfPel(f, pos[0], pos[1]); got != 73 {
+			t.Errorf("position %v = %d, want 73", pos, got)
+		}
+	}
+}
+
+func TestLumaHalfPelHorizontalRamp(t *testing.T) {
+	// On a linear horizontal ramp, the horizontal half position is the
+	// midpoint of its integer neighbours.
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			f.Set(x, y, uint8(4*x))
+		}
+	}
+	got := LumaHalfPel(f, 2*10+1, 2*16)
+	want := uint8((4*10 + 4*11) / 2)
+	if got != want {
+		t.Errorf("half position on ramp = %d, want %d", got, want)
+	}
+}
+
+func TestSAD16HalfPelIntegerFastPath(t *testing.T) {
+	cur, ref := shiftedFrames(64, 64, 2, 1)
+	intSAD := SAD16(cur, ref, 16, 16, MV{2, 1})
+	halfSAD := SAD16HalfPel(cur, ref, 16, 16, MV{4, 2})
+	if intSAD != halfSAD {
+		t.Errorf("integer fast path differs: %d vs %d", intSAD, halfSAD)
+	}
+}
+
+func TestSAD16HalfPelZeroOnExactInterpolation(t *testing.T) {
+	_, ref := shiftedFrames(64, 64, 0, 0)
+	cur := video.NewFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			cur.Set(x, y, LumaHalfPel(ref, x<<1, y<<1+1))
+		}
+	}
+	if sad := SAD16HalfPel(cur, ref, 16, 16, MV{0, 1}); sad != 0 {
+		t.Errorf("SAD = %d, want 0 for exact interpolation", sad)
+	}
+}

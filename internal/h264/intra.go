@@ -1,0 +1,95 @@
+package h264
+
+import "mrts/internal/video"
+
+// IntraMode enumerates the supported 4x4 intra prediction modes.
+type IntraMode int
+
+const (
+	// IntraDC predicts the mean of the available neighbours.
+	IntraDC IntraMode = iota
+	// IntraVertical extends the row above downwards.
+	IntraVertical
+	// IntraHorizontal extends the column left rightwards.
+	IntraHorizontal
+	numIntraModes
+)
+
+func (m IntraMode) String() string {
+	switch m {
+	case IntraDC:
+		return "DC"
+	case IntraVertical:
+		return "V"
+	case IntraHorizontal:
+		return "H"
+	default:
+		return "?"
+	}
+}
+
+// PredictIntra4 fills pred (16 samples) with the intra prediction of mode m
+// for the 4x4 block whose top-left corner is (bx, by) in rec. Neighbouring
+// samples come from the (partially) reconstructed frame, as in a real
+// encoder. This is the control-dominant "ipred" kernel.
+func PredictIntra4(rec *video.Frame, bx, by int, m IntraMode, pred *Block4) {
+	switch m {
+	case IntraVertical:
+		for x := 0; x < 4; x++ {
+			v := int32(rec.At(bx+x, by-1))
+			pred[x] = v
+			pred[4+x] = v
+			pred[8+x] = v
+			pred[12+x] = v
+		}
+	case IntraHorizontal:
+		for y := 0; y < 4; y++ {
+			v := int32(rec.At(bx-1, by+y))
+			pred[y*4+0] = v
+			pred[y*4+1] = v
+			pred[y*4+2] = v
+			pred[y*4+3] = v
+		}
+	default: // IntraDC
+		var sum int32
+		for i := 0; i < 4; i++ {
+			sum += int32(rec.At(bx+i, by-1))
+			sum += int32(rec.At(bx-1, by+i))
+		}
+		dc := (sum + 4) >> 3
+		for i := range pred {
+			pred[i] = dc
+		}
+	}
+}
+
+// IntraCost evaluates one intra mode of a 4x4 block: prediction, residual,
+// and SATD cost. The counters record one "ipred" and one "satd" kernel
+// invocation each.
+func IntraCost(cur, rec *video.Frame, bx, by int, m IntraMode) int32 {
+	var pred Block4
+	PredictIntra4(rec, bx, by, m, &pred)
+	var resid Block4
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			resid[y*4+x] = int32(cur.At(bx+x, by+y)) - pred[y*4+x]
+		}
+	}
+	return SATD4(resid)
+}
+
+// BestIntraMode tries all modes of a 4x4 block and returns the cheapest
+// mode and its SATD cost; modes is the number of modes evaluated (kernel
+// invocations for both "ipred" and "satd").
+func BestIntraMode(cur, rec *video.Frame, bx, by int) (best IntraMode, cost int32, modes int) {
+	cost = 1 << 30
+	for m := IntraMode(0); m < numIntraModes; m++ {
+		c := IntraCost(cur, rec, bx, by, m)
+		modes++
+		if c < cost {
+			cost = c
+			best = m
+		}
+	}
+	return best, cost, modes
+}

@@ -1,0 +1,105 @@
+package h264
+
+import (
+	"testing"
+
+	"mrts/internal/video"
+)
+
+// neighbourFrame prepares a reconstructed frame where the block at (8, 8)
+// has top neighbours = 50 and left neighbours = 200.
+func neighbourFrame() *video.Frame {
+	f := video.NewFrame(16, 16)
+	for x := 0; x < 16; x++ {
+		f.Set(x, 7, 50) // row above
+	}
+	for y := 0; y < 16; y++ {
+		f.Set(7, y, 200) // column left
+	}
+	return f
+}
+
+func TestPredictIntraVertical(t *testing.T) {
+	f := neighbourFrame()
+	var pred Block4
+	PredictIntra4(f, 8, 8, IntraVertical, &pred)
+	for i, v := range pred {
+		if v != 50 {
+			t.Fatalf("vertical prediction [%d] = %d, want 50", i, v)
+		}
+	}
+}
+
+func TestPredictIntraHorizontal(t *testing.T) {
+	f := neighbourFrame()
+	var pred Block4
+	PredictIntra4(f, 8, 8, IntraHorizontal, &pred)
+	for i, v := range pred {
+		if v != 200 {
+			t.Fatalf("horizontal prediction [%d] = %d, want 200", i, v)
+		}
+	}
+}
+
+func TestPredictIntraDC(t *testing.T) {
+	f := neighbourFrame()
+	var pred Block4
+	PredictIntra4(f, 8, 8, IntraDC, &pred)
+	want := int32((4*50 + 4*200 + 4) >> 3)
+	for i, v := range pred {
+		if v != want {
+			t.Fatalf("DC prediction [%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestBestIntraModePicksVerticalForVerticalStripes(t *testing.T) {
+	// Content that continues the row above exactly: vertical wins.
+	f := video.NewFrame(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			f.Set(x, y, uint8(40+x*10))
+		}
+	}
+	mode, cost, modes := BestIntraMode(f, f, 8, 8)
+	if mode != IntraVertical {
+		t.Errorf("mode = %v, want V", mode)
+	}
+	if cost != 0 {
+		t.Errorf("cost = %d, want 0 (perfect prediction)", cost)
+	}
+	if modes != int(numIntraModes) {
+		t.Errorf("modes evaluated = %d", modes)
+	}
+}
+
+func TestBestIntraModePicksHorizontalForHorizontalStripes(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			f.Set(x, y, uint8(40+y*10))
+		}
+	}
+	mode, cost, _ := BestIntraMode(f, f, 8, 8)
+	if mode != IntraHorizontal || cost != 0 {
+		t.Errorf("mode = %v cost = %d, want H / 0", mode, cost)
+	}
+}
+
+func TestIntraCostNonNegative(t *testing.T) {
+	f := neighbourFrame()
+	for m := IntraMode(0); m < numIntraModes; m++ {
+		if c := IntraCost(f, f, 8, 8, m); c < 0 {
+			t.Errorf("mode %v cost = %d", m, c)
+		}
+	}
+}
+
+func TestIntraModeString(t *testing.T) {
+	if IntraDC.String() != "DC" || IntraVertical.String() != "V" || IntraHorizontal.String() != "H" {
+		t.Error("mode strings wrong")
+	}
+	if IntraMode(9).String() != "?" {
+		t.Error("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package h264
+
+import "mrts/internal/video"
+
+// MV is a motion vector in half-pel units: even components address integer
+// sample positions, odd components the 6-tap interpolated half positions.
+type MV struct{ X, Y int }
+
+// IsInteger reports whether both components are integer-pel.
+func (v MV) IsInteger() bool { return v.X&1 == 0 && v.Y&1 == 0 }
+
+// SAD16 returns the sum of absolute differences between the 16x16 block of
+// cur at (mbx, mby) and the block of ref displaced by mv — here mv is in
+// *integer*-pel units (the integer search stage). This is the
+// data-dominant "sad" kernel of the motion-estimation functional block.
+func SAD16(cur, ref *video.Frame, mbx, mby int, mv MV) int32 {
+	var sad int32
+	for y := 0; y < 16; y++ {
+		cy := mby + y
+		ry := mby + y + mv.Y
+		for x := 0; x < 16; x++ {
+			d := int32(cur.At(mbx+x, cy)) - int32(ref.At(mbx+x+mv.X, ry))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// MotionResult is the outcome of the search for one macroblock.
+type MotionResult struct {
+	// MV is the best vector in half-pel units.
+	MV MV
+	// SAD is the best matching cost.
+	SAD int32
+	// Candidates is the number of SAD kernel invocations spent.
+	Candidates int64
+	// Skip reports that the zero-MV cost was below the skip threshold
+	// and the search terminated early.
+	Skip bool
+}
+
+// MotionSearch finds the best motion vector for the macroblock at
+// (mbx, mby) with a three-stage search: a coarse full search on a stride-2
+// integer grid inside ±searchRange, a ±1 integer-pel refinement, and a
+// ±1 half-pel refinement with on-the-fly 6-tap interpolation. A zero-MV
+// early-skip check makes the kernel count content-dependent: static areas
+// cost one SAD, moving areas the full search. The result vector is in
+// half-pel units.
+func MotionSearch(cur, ref *video.Frame, mbx, mby, searchRange int, skipThreshold int32) MotionResult {
+	res := MotionResult{}
+	best := SAD16(cur, ref, mbx, mby, MV{})
+	res.Candidates++
+	res.SAD = best
+	if best <= skipThreshold {
+		res.Skip = true
+		return res
+	}
+	// Coarse stride-2 integer full search.
+	intMV := MV{}
+	for dy := -searchRange; dy <= searchRange; dy += 2 {
+		for dx := -searchRange; dx <= searchRange; dx += 2 {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			s := SAD16(cur, ref, mbx, mby, MV{dx, dy})
+			res.Candidates++
+			if s < res.SAD || (s == res.SAD && less(MV{dx, dy}, intMV)) {
+				res.SAD = s
+				intMV = MV{dx, dy}
+			}
+		}
+	}
+	// ±1 integer refinement.
+	center := intMV
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := MV{center.X + dx, center.Y + dy}
+			s := SAD16(cur, ref, mbx, mby, mv)
+			res.Candidates++
+			if s < res.SAD || (s == res.SAD && less(mv, intMV)) {
+				res.SAD = s
+				intMV = mv
+			}
+		}
+	}
+	// ±1 half-pel refinement around the integer optimum.
+	res.MV = MV{intMV.X * 2, intMV.Y * 2}
+	hcenter := res.MV
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := MV{hcenter.X + dx, hcenter.Y + dy}
+			s := SAD16HalfPel(cur, ref, mbx, mby, mv)
+			res.Candidates++
+			if s < res.SAD || (s == res.SAD && less(mv, res.MV)) {
+				res.SAD = s
+				res.MV = mv
+			}
+		}
+	}
+	return res
+}
+
+// less orders motion vectors for deterministic tie-breaking (prefer short,
+// then lexicographic).
+func less(a, b MV) bool {
+	la := a.X*a.X + a.Y*a.Y
+	lb := b.X*b.X + b.Y*b.Y
+	if la != lb {
+		return la < lb
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
+// MotionCompensate fills dst (64 samples, row-major) with the 8x8 quadrant
+// q (0..3) of the macroblock at (mbx, mby) predicted from ref displaced by
+// the half-pel vector mv. Integer vectors copy directly; fractional ones
+// run the 6-tap interpolation. This is the "mc" kernel; it is invoked once
+// per 8x8 quadrant.
+func MotionCompensate(ref *video.Frame, mbx, mby int, q int, mv MV, dst []uint8) {
+	ox := (q & 1) * 8
+	oy := (q >> 1) * 8
+	if mv.IsInteger() {
+		ix, iy := mv.X>>1, mv.Y>>1
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				dst[y*8+x] = ref.At(mbx+ox+x+ix, mby+oy+y+iy)
+			}
+		}
+		return
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			dst[y*8+x] = LumaHalfPel(ref, (mbx+ox+x)<<1+mv.X, (mby+oy+y)<<1+mv.Y)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package h264
+
+import (
+	"testing"
+
+	"mrts/internal/video"
+)
+
+// shiftedFrames builds a reference frame with smooth aperiodic texture
+// (bilinearly interpolated random grid — the SAD surface then decreases
+// towards the true displacement, as for natural video) and a current frame
+// whose content is the reference shifted by (dx, dy).
+func shiftedFrames(w, h, dx, dy int) (cur, ref *video.Frame) {
+	const cell = 8
+	rng := video.NewRNG(1234)
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([]int, gw*gh)
+	for i := range grid {
+		grid[i] = rng.Intn(256)
+	}
+	ref = video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			gx, gy := x/cell, y/cell
+			fx, fy := x%cell, y%cell
+			v00 := grid[gy*gw+gx]
+			v10 := grid[gy*gw+gx+1]
+			v01 := grid[(gy+1)*gw+gx]
+			v11 := grid[(gy+1)*gw+gx+1]
+			top := v00*(cell-fx) + v10*fx
+			bot := v01*(cell-fx) + v11*fx
+			ref.Set(x, y, uint8((top*(cell-fy)+bot*fy)/(cell*cell)))
+		}
+	}
+	cur = video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cur.Set(x, y, ref.At(x+dx, y+dy))
+		}
+	}
+	return cur, ref
+}
+
+func TestSAD16IdenticalIsZero(t *testing.T) {
+	cur, _ := shiftedFrames(64, 64, 0, 0)
+	if sad := SAD16(cur, cur, 16, 16, MV{}); sad != 0 {
+		t.Errorf("SAD of identical blocks = %d", sad)
+	}
+}
+
+func TestSAD16Positive(t *testing.T) {
+	cur, ref := shiftedFrames(64, 64, 3, 2)
+	if sad := SAD16(cur, ref, 16, 16, MV{}); sad <= 0 {
+		t.Errorf("SAD of shifted content = %d, want positive", sad)
+	}
+}
+
+func TestMotionSearchFindsShift(t *testing.T) {
+	for _, shift := range []MV{{2, 1}, {-3, 2}, {4, -4}, {0, 3}} {
+		cur, ref := shiftedFrames(96, 96, shift.X, shift.Y)
+		res := MotionSearch(cur, ref, 32, 32, 8, 0)
+		want := MV{2 * shift.X, 2 * shift.Y} // result is in half-pel units
+		if res.MV != want {
+			t.Errorf("shift %v: found %v (SAD %d)", shift, res.MV, res.SAD)
+		}
+		if res.SAD != 0 {
+			t.Errorf("shift %v: best SAD = %d, want 0", shift, res.SAD)
+		}
+	}
+}
+
+func TestMotionSearchEarlySkip(t *testing.T) {
+	cur, ref := shiftedFrames(64, 64, 0, 0)
+	res := MotionSearch(cur, ref, 16, 16, 8, 100)
+	if !res.Skip {
+		t.Error("static block not skipped")
+	}
+	if res.Candidates != 1 {
+		t.Errorf("skip path evaluated %d candidates, want 1", res.Candidates)
+	}
+	if res.MV != (MV{}) {
+		t.Errorf("skip MV = %v, want zero", res.MV)
+	}
+}
+
+func TestMotionSearchCandidateCount(t *testing.T) {
+	cur, ref := shiftedFrames(96, 96, 5, 5)
+	res := MotionSearch(cur, ref, 32, 32, 8, 0)
+	// 1 zero-MV + 9x9 coarse grid minus centre + up to 8 integer and 8
+	// half-pel refinement candidates.
+	max := int64(1 + 80 + 8 + 8)
+	if res.Candidates < 10 || res.Candidates > max {
+		t.Errorf("candidates = %d, want in [10, %d]", res.Candidates, max)
+	}
+}
+
+func TestMotionSearchDeterministicTieBreak(t *testing.T) {
+	// A completely flat pair of frames: every candidate has SAD equal to
+	// zero; the search must deterministically keep the zero MV (skip).
+	cur := video.NewFrame(64, 64)
+	ref := video.NewFrame(64, 64)
+	res := MotionSearch(cur, ref, 16, 16, 4, 0)
+	if res.MV != (MV{}) {
+		t.Errorf("flat frames: MV = %v, want {0 0} by tie-break", res.MV)
+	}
+}
+
+func TestMVLess(t *testing.T) {
+	if !less(MV{1, 0}, MV{2, 0}) {
+		t.Error("shorter vector should order first")
+	}
+	if !less(MV{0, -1}, MV{0, 1}) {
+		t.Error("equal length: lexicographic order")
+	}
+	if less(MV{1, 1}, MV{1, 1}) {
+		t.Error("equal vectors are not less")
+	}
+}
+
+func TestMotionCompensateInteger(t *testing.T) {
+	_, ref := shiftedFrames(64, 64, 0, 0)
+	var buf [64]uint8
+	mv := MV{6, -4} // integer displacement (3, -2) in half-pel units
+	for q := 0; q < 4; q++ {
+		MotionCompensate(ref, 16, 16, q, mv, buf[:])
+		ox, oy := (q&1)*8, (q>>1)*8
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				want := ref.At(16+ox+x+3, 16+oy+y-2)
+				if buf[y*8+x] != want {
+					t.Fatalf("quadrant %d sample (%d,%d) = %d, want %d", q, x, y, buf[y*8+x], want)
+				}
+			}
+		}
+	}
+}
+
+func TestMotionCompensateHalfPel(t *testing.T) {
+	_, ref := shiftedFrames(64, 64, 0, 0)
+	var buf [64]uint8
+	mv := MV{1, 0} // horizontal half position
+	MotionCompensate(ref, 16, 16, 0, mv, buf[:])
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			want := LumaHalfPel(ref, (16+x)<<1+1, (16+y)<<1)
+			if buf[y*8+x] != want {
+				t.Fatalf("sample (%d,%d) = %d, want %d", x, y, buf[y*8+x], want)
+			}
+		}
+	}
+}
+
+func TestMotionSearchFindsHalfPelShift(t *testing.T) {
+	// Build cur as the exact half-pel interpolation of ref displaced by
+	// (1, 0) half-pel: the search must find that vector with SAD 0.
+	_, ref := shiftedFrames(96, 96, 0, 0)
+	cur := video.NewFrame(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			cur.Set(x, y, LumaHalfPel(ref, x<<1+1, y<<1))
+		}
+	}
+	res := MotionSearch(cur, ref, 32, 32, 8, 0)
+	if res.MV != (MV{1, 0}) {
+		t.Errorf("found %v (SAD %d), want half-pel {1 0}", res.MV, res.SAD)
+	}
+	if res.SAD != 0 {
+		t.Errorf("SAD = %d, want 0", res.SAD)
+	}
+}

@@ -1,0 +1,124 @@
+package h264
+
+// H.264 4x4 quantisation. Coefficient positions fall into three classes
+// depending on the parity of their coordinates; each class has its own
+// multiplication factor MF (forward) and rescale factor V (inverse),
+// indexed by QP mod 6 (ITU-T H.264 Table 8-15 equivalents).
+
+// posClass returns 0 for (even,even), 1 for mixed, 2 for (odd,odd)
+// coefficient positions.
+func posClass(idx int) int {
+	x, y := idx&3, idx>>2
+	switch {
+	case x&1 == 0 && y&1 == 0:
+		return 0
+	case x&1 == 1 && y&1 == 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// mf[class][qp%6] is the forward quantisation multiplier.
+var mf = [3][6]int32{
+	{13107, 11916, 10082, 9362, 8192, 7282},
+	{8066, 7490, 6554, 5825, 5243, 4559},
+	{5243, 4660, 4194, 3647, 3355, 2893},
+}
+
+// vTab[class][qp%6] is the inverse quantisation rescale factor.
+var vTab = [3][6]int32{
+	{10, 11, 13, 14, 16, 18},
+	{13, 14, 16, 18, 20, 23},
+	{16, 18, 20, 23, 25, 29},
+}
+
+// Quant quantises a transformed block in place and returns the number of
+// non-zero levels. intra selects the larger dead-zone offset (f = 2^qbits/3
+// for intra, 2^qbits/6 for inter).
+func Quant(b *Block4, qp int, intra bool) int {
+	qbits := uint(15 + qp/6)
+	var f int32
+	if intra {
+		f = int32(1) << qbits / 3
+	} else {
+		f = int32(1) << qbits / 6
+	}
+	rem := qp % 6
+	nz := 0
+	for i := range b {
+		c := int64(b[i])
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		level := int32((c*int64(mf[posClass(i)][rem]) + int64(f)) >> qbits)
+		if level != 0 {
+			nz++
+		}
+		if neg {
+			level = -level
+		}
+		b[i] = level
+	}
+	return nz
+}
+
+// Dequant rescales quantised levels in place; the result feeds IDCT4, whose
+// final >>6 removes the remaining scaling.
+func Dequant(b *Block4, qp int) {
+	shift := uint(qp / 6)
+	rem := qp % 6
+	for i := range b {
+		b[i] = (b[i] * vTab[posClass(i)][rem]) << shift
+	}
+}
+
+// QuantDC quantises the Hadamard-transformed intra-16x16 DC block (class-0
+// factors, doubled dead zone per the standard's DC path).
+func QuantDC(b *Block4, qp int) int {
+	qbits := uint(16 + qp/6)
+	f := int32(1) << qbits / 3
+	m := int64(mf[0][qp%6])
+	nz := 0
+	for i := range b {
+		c := int64(b[i])
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		level := int32((c*m + int64(f)) >> qbits)
+		if level != 0 {
+			nz++
+		}
+		if neg {
+			level = -level
+		}
+		b[i] = level
+	}
+	return nz
+}
+
+// DequantDC rescales a quantised DC block.
+func DequantDC(b *Block4, qp int) {
+	v := vTab[0][qp%6]
+	shift := qp / 6
+	for i := range b {
+		if shift >= 2 {
+			b[i] = (b[i] * v) << uint(shift-2)
+		} else {
+			b[i] = (b[i] * v) >> uint(2-shift)
+		}
+	}
+}
+
+// QStep returns the (approximate) quantiser step size for a QP, doubling
+// every 6 QP as in H.264. Exposed for tests and rate statistics.
+func QStep(qp int) float64 {
+	base := []float64{0.625, 0.6875, 0.8125, 0.875, 1.0, 1.125}
+	s := base[qp%6]
+	for i := 0; i < qp/6; i++ {
+		s *= 2
+	}
+	return s
+}

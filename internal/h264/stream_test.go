@@ -1,0 +1,100 @@
+package h264
+
+import (
+	"testing"
+
+	"mrts/internal/video"
+)
+
+// encodeFrames encodes n frames and returns their stats.
+func encodeFrames(t *testing.T, n int, cfg Config) []*FrameStats {
+	t.Helper()
+	g, err := video.NewGenerator(64, 48, 21, video.Options{Objects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*FrameStats
+	for i := 0; i < n; i++ {
+		st, err := enc.EncodeFrame(g.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func TestStreamParsesBack(t *testing.T) {
+	for i, st := range encodeFrames(t, 4, Config{QP: 22}) {
+		ps, err := ParseStream(st.Stream, 64, 48)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ps.Frame != i {
+			t.Errorf("frame number = %d, want %d", ps.Frame, i)
+		}
+		if ps.QP != 22 {
+			t.Errorf("QP = %d, want 22", ps.QP)
+		}
+		if ps.Intra != st.Intra || ps.Inter != st.Inter || ps.Skip != st.Skip {
+			t.Errorf("frame %d: parsed modes %d/%d/%d, encoder counted %d/%d/%d",
+				i, ps.Intra, ps.Inter, ps.Skip, st.Intra, st.Inter, st.Skip)
+		}
+	}
+}
+
+func TestStreamBitsMatchLength(t *testing.T) {
+	for i, st := range encodeFrames(t, 2, Config{}) {
+		if st.Bits <= 0 {
+			t.Fatalf("frame %d: no bits", i)
+		}
+		// The buffer is the bit count rounded up to bytes.
+		wantBytes := (st.Bits + 7) / 8
+		if int64(len(st.Stream)) != wantBytes {
+			t.Errorf("frame %d: stream %d bytes for %d bits", i, len(st.Stream), st.Bits)
+		}
+	}
+}
+
+func TestStreamCoefficientsScaleWithQP(t *testing.T) {
+	fine := encodeFrames(t, 1, Config{QP: 14})[0]
+	coarse := encodeFrames(t, 1, Config{QP: 40})[0]
+	pf, err := ParseStream(fine.Stream, 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := ParseStream(coarse.Stream, 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Coefficients <= pc.Coefficients {
+		t.Errorf("fine QP coefficients (%d) should exceed coarse (%d)", pf.Coefficients, pc.Coefficients)
+	}
+}
+
+func TestStreamRejectsTruncation(t *testing.T) {
+	st := encodeFrames(t, 1, Config{})[0]
+	if _, err := ParseStream(st.Stream[:len(st.Stream)/2], 64, 48); err == nil {
+		t.Error("truncated stream parsed without error")
+	}
+}
+
+func TestStreamRejectsCorruption(t *testing.T) {
+	st := encodeFrames(t, 1, Config{})[0]
+	bad := append([]byte(nil), st.Stream...)
+	// Flip bits near the start (the frame header / first MB type): the
+	// parser must either fail or at minimum produce a different MB
+	// distribution — it must not crash.
+	bad[1] ^= 0xFF
+	ps, err := ParseStream(bad, 64, 48)
+	if err == nil {
+		orig, _ := ParseStream(st.Stream, 64, 48)
+		if ps == orig {
+			t.Error("corrupted stream parsed identically")
+		}
+	}
+}

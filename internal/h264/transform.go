@@ -1,0 +1,116 @@
+// Package h264 implements a simplified but functionally real H.264-style
+// video encoder: full-search motion estimation, 4x4 integer transform and
+// quantisation, intra prediction, an in-loop deblocking filter with
+// boundary-strength decisions, and CAVLC-style bit estimation. It is the
+// workload substrate of the mRTS reproduction: every invocation of a
+// compute kernel is counted, and those content-dependent counts drive the
+// trigger-instruction traces the runtime-system experiments replay
+// (substituting the paper's H.264 encoder binary and video sequences).
+package h264
+
+// Block4 is a 4x4 residual/coefficient block in row-major order.
+type Block4 [16]int32
+
+// DCT4 applies the H.264 4x4 forward core transform Y = C*X*C^T with
+//
+//	C = | 1  1  1  1 |
+//	    | 2  1 -1 -2 |
+//	    | 1 -1 -1  1 |
+//	    | 1 -2  2 -1 |
+func DCT4(b *Block4) {
+	var t Block4
+	// Rows.
+	for i := 0; i < 4; i++ {
+		r := i * 4
+		s0 := b[r+0] + b[r+3]
+		s1 := b[r+1] + b[r+2]
+		d0 := b[r+0] - b[r+3]
+		d1 := b[r+1] - b[r+2]
+		t[r+0] = s0 + s1
+		t[r+1] = 2*d0 + d1
+		t[r+2] = s0 - s1
+		t[r+3] = d0 - 2*d1
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		s0 := t[i+0] + t[i+12]
+		s1 := t[i+4] + t[i+8]
+		d0 := t[i+0] - t[i+12]
+		d1 := t[i+4] - t[i+8]
+		b[i+0] = s0 + s1
+		b[i+4] = 2*d0 + d1
+		b[i+8] = s0 - s1
+		b[i+12] = d0 - 2*d1
+	}
+}
+
+// IDCT4 applies the H.264 4x4 inverse core transform including the final
+// rounding shift (>>6), inverting DCT4 up to the standard's scaling.
+func IDCT4(b *Block4) {
+	var t Block4
+	// Rows.
+	for i := 0; i < 4; i++ {
+		r := i * 4
+		s0 := b[r+0] + b[r+2]
+		s1 := b[r+0] - b[r+2]
+		s2 := (b[r+1] >> 1) - b[r+3]
+		s3 := b[r+1] + (b[r+3] >> 1)
+		t[r+0] = s0 + s3
+		t[r+1] = s1 + s2
+		t[r+2] = s1 - s2
+		t[r+3] = s0 - s3
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		s0 := t[i+0] + t[i+8]
+		s1 := t[i+0] - t[i+8]
+		s2 := (t[i+4] >> 1) - t[i+12]
+		s3 := t[i+4] + (t[i+12] >> 1)
+		b[i+0] = (s0 + s3 + 32) >> 6
+		b[i+4] = (s1 + s2 + 32) >> 6
+		b[i+8] = (s1 - s2 + 32) >> 6
+		b[i+12] = (s0 - s3 + 32) >> 6
+	}
+}
+
+// Hadamard4 applies the 4x4 Hadamard transform (used for the intra-16x16
+// luma DC coefficients and inside SATD).
+func Hadamard4(b *Block4) {
+	var t Block4
+	for i := 0; i < 4; i++ {
+		r := i * 4
+		s0 := b[r+0] + b[r+3]
+		s1 := b[r+1] + b[r+2]
+		d0 := b[r+0] - b[r+3]
+		d1 := b[r+1] - b[r+2]
+		t[r+0] = s0 + s1
+		t[r+1] = d0 + d1
+		t[r+2] = s0 - s1
+		t[r+3] = d0 - d1
+	}
+	for i := 0; i < 4; i++ {
+		s0 := t[i+0] + t[i+12]
+		s1 := t[i+4] + t[i+8]
+		d0 := t[i+0] - t[i+12]
+		d1 := t[i+4] - t[i+8]
+		b[i+0] = s0 + s1
+		b[i+4] = d0 + d1
+		b[i+8] = s0 - s1
+		b[i+12] = d0 - d1
+	}
+}
+
+// SATD4 returns the sum of absolute Hadamard-transformed differences of a
+// 4x4 residual block: the cost metric of intra mode decision.
+func SATD4(b Block4) int32 {
+	Hadamard4(&b)
+	var s int32
+	for _, v := range b {
+		if v < 0 {
+			v = -v
+		}
+		s += v
+	}
+	// Normalisation by 2 as in common SATD implementations.
+	return s / 2
+}

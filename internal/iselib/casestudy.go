@@ -1,0 +1,74 @@
+package iselib
+
+import (
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// CaseStudyKernel returns the combined H.264 deblocking-filter kernel of
+// the paper's motivational case study (Section 2, Fig. 1): one kernel with
+// a control-dominant condition data path and a data-dominant filter data
+// path, and exactly the three ISEs the paper discusses:
+//
+//	ISE-1: condition and filter data paths on the fine-grained fabric —
+//	       long reconfiguration (2 x 1.2 ms), best execution latency;
+//	       wins for large execution counts.
+//	ISE-2: both data paths on the coarse-grained fabric — reconfigures in
+//	       microseconds but executes the bit-level condition logic
+//	       inefficiently; wins for small execution counts.
+//	ISE-3: condition on FG, filter on CG (multi-grained) — the compromise
+//	       that wins in the middle region.
+//
+// With these latencies the pif curves (Eq. 1) cross at roughly 1600 and
+// 2700 executions, reproducing the three dominance regions of Fig. 1 (the
+// absolute crossover positions differ from the paper because our substrate
+// fixes the core clock at 100 MHz; the structure — CG wins low, MG wins
+// mid, FG wins high — is preserved).
+func CaseStudyKernel() *ise.Kernel {
+	const kid = "deblock"
+	return &ise.Kernel{
+		ID:          kid,
+		Name:        "H.264 Deblocking Filter (case study)",
+		RISCLatency: 2000,
+		MonoCG:      ise.MonoCGExt{Latency: 750, Instructions: 28},
+		ISEs: []*ise.ISE{
+			{
+				ID:     "deblock.ise1",
+				Kernel: kid,
+				DataPaths: []ise.DataPath{
+					{ID: "db_cond_fg", Kind: arch.FG, PRCs: 1},
+					{ID: "db_filt_fg", Kind: arch.FG, PRCs: 1},
+				},
+				Latencies: []arch.Cycles{1200, 255},
+			},
+			{
+				ID:     "deblock.ise2",
+				Kernel: kid,
+				DataPaths: []ise.DataPath{
+					{ID: "db_cond_cg", Kind: arch.CG, CGs: 1},
+					{ID: "db_filt_cg", Kind: arch.CG, CGs: 1},
+				},
+				Latencies: []arch.Cycles{1100, 375},
+			},
+			{
+				ID:     "deblock.ise3",
+				Kernel: kid,
+				DataPaths: []ise.DataPath{
+					{ID: "db_cond_fg", Kind: arch.FG, PRCs: 1},
+					{ID: "db_filt_cg", Kind: arch.CG, CGs: 1},
+				},
+				Latencies: []arch.Cycles{1200, 300},
+			},
+		},
+	}
+}
+
+// CaseStudyBlock wraps the case-study kernel in a functional block, ready
+// for the selector and simulator.
+func CaseStudyBlock() *ise.FunctionalBlock {
+	return &ise.FunctionalBlock{
+		ID:      "dbf-case",
+		Name:    "Deblocking Filter (case study)",
+		Kernels: []*ise.Kernel{CaseStudyKernel()},
+	}
+}

@@ -1,0 +1,235 @@
+// Package iselib provides the compile-time prepared Instruction Set
+// Extensions of the H.264 encoder application. It substitutes the authors'
+// proprietary ISE generation tool chain (paper Section 4, references
+// [18][19]): for every kernel of the encoder it defines the RISC-mode
+// latency, a monoCG-Extension, and a set of candidate ISEs — pure-FG,
+// pure-CG and multi-grained — whose data paths, areas, execution latencies
+// and reconfiguration behaviour span the same trade-off space the paper
+// describes:
+//
+//   - data-dominant (sub)word-level kernels (sad, dct, mc, ...) map well to
+//     the CG fabric and reasonably to the FG fabric;
+//   - control-dominant bit/byte-level kernels (bs, cavlc, ipred) map well
+//     to the FG fabric and poorly to the CG fabric;
+//   - mixed kernels (filt, satd) have multi-grained ISEs as their best
+//     area/performance trade-off.
+//
+// Latencies are in core cycles (100 MHz) and include the fabric
+// communication overheads of Section 5.1 (2 cycles CG<->CG, 1 cycle
+// PRC<->PRC); data paths occupy one PRC or one CG-EDPE each.
+package iselib
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+)
+
+// dp builds a data path occupying one unit of its fabric.
+func dp(id string, kind arch.FabricKind) ise.DataPath {
+	d := ise.DataPath{ID: ise.DataPathID(id), Kind: kind}
+	if kind == arch.FG {
+		d.PRCs = 1
+	} else {
+		d.CGs = 1
+	}
+	return d
+}
+
+func fg(id string) ise.DataPath { return dp(id, arch.FG) }
+func cg(id string) ise.DataPath { return dp(id, arch.CG) }
+
+// ext builds an ISE from data paths and the matching latency ladder.
+func ext(id string, kernel ise.KernelID, lats []arch.Cycles, dps ...ise.DataPath) *ise.ISE {
+	return &ise.ISE{ID: id, Kernel: kernel, DataPaths: dps, Latencies: lats}
+}
+
+func lat(v ...arch.Cycles) []arch.Cycles { return v }
+
+// kernel assembles a kernel.
+func kernel(id, name string, risc arch.Cycles, mono ise.MonoCGExt, ises ...*ise.ISE) *ise.Kernel {
+	return &ise.Kernel{ID: ise.KernelID(id), Name: name, RISCLatency: risc, MonoCG: mono, ISEs: ises}
+}
+
+// NewApplication builds the H.264 encoder application: three functional
+// blocks (motion estimation & mode decision, encoding engine, in-loop
+// deblocking filter — the biggest with seven kernels, matching the paper's
+// "more than six kernels" remark) with the full multi-grained ISE library.
+func NewApplication() (*ise.Application, error) {
+	me := &ise.FunctionalBlock{
+		ID:   "me",
+		Name: "Motion Estimation & Mode Decision",
+		Kernels: []*ise.Kernel{
+			// sad: data-dominant 16x16 sum of absolute differences.
+			kernel(h264.KernelSAD, "SAD 16x16", 780,
+				ise.MonoCGExt{Latency: 230, Instructions: 26},
+				ext("sad.cg1", h264.KernelSAD, lat(200), cg("sad_acc_cg")),
+				ext("sad.cg2", h264.KernelSAD, lat(200, 95), cg("sad_acc_cg"), cg("sad_row_cg")),
+				ext("sad.cg3", h264.KernelSAD, lat(200, 95, 62), cg("sad_acc_cg"), cg("sad_row_cg"), cg("sad_quad_cg")),
+				ext("sad.fg1", h264.KernelSAD, lat(420), fg("sad_pe_fg")),
+				ext("sad.fg2", h264.KernelSAD, lat(420, 250), fg("sad_pe_fg"), fg("sad_tree_fg")),
+				ext("sad.fg3", h264.KernelSAD, lat(420, 250, 225), fg("sad_pe_fg"), fg("sad_tree_fg"), fg("sad_agg_fg")),
+				ext("sad.mg2", h264.KernelSAD, lat(200, 120), cg("sad_acc_cg"), fg("sad_tree_fg")),
+			),
+			// satd: Hadamard-transform cost metric, mixed processing.
+			kernel(h264.KernelSATD, "SATD 4x4", 340,
+				ise.MonoCGExt{Latency: 160, Instructions: 16},
+				ext("satd.cg1", h264.KernelSATD, lat(140), cg("satd_had_cg")),
+				ext("satd.fg1", h264.KernelSATD, lat(210), fg("satd_had_fg")),
+				ext("satd.fg2", h264.KernelSATD, lat(210, 124), fg("satd_had_fg"), fg("satd_abs_fg")),
+				ext("satd.mg2", h264.KernelSATD, lat(140, 58), cg("satd_had_cg"), fg("satd_abs_fg")),
+			),
+			// ipred: neighbour gathering and mode logic, byte-level.
+			kernel(h264.KernelIPred, "Intra prediction 4x4", 160,
+				ise.MonoCGExt{Latency: 130, Instructions: 12},
+				ext("ipred.fg1", h264.KernelIPred, lat(64), fg("ipred_ngb_fg")),
+				ext("ipred.fg2", h264.KernelIPred, lat(64, 32), fg("ipred_ngb_fg"), fg("ipred_ang_fg")),
+				ext("ipred.cg1", h264.KernelIPred, lat(135), cg("ipred_ngb_cg")),
+			),
+		},
+	}
+
+	enc := &ise.FunctionalBlock{
+		ID:   "enc",
+		Name: "Encoding Engine",
+		Kernels: []*ise.Kernel{
+			// mc: motion compensation, word-level streaming.
+			kernel(h264.KernelMC, "Motion compensation 8x8", 620,
+				ise.MonoCGExt{Latency: 240, Instructions: 18},
+				ext("mc.cg1", h264.KernelMC, lat(190), cg("mc_interp_cg")),
+				ext("mc.cg2", h264.KernelMC, lat(190, 86), cg("mc_interp_cg"), cg("mc_avg_cg")),
+				ext("mc.fg1", h264.KernelMC, lat(330), fg("mc_interp_fg")),
+			),
+			// dct: 4x4 integer transform, sub-word butterflies.
+			kernel(h264.KernelDCT, "DCT 4x4", 220,
+				ise.MonoCGExt{Latency: 90, Instructions: 20},
+				ext("dct.cg1", h264.KernelDCT, lat(70), cg("dct_bfly_cg")),
+				ext("dct.cg2", h264.KernelDCT, lat(70, 27), cg("dct_bfly_cg"), cg("xfrm_tr_cg")),
+				ext("dct.fg1", h264.KernelDCT, lat(120), fg("dct_bfly_fg")),
+				ext("dct.mg2", h264.KernelDCT, lat(70, 30), cg("dct_bfly_cg"), fg("dct_tr_fg")),
+			),
+			// quant: multiply/shift, word-level.
+			kernel(h264.KernelQuant, "Quantisation 4x4", 190,
+				ise.MonoCGExt{Latency: 70, Instructions: 12},
+				ext("quant.cg1", h264.KernelQuant, lat(50), cg("quant_mul_cg")),
+				ext("quant.fg1", h264.KernelQuant, lat(90), fg("quant_mul_fg")),
+			),
+			// cavlc: zig-zag scan and token coding, bit-level.
+			kernel(h264.KernelCAVLC, "CAVLC bit estimation", 360,
+				ise.MonoCGExt{Latency: 290, Instructions: 14},
+				ext("cavlc.fg1", h264.KernelCAVLC, lat(170), fg("cavlc_scan_fg")),
+				ext("cavlc.fg2", h264.KernelCAVLC, lat(170, 72), fg("cavlc_scan_fg"), fg("cavlc_lvl_fg")),
+				ext("cavlc.cg1", h264.KernelCAVLC, lat(340), cg("cavlc_scan_cg")),
+			),
+			// iquant: rescale, word-level.
+			kernel(h264.KernelIQuant, "Inverse quantisation 4x4", 150,
+				ise.MonoCGExt{Latency: 60, Instructions: 10},
+				ext("iquant.cg1", h264.KernelIQuant, lat(42), cg("iq_mul_cg")),
+				ext("iquant.fg1", h264.KernelIQuant, lat(75), fg("iq_mul_fg")),
+			),
+			// idct: inverse transform; its transpose data path is shared
+			// with dct.cg2 (cross-kernel data-path sharing, Section 4.1).
+			kernel(h264.KernelIDCT, "IDCT 4x4", 210,
+				ise.MonoCGExt{Latency: 85, Instructions: 18},
+				ext("idct.cg1", h264.KernelIDCT, lat(68), cg("idct_bfly_cg")),
+				ext("idct.cg2", h264.KernelIDCT, lat(68, 26), cg("idct_bfly_cg"), cg("xfrm_tr_cg")),
+				ext("idct.fg1", h264.KernelIDCT, lat(100), fg("idct_bfly_fg")),
+			),
+			// hadamard: luma-DC transform, word-level, few executions.
+			kernel(h264.KernelHadamard, "Hadamard DC 4x4", 170,
+				ise.MonoCGExt{Latency: 66, Instructions: 10},
+				ext("had.cg1", h264.KernelHadamard, lat(45), cg("had_bfly_cg")),
+				ext("had.fg1", h264.KernelHadamard, lat(80), fg("had_bfly_fg")),
+			),
+		},
+	}
+
+	dbf := &ise.FunctionalBlock{
+		ID:   "dbf",
+		Name: "In-Loop Deblocking Filter",
+		Kernels: []*ise.Kernel{
+			// bs: boundary-strength decision, bit-level comparisons.
+			kernel(h264.KernelBS, "Boundary strength", 110,
+				ise.MonoCGExt{Latency: 95, Instructions: 8},
+				ext("bs.fg1", h264.KernelBS, lat(32), fg("bs_cmp_fg")),
+				ext("bs.cg1", h264.KernelBS, lat(102), cg("bs_cmp_cg")),
+			),
+			// filt: edge filter — bit-level condition plus word-level
+			// filter taps: the paper's showcase for multi-grained ISEs.
+			kernel(h264.KernelFilt, "Deblocking edge filter", 310,
+				ise.MonoCGExt{Latency: 150, Instructions: 20},
+				ext("filt.fg2", h264.KernelFilt, lat(195, 112), fg("filt_cond_fg"), fg("filt_tap_fg")),
+				ext("filt.cg2", h264.KernelFilt, lat(290, 200), cg("filt_cond_cg"), cg("filt_tap_cg")),
+				ext("filt.mg2", h264.KernelFilt, lat(195, 64), fg("filt_cond_fg"), cg("filt_tap_cg")),
+				ext("filt.fg1", h264.KernelFilt, lat(230), fg("filt_mono_fg")),
+			),
+		},
+	}
+
+	app, err := ise.NewApplication("h264-encoder", me, enc, dbf)
+	if err != nil {
+		return nil, fmt.Errorf("iselib: %w", err)
+	}
+	return app, nil
+}
+
+// MustNewApplication panics on error; the library is static, so an error is
+// a programming mistake.
+func MustNewApplication() *ise.Application {
+	app, err := NewApplication()
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// SoftwareGap returns the pure-software cycles the core processor spends
+// before each invocation of a kernel (loop control, address generation,
+// data marshalling). Used by the trace builder.
+func SoftwareGap(kernel string) arch.Cycles {
+	switch kernel {
+	case h264.KernelSAD:
+		return 16
+	case h264.KernelSATD:
+		return 14
+	case h264.KernelIPred:
+		return 12
+	case h264.KernelDCT:
+		return 14
+	case h264.KernelQuant:
+		return 10
+	case h264.KernelIQuant:
+		return 10
+	case h264.KernelIDCT:
+		return 12
+	case h264.KernelHadamard:
+		return 15
+	case h264.KernelMC:
+		return 24
+	case h264.KernelCAVLC:
+		return 18
+	case h264.KernelBS:
+		return 8
+	case h264.KernelFilt:
+		return 10
+	default:
+		return 12
+	}
+}
+
+// BlockPrologue returns the software cycles between a functional block's
+// trigger instruction and its first kernel invocation.
+func BlockPrologue(block string) arch.Cycles {
+	switch block {
+	case "me":
+		return 2600
+	case "enc":
+		return 2100
+	case "dbf":
+		return 1800
+	default:
+		return 2000
+	}
+}

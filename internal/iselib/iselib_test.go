@@ -1,0 +1,239 @@
+package iselib
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+	"mrts/internal/profit"
+)
+
+func TestApplicationValidates(t *testing.T) {
+	app, err := NewApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range app.Blocks {
+		if err := b.Validate(); err != nil {
+			t.Errorf("block %s: %v", b.ID, err)
+		}
+	}
+}
+
+func TestApplicationStructure(t *testing.T) {
+	app := MustNewApplication()
+	if len(app.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (me, enc, dbf)", len(app.Blocks))
+	}
+	// The biggest functional block has more than six kernels (paper
+	// Section 2: "the biggest one contains more than six kernels").
+	max := 0
+	for _, b := range app.Blocks {
+		if len(b.Kernels) > max {
+			max = len(b.Kernels)
+		}
+	}
+	if max <= 6 {
+		t.Errorf("largest block has %d kernels, want > 6", max)
+	}
+}
+
+func TestEveryEncoderKernelCovered(t *testing.T) {
+	app := MustNewApplication()
+	for _, fb := range h264.FunctionalBlocks {
+		blk := app.Block(fb.ID)
+		if blk == nil {
+			t.Fatalf("functional block %s missing from the ISE library", fb.ID)
+		}
+		for _, k := range fb.Kernels {
+			if blk.Kernel(ise.KernelID(k)) == nil {
+				t.Errorf("kernel %s missing from block %s", k, fb.ID)
+			}
+		}
+	}
+}
+
+func TestKernelsSpanGrains(t *testing.T) {
+	app := MustNewApplication()
+	var haveFG, haveCG, haveMG bool
+	for _, id := range app.KernelIDs() {
+		k := app.Kernel(id)
+		if len(k.ISEs) == 0 {
+			t.Errorf("kernel %s has no ISEs", id)
+		}
+		for _, e := range k.ISEs {
+			switch e.Grain() {
+			case arch.GrainFG:
+				haveFG = true
+			case arch.GrainCG:
+				haveCG = true
+			case arch.GrainMG:
+				haveMG = true
+			}
+		}
+		if !k.MonoCG.Available() {
+			t.Errorf("kernel %s has no monoCG-Extension", id)
+		}
+	}
+	if !haveFG || !haveCG || !haveMG {
+		t.Errorf("library grains: FG=%v CG=%v MG=%v, want all", haveFG, haveCG, haveMG)
+	}
+}
+
+func TestCrossKernelDataPathSharing(t *testing.T) {
+	// dct.cg2 and idct.cg2 share the transpose data path (paper
+	// Section 4.1: reconfigurations completed by other ISEs that share
+	// data paths).
+	app := MustNewApplication()
+	dct := app.Kernel(ise.KernelID(h264.KernelDCT)).ISEByID("dct.cg2")
+	idct := app.Kernel(ise.KernelID(h264.KernelIDCT)).ISEByID("idct.cg2")
+	if dct == nil || idct == nil {
+		t.Fatal("expected shared-transpose ISEs missing")
+	}
+	shared := false
+	for _, a := range dct.DataPaths {
+		for _, b := range idct.DataPaths {
+			if a.ID == b.ID {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Error("dct.cg2 and idct.cg2 share no data path")
+	}
+}
+
+func TestMixedKernelsHaveBestMGISE(t *testing.T) {
+	// For the mixed kernels (filt, satd) the multi-grained ISE is the
+	// steady-state best — the paper's core premise.
+	app := MustNewApplication()
+	for _, id := range []string{h264.KernelFilt, h264.KernelSATD} {
+		k := app.Kernel(ise.KernelID(id))
+		var best *ise.ISE
+		for _, e := range k.ISEs {
+			if best == nil || e.FullLatency() < best.FullLatency() {
+				best = e
+			}
+		}
+		if best.Grain() != arch.GrainMG {
+			t.Errorf("kernel %s: fastest ISE %s is %v, want MG", id, best.ID, best.Grain())
+		}
+	}
+}
+
+func TestBitLevelKernelsFavourFG(t *testing.T) {
+	app := MustNewApplication()
+	for _, id := range []string{h264.KernelBS, h264.KernelCAVLC, h264.KernelIPred} {
+		k := app.Kernel(ise.KernelID(id))
+		bestFG, bestCG := arch.Cycles(1<<40), arch.Cycles(1<<40)
+		for _, e := range k.ISEs {
+			switch e.Grain() {
+			case arch.GrainFG:
+				if e.FullLatency() < bestFG {
+					bestFG = e.FullLatency()
+				}
+			case arch.GrainCG:
+				if e.FullLatency() < bestCG {
+					bestCG = e.FullLatency()
+				}
+			}
+		}
+		if bestFG >= bestCG {
+			t.Errorf("bit-level kernel %s: FG best %d !< CG best %d", id, bestFG, bestCG)
+		}
+	}
+}
+
+func TestWordLevelKernelsFavourCG(t *testing.T) {
+	app := MustNewApplication()
+	for _, id := range []string{h264.KernelSAD, h264.KernelDCT, h264.KernelMC} {
+		k := app.Kernel(ise.KernelID(id))
+		bestFG, bestCG := arch.Cycles(1<<40), arch.Cycles(1<<40)
+		for _, e := range k.ISEs {
+			switch e.Grain() {
+			case arch.GrainFG:
+				if e.FullLatency() < bestFG {
+					bestFG = e.FullLatency()
+				}
+			case arch.GrainCG:
+				if e.FullLatency() < bestCG {
+					bestCG = e.FullLatency()
+				}
+			}
+		}
+		if bestCG >= bestFG {
+			t.Errorf("word-level kernel %s: CG best %d !< FG best %d", id, bestCG, bestFG)
+		}
+	}
+}
+
+func TestCaseStudyKernel(t *testing.T) {
+	k := CaseStudyKernel()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.ISEs) != 3 {
+		t.Fatalf("case study has %d ISEs, want 3", len(k.ISEs))
+	}
+	grains := []arch.Grain{arch.GrainFG, arch.GrainCG, arch.GrainMG}
+	for i, e := range k.ISEs {
+		if e.Grain() != grains[i] {
+			t.Errorf("ISE-%d grain = %v, want %v", i+1, e.Grain(), grains[i])
+		}
+	}
+	// ISE-3 shares its condition data path with ISE-1 and its filter
+	// data path with ISE-2.
+	if k.ISEs[2].DataPaths[0].ID != k.ISEs[0].DataPaths[0].ID {
+		t.Error("ISE-3 condition path not shared with ISE-1")
+	}
+	if k.ISEs[2].DataPaths[1].ID != k.ISEs[1].DataPaths[1].ID {
+		t.Error("ISE-3 filter path not shared with ISE-2")
+	}
+}
+
+func TestCaseStudyThreeRegions(t *testing.T) {
+	// pif dominance: ISE-2 (CG) at low counts, ISE-3 (MG) in the middle,
+	// ISE-1 (FG) at high counts — Fig. 1's three regions.
+	k := CaseStudyKernel()
+	bestAt := func(e int64) int {
+		best, bestPIF := 0, -1.0
+		for i, ext := range k.ISEs {
+			if p := profit.PIF(k, ext, e); p > bestPIF {
+				best, bestPIF = i+1, p
+			}
+		}
+		return best
+	}
+	if got := bestAt(200); got != 2 {
+		t.Errorf("best at 200 executions = ISE-%d, want ISE-2", got)
+	}
+	if got := bestAt(2000); got != 3 {
+		t.Errorf("best at 2000 executions = ISE-%d, want ISE-3", got)
+	}
+	if got := bestAt(20000); got != 1 {
+		t.Errorf("best at 20000 executions = ISE-%d, want ISE-1", got)
+	}
+}
+
+func TestCaseStudyBlock(t *testing.T) {
+	if err := CaseStudyBlock().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftwareGapAndPrologue(t *testing.T) {
+	for _, fb := range h264.FunctionalBlocks {
+		if BlockPrologue(fb.ID) <= 0 {
+			t.Errorf("prologue for %s not positive", fb.ID)
+		}
+		for _, k := range fb.Kernels {
+			if SoftwareGap(k) <= 0 {
+				t.Errorf("software gap for %s not positive", k)
+			}
+		}
+	}
+	if SoftwareGap("unknown") <= 0 || BlockPrologue("unknown") <= 0 {
+		t.Error("defaults must be positive")
+	}
+}

@@ -1,0 +1,136 @@
+package iselib
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// Synthetic ISE libraries. The paper notes that a single kernel may have up
+// to 60 compile-time prepared ISEs and that six H.264 kernels already span
+// more than 78 million ISE combinations (Section 4.1) — the reason the
+// optimal selection algorithm is infeasible at run time. GenerateKernel and
+// GenerateBlock produce deterministic synthetic kernels of any size for the
+// selector scalability tests and benchmarks.
+
+// synthRNG is a small deterministic generator (splitmix64), independent of
+// math/rand so generated libraries are stable across Go versions.
+type synthRNG struct{ state uint64 }
+
+func (r *synthRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *synthRNG) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// GenerateKernel builds a synthetic kernel with nISEs candidate ISEs drawn
+// from a shared per-kernel data-path pool (so candidates share data paths,
+// as real ISE libraries do), spanning pure-FG, pure-CG and multi-grained
+// variants with non-increasing latency ladders. The result always
+// validates.
+func GenerateKernel(id string, nISEs int, seed uint64) *ise.Kernel {
+	rng := &synthRNG{state: seed ^ 0xA5A5A5A5}
+	risc := arch.Cycles(300 + rng.intn(1700))
+	k := &ise.Kernel{
+		ID:          ise.KernelID(id),
+		Name:        "synthetic " + id,
+		RISCLatency: risc,
+		MonoCG: ise.MonoCGExt{
+			Latency:      risc/3 + arch.Cycles(rng.intn(int(risc)/4+1)),
+			Instructions: 8 + rng.intn(56),
+		},
+	}
+
+	// Per-kernel data-path pool: candidates draw from these, sharing
+	// reconfigurations.
+	poolSize := 6 + rng.intn(6)
+	pool := make([]ise.DataPath, poolSize)
+	for i := range pool {
+		if rng.intn(2) == 0 {
+			pool[i] = ise.DataPath{ID: ise.DataPathID(fmt.Sprintf("%s_dp%d_fg", id, i)), Kind: arch.FG, PRCs: 1}
+		} else {
+			pool[i] = ise.DataPath{ID: ise.DataPathID(fmt.Sprintf("%s_dp%d_cg", id, i)), Kind: arch.CG, CGs: 1}
+		}
+	}
+
+	for n := 0; n < nISEs; n++ {
+		ndps := 1 + rng.intn(4)
+		if ndps > poolSize {
+			ndps = poolSize
+		}
+		// Draw distinct data paths from the pool.
+		perm := rng.intn(poolSize)
+		var dps []ise.DataPath
+		seen := map[int]bool{}
+		for len(dps) < ndps {
+			idx := (perm + rng.intn(poolSize)) % poolSize
+			if seen[idx] {
+				idx = (idx + 1) % poolSize
+			}
+			if seen[idx] {
+				break
+			}
+			seen[idx] = true
+			dps = append(dps, pool[idx])
+		}
+		// Non-increasing latency ladder below the RISC latency.
+		lat := risc - arch.Cycles(rng.intn(int(risc)/3)) - 1
+		lats := make([]arch.Cycles, len(dps))
+		for i := range lats {
+			lats[i] = lat
+			drop := arch.Cycles(rng.intn(int(lat)/2 + 1))
+			if lat-drop >= 1 {
+				lat -= drop
+			}
+		}
+		k.ISEs = append(k.ISEs, &ise.ISE{
+			ID:        fmt.Sprintf("%s.s%d", id, n),
+			Kernel:    k.ID,
+			DataPaths: dps,
+			Latencies: lats,
+		})
+	}
+	return k
+}
+
+// GenerateBlock builds a synthetic functional block with nKernels kernels
+// of nISEs candidates each, plus matching triggers with the given expected
+// execution count.
+func GenerateBlock(id string, nKernels, nISEs int, seed uint64) (*ise.FunctionalBlock, []ise.Trigger) {
+	blk := &ise.FunctionalBlock{ID: id, Name: "synthetic " + id}
+	var triggers []ise.Trigger
+	rng := &synthRNG{state: seed}
+	for i := 0; i < nKernels; i++ {
+		kid := fmt.Sprintf("%s_k%d", id, i)
+		blk.Kernels = append(blk.Kernels, GenerateKernel(kid, nISEs, seed+uint64(i)*7919))
+		triggers = append(triggers, ise.Trigger{
+			Kernel: ise.KernelID(kid),
+			E:      int64(200 + rng.intn(5000)),
+			TF:     arch.Cycles(500 + rng.intn(5000)),
+			TB:     arch.Cycles(50 + rng.intn(1000)),
+		})
+	}
+	return blk, triggers
+}
+
+// Combinations returns the nominal size of the ISE combination space of a
+// block: the product over kernels of (candidates + 1), counting the
+// "select nothing" choice — the number the optimal algorithm would have to
+// enumerate without pruning.
+func Combinations(blk *ise.FunctionalBlock) float64 {
+	total := 1.0
+	for _, k := range blk.Kernels {
+		total *= float64(len(k.ISEs) + 1)
+	}
+	return total
+}

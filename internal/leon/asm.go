@@ -1,0 +1,212 @@
+package leon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small assembly dialect into a program. One
+// instruction per line; `;` or `#` start comments; labels end with `:`.
+//
+//	        movi r2, 16        ; rd, imm
+//	loop:   ldub r4, r1, 0     ; rd, rs, offset
+//	        add  r5, r5, r4    ; rd, rs, rt
+//	        addi r1, r1, 1
+//	        bne  r1, r2, loop  ; rs, rt, label
+//	        st   r5, r3, 0     ; value, base, offset
+//	        halt
+func Assemble(src string) ([]Instr, error) {
+	type pending struct {
+		instrIdx int
+		label    string
+		line     int
+	}
+	var prog []Instr
+	labels := map[string]int{}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly followed by an instruction).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, fmt.Errorf("leon: line %d: malformed label %q", lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("leon: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		var args []string
+		if rest != "" {
+			for _, a := range strings.Split(rest, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+
+		in, label, err := encode(mnemonic, args)
+		if err != nil {
+			return nil, fmt.Errorf("leon: line %d: %w", lineNo+1, err)
+		}
+		if label != "" {
+			fixups = append(fixups, pending{len(prog), label, lineNo + 1})
+		}
+		prog = append(prog, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("leon: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instrIdx].Target = target
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on error; for the static kernel programs.
+func MustAssemble(src string) []Instr {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var mnemonics = map[string]Op{
+	"nop": OpNop, "halt": OpHalt,
+	"add": OpAdd, "addi": OpAddI, "sub": OpSub, "subi": OpSubI,
+	"and": OpAnd, "andi": OpAndI, "or": OpOr, "ori": OpOrI, "xor": OpXor,
+	"sll": OpSll, "srl": OpSrl, "sra": OpSra,
+	"sllv": OpSllV, "srlv": OpSrlV, "srav": OpSraV,
+	"mul": OpMul, "div": OpDiv, "movi": OpMovI,
+	"ld": OpLd, "ldub": OpLdUB, "st": OpSt, "stb": OpStB,
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"ble": OpBle, "bgt": OpBgt, "jmp": OpJmp,
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// encode builds one instruction; a non-empty label return means the Target
+// needs fixing up once all labels are known.
+func encode(mnemonic string, args []string) (Instr, string, error) {
+	op, ok := mnemonics[mnemonic]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case OpNop, OpHalt:
+		return in, "", need(0)
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul, OpDiv, OpSllV, OpSrlV, OpSraV:
+		if err = need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		in.Rt, err = parseReg(args[2])
+		return in, "", err
+	case OpAddI, OpSubI, OpAndI, OpOrI, OpSll, OpSrl, OpSra, OpLd, OpLdUB:
+		if err = need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		in.Imm, err = parseImm(args[2])
+		return in, "", err
+	case OpSt, OpStB:
+		if err = need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rt, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		in.Imm, err = parseImm(args[2])
+		return in, "", err
+	case OpMovI:
+		if err = need(2); err != nil {
+			return in, "", err
+		}
+		if in.Rd, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		in.Imm, err = parseImm(args[1])
+		return in, "", err
+	case OpBeq, OpBne, OpBlt, OpBge, OpBle, OpBgt:
+		if err = need(3); err != nil {
+			return in, "", err
+		}
+		if in.Rs, err = parseReg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Rt, err = parseReg(args[1]); err != nil {
+			return in, "", err
+		}
+		return in, args[2], nil
+	case OpJmp:
+		if err = need(1); err != nil {
+			return in, "", err
+		}
+		return in, args[0], nil
+	}
+	return in, "", fmt.Errorf("unhandled mnemonic %q", mnemonic)
+}

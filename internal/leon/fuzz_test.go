@@ -1,0 +1,23 @@
+package leon
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must return a
+// program or an error, never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("movi r1, 5\nhalt")
+	f.Add("loop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")
+	f.Add("x: y: z:")
+	f.Add("add r1 r2 r3")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Whatever assembles must also execute without panicking
+		// (errors and budget exhaustion are fine).
+		c := New(64)
+		c.Load(prog)
+		_ = c.Run(1000)
+	})
+}

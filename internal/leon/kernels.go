@@ -1,0 +1,356 @@
+package leon
+
+import "fmt"
+
+// Micro-kernel programs for the encoder's compute loops, written in the
+// simulator's assembly. Running them yields *measured* RISC-mode cycle
+// counts for the kernels whose latencies the ISE library models
+// (internal/iselib); the calibration test in iselib checks the library
+// constants against these measurements. The SAD routine processes packed
+// words (four pixels per load) as an optimised library routine would.
+
+// Memory layout of the SAD kernel: current block at curAddr, reference
+// block at refAddr (both 256 bytes, row-major 16x16), result word at
+// sadResultAddr.
+const (
+	sadCurAddr    = 0
+	sadRefAddr    = 256
+	sadResultAddr = 512
+)
+
+// sadByteStep is the unrolled per-byte absolute-difference accumulation:
+// extract low bytes, branchless abs-diff, accumulate, shift next byte in.
+const sadByteStep = `
+        andi r7, r5, 255
+        andi r8, r6, 255
+        sub  r9, r7, r8
+        sra  r10, r9, 31
+        xor  r9, r9, r10
+        sub  r9, r9, r10
+        add  r4, r4, r9
+        srl  r5, r5, 8
+        srl  r6, r6, 8
+`
+
+var sadProgram = MustAssemble(`
+        ; r1 cur ptr, r2 ref ptr, r3 word index, r4 accumulator
+        movi r1, ` + fmt.Sprint(sadCurAddr) + `
+        movi r2, ` + fmt.Sprint(sadRefAddr) + `
+        movi r3, 0
+        movi r4, 0
+        movi r11, 64            ; 64 words = 256 pixels
+loop:   ld   r5, r1, 0
+        ld   r6, r2, 0
+` + sadByteStep + sadByteStep + sadByteStep + sadByteStep + `
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, 1
+        bne  r3, r11, loop
+        st   r4, r0, ` + fmt.Sprint(sadResultAddr) + `
+        halt
+`)
+
+// MeasureSAD executes the 16x16 SAD micro-kernel over the two 256-byte
+// blocks and returns the SAD value and the cycle count.
+func MeasureSAD(cur, ref []byte) (int32, int64, error) {
+	if len(cur) != 256 || len(ref) != 256 {
+		return 0, 0, fmt.Errorf("leon: SAD blocks must be 256 bytes, got %d/%d", len(cur), len(ref))
+	}
+	c := New(1024)
+	copy(c.Mem[sadCurAddr:], cur)
+	copy(c.Mem[sadRefAddr:], ref)
+	c.Load(sadProgram)
+	if err := c.Run(1_000_000); err != nil {
+		return 0, 0, err
+	}
+	sad := int32(uint32(c.Mem[sadResultAddr]) | uint32(c.Mem[sadResultAddr+1])<<8 |
+		uint32(c.Mem[sadResultAddr+2])<<16 | uint32(c.Mem[sadResultAddr+3])<<24)
+	return sad, c.Cycles, nil
+}
+
+// Memory layout of the quantisation kernel: sixteen int32 coefficients at
+// quantInAddr, sixteen quantised levels at quantOutAddr.
+const (
+	quantInAddr  = 0
+	quantOutAddr = 64
+)
+
+var quantProgram = MustAssemble(`
+        ; r1 in ptr, r2 out ptr, r3 counter, r12 MF, r13 f, r14 qbits
+        movi r1, ` + fmt.Sprint(quantInAddr) + `
+        movi r2, ` + fmt.Sprint(quantOutAddr) + `
+        movi r3, 0
+        movi r11, 16
+loop:   ld   r5, r1, 0
+        sra  r10, r5, 31        ; sign mask
+        xor  r5, r5, r10
+        sub  r5, r5, r10        ; |c|
+        mul  r5, r5, r12        ; |c| * MF
+        add  r5, r5, r13        ; + f
+        srav r5, r5, r14        ; >> qbits
+        xor  r5, r5, r10        ; restore sign
+        sub  r5, r5, r10
+        st   r5, r2, 0
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, 1
+        bne  r3, r11, loop
+        halt
+`)
+
+// MeasureQuant executes the 4x4 quantisation micro-kernel with the given
+// multiplication factor, dead-zone offset and shift, and returns the
+// quantised levels and the cycle count.
+func MeasureQuant(coeffs [16]int32, mf, f int32, qbits int32) ([16]int32, int64, error) {
+	c := New(256)
+	for i, v := range coeffs {
+		u := uint32(v)
+		a := quantInAddr + 4*i
+		c.Mem[a] = byte(u)
+		c.Mem[a+1] = byte(u >> 8)
+		c.Mem[a+2] = byte(u >> 16)
+		c.Mem[a+3] = byte(u >> 24)
+	}
+	c.Regs[12] = mf
+	c.Regs[13] = f
+	c.Regs[14] = qbits
+	c.Load(quantProgram)
+	if err := c.Run(1_000_000); err != nil {
+		return [16]int32{}, 0, err
+	}
+	var out [16]int32
+	for i := range out {
+		a := quantOutAddr + 4*i
+		out[i] = int32(uint32(c.Mem[a]) | uint32(c.Mem[a+1])<<8 |
+			uint32(c.Mem[a+2])<<16 | uint32(c.Mem[a+3])<<24)
+	}
+	return out, c.Cycles, nil
+}
+
+// Memory layout of the boundary-strength kernel: six input words (p intra,
+// q intra, p coded, q coded, |dmvx|, |dmvy| precomputed as absolute
+// half-pel differences... the kernel computes the absolutes itself from
+// signed inputs) and one output word.
+const (
+	bsInAddr  = 0 // 6 words
+	bsOutAddr = 32
+)
+
+var bsProgram = MustAssemble(`
+        ; Boundary strength per paper/encoder rules:
+        ; intra on either side -> 3; coded -> 1; |dmv| >= 2 -> 2; else 0.
+        ld   r1, r0, ` + fmt.Sprint(bsInAddr+0) + `   ; p intra
+        ld   r2, r0, ` + fmt.Sprint(bsInAddr+4) + `   ; q intra
+        or   r1, r1, r2
+        movi r9, 0
+        beq  r1, r0, coded
+        movi r9, 3
+        jmp  done
+coded:  ld   r3, r0, ` + fmt.Sprint(bsInAddr+8) + `   ; p coded
+        ld   r4, r0, ` + fmt.Sprint(bsInAddr+12) + `  ; q coded
+        or   r3, r3, r4
+        beq  r3, r0, mv
+        movi r9, 1
+        jmp  done
+mv:     ld   r5, r0, ` + fmt.Sprint(bsInAddr+16) + `  ; dmvx (signed)
+        sra  r10, r5, 31
+        xor  r5, r5, r10
+        sub  r5, r5, r10
+        ld   r6, r0, ` + fmt.Sprint(bsInAddr+20) + `  ; dmvy (signed)
+        sra  r10, r6, 31
+        xor  r6, r6, r10
+        sub  r6, r6, r10
+        movi r7, 2
+        bge  r5, r7, far
+        bge  r6, r7, far
+        jmp  done
+far:    movi r9, 2
+done:   st   r9, r0, ` + fmt.Sprint(bsOutAddr) + `
+        halt
+`)
+
+// MeasureBS executes the boundary-strength micro-kernel and returns the
+// strength and the cycle count.
+func MeasureBS(pIntra, qIntra, pCoded, qCoded bool, dmvx, dmvy int32) (int32, int64, error) {
+	c := New(64)
+	setWord := func(addr int, v int32) {
+		u := uint32(v)
+		c.Mem[addr] = byte(u)
+		c.Mem[addr+1] = byte(u >> 8)
+		c.Mem[addr+2] = byte(u >> 16)
+		c.Mem[addr+3] = byte(u >> 24)
+	}
+	b2i := func(b bool) int32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	setWord(bsInAddr+0, b2i(pIntra))
+	setWord(bsInAddr+4, b2i(qIntra))
+	setWord(bsInAddr+8, b2i(pCoded))
+	setWord(bsInAddr+12, b2i(qCoded))
+	setWord(bsInAddr+16, dmvx)
+	setWord(bsInAddr+20, dmvy)
+	c.Load(bsProgram)
+	if err := c.Run(10_000); err != nil {
+		return 0, 0, err
+	}
+	bs := int32(uint32(c.Mem[bsOutAddr]) | uint32(c.Mem[bsOutAddr+1])<<8 |
+		uint32(c.Mem[bsOutAddr+2])<<16 | uint32(c.Mem[bsOutAddr+3])<<24)
+	return bs, c.Cycles, nil
+}
+
+// Memory layout of the DCT kernel: sixteen int32 coefficients at address 0,
+// transformed in place (row pass then column pass).
+const dctAddr = 0
+
+// dctButterflies is the shared 1-D butterfly body: c0..c3 in r20..r23,
+// results t0..t3 in r28..r31.
+const dctButterflies = `
+        add  r24, r20, r23   ; s0 = c0 + c3
+        add  r25, r21, r22   ; s1 = c1 + c2
+        sub  r26, r20, r23   ; d0 = c0 - c3
+        sub  r27, r21, r22   ; d1 = c1 - c2
+        add  r28, r24, r25   ; t0 = s0 + s1
+        sll  r29, r26, 1
+        add  r29, r29, r27   ; t1 = 2*d0 + d1
+        sub  r30, r24, r25   ; t2 = s0 - s1
+        sll  r31, r27, 1
+        sub  r31, r26, r31   ; t3 = d0 - 2*d1
+`
+
+var dctProgram = MustAssemble(`
+        ; Row pass: elements 4 bytes apart, rows 16 bytes apart.
+        movi r1, ` + fmt.Sprint(dctAddr) + `
+        movi r3, 0
+        movi r11, 4
+rows:   ld   r20, r1, 0
+        ld   r21, r1, 4
+        ld   r22, r1, 8
+        ld   r23, r1, 12
+` + dctButterflies + `
+        st   r28, r1, 0
+        st   r29, r1, 4
+        st   r30, r1, 8
+        st   r31, r1, 12
+        addi r1, r1, 16
+        addi r3, r3, 1
+        bne  r3, r11, rows
+        ; Column pass: elements 16 bytes apart, columns 4 bytes apart.
+        movi r1, ` + fmt.Sprint(dctAddr) + `
+        movi r3, 0
+cols:   ld   r20, r1, 0
+        ld   r21, r1, 16
+        ld   r22, r1, 32
+        ld   r23, r1, 48
+` + dctButterflies + `
+        st   r28, r1, 0
+        st   r29, r1, 16
+        st   r30, r1, 32
+        st   r31, r1, 48
+        addi r1, r1, 4
+        addi r3, r3, 1
+        bne  r3, r11, cols
+        halt
+`)
+
+// MeasureDCT executes the 4x4 forward-transform micro-kernel in place and
+// returns the coefficients and the cycle count.
+func MeasureDCT(block [16]int32) ([16]int32, int64, error) {
+	c := New(256)
+	for i, v := range block {
+		u := uint32(v)
+		a := dctAddr + 4*i
+		c.Mem[a] = byte(u)
+		c.Mem[a+1] = byte(u >> 8)
+		c.Mem[a+2] = byte(u >> 16)
+		c.Mem[a+3] = byte(u >> 24)
+	}
+	c.Load(dctProgram)
+	if err := c.Run(1_000_000); err != nil {
+		return block, 0, err
+	}
+	var out [16]int32
+	for i := range out {
+		a := dctAddr + 4*i
+		out[i] = int32(uint32(c.Mem[a]) | uint32(c.Mem[a+1])<<8 |
+			uint32(c.Mem[a+2])<<16 | uint32(c.Mem[a+3])<<24)
+	}
+	return out, c.Cycles, nil
+}
+
+// Memory layout of the edge-filter kernel: four rows of four samples
+// (p1, p0, q0, q1) as bytes at filtAddr, row stride 4; alpha/beta/tc are
+// preloaded into registers. Filtered p0/q0 are written back in place.
+const filtAddr = 0
+
+var filtProgram = MustAssemble(`
+        ; r12 alpha, r13 beta, r14 tc, r1 row pointer, r3 row counter
+        movi r1, ` + fmt.Sprint(filtAddr) + `
+        movi r3, 0
+        movi r11, 4
+row:    ldub r4, r1, 0          ; p1
+        ldub r5, r1, 1          ; p0
+        ldub r6, r1, 2          ; q0
+        ldub r7, r1, 3          ; q1
+        sub  r8, r6, r5         ; q0 - p0
+        sra  r10, r8, 31
+        xor  r9, r8, r10
+        sub  r9, r9, r10        ; |q0 - p0|
+        bge  r9, r12, next      ; >= alpha: leave the edge alone
+        sub  r9, r4, r5
+        sra  r10, r9, 31
+        xor  r9, r9, r10
+        sub  r9, r9, r10        ; |p1 - p0|
+        bge  r9, r13, next
+        sub  r9, r7, r6
+        sra  r10, r9, 31
+        xor  r9, r9, r10
+        sub  r9, r9, r10        ; |q1 - q0|
+        bge  r9, r13, next
+        sll  r9, r8, 2          ; 4*(q0 - p0)
+        add  r9, r9, r4
+        sub  r9, r9, r7         ; + p1 - q1
+        addi r9, r9, 4
+        sra  r9, r9, 3          ; delta before clipping
+        sub  r10, r0, r14       ; -tc
+        bge  r9, r10, cliphi
+        add  r9, r10, r0        ; delta = -tc
+cliphi: ble  r9, r14, apply
+        add  r9, r14, r0        ; delta = +tc
+apply:  add  r5, r5, r9         ; p0 + delta
+        sub  r6, r6, r9         ; q0 - delta
+        stb  r5, r1, 1
+        stb  r6, r1, 2
+next:   addi r1, r1, 4
+        addi r3, r3, 1
+        bne  r3, r11, row
+        halt
+`)
+
+// MeasureFilt executes the deblocking edge-filter micro-kernel over one
+// 4-row edge segment. rows holds (p1, p0, q0, q1) per row; the returned
+// rows carry the filtered samples.
+func MeasureFilt(rows [4][4]uint8, alpha, beta, tc int32) ([4][4]uint8, int64, error) {
+	c := New(64)
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 4; i++ {
+			c.Mem[filtAddr+4*r+i] = rows[r][i]
+		}
+	}
+	c.Regs[12] = alpha
+	c.Regs[13] = beta
+	c.Regs[14] = tc
+	c.Load(filtProgram)
+	if err := c.Run(100_000); err != nil {
+		return rows, 0, err
+	}
+	var out [4][4]uint8
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 4; i++ {
+			out[r][i] = c.Mem[filtAddr+4*r+i]
+		}
+	}
+	return out, c.Cycles, nil
+}

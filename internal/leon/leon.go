@@ -1,0 +1,277 @@
+// Package leon is a small functional instruction-set simulator for a
+// LEON-class (SPARC V8 flavoured) 32-bit RISC core — the core processor of
+// the paper's platform (Section 5.1). It executes register/memory programs
+// with a simple per-opcode cycle model and is used to *measure* the
+// RISC-mode latencies of the encoder's compute kernels (internal/leon's
+// kernels.go), grounding the latency constants of the ISE library in
+// executable code rather than hand-waving.
+//
+// The machine: 32 general registers (r0 hardwired to zero), byte-addressed
+// little-endian memory, MIPS-style compare-and-branch instructions (a
+// simplification over SPARC's condition codes that does not change cycle
+// counts), and the classic single-issue timing of LEON3: 1 cycle for ALU
+// operations, 2 for loads/stores, 4 for multiply, 35 for divide, 2 for
+// taken branches.
+package leon
+
+import "fmt"
+
+// Op enumerates the supported operations.
+type Op uint8
+
+// Operations. Three-register forms unless noted; *I forms take an
+// immediate in place of the second source.
+const (
+	OpNop Op = iota
+	OpHalt
+	// ALU
+	OpAdd
+	OpAddI
+	OpSub
+	OpSubI
+	OpAnd
+	OpAndI
+	OpOr
+	OpOrI
+	OpXor
+	OpSll  // shift left logical (immediate amount)
+	OpSrl  // shift right logical (immediate amount)
+	OpSra  // shift right arithmetic (immediate amount)
+	OpSllV // shift left logical (register amount)
+	OpSrlV // shift right logical (register amount)
+	OpSraV // shift right arithmetic (register amount)
+	OpMul
+	OpDiv
+	OpMovI // rd = imm
+	// Memory
+	OpLd   // rd = mem32[rs+imm]
+	OpLdUB // rd = zero-extended mem8[rs+imm]
+	OpSt   // mem32[rs+imm] = rt
+	OpStB  // mem8[rs+imm] = low byte of rt
+	// Control
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBle
+	OpBgt
+	OpJmp
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpAdd: "add", OpAddI: "addi", OpSub: "sub", OpSubI: "subi",
+	OpAnd: "and", OpAndI: "andi", OpOr: "or", OpOrI: "ori", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpSllV: "sllv", OpSrlV: "srlv", OpSraV: "srav",
+	OpMul: "mul", OpDiv: "div", OpMovI: "movi",
+	OpLd: "ld", OpLdUB: "ldub", OpSt: "st", OpStB: "stb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBle: "ble", OpBgt: "bgt", OpJmp: "jmp",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// opCycles is the per-opcode cycle cost (LEON3-style single issue).
+var opCycles = map[Op]int64{
+	OpNop: 1, OpHalt: 0,
+	OpAdd: 1, OpAddI: 1, OpSub: 1, OpSubI: 1,
+	OpAnd: 1, OpAndI: 1, OpOr: 1, OpOrI: 1, OpXor: 1,
+	OpSll: 1, OpSrl: 1, OpSra: 1, OpSllV: 1, OpSrlV: 1, OpSraV: 1,
+	OpMul: 4, OpDiv: 35, OpMovI: 1,
+	OpLd: 2, OpLdUB: 2, OpSt: 2, OpStB: 2,
+	// Branches cost 1 when not taken; +1 applied when taken. Jmp 2.
+	OpBeq: 1, OpBne: 1, OpBlt: 1, OpBge: 1, OpBle: 1, OpBgt: 1,
+	OpJmp: 2,
+}
+
+const takenBranchPenalty = 1
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int32
+	// Target is the branch/jump destination (instruction index).
+	Target int
+}
+
+// CPU is the simulator state.
+type CPU struct {
+	Regs [32]int32
+	Mem  []byte
+	PC   int
+	// Cycles accumulates the executed cycle count.
+	Cycles int64
+	// Instructions counts retired instructions.
+	Instructions int64
+
+	prog []Instr
+}
+
+// New creates a CPU with the given memory size in bytes.
+func New(memSize int) *CPU {
+	return &CPU{Mem: make([]byte, memSize)}
+}
+
+// Load installs a program and resets PC (registers and memory are kept so
+// callers can set up inputs first or reuse state between runs).
+func (c *CPU) Load(prog []Instr) {
+	c.prog = prog
+	c.PC = 0
+}
+
+// ResetCounters clears the cycle and instruction counters.
+func (c *CPU) ResetCounters() {
+	c.Cycles = 0
+	c.Instructions = 0
+}
+
+func (c *CPU) mem32(addr int32) (int, error) {
+	a := int(addr)
+	if a < 0 || a+4 > len(c.Mem) {
+		return 0, fmt.Errorf("leon: memory access at %d out of range (size %d)", a, len(c.Mem))
+	}
+	return a, nil
+}
+
+// Step executes one instruction. It returns false when the program halted.
+func (c *CPU) Step() (bool, error) {
+	if c.PC < 0 || c.PC >= len(c.prog) {
+		return false, fmt.Errorf("leon: PC %d outside program (len %d)", c.PC, len(c.prog))
+	}
+	in := c.prog[c.PC]
+	c.Cycles += opCycles[in.Op]
+	c.Instructions++
+	next := c.PC + 1
+
+	rs := c.Regs[in.Rs]
+	rt := c.Regs[in.Rt]
+	setRd := func(v int32) {
+		if in.Rd != 0 {
+			c.Regs[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		return false, nil
+	case OpAdd:
+		setRd(rs + rt)
+	case OpAddI:
+		setRd(rs + in.Imm)
+	case OpSub:
+		setRd(rs - rt)
+	case OpSubI:
+		setRd(rs - in.Imm)
+	case OpAnd:
+		setRd(rs & rt)
+	case OpAndI:
+		setRd(rs & in.Imm)
+	case OpOr:
+		setRd(rs | rt)
+	case OpOrI:
+		setRd(rs | in.Imm)
+	case OpXor:
+		setRd(rs ^ rt)
+	case OpSll:
+		setRd(rs << (uint(in.Imm) & 31))
+	case OpSrl:
+		setRd(int32(uint32(rs) >> (uint(in.Imm) & 31)))
+	case OpSra:
+		setRd(rs >> (uint(in.Imm) & 31))
+	case OpSllV:
+		setRd(rs << (uint32(rt) & 31))
+	case OpSrlV:
+		setRd(int32(uint32(rs) >> (uint32(rt) & 31)))
+	case OpSraV:
+		setRd(rs >> (uint32(rt) & 31))
+	case OpMul:
+		setRd(rs * rt)
+	case OpDiv:
+		if rt == 0 {
+			return false, fmt.Errorf("leon: division by zero at PC %d", c.PC)
+		}
+		setRd(rs / rt)
+	case OpMovI:
+		setRd(in.Imm)
+	case OpLd:
+		a, err := c.mem32(rs + in.Imm)
+		if err != nil {
+			return false, err
+		}
+		setRd(int32(uint32(c.Mem[a]) | uint32(c.Mem[a+1])<<8 |
+			uint32(c.Mem[a+2])<<16 | uint32(c.Mem[a+3])<<24))
+	case OpLdUB:
+		a := int(rs + in.Imm)
+		if a < 0 || a >= len(c.Mem) {
+			return false, fmt.Errorf("leon: byte access at %d out of range", a)
+		}
+		setRd(int32(c.Mem[a]))
+	case OpSt:
+		a, err := c.mem32(rs + in.Imm)
+		if err != nil {
+			return false, err
+		}
+		v := uint32(rt)
+		c.Mem[a] = byte(v)
+		c.Mem[a+1] = byte(v >> 8)
+		c.Mem[a+2] = byte(v >> 16)
+		c.Mem[a+3] = byte(v >> 24)
+	case OpStB:
+		a := int(rs + in.Imm)
+		if a < 0 || a >= len(c.Mem) {
+			return false, fmt.Errorf("leon: byte access at %d out of range", a)
+		}
+		c.Mem[a] = byte(uint32(rt))
+	case OpBeq, OpBne, OpBlt, OpBge, OpBle, OpBgt:
+		taken := false
+		switch in.Op {
+		case OpBeq:
+			taken = rs == rt
+		case OpBne:
+			taken = rs != rt
+		case OpBlt:
+			taken = rs < rt
+		case OpBge:
+			taken = rs >= rt
+		case OpBle:
+			taken = rs <= rt
+		case OpBgt:
+			taken = rs > rt
+		}
+		if taken {
+			c.Cycles += takenBranchPenalty
+			next = in.Target
+		}
+	case OpJmp:
+		next = in.Target
+	default:
+		return false, fmt.Errorf("leon: unknown opcode %d at PC %d", in.Op, c.PC)
+	}
+	c.PC = next
+	return true, nil
+}
+
+// Run executes until halt or until maxInstructions retire.
+func (c *CPU) Run(maxInstructions int64) error {
+	start := c.Instructions
+	for {
+		ok, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if c.Instructions-start >= maxInstructions {
+			return fmt.Errorf("leon: instruction budget %d exhausted (runaway program?)", maxInstructions)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package mpu implements the Monitoring & Prediction Unit of mRTS
+// (paper Section 4): it keeps track of the observed kernel execution
+// behaviour per functional block and corrects the forecasts embedded in the
+// trigger instructions with a lightweight error back-propagation update
+// (paper reference [12]), so the ISE selector works with run-time accurate
+// execution counts even when the input data changes.
+package mpu
+
+import (
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// Observation is the monitored ground truth of one kernel in one completed
+// functional-block iteration: how often it actually executed, the wall-clock
+// time from block start to its first execution, and the average wall-clock
+// time between consecutive executions.
+type Observation struct {
+	Kernel ise.KernelID
+	E      int64
+	TF     arch.Cycles
+	TB     arch.Cycles
+}
+
+// Predictor is the MPU forecast store. The zero value is not usable; use New.
+type Predictor struct {
+	// alpha is the error back-propagation learning rate: the fraction of
+	// the forecast error folded back into the prediction after each
+	// functional-block iteration.
+	alpha float64
+	// enabled gates the correction (ablation switch); when disabled the
+	// Predictor passes the static profile forecasts through unchanged.
+	enabled bool
+	// timing gates the TF/TB correction. Execution counts are always
+	// corrected when enabled; the inter-execution timing observed under
+	// accelerated execution differs wildly from the profile values, and
+	// folding it back can destabilise selection.
+	timing bool
+
+	state map[key]*entry
+}
+
+type key struct {
+	block  string
+	kernel ise.KernelID
+}
+
+type entry struct {
+	e  float64
+	tf float64
+	tb float64
+}
+
+// Option configures a Predictor.
+type Option func(*Predictor)
+
+// WithAlpha sets the error back-propagation rate (default 0.25 — a damped
+// correction: forecast noise otherwise oscillates the ISE selection, and
+// the reconfiguration churn costs more than the accuracy gains). Values are
+// clamped to [0, 1].
+func WithAlpha(a float64) Option {
+	return func(p *Predictor) {
+		if a < 0 {
+			a = 0
+		}
+		if a > 1 {
+			a = 1
+		}
+		p.alpha = a
+	}
+}
+
+// Disabled turns the run-time correction off; forecasts stay at their
+// profile values. Used by the ablation benchmarks.
+func Disabled() Option {
+	return func(p *Predictor) { p.enabled = false }
+}
+
+// WithTimingTracking also folds the observed wall-clock TF/TB values into
+// the forecasts (off by default: only execution counts are corrected).
+func WithTimingTracking() Option {
+	return func(p *Predictor) { p.timing = true }
+}
+
+// New creates a Predictor.
+func New(opts ...Option) *Predictor {
+	p := &Predictor{alpha: 0.25, enabled: true, state: make(map[key]*entry)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Enabled reports whether run-time correction is active.
+func (p *Predictor) Enabled() bool { return p.enabled }
+
+// Forecast corrects the profile trigger of a kernel in a block with the
+// MPU's learned state. On first sight (or when disabled) the profile values
+// pass through unchanged.
+func (p *Predictor) Forecast(block string, t ise.Trigger) ise.Trigger {
+	if !p.enabled {
+		return t
+	}
+	en, ok := p.state[key{block, t.Kernel}]
+	if !ok {
+		return t
+	}
+	t.E = int64(en.e + 0.5)
+	if p.timing {
+		t.TF = arch.Cycles(en.tf + 0.5)
+		t.TB = arch.Cycles(en.tb + 0.5)
+	}
+	return t
+}
+
+// ForecastAll corrects a whole trigger instruction.
+func (p *Predictor) ForecastAll(block string, ts []ise.Trigger) []ise.Trigger {
+	out := make([]ise.Trigger, len(ts))
+	for i, t := range ts {
+		out[i] = p.Forecast(block, t)
+	}
+	return out
+}
+
+// Observe folds the monitored values of a completed block iteration back
+// into the forecasts: pred += alpha * (observed - pred). The first
+// observation seeds the state from the profile trigger that was used.
+func (p *Predictor) Observe(block string, profile ise.Trigger, obs Observation) {
+	if !p.enabled {
+		return
+	}
+	k := key{block, obs.Kernel}
+	en, ok := p.state[k]
+	if !ok {
+		en = &entry{e: float64(profile.E), tf: float64(profile.TF), tb: float64(profile.TB)}
+		p.state[k] = en
+	}
+	en.e += p.alpha * (float64(obs.E) - en.e)
+	en.tf += p.alpha * (float64(obs.TF) - en.tf)
+	en.tb += p.alpha * (float64(obs.TB) - en.tb)
+}
+
+// Reset clears all learned state.
+func (p *Predictor) Reset() {
+	p.state = make(map[key]*entry)
+}
+
+// Len returns the number of (block, kernel) forecasts currently tracked.
+func (p *Predictor) Len() int { return len(p.state) }

@@ -1,0 +1,422 @@
+// Package reconfig implements the reconfiguration controller of the
+// multi-grained processor: it owns the fabric inventory (PRCs, CG-EDPEs),
+// schedules data-path reconfigurations — serially through the single
+// fine-grained configuration port, and via context streaming for the
+// coarse-grained fabric — tracks completion times, and manages
+// monoCG-Extension slots for the Execution Control Unit.
+//
+// Configured data paths are not torn down eagerly: when a new selection is
+// committed, the data paths of the previous selection merely lose their
+// pin and are evicted lazily, only when capacity is actually needed. This
+// matches the RISPP-style fabric management the paper builds on — a data
+// path that survives until the same functional block is entered again
+// costs nothing to "reconfigure".
+package reconfig
+
+import (
+	"fmt"
+	"sort"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// Stats accumulates controller activity for the experiment reports.
+type Stats struct {
+	// FGReconfigs / CGReconfigs count scheduled data-path
+	// reconfigurations per fabric.
+	FGReconfigs int64
+	CGReconfigs int64
+	// FGBusyCycles / CGBusyCycles are the cycles the configuration ports
+	// spent streaming.
+	FGBusyCycles arch.Cycles
+	CGBusyCycles arch.Cycles
+	// Evictions counts configured or in-flight data paths removed to
+	// make room.
+	Evictions int64
+	// MonoCGLoads counts monoCG-Extension context loads.
+	MonoCGLoads int64
+}
+
+type slot struct {
+	dp     ise.DataPath
+	ready  arch.Cycles
+	pinned bool
+}
+
+type monoSlot struct {
+	kernel ise.KernelID
+	ready  arch.Cycles
+}
+
+// Controller is the reconfiguration controller. Methods take the current
+// simulation time where it matters; Advance moves the controller's notion
+// of "now" forward for the FabricView queries.
+type Controller struct {
+	cfg         arch.Config
+	reservedPRC int
+	reservedCG  int
+
+	now arch.Cycles
+
+	// paths holds every data path that is configured or in flight.
+	paths map[ise.DataPathID]*slot
+	// fgPortEnd / cgPortEnd are the times the configuration ports become
+	// free again.
+	fgPortEnd arch.Cycles
+	cgPortEnd arch.Cycles
+
+	monos map[ise.KernelID]*monoSlot
+
+	stats Stats
+}
+
+var _ ise.FabricView = (*Controller)(nil)
+
+// NewController creates a controller for the given fabric budget.
+func NewController(cfg arch.Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:   cfg,
+		paths: make(map[ise.DataPathID]*slot),
+		monos: make(map[ise.KernelID]*monoSlot),
+	}, nil
+}
+
+// Config returns the fabric budget the controller manages.
+func (c *Controller) Config() arch.Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Now returns the controller's current time.
+func (c *Controller) Now() arch.Cycles { return c.now }
+
+// Advance moves the controller's clock forward. Time never moves backwards.
+func (c *Controller) Advance(now arch.Cycles) {
+	if now > c.now {
+		c.now = now
+	}
+}
+
+// Reset clears all configuration state and statistics; only the budget
+// survives. Simulation runs Reset the controller first, so every report's
+// counters cover exactly one run.
+func (c *Controller) Reset() {
+	c.paths = make(map[ise.DataPathID]*slot)
+	c.monos = make(map[ise.KernelID]*monoSlot)
+	c.fgPortEnd, c.cgPortEnd = 0, 0
+	c.now = 0
+	c.reservedPRC, c.reservedCG = 0, 0
+	c.stats = Stats{}
+}
+
+// occupiedPRC/occupiedCG include in-flight data paths: a PRC is unusable
+// from the moment its partial bitstream starts streaming.
+func (c *Controller) occupiedPRC() int {
+	n := 0
+	for _, s := range c.paths {
+		n += s.dp.PRCs
+	}
+	return n
+}
+
+func (c *Controller) occupiedCG() int {
+	n := 0
+	for _, s := range c.paths {
+		n += s.dp.CGs
+	}
+	return n + len(c.monos)
+}
+
+// FreePRC implements ise.FabricView: PRCs neither occupied nor reserved.
+func (c *Controller) FreePRC() int {
+	return c.cfg.NPRC - c.reservedPRC - c.occupiedPRC()
+}
+
+// FreeCG implements ise.FabricView: CG-EDPEs neither occupied nor reserved.
+func (c *Controller) FreeCG() int {
+	return c.cfg.NCG - c.reservedCG - c.occupiedCG()
+}
+
+// IsConfigured implements ise.FabricView: the data path is present and its
+// reconfiguration has completed at the controller's current time.
+func (c *Controller) IsConfigured(id ise.DataPathID) bool {
+	s, ok := c.paths[id]
+	return ok && s.ready <= c.now
+}
+
+// ReadyTime reports when the data path will be (or was) configured.
+func (c *Controller) ReadyTime(id ise.DataPathID) (arch.Cycles, bool) {
+	s, ok := c.paths[id]
+	if !ok {
+		return 0, false
+	}
+	return s.ready, true
+}
+
+// ConfiguredPrefix returns the length of the longest prefix of the ISE's
+// data-path list whose members are all configured at the current time.
+// This is the best available intermediate ISE (paper Section 4.1).
+func (c *Controller) ConfiguredPrefix(e *ise.ISE) int {
+	n := 0
+	for _, d := range e.DataPaths {
+		if !c.IsConfigured(d.ID) {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Reserve marks fabric as occupied by other tasks (run-time sharing,
+// paper Section 1). Growing a reservation evicts unpinned data paths if
+// necessary; it fails if pinned paths or monoCG slots are in the way.
+func (c *Controller) Reserve(prc, cg int) error {
+	if prc < 0 || cg < 0 {
+		return fmt.Errorf("reconfig: negative reservation %d/%d", prc, cg)
+	}
+	if prc > c.cfg.NPRC || cg > c.cfg.NCG {
+		return fmt.Errorf("reconfig: reservation %d/%d exceeds fabric %d/%d", prc, cg, c.cfg.NPRC, c.cfg.NCG)
+	}
+	needPRC := prc - c.reservedPRC - c.FreePRC()
+	needCG := cg - c.reservedCG - c.FreeCG()
+	if needPRC > 0 && c.evict(arch.FG, needPRC) < needPRC {
+		return fmt.Errorf("reconfig: cannot reserve %d PRCs: pinned data paths in the way", prc)
+	}
+	if needCG > 0 && c.evict(arch.CG, needCG) < needCG {
+		return fmt.Errorf("reconfig: cannot reserve %d CG-EDPEs: pinned data paths in the way", cg)
+	}
+	c.reservedPRC, c.reservedCG = prc, cg
+	return nil
+}
+
+// Reserved returns the current reservation.
+func (c *Controller) Reserved() (prc, cg int) { return c.reservedPRC, c.reservedCG }
+
+// evict removes unpinned data paths of the given fabric kind until at least
+// `units` capacity units have been freed or no candidates remain; it
+// returns the units actually freed. Eviction order is deterministic:
+// oldest ready time first, ties by ID.
+func (c *Controller) evict(kind arch.FabricKind, units int) int {
+	var cands []*slot
+	for _, s := range c.paths {
+		if s.pinned || s.dp.Kind != kind {
+			continue
+		}
+		cands = append(cands, s)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ready != cands[j].ready {
+			return cands[i].ready < cands[j].ready
+		}
+		return cands[i].dp.ID < cands[j].dp.ID
+	})
+	freed := 0
+	for _, s := range cands {
+		if freed >= units {
+			break
+		}
+		delete(c.paths, s.dp.ID)
+		c.stats.Evictions++
+		freed += s.dp.PRCs + s.dp.CGs
+	}
+	return freed
+}
+
+// Request schedules the reconfiguration of a single data path at time now,
+// unless it is already configured or in flight. Unpinned data paths are
+// evicted on demand to make room. The requested path is pinned. It returns
+// the time the data path becomes available.
+func (c *Controller) Request(d ise.DataPath, now arch.Cycles) (arch.Cycles, error) {
+	c.Advance(now)
+	if s, ok := c.paths[d.ID]; ok {
+		s.pinned = true
+		return s.ready, nil
+	}
+	switch d.Kind {
+	case arch.FG:
+		if need := d.PRCs - c.FreePRC(); need > 0 {
+			c.evict(arch.FG, need)
+		}
+		if d.PRCs > c.FreePRC() {
+			return 0, fmt.Errorf("reconfig: no free PRC for data path %q (need %d, free %d)", d.ID, d.PRCs, c.FreePRC())
+		}
+	case arch.CG:
+		if need := d.CGs - c.FreeCG(); need > 0 {
+			c.evict(arch.CG, need)
+		}
+		if d.CGs > c.FreeCG() {
+			return 0, fmt.Errorf("reconfig: no free CG-EDPE for data path %q (need %d, free %d)", d.ID, d.CGs, c.FreeCG())
+		}
+	}
+	ready := c.schedule(d, now)
+	c.paths[d.ID] = &slot{dp: d, ready: ready, pinned: true}
+	return ready, nil
+}
+
+func (c *Controller) schedule(d ise.DataPath, now arch.Cycles) arch.Cycles {
+	dur := d.ReconfigCycles()
+	switch d.Kind {
+	case arch.FG:
+		start := maxCycles(now, c.fgPortEnd)
+		c.fgPortEnd = start + dur
+		c.stats.FGReconfigs++
+		c.stats.FGBusyCycles += dur
+		return c.fgPortEnd
+	default:
+		start := maxCycles(now, c.cgPortEnd)
+		c.cgPortEnd = start + dur
+		c.stats.CGReconfigs++
+		c.stats.CGBusyCycles += dur
+		return c.cgPortEnd
+	}
+}
+
+// CommitSelection installs the data paths of a newly selected ISE set: the
+// previous selection's pins are dropped (the paths stay until capacity is
+// needed), monoCG slots are released, and missing data paths are scheduled
+// in the order the ISEs were selected (priority order). It returns the
+// per-ISE completion times.
+func (c *Controller) CommitSelection(selected []*ise.ISE, now arch.Cycles) ([]arch.Cycles, error) {
+	c.Advance(now)
+	for _, s := range c.paths {
+		s.pinned = false
+	}
+	// monoCG slots do not survive a new selection: the CG-EDPEs they
+	// borrow must be available for the committed data paths.
+	c.releaseAllMono()
+
+	// Pin already-present paths first so they cannot be evicted by the
+	// requests below.
+	for _, e := range selected {
+		for _, d := range e.DataPaths {
+			if s, ok := c.paths[d.ID]; ok {
+				s.pinned = true
+			}
+		}
+	}
+	done := make([]arch.Cycles, len(selected))
+	for i, e := range selected {
+		var last arch.Cycles = now
+		for _, d := range e.DataPaths {
+			ready, err := c.Request(d, now)
+			if err != nil {
+				return nil, fmt.Errorf("reconfig: committing ISE %q: %w", e.ID, err)
+			}
+			if ready > last {
+				last = ready
+			}
+		}
+		done[i] = last
+	}
+	return done, nil
+}
+
+// SelectionView returns the fabric view the ISE selector works with when a
+// trigger instruction arrives: the whole (unreserved) budget counts as
+// free — the previous selection is about to be replaced and its data paths
+// are evictable — while IsConfigured still reflects what is physically on
+// the fabric, so covered and shared data paths are recognised.
+func (c *Controller) SelectionView() ise.FabricView {
+	return selectionView{c: c}
+}
+
+type selectionView struct{ c *Controller }
+
+func (v selectionView) FreePRC() int { return v.c.cfg.NPRC - v.c.reservedPRC }
+func (v selectionView) FreeCG() int  { return v.c.cfg.NCG - v.c.reservedCG }
+func (v selectionView) IsConfigured(id ise.DataPathID) bool {
+	return v.c.IsConfigured(id)
+}
+
+// PortBacklog implements ise.PortView: remaining busy time of the fabric's
+// configuration port relative to the controller's current time.
+func (v selectionView) PortBacklog(kind arch.FabricKind) arch.Cycles {
+	var end arch.Cycles
+	if kind == arch.FG {
+		end = v.c.fgPortEnd
+	} else {
+		end = v.c.cgPortEnd
+	}
+	if end <= v.c.now {
+		return 0
+	}
+	return end - v.c.now
+}
+
+// EvictAll removes every configured and in-flight data path and monoCG slot.
+func (c *Controller) EvictAll() {
+	c.stats.Evictions += int64(len(c.paths))
+	c.paths = make(map[ise.DataPathID]*slot)
+	c.releaseAllMono()
+}
+
+// AcquireMonoCG loads the kernel's monoCG-Extension into a free CG-EDPE at
+// time now and returns the time it becomes executable. Unpinned CG data
+// paths may be evicted to free an EDPE (their contexts reload in
+// microseconds). If the kernel already holds a monoCG slot, the existing
+// ready time is returned.
+func (c *Controller) AcquireMonoCG(k *ise.Kernel, now arch.Cycles) (arch.Cycles, bool) {
+	if !k.MonoCG.Available() {
+		return 0, false
+	}
+	c.Advance(now)
+	if m, ok := c.monos[k.ID]; ok {
+		return m.ready, true
+	}
+	if c.FreeCG() < 1 {
+		c.evict(arch.CG, 1)
+	}
+	if c.FreeCG() < 1 {
+		return 0, false
+	}
+	ready := now + k.MonoCG.ReconfigCycles()
+	c.monos[k.ID] = &monoSlot{kernel: k.ID, ready: ready}
+	c.stats.MonoCGLoads++
+	c.stats.CGBusyCycles += k.MonoCG.ReconfigCycles()
+	return ready, true
+}
+
+// MonoCGReady reports whether the kernel holds a monoCG slot and when it is
+// (or was) ready.
+func (c *Controller) MonoCGReady(id ise.KernelID) (arch.Cycles, bool) {
+	m, ok := c.monos[id]
+	if !ok {
+		return 0, false
+	}
+	return m.ready, true
+}
+
+// ReleaseMonoCG frees the kernel's monoCG slot, if any.
+func (c *Controller) ReleaseMonoCG(id ise.KernelID) {
+	delete(c.monos, id)
+}
+
+func (c *Controller) releaseAllMono() {
+	for id := range c.monos {
+		delete(c.monos, id)
+	}
+}
+
+// ConfiguredPaths returns the IDs of all fully configured data paths at the
+// current time, sorted for determinism.
+func (c *Controller) ConfiguredPaths() []ise.DataPathID {
+	var out []ise.DataPathID
+	for id, s := range c.paths {
+		if s.ready <= c.now {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func maxCycles(a, b arch.Cycles) arch.Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package reconfig
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// TestControllerInvariantsUnderRandomOps drives the controller with random
+// operation sequences (requests, commits, monoCG acquisitions, releases,
+// reservations, time advances) and checks the fabric invariants after
+// every step:
+//
+//   - occupancy never exceeds the budget (free counters never negative);
+//   - a pinned data path of the current selection is never evicted;
+//   - ready times never precede the request time;
+//   - IsConfigured implies a recorded ready time in the past.
+func TestControllerInvariantsUnderRandomOps(t *testing.T) {
+	type op struct {
+		Kind uint8
+		A, B uint8
+	}
+	mkDP := func(i int) ise.DataPath {
+		if i%2 == 0 {
+			return ise.DataPath{ID: ise.DataPathID(fmt.Sprintf("fg%d", i)), Kind: arch.FG, PRCs: 1}
+		}
+		return ise.DataPath{ID: ise.DataPathID(fmt.Sprintf("cg%d", i)), Kind: arch.CG, CGs: 1}
+	}
+	mono := &ise.Kernel{
+		ID: "mk", RISCLatency: 100,
+		MonoCG: ise.MonoCGExt{Latency: 50, Instructions: 8},
+	}
+
+	f := func(ops []op) bool {
+		c, err := NewController(arch.Config{NPRC: 3, NCG: 3})
+		if err != nil {
+			return false
+		}
+		now := arch.Cycles(0)
+		var currentSelection []*ise.ISE
+		for _, o := range ops {
+			now += arch.Cycles(o.B) * 1000
+			switch o.Kind % 5 {
+			case 0: // request a single data path
+				d := mkDP(int(o.A) % 8)
+				_, existed := c.ReadyTime(d.ID)
+				ready, err := c.Request(d, now)
+				// A *newly scheduled* reconfiguration cannot complete
+				// before it was requested; re-requests of present
+				// paths legitimately return past ready times.
+				if err == nil && !existed && ready < now {
+					t.Logf("ready %d before request time %d", ready, now)
+					return false
+				}
+			case 1: // commit a selection of 1-2 small ISEs
+				n := int(o.A)%2 + 1
+				var sel []*ise.ISE
+				for i := 0; i < n; i++ {
+					d := mkDP((int(o.A) + i) % 8)
+					sel = append(sel, &ise.ISE{
+						ID: fmt.Sprintf("e%d_%d", o.A, i), Kernel: ise.KernelID(fmt.Sprintf("k%d", i)),
+						DataPaths: []ise.DataPath{d},
+						Latencies: []arch.Cycles{10},
+					})
+				}
+				if _, err := c.CommitSelection(sel, now); err != nil {
+					return false // selections of <= 2 units always fit 3/3
+				}
+				currentSelection = sel
+			case 2: // monoCG
+				c.AcquireMonoCG(mono, now)
+			case 3:
+				c.ReleaseMonoCG(mono.ID)
+			case 4: // reservation (may legitimately fail)
+				_ = c.Reserve(int(o.A)%2, int(o.B)%2)
+			}
+
+			// Invariants.
+			if c.FreePRC() < 0 || c.FreeCG() < 0 {
+				t.Logf("negative free capacity: %d/%d", c.FreePRC(), c.FreeCG())
+				return false
+			}
+			for _, e := range currentSelection {
+				for _, d := range e.DataPaths {
+					if _, ok := c.ReadyTime(d.ID); !ok {
+						t.Logf("pinned data path %s evicted", d.ID)
+						return false
+					}
+				}
+			}
+			for _, id := range c.ConfiguredPaths() {
+				ready, ok := c.ReadyTime(id)
+				if !ok || ready > c.Now() {
+					t.Logf("configured path %s with future ready time", id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPortMonotonicity verifies that FG reconfigurations scheduled later
+// never complete earlier (the serial configuration port preserves order).
+func TestPortMonotonicity(t *testing.T) {
+	c, err := NewController(arch.Config{NPRC: 8, NCG: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last arch.Cycles
+	for i := 0; i < 8; i++ {
+		d := ise.DataPath{ID: ise.DataPathID(fmt.Sprintf("d%d", i)), Kind: arch.FG, PRCs: 1}
+		ready, err := c.Request(d, arch.Cycles(i)*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ready <= last {
+			t.Fatalf("reconfiguration %d completes at %d, before predecessor %d", i, ready, last)
+		}
+		last = ready
+	}
+}

@@ -1,0 +1,57 @@
+package selector_test
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+	"mrts/internal/profit"
+	"mrts/internal/selector"
+)
+
+// ExampleGreedy selects ISEs for a functional block with one kernel that
+// has a coarse-grained and a fine-grained candidate: at a small execution
+// count the CG variant wins (its reconfiguration finishes in microseconds).
+func ExampleGreedy() {
+	kernel := &ise.Kernel{
+		ID: "filter", RISCLatency: 1000,
+		ISEs: []*ise.ISE{
+			{
+				ID: "filter.cg", Kernel: "filter",
+				DataPaths: []ise.DataPath{{ID: "taps_cg", Kind: arch.CG, CGs: 1}},
+				Latencies: []arch.Cycles{300},
+			},
+			{
+				ID: "filter.fg", Kernel: "filter",
+				DataPaths: []ise.DataPath{{ID: "taps_fg", Kind: arch.FG, PRCs: 1}},
+				Latencies: []arch.Cycles{150},
+			},
+		},
+	}
+	block := &ise.FunctionalBlock{ID: "blk", Kernels: []*ise.Kernel{kernel}}
+
+	res, err := selector.Greedy(selector.Request{
+		Block: block,
+		Triggers: []ise.Trigger{
+			{Kernel: "filter", E: 150, TF: 1000, TB: 200},
+		},
+		Fabric: ise.EmptyFabric{PRC: 1, CG: 1},
+		Model:  profit.Multigrained,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ByKernel("filter").ID)
+	// Output: filter.cg
+}
+
+// ExampleMultiChoiceKnapsack solves a tiny offline selection exactly.
+func ExampleMultiChoiceKnapsack() {
+	groups := [][]selector.Option{
+		{{Label: "a1", PRC: 1, Profit: 6}, {Label: "a2", PRC: 2, Profit: 9}},
+		{{Label: "b1", PRC: 1, Profit: 5}},
+	}
+	picks, total := selector.MultiChoiceKnapsack(groups, 2, 0)
+	fmt.Println(groups[0][picks[0]].Label, groups[1][picks[1]].Label, total)
+	// Output: a1 b1 11
+}

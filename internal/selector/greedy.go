@@ -1,0 +1,134 @@
+package selector
+
+import (
+	"mrts/internal/profit"
+)
+
+// Greedy runs the mRTS ISE selection algorithm of paper Fig. 6:
+//
+//	Step 1: build a candidate list of the ISEs of all kernels in the
+//	        trigger instruction.
+//	Step 2: remove ISEs that (a) require more reconfigurable fabric than
+//	        available, and (b) are covered by data paths that are
+//	        available from the already selected ISEs (those are selected
+//	        directly — they cost nothing).
+//	Step 3: compute the profit of each remaining candidate and select the
+//	        ISE with the maximum profit.
+//	Step 4: add it to the output set, update the fabric status, and
+//	        remove all other ISEs of the same kernel.
+//
+// The loop repeats until the candidate list is empty. Kernels whose ISEs
+// never fit (or never yield positive profit) stay unselected and execute in
+// RISC mode or on a monoCG-Extension. Complexity is O(N*M) profit
+// evaluations for N kernels with M ISEs each.
+func Greedy(q Request) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	st := newState(q.Fabric)
+	cands := gatherCandidates(q)
+
+	for len(cands) > 0 {
+		res.Rounds++
+
+		// Step 2a: drop non-fitting candidates.
+		fitting := cands[:0]
+		for _, c := range cands {
+			if st.fits(c.e) {
+				fitting = append(fitting, c)
+			}
+		}
+		cands = fitting
+		if len(cands) == 0 {
+			break
+		}
+
+		// Step 2b: an ISE fully covered by available data paths is
+		// free; select the fastest covered ISE per kernel outright.
+		if picked, rest := pickCovered(cands, st); picked != nil {
+			st.claim(picked.e)
+			p := profitOf(*picked, st, q.Model, &res)
+			if res.Rounds == 1 {
+				res.FirstRoundEvaluations++
+			}
+			res.Selected = append(res.Selected, Choice{
+				Kernel: picked.kernel.ID,
+				ISE:    picked.e,
+				Profit: p,
+			})
+			cands = rest
+			continue
+		}
+
+		// Step 3: profit of each candidate; keep the maximum.
+		firstRound := res.Rounds == 1
+		best := -1
+		bestProfit := 0.0
+		for i, c := range cands {
+			p := profitOf(c, st, q.Model, &res)
+			if firstRound {
+				res.FirstRoundEvaluations++
+			}
+			if p <= 0 {
+				continue
+			}
+			if best < 0 || p > bestProfit || (p == bestProfit && c.e.ID < cands[best].e.ID) {
+				best, bestProfit = i, p
+			}
+		}
+		if best < 0 {
+			break // no candidate improves performance
+		}
+
+		// Step 4: select, update fabric, drop the kernel's other ISEs.
+		chosen := cands[best]
+		st.claim(chosen.e)
+		res.Selected = append(res.Selected, Choice{
+			Kernel: chosen.kernel.ID,
+			ISE:    chosen.e,
+			Profit: bestProfit,
+		})
+		next := cands[:0]
+		for _, c := range cands {
+			if c.kernel.ID != chosen.kernel.ID {
+				next = append(next, c)
+			}
+		}
+		cands = next
+	}
+	return res, nil
+}
+
+// pickCovered finds the covered candidate with the lowest full latency (ties
+// broken by ISE ID); it returns nil if no candidate is covered. rest is the
+// candidate list with the picked kernel's ISEs removed.
+func pickCovered(cands []candidate, st *state) (*candidate, []candidate) {
+	best := -1
+	for i, c := range cands {
+		if !st.covered(c.e) {
+			continue
+		}
+		if best < 0 ||
+			c.e.FullLatency() < cands[best].e.FullLatency() ||
+			(c.e.FullLatency() == cands[best].e.FullLatency() && c.e.ID < cands[best].e.ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, cands
+	}
+	picked := cands[best]
+	rest := make([]candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.kernel.ID != picked.kernel.ID {
+			rest = append(rest, c)
+		}
+	}
+	return &picked, rest
+}
+
+func profitOf(c candidate, st *state, m profit.Model, res *Result) float64 {
+	res.Evaluations++
+	return profit.Profit(c.kernel, c.e, st, c.params, m)
+}

@@ -1,0 +1,81 @@
+package selector
+
+// Option is one alternative of a multi-choice knapsack group: selecting it
+// consumes PRC fine-grained and CG coarse-grained fabric units and yields
+// Profit. The zero option (select nothing from the group) is implicit.
+type Option struct {
+	// Label identifies the option for reconstruction (typically an ISE ID).
+	Label  string
+	PRC    int
+	CG     int
+	Profit float64
+}
+
+// MultiChoiceKnapsack solves the two-dimensional multi-choice knapsack that
+// underlies offline ISE selection: from each group pick at most one option
+// such that the summed PRC/CG consumption stays within (maxPRC, maxCG) and
+// the summed profit is maximal. Profits are assumed independent across
+// groups (no data-path sharing), which holds for the offline baselines that
+// select across functional blocks.
+//
+// It returns, per group, the index of the chosen option or -1, plus the
+// total profit. Complexity O(groups * options * maxPRC * maxCG).
+func MultiChoiceKnapsack(groups [][]Option, maxPRC, maxCG int) ([]int, float64) {
+	if maxPRC < 0 {
+		maxPRC = 0
+	}
+	if maxCG < 0 {
+		maxCG = 0
+	}
+	w := maxCG + 1
+	cells := (maxPRC + 1) * w
+	// dp[p*w+c] = best profit using exactly the first g groups with at
+	// most p PRCs and c CG-EDPEs.
+	dp := make([]float64, cells)
+	choice := make([][]int16, len(groups))
+
+	for g, opts := range groups {
+		next := make([]float64, cells)
+		copy(next, dp) // option "-1": skip the group
+		ch := make([]int16, cells)
+		for i := range ch {
+			ch[i] = -1
+		}
+		for oi, o := range opts {
+			if o.PRC < 0 || o.CG < 0 || o.Profit <= 0 {
+				continue
+			}
+			if o.PRC > maxPRC || o.CG > maxCG {
+				continue
+			}
+			for p := o.PRC; p <= maxPRC; p++ {
+				base := p * w
+				prev := (p - o.PRC) * w
+				for c := o.CG; c <= maxCG; c++ {
+					v := dp[prev+c-o.CG] + o.Profit
+					if v > next[base+c] {
+						next[base+c] = v
+						ch[base+c] = int16(oi)
+					}
+				}
+			}
+		}
+		dp = next
+		choice[g] = ch
+	}
+
+	// Reconstruct.
+	picks := make([]int, len(groups))
+	p, c := maxPRC, maxCG
+	total := dp[p*w+c]
+	for g := len(groups) - 1; g >= 0; g-- {
+		oi := choice[g][p*w+c]
+		picks[g] = int(oi)
+		if oi >= 0 {
+			o := groups[g][oi]
+			p -= o.PRC
+			c -= o.CG
+		}
+	}
+	return picks, total
+}

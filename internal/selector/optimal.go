@@ -1,0 +1,176 @@
+package selector
+
+import (
+	"sort"
+
+	"mrts/internal/ise"
+	"mrts/internal/profit"
+)
+
+// Optimal runs the optimal run-time selection algorithm the paper uses as a
+// quality yardstick (Section 4.1, Fig. 9): it enumerates all combinations
+// of ISEs (one or none per kernel), prunes combinations that violate the
+// resource constraint, computes the profit of each feasible combination and
+// returns the best. Branch-and-bound pruning keeps the enumeration
+// tractable: subtrees whose optimistic bound cannot beat the incumbent are
+// cut. The paper reports >78 million combinations for six H.264 kernels,
+// which is why this algorithm is not used at run time.
+func Optimal(q Request) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+
+	// One group per trigger; per group the candidate ISEs plus their
+	// stand-alone profit (against the initial fabric) used for bounding.
+	type option struct {
+		c          candidate
+		standalone float64 // exact profit against the initial fabric
+		prc        int
+		cg         int
+		shared     bool // shares data paths with some other kernel's ISE
+	}
+	type group struct {
+		kernel ise.KernelID
+		opts   []option
+		best   float64 // upper bound on any option's profit in any context
+	}
+
+	dpOwners := countDataPathOwners(q)
+	var groups []group
+	base := newState(q.Fabric)
+	for _, t := range q.Triggers {
+		k := q.Block.Kernel(t.Kernel)
+		if k == nil {
+			continue
+		}
+		p := profit.ParamsFromTrigger(t)
+		g := group{kernel: k.ID}
+		for _, e := range k.ISEs {
+			prc, cg := e.CostPRC(), e.CostCG()
+			if prc > base.freePRC || cg > base.freeCG {
+				continue // can never fit
+			}
+			res.Evaluations++
+			pr := profit.Profit(k, e, q.Fabric, p, q.Model)
+			shared := false
+			for _, d := range e.DataPaths {
+				if dpOwners[d.ID] > 1 {
+					shared = true
+					break
+				}
+			}
+			// A zero stand-alone profit can still turn positive when
+			// another kernel configures shared data paths, so only
+			// unshared zero-profit options can be dropped outright.
+			if pr <= 0 && !shared {
+				continue
+			}
+			g.opts = append(g.opts, option{c: candidate{kernel: k, e: e, params: p}, standalone: pr, prc: prc, cg: cg, shared: shared})
+			// The steady-state profit (all reconfiguration transients
+			// hidden) upper-bounds the profit in every context,
+			// including contexts where shared data paths are free.
+			if b := profit.SteadyStateProfit(k, e, p.E); b > g.best {
+				g.best = b
+			}
+		}
+		groups = append(groups, g)
+	}
+
+	// Sort groups by descending best profit so bounds tighten early.
+	sort.SliceStable(groups, func(i, j int) bool { return groups[i].best > groups[j].best })
+
+	// suffixBound[i] = sum of best profits of groups i..end.
+	suffixBound := make([]float64, len(groups)+1)
+	for i := len(groups) - 1; i >= 0; i-- {
+		suffixBound[i] = suffixBound[i+1] + groups[i].best
+	}
+
+	bestTotal := -1.0
+	var bestChoices []Choice
+	current := make([]Choice, 0, len(groups))
+
+	var walk func(i int, st *state, total float64)
+	walk = func(i int, st *state, total float64) {
+		res.Rounds++
+		if total+suffixBound[i] <= bestTotal {
+			return
+		}
+		if i == len(groups) {
+			if total > bestTotal {
+				bestTotal = total
+				bestChoices = append(bestChoices[:0], current...)
+			}
+			return
+		}
+		g := groups[i]
+		for _, o := range g.opts {
+			if !st.fits(o.c.e) {
+				continue
+			}
+			// Exact profit in the context of already-chosen ISEs:
+			// shared data paths cost nothing a second time, and the
+			// reconfigurations queued by earlier choices delay this
+			// ISE on the configuration ports.
+			res.Evaluations++
+			pr := profit.Profit(o.c.kernel, o.c.e, st, o.c.params, q.Model)
+			if pr <= 0 {
+				continue
+			}
+			// Claim / recurse / restore.
+			savedPRC, savedCG := st.freePRC, st.freeCG
+			savedFG, savedCGPort := st.pendingFG, st.pendingCG
+			var newlyClaimed []ise.DataPathID
+			for _, d := range o.c.e.DataPaths {
+				if !st.claimed[d.ID] {
+					newlyClaimed = append(newlyClaimed, d.ID)
+				}
+			}
+			st.claim(o.c.e)
+			current = append(current, Choice{Kernel: g.kernel, ISE: o.c.e, Profit: pr})
+			walk(i+1, st, total+pr)
+			current = current[:len(current)-1]
+			st.freePRC, st.freeCG = savedPRC, savedCG
+			st.pendingFG, st.pendingCG = savedFG, savedCGPort
+			for _, id := range newlyClaimed {
+				delete(st.claimed, id)
+			}
+		}
+		// Also consider leaving this kernel unselected (RISC mode).
+		walk(i+1, st, total)
+	}
+	walk(0, newState(q.Fabric), 0)
+
+	res.Selected = bestChoices
+	// The exhaustive algorithm cannot overlap its search with
+	// reconfiguration: everything is on the critical path.
+	res.FirstRoundEvaluations = res.Evaluations
+	return res, nil
+}
+
+// countDataPathOwners maps each data-path ID to the number of distinct
+// kernels whose candidate ISEs reference it.
+func countDataPathOwners(q Request) map[ise.DataPathID]int {
+	owners := make(map[ise.DataPathID]map[ise.KernelID]bool)
+	for _, t := range q.Triggers {
+		k := q.Block.Kernel(t.Kernel)
+		if k == nil {
+			continue
+		}
+		for _, e := range k.ISEs {
+			for _, d := range e.DataPaths {
+				m := owners[d.ID]
+				if m == nil {
+					m = make(map[ise.KernelID]bool)
+					owners[d.ID] = m
+				}
+				m[k.ID] = true
+			}
+		}
+	}
+	out := make(map[ise.DataPathID]int, len(owners))
+	for id, m := range owners {
+		out[id] = len(m)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package sim is the architecture simulator: it replays a workload trace
+// against a runtime system managing a multi-grained reconfigurable
+// processor and accounts every cycle — software, kernel executions in their
+// ECU-chosen modes, and visible runtime-system overhead. It substitutes the
+// authors' proprietary cycle-accurate instruction-set simulator; the
+// quantities the paper's experiments observe (execution time in cycles,
+// execution-mode distribution, selection overhead) are exactly what it
+// models.
+package sim
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/ise"
+	"mrts/internal/mpu"
+	"mrts/internal/reconfig"
+	"mrts/internal/trace"
+)
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Policy is the runtime system's name.
+	Policy string
+	// Config is the fabric budget of the run.
+	Config arch.Config
+	// TotalCycles is the end-to-end execution time.
+	TotalCycles arch.Cycles
+	// SoftwareCycles counts prologue and inter-execution software time.
+	SoftwareCycles arch.Cycles
+	// KernelCycles counts cycles spent inside kernel executions.
+	KernelCycles arch.Cycles
+	// OverheadCycles is the runtime system's visible selection overhead.
+	OverheadCycles arch.Cycles
+	// ModeExecs / ModeCycles break kernel executions down by ECU mode.
+	ModeExecs  [4]int64
+	ModeCycles [4]arch.Cycles
+	// BlockCycles aggregates time per functional block.
+	BlockCycles map[string]arch.Cycles
+	// BlockIterations counts iterations per functional block.
+	BlockIterations map[string]int
+	// Iterations is the total number of block iterations replayed.
+	Iterations int
+	// Executions is the total number of kernel executions replayed.
+	Executions int64
+	// Reconfig summarises the reconfiguration controller's activity.
+	Reconfig reconfig.Stats
+}
+
+// Speedup returns how much faster this run is than the reference run.
+func (r *Report) Speedup(reference *Report) float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(reference.TotalCycles) / float64(r.TotalCycles)
+}
+
+// ModeShare returns the fraction of executions dispatched in the mode.
+func (r *Report) ModeShare(m ecu.Mode) float64 {
+	if r.Executions == 0 {
+		return 0
+	}
+	return float64(r.ModeExecs[m]) / float64(r.Executions)
+}
+
+// Run replays the trace against the runtime system. The runtime system is
+// Reset first, so a Run is reproducible on a reused policy instance.
+func Run(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem) (*Report, error) {
+	return RunReserved(app, tr, rts, 0, 0)
+}
+
+// RunReserved replays the trace with part of the fabric reserved by
+// competing tasks for the whole run (paper Section 1: the reconfigurable
+// fabric is shared among various tasks). The reservation is applied after
+// the policy's Reset, before the first trigger instruction.
+func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, reservePRC, reserveCG int) (*Report, error) {
+	if err := tr.Validate(app); err != nil {
+		return nil, err
+	}
+	rts.Reset()
+	if reservePRC > 0 || reserveCG > 0 {
+		if err := rts.Controller().Reserve(reservePRC, reserveCG); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	rep := &Report{
+		Policy:          rts.Name(),
+		Config:          rts.Controller().Config(),
+		BlockCycles:     make(map[string]arch.Cycles),
+		BlockIterations: make(map[string]int),
+	}
+
+	type track struct {
+		first   arch.Cycles
+		lastEnd arch.Cycles
+		gaps    arch.Cycles
+		n       int64
+	}
+
+	var t arch.Cycles
+	for i := range tr.Iterations {
+		it := &tr.Iterations[i]
+		blk := app.Block(it.Block)
+		start := t
+
+		// Trigger instruction: the runtime system selects ISEs and
+		// starts reconfigurations; its visible overhead extends the
+		// software path.
+		profile := tr.ProfileFor(it.Block, it.Phase)
+		visible, err := rts.OnTrigger(blk, it.Phase, profile, t)
+		if err != nil {
+			return nil, fmt.Errorf("sim: iteration %d: %w", i, err)
+		}
+		t += visible
+		rep.OverheadCycles += visible
+
+		t += it.Prologue
+		rep.SoftwareCycles += it.Prologue
+
+		// Replay the merged single-core execution schedule.
+		tracks := make(map[ise.KernelID]*track, len(it.Loads))
+		for _, ev := range trace.Merge(it.Loads) {
+			k := blk.Kernel(ev.Kernel)
+			t += ev.Gap
+			rep.SoftwareCycles += ev.Gap
+
+			d := rts.Execute(k, t)
+			rep.ModeExecs[d.Mode]++
+			rep.ModeCycles[d.Mode] += d.Latency
+			rep.KernelCycles += d.Latency
+			rep.Executions++
+
+			tk := tracks[ev.Kernel]
+			if tk == nil {
+				tk = &track{first: t - start}
+				tracks[ev.Kernel] = tk
+			} else {
+				tk.gaps += t - tk.lastEnd
+			}
+			tk.n++
+			t += d.Latency
+			tk.lastEnd = t
+		}
+
+		// Monitored ground truth for the MPU.
+		obs := make([]mpu.Observation, 0, len(tracks))
+		for _, l := range it.Loads {
+			tk, ok := tracks[l.Kernel]
+			if !ok {
+				continue
+			}
+			var tb arch.Cycles
+			if tk.n > 1 {
+				tb = tk.gaps / arch.Cycles(tk.n-1)
+			}
+			obs = append(obs, mpu.Observation{Kernel: l.Kernel, E: tk.n, TF: tk.first, TB: tb})
+		}
+		rts.OnBlockEnd(blk, it.Phase, profile, obs, t)
+
+		rep.BlockCycles[it.Block] += t - start
+		rep.BlockIterations[it.Block]++
+		rep.Iterations++
+	}
+	rep.TotalCycles = t
+	rep.Reconfig = rts.Controller().Stats()
+	return rep, nil
+}
+
+// RunRISC replays the trace in pure RISC mode and returns the reference
+// report for speedup computations.
+func RunRISC(app *ise.Application, tr *trace.Trace) (*Report, error) {
+	return Run(app, tr, core.NewRISCOnly())
+}

@@ -1,0 +1,70 @@
+// Package stats provides the small numeric helpers the experiment harness
+// uses: means, maxima, geometric means and percentage differences.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of positive values, or 0 if any value
+// is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// PercentDiff returns 100*(a-b)/a, the percentage by which b falls short of
+// a; 0 when a is 0.
+func PercentDiff(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (a - b) / a
+}

@@ -1,0 +1,21 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the trace decoder.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	tr := &Trace{App: "seed", Iterations: []Iteration{{Block: "b", Loads: []KernelLoad{{Kernel: "k", E: 3}}}}}
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decode(bytes.NewReader(data))
+	})
+}

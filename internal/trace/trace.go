@@ -1,0 +1,317 @@
+// Package trace defines the workload traces the architecture simulator
+// replays: per functional-block iteration, the kernels that actually
+// execute, how often, and the software cycles around them. A trace also
+// carries the static profile triggers that the application programmer would
+// embed in the binary as trigger instructions (paper Section 4); at run
+// time the MPU refines those forecasts iteration by iteration.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// KernelLoad describes one kernel's activity in one block iteration.
+type KernelLoad struct {
+	Kernel ise.KernelID `json:"kernel"`
+	// E is the number of executions in this iteration (ground truth).
+	E int64 `json:"e"`
+	// GapSW is the pure-software time preceding each execution (loop
+	// control, address generation, data marshalling on the core).
+	GapSW arch.Cycles `json:"gap_sw"`
+}
+
+// Iteration is one dynamic instance of a functional block (e.g. the
+// deblocking filter of one video frame).
+type Iteration struct {
+	// Block is the functional-block ID.
+	Block string `json:"block"`
+	// Seq orders iterations of the same block (e.g. the frame number).
+	Seq int `json:"seq"`
+	// Phase discriminates trigger instructions of the same block that
+	// sit on different program paths — e.g. the I-frame and P-frame
+	// loops of a video encoder carry distinct trigger instructions with
+	// separately profiled forecasts. Empty means the block has a single
+	// trigger instruction.
+	Phase string `json:"phase,omitempty"`
+	// Prologue is the software time between the trigger instruction and
+	// the first kernel-related code of the block.
+	Prologue arch.Cycles `json:"prologue"`
+	// Loads lists the kernels that execute in this iteration.
+	Loads []KernelLoad `json:"loads"`
+}
+
+// TotalExecutions sums the execution counts of the iteration.
+func (it *Iteration) TotalExecutions() int64 {
+	var n int64
+	for _, l := range it.Loads {
+		n += l.E
+	}
+	return n
+}
+
+// Trace is a full application run.
+type Trace struct {
+	// App names the application the trace belongs to.
+	App string `json:"app"`
+	// Profile maps a profile key — see ProfileKey — to the static
+	// trigger instruction the programmer embedded for that program path
+	// (obtained from offline profiling).
+	Profile map[string][]ise.Trigger `json:"profile"`
+	// Iterations is the dynamic block sequence in program order.
+	Iterations []Iteration `json:"iterations"`
+}
+
+// Validate checks the trace against an application.
+func (tr *Trace) Validate(app *ise.Application) error {
+	for i := range tr.Iterations {
+		it := &tr.Iterations[i]
+		blk := app.Block(it.Block)
+		if blk == nil {
+			return fmt.Errorf("trace: iteration %d references unknown block %q", i, it.Block)
+		}
+		for _, l := range it.Loads {
+			if blk.Kernel(l.Kernel) == nil {
+				return fmt.Errorf("trace: iteration %d (block %q) references unknown kernel %q", i, it.Block, l.Kernel)
+			}
+			if l.E < 0 || l.GapSW < 0 {
+				return fmt.Errorf("trace: iteration %d kernel %q has negative load", i, l.Kernel)
+			}
+		}
+	}
+	for id, ts := range tr.Profile {
+		block := id
+		if i := strings.IndexByte(id, '#'); i >= 0 {
+			block = id[:i]
+		}
+		if app.Block(block) == nil {
+			return fmt.Errorf("trace: profile references unknown block %q", id)
+		}
+		for _, t := range ts {
+			if err := t.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Event is one kernel execution slot in the merged single-core schedule of
+// a block iteration.
+type Event struct {
+	Kernel ise.KernelID
+	// Gap is the software time preceding this execution.
+	Gap arch.Cycles
+}
+
+// Merge interleaves the kernel loads of an iteration into the single-core
+// execution order. Executions of different kernels are merged by fractional
+// position ((j+0.5)/E), modelling the loop structure of real functional
+// blocks where kernels alternate per macroblock; ties break by kernel ID so
+// the schedule is deterministic.
+func Merge(loads []KernelLoad) []Event {
+	type cursor struct {
+		load KernelLoad
+		next int64
+	}
+	var total int64
+	curs := make([]cursor, 0, len(loads))
+	for _, l := range loads {
+		if l.E <= 0 {
+			continue
+		}
+		total += l.E
+		curs = append(curs, cursor{load: l})
+	}
+	sort.Slice(curs, func(i, j int) bool { return curs[i].load.Kernel < curs[j].load.Kernel })
+	events := make([]Event, 0, total)
+	for int64(len(events)) < total {
+		best := -1
+		var bestPos float64
+		for i := range curs {
+			c := &curs[i]
+			if c.next >= c.load.E {
+				continue
+			}
+			pos := (float64(c.next) + 0.5) / float64(c.load.E)
+			if best < 0 || pos < bestPos {
+				best, bestPos = i, pos
+			}
+		}
+		c := &curs[best]
+		events = append(events, Event{Kernel: c.load.Kernel, Gap: c.load.GapSW})
+		c.next++
+	}
+	return events
+}
+
+// RISCTriggers computes the trigger tuple {K, e, tf, tb} of one iteration
+// under RISC-mode timing: the wall-clock time to each kernel's first
+// execution and the average wall-clock gap between consecutive executions
+// when every execution takes the kernel's RISC latency. This is the offline
+// profiling run that seeds the static trigger instructions.
+func RISCTriggers(app *ise.Application, it *Iteration) ([]ise.Trigger, error) {
+	blk := app.Block(it.Block)
+	if blk == nil {
+		return nil, fmt.Errorf("trace: unknown block %q", it.Block)
+	}
+	type track struct {
+		first   arch.Cycles
+		lastEnd arch.Cycles
+		gaps    arch.Cycles
+		n       int64
+	}
+	tracks := make(map[ise.KernelID]*track, len(it.Loads))
+	t := it.Prologue
+	for _, ev := range Merge(it.Loads) {
+		k := blk.Kernel(ev.Kernel)
+		if k == nil {
+			return nil, fmt.Errorf("trace: unknown kernel %q in block %q", ev.Kernel, it.Block)
+		}
+		t += ev.Gap
+		tr := tracks[ev.Kernel]
+		if tr == nil {
+			tr = &track{first: t}
+			tracks[ev.Kernel] = tr
+		} else {
+			tr.gaps += t - tr.lastEnd
+		}
+		tr.n++
+		t += k.RISCLatency
+		tr.lastEnd = t
+	}
+	out := make([]ise.Trigger, 0, len(tracks))
+	for _, l := range it.Loads {
+		tr, ok := tracks[l.Kernel]
+		if !ok {
+			continue
+		}
+		var tb arch.Cycles
+		if tr.n > 1 {
+			tb = tr.gaps / arch.Cycles(tr.n-1)
+		}
+		out = append(out, ise.Trigger{Kernel: l.Kernel, E: tr.n, TF: tr.first, TB: tb})
+	}
+	return out, nil
+}
+
+// ProfileKey is the Profile map key of a block's trigger instruction on
+// the given program path.
+func ProfileKey(block, phase string) string {
+	if phase == "" {
+		return block
+	}
+	return block + "#" + phase
+}
+
+// ProfileFor returns the static trigger instruction for one iteration,
+// falling back to the block's phase-less profile if the phase has none.
+func (tr *Trace) ProfileFor(block, phase string) []ise.Trigger {
+	if ts, ok := tr.Profile[ProfileKey(block, phase)]; ok {
+		return ts
+	}
+	return tr.Profile[block]
+}
+
+// BuildProfile computes the static per-block (and per-phase) trigger
+// instructions from the whole trace by averaging the RISC-mode trigger
+// tuples over all iterations of each block's program path, and stores them
+// in tr.Profile.
+func (tr *Trace) BuildProfile(app *ise.Application) error {
+	type acc struct {
+		e, tf, tb float64
+		n         int64
+	}
+	accs := make(map[string]map[ise.KernelID]*acc)
+	order := make(map[string][]ise.KernelID)
+	for i := range tr.Iterations {
+		it := &tr.Iterations[i]
+		trig, err := RISCTriggers(app, it)
+		if err != nil {
+			return err
+		}
+		key := ProfileKey(it.Block, it.Phase)
+		m := accs[key]
+		if m == nil {
+			m = make(map[ise.KernelID]*acc)
+			accs[key] = m
+		}
+		for _, t := range trig {
+			a := m[t.Kernel]
+			if a == nil {
+				a = &acc{}
+				m[t.Kernel] = a
+				order[key] = append(order[key], t.Kernel)
+			}
+			a.e += float64(t.E)
+			a.tf += float64(t.TF)
+			a.tb += float64(t.TB)
+			a.n++
+		}
+	}
+	tr.Profile = make(map[string][]ise.Trigger, len(accs))
+	for block, m := range accs {
+		ts := make([]ise.Trigger, 0, len(m))
+		for _, kid := range order[block] {
+			a := m[kid]
+			n := float64(a.n)
+			ts = append(ts, ise.Trigger{
+				Kernel: kid,
+				E:      int64(a.e/n + 0.5),
+				TF:     arch.Cycles(a.tf/n + 0.5),
+				TB:     arch.Cycles(a.tb/n + 0.5),
+			})
+		}
+		tr.Profile[block] = ts
+	}
+	return nil
+}
+
+// Encode writes the trace as JSON.
+func (tr *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// Decode reads a JSON trace.
+func Decode(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &tr, nil
+}
+
+// Summary aggregates a trace for reports: iterations and executions per
+// block, and per-kernel execution totals.
+type Summary struct {
+	Iterations      int
+	Executions      int64
+	BlockIterations map[string]int
+	KernelTotals    map[ise.KernelID]int64
+}
+
+// Summarize computes the trace summary.
+func (tr *Trace) Summarize() Summary {
+	s := Summary{
+		BlockIterations: make(map[string]int),
+		KernelTotals:    make(map[ise.KernelID]int64),
+	}
+	for i := range tr.Iterations {
+		it := &tr.Iterations[i]
+		s.Iterations++
+		s.BlockIterations[it.Block]++
+		for _, l := range it.Loads {
+			s.Executions += l.E
+			s.KernelTotals[l.Kernel] += l.E
+		}
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+func testApp(t *testing.T) *ise.Application {
+	t.Helper()
+	mk := func(id string, lat arch.Cycles) *ise.Kernel {
+		return &ise.Kernel{
+			ID: ise.KernelID(id), RISCLatency: lat,
+			ISEs: []*ise.ISE{{
+				ID: id + ".cg1", Kernel: ise.KernelID(id),
+				DataPaths: []ise.DataPath{{ID: ise.DataPathID(id + "_cg"), Kind: arch.CG, CGs: 1}},
+				Latencies: []arch.Cycles{lat / 2},
+			}},
+		}
+	}
+	blk := &ise.FunctionalBlock{ID: "b", Kernels: []*ise.Kernel{mk("x", 100), mk("y", 200)}}
+	app, err := ise.NewApplication("test", blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestMergeCounts(t *testing.T) {
+	loads := []KernelLoad{
+		{Kernel: "x", E: 3, GapSW: 10},
+		{Kernel: "y", E: 2, GapSW: 20},
+	}
+	events := Merge(loads)
+	if len(events) != 5 {
+		t.Fatalf("merged %d events, want 5", len(events))
+	}
+	counts := map[ise.KernelID]int{}
+	for _, ev := range events {
+		counts[ev.Kernel]++
+	}
+	if counts["x"] != 3 || counts["y"] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestMergeInterleaves(t *testing.T) {
+	// Equal counts interleave strictly by fractional position.
+	loads := []KernelLoad{
+		{Kernel: "a", E: 4, GapSW: 1},
+		{Kernel: "b", E: 4, GapSW: 1},
+	}
+	events := Merge(loads)
+	for i := 0; i < len(events); i += 2 {
+		if events[i].Kernel == events[i+1].Kernel {
+			t.Fatalf("events %d/%d not interleaved: %v", i, i+1, events)
+		}
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	loads := []KernelLoad{
+		{Kernel: "z", E: 5, GapSW: 1},
+		{Kernel: "a", E: 3, GapSW: 2},
+		{Kernel: "m", E: 7, GapSW: 3},
+	}
+	a, b := Merge(loads), Merge(loads)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Merge is not deterministic")
+	}
+	// Order of loads must not matter.
+	rev := []KernelLoad{loads[2], loads[1], loads[0]}
+	c := Merge(rev)
+	if !reflect.DeepEqual(a, c) {
+		t.Error("Merge depends on load order")
+	}
+}
+
+func TestMergeSkipsZeroLoads(t *testing.T) {
+	events := Merge([]KernelLoad{{Kernel: "x", E: 0, GapSW: 1}})
+	if len(events) != 0 {
+		t.Errorf("zero-count load produced %d events", len(events))
+	}
+}
+
+func TestRISCTriggersSingleKernel(t *testing.T) {
+	app := testApp(t)
+	it := &Iteration{
+		Block:    "b",
+		Prologue: 50,
+		Loads:    []KernelLoad{{Kernel: "x", E: 3, GapSW: 10}},
+	}
+	trig, err := RISCTriggers(app, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trig) != 1 {
+		t.Fatalf("got %d triggers", len(trig))
+	}
+	tr := trig[0]
+	// First execution after prologue + gap.
+	if tr.TF != 60 {
+		t.Errorf("TF = %d, want 60", tr.TF)
+	}
+	// Gap between end of one execution and start of next = GapSW.
+	if tr.TB != 10 {
+		t.Errorf("TB = %d, want 10", tr.TB)
+	}
+	if tr.E != 3 {
+		t.Errorf("E = %d, want 3", tr.E)
+	}
+}
+
+func TestRISCTriggersInterleaved(t *testing.T) {
+	app := testApp(t)
+	it := &Iteration{
+		Block: "b",
+		Loads: []KernelLoad{
+			{Kernel: "x", E: 2, GapSW: 10},
+			{Kernel: "y", E: 2, GapSW: 10},
+		},
+	}
+	trig, err := RISCTriggers(app, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := map[ise.KernelID]ise.Trigger{}
+	for _, tr := range trig {
+		byK[tr.Kernel] = tr
+	}
+	// The wall-clock gap between two x executions includes y's RISC
+	// latency (200) and software gaps.
+	if byK["x"].TB <= 10 {
+		t.Errorf("x TB = %d, should include interleaved y executions", byK["x"].TB)
+	}
+	if byK["x"].TF >= byK["y"].TF && byK["y"].TF >= byK["x"].TF {
+		t.Error("both kernels cannot start at the same instant on one core")
+	}
+}
+
+func TestRISCTriggersUnknownBlock(t *testing.T) {
+	app := testApp(t)
+	if _, err := RISCTriggers(app, &Iteration{Block: "nope"}); err == nil {
+		t.Error("unknown block accepted")
+	}
+}
+
+func TestBuildProfileAverages(t *testing.T) {
+	app := testApp(t)
+	tr := &Trace{
+		App: "test",
+		Iterations: []Iteration{
+			{Block: "b", Seq: 0, Loads: []KernelLoad{{Kernel: "x", E: 10, GapSW: 5}}},
+			{Block: "b", Seq: 1, Loads: []KernelLoad{{Kernel: "x", E: 30, GapSW: 5}}},
+		},
+	}
+	if err := tr.BuildProfile(app); err != nil {
+		t.Fatal(err)
+	}
+	prof := tr.Profile["b"]
+	if len(prof) != 1 {
+		t.Fatalf("profile has %d triggers", len(prof))
+	}
+	if prof[0].E != 20 {
+		t.Errorf("profile E = %d, want 20 (average of 10 and 30)", prof[0].E)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	app := testApp(t)
+	good := &Trace{
+		App:        "test",
+		Iterations: []Iteration{{Block: "b", Loads: []KernelLoad{{Kernel: "x", E: 1}}}},
+	}
+	if err := good.Validate(app); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+
+	bad := &Trace{Iterations: []Iteration{{Block: "zzz"}}}
+	if bad.Validate(app) == nil {
+		t.Error("unknown block accepted")
+	}
+	bad = &Trace{Iterations: []Iteration{{Block: "b", Loads: []KernelLoad{{Kernel: "nope", E: 1}}}}}
+	if bad.Validate(app) == nil {
+		t.Error("unknown kernel accepted")
+	}
+	bad = &Trace{Iterations: []Iteration{{Block: "b", Loads: []KernelLoad{{Kernel: "x", E: -1}}}}}
+	if bad.Validate(app) == nil {
+		t.Error("negative load accepted")
+	}
+	bad = &Trace{Profile: map[string][]ise.Trigger{"zzz": nil}}
+	if bad.Validate(app) == nil {
+		t.Error("profile for unknown block accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := &Trace{
+		App: "test",
+		Profile: map[string][]ise.Trigger{
+			"b": {{Kernel: "x", E: 5, TF: 10, TB: 20}},
+		},
+		Iterations: []Iteration{
+			{Block: "b", Seq: 0, Prologue: 100, Loads: []KernelLoad{{Kernel: "x", E: 5, GapSW: 3}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", tr, got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewBufferString("{broken")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestIterationTotalExecutions(t *testing.T) {
+	it := Iteration{Loads: []KernelLoad{{Kernel: "x", E: 3}, {Kernel: "y", E: 4}}}
+	if it.TotalExecutions() != 7 {
+		t.Errorf("TotalExecutions = %d", it.TotalExecutions())
+	}
+}
+
+// Property: Merge output length always equals the sum of loads, and per-
+// kernel counts are preserved, for random load sets.
+func TestMergePreservesCountsProperty(t *testing.T) {
+	f := func(e1, e2, e3 uint8) bool {
+		loads := []KernelLoad{
+			{Kernel: "a", E: int64(e1 % 50), GapSW: 1},
+			{Kernel: "b", E: int64(e2 % 50), GapSW: 2},
+			{Kernel: "c", E: int64(e3 % 50), GapSW: 3},
+		}
+		events := Merge(loads)
+		counts := map[ise.KernelID]int64{}
+		for _, ev := range events {
+			counts[ev.Kernel]++
+		}
+		return counts["a"] == int64(e1%50) &&
+			counts["b"] == int64(e2%50) &&
+			counts["c"] == int64(e3%50)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{
+		Iterations: []Iteration{
+			{Block: "a", Loads: []KernelLoad{{Kernel: "x", E: 3}, {Kernel: "y", E: 4}}},
+			{Block: "a", Loads: []KernelLoad{{Kernel: "x", E: 5}}},
+			{Block: "b", Loads: []KernelLoad{{Kernel: "z", E: 1}}},
+		},
+	}
+	s := tr.Summarize()
+	if s.Iterations != 3 || s.Executions != 13 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.BlockIterations["a"] != 2 || s.BlockIterations["b"] != 1 {
+		t.Errorf("block iterations = %v", s.BlockIterations)
+	}
+	if s.KernelTotals["x"] != 8 || s.KernelTotals["y"] != 4 || s.KernelTotals["z"] != 1 {
+		t.Errorf("kernel totals = %v", s.KernelTotals)
+	}
+}

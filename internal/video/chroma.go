@@ -1,0 +1,57 @@
+package video
+
+// 4:2:0 chroma support. Frames carry Cb/Cr planes at half resolution in
+// both dimensions; the generator gives each object its own hue so chroma
+// content is as scene-dependent as luma.
+
+// CW returns the chroma plane width.
+func (f *Frame) CW() int { return (f.W + 1) / 2 }
+
+// CH returns the chroma plane height.
+func (f *Frame) CH() int { return (f.H + 1) / 2 }
+
+// CbAt returns the Cb sample at chroma coordinates (x, y), clamped.
+func (f *Frame) CbAt(x, y int) uint8 { return f.chromaAt(f.Cb, x, y) }
+
+// CrAt returns the Cr sample at chroma coordinates (x, y), clamped.
+func (f *Frame) CrAt(x, y int) uint8 { return f.chromaAt(f.Cr, x, y) }
+
+// CbSet writes the Cb sample at chroma coordinates (x, y).
+func (f *Frame) CbSet(x, y int, v uint8) { f.chromaSet(f.Cb, x, y, v) }
+
+// CrSet writes the Cr sample at chroma coordinates (x, y).
+func (f *Frame) CrSet(x, y int, v uint8) { f.chromaSet(f.Cr, x, y, v) }
+
+func (f *Frame) chromaAt(plane []uint8, x, y int) uint8 {
+	if len(plane) == 0 {
+		return 128
+	}
+	cw, ch := f.CW(), f.CH()
+	if x < 0 {
+		x = 0
+	}
+	if x >= cw {
+		x = cw - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= ch {
+		y = ch - 1
+	}
+	return plane[y*cw+x]
+}
+
+func (f *Frame) chromaSet(plane []uint8, x, y int, v uint8) {
+	if len(plane) == 0 {
+		return
+	}
+	cw, ch := f.CW(), f.CH()
+	if x < 0 || x >= cw || y < 0 || y >= ch {
+		return
+	}
+	plane[y*cw+x] = v
+}
+
+// HasChroma reports whether the frame carries chroma planes.
+func (f *Frame) HasChroma() bool { return len(f.Cb) > 0 && len(f.Cr) > 0 }

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"mrts/internal/h264"
+	"mrts/internal/ise"
+	"mrts/internal/video"
+)
+
+func TestBuildSmall(t *testing.T) {
+	w, err := Build(Options{Width: 64, Height: 48, Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.App == nil || w.Trace == nil {
+		t.Fatal("missing app or trace")
+	}
+	if len(w.Frames) != 3 {
+		t.Errorf("frame stats = %d, want 3", len(w.Frames))
+	}
+	if err := w.Trace.Validate(w.App); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestBuildProfilePerBlock(t *testing.T) {
+	w := MustBuild(Options{Width: 64, Height: 48, Frames: 3})
+	// Frame 0 is intra, later frames are inter: both program paths must
+	// carry profiled trigger instructions for every block.
+	for _, b := range w.App.Blocks {
+		for _, phase := range []string{"I", "P"} {
+			prof := w.Trace.ProfileFor(b.ID, phase)
+			if len(prof) == 0 {
+				t.Errorf("no profile triggers for block %s phase %s", b.ID, phase)
+			}
+			for _, tr := range prof {
+				if tr.E <= 0 {
+					t.Errorf("block %s trigger %s has E=%d", b.ID, tr.Kernel, tr.E)
+				}
+			}
+		}
+	}
+}
+
+func TestPhasesAssigned(t *testing.T) {
+	w := MustBuild(Options{Width: 64, Height: 48, Frames: 3})
+	for _, it := range w.Trace.Iterations {
+		want := "P"
+		if it.Seq == 0 {
+			want = "I"
+		}
+		if it.Phase != want {
+			t.Errorf("frame %d block %s phase = %q, want %q", it.Seq, it.Block, it.Phase, want)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	opts := Options{Width: 64, Height: 48, Frames: 3, Seed: 9}
+	a := MustBuild(opts)
+	b := MustBuild(opts)
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Error("identical options produced different traces")
+	}
+}
+
+func TestBuildSeedMatters(t *testing.T) {
+	a := MustBuild(Options{Width: 64, Height: 48, Frames: 3, Seed: 1})
+	b := MustBuild(Options{Width: 64, Height: 48, Frames: 3, Seed: 2})
+	if reflect.DeepEqual(a.Trace.Iterations, b.Trace.Iterations) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	w := MustBuild(Options{Width: 64, Height: 48, Frames: 2})
+	// Per frame: me, enc, dbf in pipeline order.
+	var blocks []string
+	for _, it := range w.Trace.Iterations {
+		blocks = append(blocks, it.Block)
+	}
+	want := []string{"me", "enc", "dbf", "me", "enc", "dbf"}
+	if !reflect.DeepEqual(blocks, want) {
+		t.Errorf("iteration order = %v", blocks)
+	}
+}
+
+func TestSceneCutChangesCounts(t *testing.T) {
+	w := MustBuild(Options{
+		Width: 64, Height: 48, Frames: 6,
+		Video: video.Options{SceneCuts: []int{3}},
+	})
+	// The scene-cut frame forces widespread intra coding: the dbf filt
+	// count jumps.
+	var filt []int64
+	for _, it := range w.Trace.Iterations {
+		if it.Block != "dbf" {
+			continue
+		}
+		var e int64
+		for _, l := range it.Loads {
+			if l.Kernel == ise.KernelID(h264.KernelFilt) {
+				e = l.E
+			}
+		}
+		filt = append(filt, e)
+	}
+	if len(filt) != 6 {
+		t.Fatalf("filt counts = %v", filt)
+	}
+	if filt[3] <= filt[2] {
+		t.Errorf("scene cut did not raise deblocking work: %v", filt)
+	}
+}
+
+func TestDefaultAndSmall(t *testing.T) {
+	s := Small()
+	if len(s.Frames) != 6 {
+		t.Errorf("Small() frames = %d", len(s.Frames))
+	}
+	if err := s.Trace.Validate(s.App); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGapsComeFromLibrary(t *testing.T) {
+	w := MustBuild(Options{Width: 64, Height: 48, Frames: 1})
+	for _, it := range w.Trace.Iterations {
+		for _, l := range it.Loads {
+			if l.GapSW <= 0 {
+				t.Errorf("kernel %s has no software gap", l.Kernel)
+			}
+		}
+	}
+}
+
+func TestProfileFromSeparateSequence(t *testing.T) {
+	// Default: profile triggers come from a different profiling sequence
+	// and therefore differ from the deployment averages.
+	w := MustBuild(Options{Width: 64, Height: 48, Frames: 4, Seed: 7})
+	oracle := MustBuild(Options{Width: 64, Height: 48, Frames: 4, Seed: 7, ProfileSeed: 7})
+	differs := false
+	for key, ts := range w.Trace.Profile {
+		ots := oracle.Trace.Profile[key]
+		if len(ots) != len(ts) {
+			differs = true
+			break
+		}
+		for i := range ts {
+			if ts[i].E != ots[i].E {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("separate profiling sequence produced identical forecasts")
+	}
+	// ProfileSeed == Seed profiles on the deployment content itself.
+	if err := oracle.Trace.Validate(oracle.App); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticWorkload(t *testing.T) {
+	w, err := Synthetic(2, 4, 12, 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.App.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(w.App.Blocks))
+	}
+	if err := w.Trace.Validate(w.App); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Trace.Iterations) != 10 { // 5 iterations x 2 blocks
+		t.Errorf("iterations = %d", len(w.Trace.Iterations))
+	}
+	for _, b := range w.App.Blocks {
+		if len(w.Trace.ProfileFor(b.ID, "")) == 0 {
+			t.Errorf("block %s has no profile", b.ID)
+		}
+	}
+	// Determinism.
+	w2, err := Synthetic(2, 4, 12, 5, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Trace, w2.Trace) {
+		t.Error("synthetic workload not deterministic")
+	}
+	if _, err := Synthetic(0, 1, 1, 1, 1); err == nil {
+		t.Error("invalid sizes accepted")
+	}
+}
