@@ -11,6 +11,7 @@ package mrts
 // out; the remaining benches measure the building blocks.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -26,6 +27,8 @@ import (
 	"mrts/internal/mpu"
 	"mrts/internal/profit"
 	"mrts/internal/selector"
+	"mrts/internal/service"
+	"mrts/internal/service/api"
 	"mrts/internal/sim"
 	"mrts/internal/trace"
 	"mrts/internal/video"
@@ -91,7 +94,7 @@ func BenchmarkFig8(b *testing.B) {
 	var r exp.Fig8Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig8(w, 3, 2)
+		r, err = exp.Fig8(context.Background(), exp.DirectEvaluator(w), 3, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +112,7 @@ func BenchmarkFig9(b *testing.B) {
 	var r exp.Fig9Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig9(w, 3, 2)
+		r, err = exp.Fig9(context.Background(), exp.DirectEvaluator(w), 3, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +129,7 @@ func BenchmarkFig10(b *testing.B) {
 	var r exp.Fig10Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		r, err = exp.Fig10(w, 3, 3)
+		r, err = exp.Fig10(context.Background(), exp.DirectEvaluator(w), 3, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -439,4 +442,69 @@ func BenchmarkOptimalScalability(b *testing.B) {
 // reconfigurations are costed as if the ports were idle.
 func BenchmarkAblationPortBlindProfit(b *testing.B) {
 	ablate(b, core.Options{ChargeOverhead: true, Model: profit.PortBlind})
+}
+
+// --- Service benches -------------------------------------------------------
+
+// BenchmarkServiceCacheHit measures a job that is fully served from the
+// mrts-serve result cache: the same simulation point submitted through the
+// job queue after a warm-up run. Compare against BenchmarkServiceColdJob
+// for the amortisation the cache buys.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	s := service.New(service.Options{Workers: 1})
+	defer s.Close()
+	spec := api.JobSpec{
+		Type:     api.JobSim,
+		Workload: api.WorkloadSpec{Frames: 2, Seed: 1},
+		PRC:      2, CG: 1, Policy: "mrts",
+	}
+	runServiceJob(b, s, spec) // warm the workload and result caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runServiceJob(b, s, spec)
+		if res.CacheMisses != 0 {
+			b.Fatalf("warm job missed the cache (%d misses)", res.CacheMisses)
+		}
+	}
+}
+
+// BenchmarkServiceColdJob measures a job whose point is not cached: every
+// iteration evaluates a fabric combination the server has not seen, so the
+// full simulation runs (the workload itself stays cached, as it would for
+// a daemon sweeping one sequence).
+func BenchmarkServiceColdJob(b *testing.B) {
+	s := service.New(service.Options{Workers: 1, ResultCacheSize: 1})
+	defer s.Close()
+	base := api.JobSpec{
+		Type:     api.JobSim,
+		Workload: api.WorkloadSpec{Frames: 2, Seed: 1},
+		Policy:   "mrts",
+	}
+	runServiceJob(b, s, base) // build the workload outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := base
+		spec.PRC = 1 + i%64
+		spec.CG = 1 + i/64
+		res := runServiceJob(b, s, spec)
+		if res.CacheHits != 0 {
+			b.Fatalf("cold job hit the cache at iteration %d", i)
+		}
+	}
+}
+
+func runServiceJob(b *testing.B, s *service.Server, spec api.JobSpec) *api.JobResult {
+	b.Helper()
+	job, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Wait(context.Background(), job); err != nil {
+		b.Fatal(err)
+	}
+	st := s.Status(job, true)
+	if st.State != api.StateDone {
+		b.Fatalf("job %s: %s", st.State, st.Error)
+	}
+	return st.Result
 }

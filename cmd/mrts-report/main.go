@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,8 @@ func main() {
 		Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
 	})
 	check(err)
+	ctx := context.Background()
+	eval := exp.DirectEvaluator(w)
 
 	fmt.Fprintf(out, "# mRTS evaluation report\n\n")
 	fmt.Fprintf(out, "Workload: %d QCIF frames, seed %d, scene cuts at %d and %d; fabric sweep PRCs 0-%d x CG-EDPEs 0-%d.\n\n",
@@ -58,19 +61,19 @@ func main() {
 	endSection()
 
 	section("Fig. 8 — comparison with state-of-the-art")
-	fig8, err := exp.Fig8(w, *maxPRC, *maxCG)
+	fig8, err := exp.Fig8(ctx, eval, *maxPRC, *maxCG)
 	check(err)
 	fig8.Render(out)
 	endSection()
 
 	section("Fig. 9 — selection heuristic vs. optimal algorithm")
-	fig9, err := exp.Fig9(w, *maxPRC, *maxCG)
+	fig9, err := exp.Fig9(ctx, eval, *maxPRC, *maxCG)
 	check(err)
 	fig9.Render(out)
 	endSection()
 
 	section("Fig. 10 — speedup over RISC mode")
-	fig10, err := exp.Fig10(w, min(*maxPRC, 3), *maxCG)
+	fig10, err := exp.Fig10(ctx, eval, min(*maxPRC, 3), *maxCG)
 	check(err)
 	fig10.Render(out)
 	endSection()
@@ -82,7 +85,7 @@ func main() {
 	endSection()
 
 	section("Fabric sharing — run-time adaptation vs. recompiled oracle")
-	shared, err := exp.Shared(w, arch.Config{NPRC: *maxPRC, NCG: *maxCG})
+	shared, err := exp.Shared(ctx, w, arch.Config{NPRC: *maxPRC, NCG: *maxCG})
 	check(err)
 	shared.Render(out)
 	endSection()

@@ -1,0 +1,66 @@
+// Command mrts-serve runs the mRTS simulation service: a long-lived
+// daemon that accepts simulation, figure and sweep jobs over HTTP/JSON,
+// executes them on a bounded worker pool, and amortises repeated work
+// with a content-addressed result cache and a shared workload cache.
+//
+// Usage:
+//
+//	mrts-serve -addr :8341 -workers 8
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id},
+// POST /v1/jobs/{id}/cancel, POST /v1/sweep (ndjson stream),
+// GET /healthz, GET /metrics. Submit jobs with cmd/mrts-submit or plain
+// curl; see the README's "Running as a service" section.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrts/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8341", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 256, "maximum queued jobs")
+		cacheSize  = flag.Int("cache", 4096, "result cache capacity (points)")
+		wcacheSize = flag.Int("wcache", 16, "workload cache capacity (built traces)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job execution timeout")
+	)
+	flag.Parse()
+
+	s := service.New(service.Options{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		ResultCacheSize:   *cacheSize,
+		WorkloadCacheSize: *wcacheSize,
+		JobTimeout:        *timeout,
+	})
+	defer s.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mrts-serve: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "mrts-serve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mrts-serve: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}

@@ -10,18 +10,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mrts/internal/arch"
-	"mrts/internal/baseline"
-	"mrts/internal/core"
 	"mrts/internal/ecu"
-	"mrts/internal/ise"
-	"mrts/internal/sim"
-	"mrts/internal/trace"
+	"mrts/internal/exp"
+	"mrts/internal/service/api"
 	"mrts/internal/video"
 	"mrts/internal/workload"
 )
@@ -36,6 +32,7 @@ func main() {
 		sceneCut = flag.Int("scenecut", 8, "frame of the scene cut (0 = none)")
 		verbose  = flag.Bool("v", false, "print per-block and reconfiguration details")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON (for scripting)")
+		outFile  = flag.String("o", "", "write the JSON report to this file (in addition to stdout output)")
 	)
 	flag.Parse()
 
@@ -53,43 +50,35 @@ func main() {
 	}
 
 	cfg := arch.Config{NPRC: *prc, NCG: *cgN}
-	rts, err := makePolicy(*policy, cfg, w.App, w.Trace)
+	pol, err := exp.ParsePolicy(*policy)
 	if err != nil {
 		fatal(err)
 	}
 
-	rep, err := sim.Run(w.App, w.Trace, rts)
+	rep, err := exp.RunPoint(nil, w, cfg, pol)
 	if err != nil {
 		fatal(err)
 	}
-	ref, err := sim.RunRISC(w.App, w.Trace)
+	ref, err := exp.RunPoint(nil, w, arch.Config{}, exp.PolicyRISC)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *jsonOut {
-		out := map[string]any{
-			"policy":           rep.Policy,
-			"prc":              cfg.NPRC,
-			"cg":               cfg.NCG,
-			"total_cycles":     rep.TotalCycles,
-			"risc_cycles":      ref.TotalCycles,
-			"speedup":          rep.Speedup(ref),
-			"executions":       rep.Executions,
-			"overhead_cycles":  rep.OverheadCycles,
-			"software_cycles":  rep.SoftwareCycles,
-			"kernel_cycles":    rep.KernelCycles,
-			"mode_executions":  rep.ModeExecs,
-			"block_cycles":     rep.BlockCycles,
-			"block_iterations": rep.BlockIterations,
-			"reconfig":         rep.Reconfig,
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+	if *outFile != "" || *jsonOut {
+		r := api.NewReport(rep, ref)
+		b, err := api.MarshalIndentReport(&r)
+		if err != nil {
 			fatal(err)
 		}
-		return
+		if *outFile != "" {
+			if err := os.WriteFile(*outFile, b, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonOut {
+			os.Stdout.Write(b)
+			return
+		}
 	}
 
 	fmt.Printf("policy        %s\n", rep.Policy)
@@ -119,25 +108,6 @@ func main() {
 		fmt.Printf("reconfig      FG %d (%.2f Mcycles busy), CG %d (%.3f Mcycles busy), evictions %d, monoCG loads %d\n",
 			rc.FGReconfigs, rc.FGBusyCycles.MCycles(), rc.CGReconfigs, rc.CGBusyCycles.MCycles(),
 			rc.Evictions, rc.MonoCGLoads)
-	}
-}
-
-func makePolicy(name string, cfg arch.Config, app *ise.Application, tr *trace.Trace) (core.RuntimeSystem, error) {
-	switch name {
-	case "mrts":
-		return core.New(cfg, core.Options{ChargeOverhead: true})
-	case "rispp":
-		return baseline.NewRISPPLike(cfg)
-	case "morpheus":
-		return baseline.NewMorpheus4S(cfg, app, tr)
-	case "offline":
-		return baseline.NewOfflineOptimal(cfg, app, tr)
-	case "optimal":
-		return baseline.NewOnlineOptimal(cfg)
-	case "risc":
-		return core.NewRISCOnly(), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }
 

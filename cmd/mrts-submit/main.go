@@ -1,0 +1,176 @@
+// Command mrts-submit runs simulations against a shared mrts-serve
+// daemon instead of simulating in-process. A figure submission prints
+// byte-identical output to the offline cmd/mrts-sweep for the same
+// parameters — but repeated submissions are served from the daemon's
+// result cache without re-simulation.
+//
+// Usage:
+//
+//	mrts-submit -fig 8                    # Fig. 8 via the daemon
+//	mrts-submit -fig all                  # the full evaluation
+//	mrts-submit -prc 2 -cg 1 -policy mrts # one simulation, JSON report
+//	mrts-submit -stream -maxprc 2 -maxcg 2 # streamed per-point sweep
+//	mrts-submit -metrics                  # the daemon's /metrics page
+//
+// The workload flags (-frames, -seed) and sweep bounds (-maxprc, -maxcg)
+// default to the same values as cmd/mrts-sweep.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mrts/internal/service/api"
+	"mrts/internal/service/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8341", "mrts-serve base URL")
+		fig     = flag.String("fig", "", "figure to regenerate: 8|9|10|overhead|shared|mix|all (empty = single simulation)")
+		prc     = flag.Int("prc", 2, "number of PRCs (single simulation)")
+		cgN     = flag.Int("cg", 1, "number of CG-EDPEs (single simulation)")
+		policy  = flag.String("policy", "mrts", "runtime policy (single simulation)")
+		frames  = flag.Int("frames", 16, "video frames to encode")
+		seed    = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC  = flag.Int("maxprc", 4, "maximum PRC count of sweeps")
+		maxCG   = flag.Int("maxcg", 3, "maximum CG-EDPE count of sweeps")
+		stream  = flag.Bool("stream", false, "stream an mRTS point sweep over /v1/sweep instead of submitting a job")
+		timeout = flag.Duration("timeout", 15*time.Minute, "client-side wait timeout")
+		poll    = flag.Duration("poll", 50*time.Millisecond, "job poll interval")
+		outFile = flag.String("o", "", "also write the result (text or JSON report) to this file")
+		metrics = flag.Bool("metrics", false, "print the daemon's /metrics page and exit")
+		cancel  = flag.String("cancel", "", "cancel the job with this ID and exit")
+		nowait  = flag.Bool("nowait", false, "submit without waiting; print the job ID")
+	)
+	flag.Parse()
+
+	ctx, stop := context.WithTimeout(context.Background(), *timeout)
+	defer stop()
+	c := client.New(*addr)
+
+	switch {
+	case *metrics:
+		text, err := c.Metrics(ctx)
+		fatalIf(err)
+		fmt.Print(text)
+		return
+	case *cancel != "":
+		st, err := c.Cancel(ctx, *cancel)
+		fatalIf(err)
+		fmt.Printf("job %s: %s\n", st.ID, st.State)
+		return
+	}
+
+	// The same workload cmd/mrts-sweep builds by default: scene cuts at
+	// one and two thirds of the sequence.
+	wl := api.WorkloadSpec{
+		Frames:    *frames,
+		Seed:      *seed,
+		SceneCuts: []int{*frames / 3, 2 * *frames / 3},
+	}
+
+	if *stream {
+		streamSweep(ctx, c, wl, *maxPRC, *maxCG)
+		return
+	}
+
+	var out string
+	switch *fig {
+	case "":
+		spec := api.JobSpec{Type: api.JobSim, Workload: wl, PRC: *prc, CG: *cgN, Policy: *policy}
+		st := runJob(ctx, c, spec, *poll, *nowait)
+		if st == nil {
+			return
+		}
+		b, err := marshalReport(st)
+		fatalIf(err)
+		out = string(b)
+	case "all":
+		for i, name := range []string{"8", "9", "10", "overhead", "shared"} {
+			if i > 0 {
+				out += "\n"
+			}
+			st := runJob(ctx, c, figSpec(name, wl, *maxPRC, *maxCG), *poll, *nowait)
+			if st == nil {
+				return
+			}
+			out += st.Result.Text
+		}
+	default:
+		st := runJob(ctx, c, figSpec(*fig, wl, *maxPRC, *maxCG), *poll, *nowait)
+		if st == nil {
+			return
+		}
+		out = st.Result.Text
+	}
+	fmt.Print(out)
+	if *outFile != "" {
+		fatalIf(os.WriteFile(*outFile, []byte(out), 0o644))
+	}
+}
+
+func figSpec(name string, wl api.WorkloadSpec, maxPRC, maxCG int) api.JobSpec {
+	return api.JobSpec{Type: api.JobFig, Workload: wl, Fig: name, MaxPRC: maxPRC, MaxCG: maxCG}
+}
+
+// runJob submits and (unless nowait) waits; a nil return means the ID was
+// printed and the caller should stop.
+func runJob(ctx context.Context, c *client.Client, spec api.JobSpec, poll time.Duration, nowait bool) *api.JobStatus {
+	id, err := c.Submit(ctx, spec)
+	fatalIf(err)
+	if nowait {
+		fmt.Println(id)
+		return nil
+	}
+	st, err := c.Wait(ctx, id, poll)
+	fatalIf(err)
+	if st.State != api.StateDone {
+		fatalIf(fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+	}
+	fmt.Fprintf(os.Stderr, "mrts-submit: job %s done in %.3fs (cache: %d hits, %d misses)\n",
+		st.ID, st.Result.ElapsedSec, st.Result.CacheHits, st.Result.CacheMisses)
+	return st
+}
+
+// streamSweep runs the mRTS policy over the full fabric sweep through the
+// streaming endpoint, printing each point as it completes.
+func streamSweep(ctx context.Context, c *client.Client, wl api.WorkloadSpec, maxPRC, maxCG int) {
+	var points []api.Point
+	for p := 0; p <= maxPRC; p++ {
+		for cg := 0; cg <= maxCG; cg++ {
+			if p == 0 && cg == 0 {
+				continue
+			}
+			points = append(points, api.Point{PRC: p, CG: cg, Policy: "mrts"})
+		}
+	}
+	final, err := c.Sweep(ctx, api.SweepRequest{Workload: wl, Points: points}, func(ev api.SweepEvent) {
+		src := "sim"
+		if ev.Cached {
+			src = "hit"
+		}
+		if ev.Error != "" {
+			fmt.Printf("%d/%d  ERROR %s\n", ev.Point.PRC, ev.Point.CG, ev.Error)
+			return
+		}
+		fmt.Printf("%d/%d  %10.2f Mcycles  %5.2fx  [%s]\n",
+			ev.Point.PRC, ev.Point.CG, float64(ev.Report.TotalCycles)/1e6, ev.Report.Speedup, src)
+	})
+	fatalIf(err)
+	fmt.Printf("sweep: %d points (%d failed) in %.3fs\n", final.Completed, final.Failed, final.ElapsedSec)
+}
+
+func marshalReport(st *api.JobStatus) ([]byte, error) {
+	return api.MarshalIndentReport(st.Result.Report)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrts-submit:", err)
+		os.Exit(1)
+	}
+}

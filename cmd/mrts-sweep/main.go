@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,10 +42,13 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	eval := exp.DirectEvaluator(w)
+
 	run := func(name string) {
 		switch name {
 		case "8":
-			r, err := exp.Fig8(w, *maxPRC, *maxCG)
+			r, err := exp.Fig8(ctx, eval, *maxPRC, *maxCG)
 			if err != nil {
 				fatal(err)
 			}
@@ -54,13 +58,13 @@ func main() {
 				r.Render(os.Stdout)
 			}
 		case "9":
-			r, err := exp.Fig9(w, *maxPRC, *maxCG)
+			r, err := exp.Fig9(ctx, eval, *maxPRC, *maxCG)
 			if err != nil {
 				fatal(err)
 			}
 			r.Render(os.Stdout)
 		case "10":
-			r, err := exp.Fig10(w, min(*maxPRC, 3), *maxCG)
+			r, err := exp.Fig10(ctx, eval, min(*maxPRC, 3), *maxCG)
 			if err != nil {
 				fatal(err)
 			}
@@ -71,7 +75,7 @@ func main() {
 			}
 		case "mix":
 			for _, total := range []int{3, 5, 7} {
-				r, err := exp.MixFrontier(w, total)
+				r, err := exp.MixFrontier(ctx, eval, total)
 				if err != nil {
 					fatal(err)
 				}
@@ -79,7 +83,7 @@ func main() {
 				fmt.Println()
 			}
 		case "shared":
-			r, err := exp.Shared(w, arch.Config{NPRC: 4, NCG: 3})
+			r, err := exp.Shared(ctx, w, arch.Config{NPRC: 4, NCG: 3})
 			if err != nil {
 				fatal(err)
 			}

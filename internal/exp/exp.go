@@ -9,8 +9,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"mrts/internal/arch"
 	"mrts/internal/baseline"
@@ -34,6 +37,41 @@ const (
 	PolicyRISC     Policy = "RISC-mode"
 )
 
+// shortNames maps the command-line spellings to policies. It is the single
+// policy-name table shared by the CLIs and the service API.
+var shortNames = map[string]Policy{
+	"mrts":     PolicyMRTS,
+	"rispp":    PolicyRISPP,
+	"morpheus": PolicyMorpheus,
+	"offline":  PolicyOffline,
+	"optimal":  PolicyOptimal,
+	"risc":     PolicyRISC,
+}
+
+// PolicyNames returns the valid short policy names, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(shortNames))
+	for n := range shortNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParsePolicy resolves a short command-line name ("mrts", "rispp", ...) or a
+// canonical Policy string to a Policy. The error lists the valid names.
+func ParsePolicy(name string) (Policy, error) {
+	if p, ok := shortNames[strings.ToLower(name)]; ok {
+		return p, nil
+	}
+	for _, p := range []Policy{PolicyRISPP, PolicyOffline, PolicyMorpheus, PolicyMRTS, PolicyOptimal, PolicyRISC} {
+		if name == string(p) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("exp: unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
 // NewPolicy builds a runtime system by name for the given fabric budget.
 func NewPolicy(p Policy, cfg arch.Config, app *ise.Application, tr *trace.Trace) (core.RuntimeSystem, error) {
 	switch p {
@@ -54,8 +92,29 @@ func NewPolicy(p Policy, cfg arch.Config, app *ise.Application, tr *trace.Trace)
 	}
 }
 
-// runPolicy builds and runs one policy on the workload.
-func runPolicy(p Policy, cfg arch.Config, w *workload.Result) (*sim.Report, error) {
+// Evaluator evaluates one (fabric combination, policy) point of a sweep.
+// The figure harnesses are written against this single job-execution path,
+// so the same aggregation code runs whether points are simulated directly
+// (DirectEvaluator) or served from a result cache by the mrts-serve daemon.
+type Evaluator func(ctx context.Context, cfg arch.Config, p Policy) (*sim.Report, error)
+
+// DirectEvaluator returns an Evaluator that simulates every point on the
+// given workload, with no caching.
+func DirectEvaluator(w *workload.Result) Evaluator {
+	return func(ctx context.Context, cfg arch.Config, p Policy) (*sim.Report, error) {
+		return RunPoint(ctx, w, cfg, p)
+	}
+}
+
+// RunPoint builds and runs one policy on the workload — the unit of work of
+// every sweep. The context is checked before the (non-interruptible)
+// simulation starts, so cancelled sweeps stop at point granularity.
+func RunPoint(ctx context.Context, w *workload.Result, cfg arch.Config, p Policy) (*sim.Report, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+	}
 	rts, err := NewPolicy(p, cfg, w.App, w.Trace)
 	if err != nil {
 		return nil, err

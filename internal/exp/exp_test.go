@@ -2,8 +2,11 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"mrts/internal/arch"
@@ -80,7 +83,7 @@ func TestFig2SeriesAndVariation(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r, err := Fig8(expWorkload, 2, 2)
+	r, err := Fig8(context.Background(), DirectEvaluator(expWorkload), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	r, err := Fig9(expWorkload, 2, 2)
+	r, err := Fig9(context.Background(), DirectEvaluator(expWorkload), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +151,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r, err := Fig10(expWorkload, 2, 2)
+	r, err := Fig10(context.Background(), DirectEvaluator(expWorkload), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,17 +222,17 @@ func TestRenderers(t *testing.T) {
 	var buf bytes.Buffer
 	Fig1(2000, 500).Render(&buf)
 	Fig2(expWorkload).Render(&buf)
-	if r, err := Fig8(expWorkload, 1, 1); err == nil {
+	if r, err := Fig8(context.Background(), DirectEvaluator(expWorkload), 1, 1); err == nil {
 		r.Render(&buf)
 	} else {
 		t.Fatal(err)
 	}
-	if r, err := Fig9(expWorkload, 1, 1); err == nil {
+	if r, err := Fig9(context.Background(), DirectEvaluator(expWorkload), 1, 1); err == nil {
 		r.Render(&buf)
 	} else {
 		t.Fatal(err)
 	}
-	if r, err := Fig10(expWorkload, 1, 1); err == nil {
+	if r, err := Fig10(context.Background(), DirectEvaluator(expWorkload), 1, 1); err == nil {
 		r.Render(&buf)
 	} else {
 		t.Fatal(err)
@@ -265,7 +268,7 @@ func TestRenderCharts(t *testing.T) {
 	}
 
 	buf.Reset()
-	r8, err := Fig8(expWorkload, 1, 1)
+	r8, err := Fig8(context.Background(), DirectEvaluator(expWorkload), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func TestRenderCharts(t *testing.T) {
 	}
 
 	buf.Reset()
-	r10, err := Fig10(expWorkload, 1, 1)
+	r10, err := Fig10(context.Background(), DirectEvaluator(expWorkload), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +309,7 @@ func TestBarScaling(t *testing.T) {
 }
 
 func TestSharedSweep(t *testing.T) {
-	r, err := Shared(expWorkload, arch.Config{NPRC: 2, NCG: 2})
+	r, err := Shared(context.Background(), expWorkload, arch.Config{NPRC: 2, NCG: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,13 +345,13 @@ func TestSyntheticWorkloadRunsUnderAllPolicies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := RunPoint(context.Background(), w, arch.Config{}, PolicyRISC)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := arch.Config{NPRC: 2, NCG: 2}
 	for _, p := range []Policy{PolicyMRTS, PolicyRISPP, PolicyMorpheus, PolicyOffline} {
-		rep, err := runPolicy(p, cfg, w)
+		rep, err := RunPoint(context.Background(), w, cfg, p)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -359,7 +362,7 @@ func TestSyntheticWorkloadRunsUnderAllPolicies(t *testing.T) {
 }
 
 func TestMixFrontier(t *testing.T) {
-	r, err := MixFrontier(expWorkload, 4)
+	r, err := MixFrontier(context.Background(), DirectEvaluator(expWorkload), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,8 +415,9 @@ func TestFig1Golden(t *testing.T) {
 }
 
 func TestParMap(t *testing.T) {
+	ctx := context.Background()
 	// Order preserved.
-	out, err := parMap(20, func(i int) (int, error) { return i * i, nil })
+	out, err := ParMap(ctx, 20, func(_ context.Context, i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +427,7 @@ func TestParMap(t *testing.T) {
 		}
 	}
 	// Errors propagate; all workers complete.
-	_, err = parMap(10, func(i int) (int, error) {
+	_, err = ParMap(ctx, 10, func(_ context.Context, i int) (int, error) {
 		if i == 7 {
 			return 0, fmt.Errorf("boom")
 		}
@@ -433,8 +437,70 @@ func TestParMap(t *testing.T) {
 		t.Errorf("error not propagated: %v", err)
 	}
 	// Zero items.
-	if out, err := parMap(0, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
-		t.Error("empty parMap wrong")
+	if out, err := ParMap(ctx, 0, func(context.Context, int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Error("empty ParMap wrong")
+	}
+}
+
+func TestParMapStopsDispatchAfterError(t *testing.T) {
+	// After the first error no further indices are dispatched, and the
+	// context handed to in-flight calls is cancelled so they can bail.
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := ParMap(context.Background(), 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			return 0, context.Cause(ctx)
+		default:
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Dispatch is serialised through an unbuffered channel, so once the
+	// error cancels the context at most the worker count of extra calls
+	// can already be in flight.
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d indices dispatched despite early error", n)
+	}
+}
+
+func TestParMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ParMap(ctx, 50, func(context.Context, int) (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPointCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPoint(ctx, expWorkload, arch.Config{NPRC: 1, NCG: 1}, PolicyMRTS); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"mrts": PolicyMRTS, "rispp": PolicyRISPP, "morpheus": PolicyMorpheus,
+		"offline": PolicyOffline, "optimal": PolicyOptimal, "risc": PolicyRISC,
+		string(PolicyMRTS): PolicyMRTS,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParsePolicy("nope")
+	if err == nil || !strings.Contains(err.Error(), "mrts") {
+		t.Errorf("ParsePolicy(nope) error should list valid names, got %v", err)
 	}
 }
 

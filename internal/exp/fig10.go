@@ -1,11 +1,11 @@
 package exp
 
 import (
+	"context"
 	"io"
 
 	"mrts/internal/arch"
 	"mrts/internal/stats"
-	"mrts/internal/workload"
 )
 
 // Fig10Row is one fabric combination of the RISC-mode speedup analysis
@@ -34,19 +34,19 @@ type Fig10Result struct {
 // The paper's shape: FG-only combinations reach 1.8-2.2x, while
 // multi-grained combinations exceed 5x, and 1 PRC + 1 CG-EDPE beats
 // considerably larger single-grain budgets.
-func Fig10(w *workload.Result, maxPRC, maxCG int) (Fig10Result, error) {
+func Fig10(ctx context.Context, eval Evaluator, maxPRC, maxCG int) (Fig10Result, error) {
 	res := Fig10Result{
 		AvgByClass: map[arch.Grain]float64{},
 		MaxByClass: map[arch.Grain]float64{},
 	}
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := eval(ctx, arch.Config{}, PolicyRISC)
 	if err != nil {
 		return res, err
 	}
 	combos := Combos(maxPRC, maxCG, false)
-	rows, err := parMap(len(combos), func(i int) (Fig10Row, error) {
+	rows, err := ParMap(ctx, len(combos), func(ctx context.Context, i int) (Fig10Row, error) {
 		cfg := combos[i]
-		rep, err := runPolicy(PolicyMRTS, cfg, w)
+		rep, err := eval(ctx, cfg, PolicyMRTS)
 		if err != nil {
 			return Fig10Row{}, err
 		}

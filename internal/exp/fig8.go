@@ -1,11 +1,11 @@
 package exp
 
 import (
+	"context"
 	"io"
 
 	"mrts/internal/arch"
 	"mrts/internal/stats"
-	"mrts/internal/workload"
 )
 
 // Fig8Row is one fabric combination of the state-of-the-art comparison
@@ -37,25 +37,27 @@ var Fig8Policies = []Policy{PolicyRISPP, PolicyOffline, PolicyMorpheus, PolicyMR
 // Fig8 reproduces the comparison with state-of-the-art approaches (paper
 // Fig. 8): execution time of the whole H.264 encoder for every combination
 // of PRCs (0..maxPRC) and CG-EDPEs (0..maxCG) under the RISPP-like,
-// offline-optimal, Morpheus/4S-like and mRTS policies.
+// offline-optimal, Morpheus/4S-like and mRTS policies. Every point goes
+// through eval (see Evaluator), so a caching evaluator serves repeated
+// sweeps without re-simulation.
 //
 // Expected shape (paper Section 5.2): mRTS is fastest or tied everywhere;
 // it matches RISPP-like when no CG-EDPE is available and approaches the
 // loosely coupled schemes on single-grain combinations; the largest gaps
 // appear on multi-grained combinations.
-func Fig8(w *workload.Result, maxPRC, maxCG int) (Fig8Result, error) {
+func Fig8(ctx context.Context, eval Evaluator, maxPRC, maxCG int) (Fig8Result, error) {
 	res := Fig8Result{
 		AvgSpeedup: map[Policy]float64{},
 		MaxSpeedup: map[Policy]float64{},
 	}
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := eval(ctx, arch.Config{}, PolicyRISC)
 	if err != nil {
 		return res, err
 	}
 	res.RISCCycles = risc.TotalCycles
 
 	combos := Combos(maxPRC, maxCG, false)
-	rows, err := parMap(len(combos), func(i int) (Fig8Row, error) {
+	rows, err := ParMap(ctx, len(combos), func(ctx context.Context, i int) (Fig8Row, error) {
 		cfg := combos[i]
 		row := Fig8Row{
 			Config:  cfg,
@@ -63,7 +65,7 @@ func Fig8(w *workload.Result, maxPRC, maxCG int) (Fig8Result, error) {
 			Speedup: map[Policy]float64{},
 		}
 		for _, p := range Fig8Policies {
-			rep, err := runPolicy(p, cfg, w)
+			rep, err := eval(ctx, cfg, p)
 			if err != nil {
 				return row, err
 			}

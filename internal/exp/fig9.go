@@ -1,11 +1,11 @@
 package exp
 
 import (
+	"context"
 	"io"
 
 	"mrts/internal/arch"
 	"mrts/internal/stats"
-	"mrts/internal/workload"
 )
 
 // Fig9Row is one fabric combination of the heuristic-vs-optimal comparison
@@ -38,21 +38,21 @@ type Fig9Result struct {
 // one CG-fabric is available, and a worst case of ~11% on a PRC-only
 // combination, where the heuristic gives most PRCs to one kernel while the
 // optimal algorithm splits them between the two most important kernels.
-func Fig9(w *workload.Result, maxPRC, maxCG int) (Fig9Result, error) {
+func Fig9(ctx context.Context, eval Evaluator, maxPRC, maxCG int) (Fig9Result, error) {
 	var res Fig9Result
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := eval(ctx, arch.Config{}, PolicyRISC)
 	if err != nil {
 		return res, err
 	}
 	combos := Combos(maxPRC, maxCG, false)
-	rows, err := parMap(len(combos), func(i int) (Fig9Row, error) {
+	rows, err := ParMap(ctx, len(combos), func(ctx context.Context, i int) (Fig9Row, error) {
 		cfg := combos[i]
 		row := Fig9Row{Config: cfg}
-		heur, err := runPolicy(PolicyMRTS, cfg, w)
+		heur, err := eval(ctx, cfg, PolicyMRTS)
 		if err != nil {
 			return row, err
 		}
-		opt, err := runPolicy(PolicyOptimal, cfg, w)
+		opt, err := eval(ctx, cfg, PolicyOptimal)
 		if err != nil {
 			return row, err
 		}

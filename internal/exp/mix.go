@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"context"
 	"io"
 
 	"mrts/internal/arch"
-	"mrts/internal/workload"
 )
 
 // MixRow is one fabric mix of the equal-area frontier: a fixed total number
@@ -27,9 +27,9 @@ type MixResult struct {
 // analysis: for a fixed total unit count, it sweeps every PRC/CG split and
 // reports mRTS's speedup — answering the architecture question of how a
 // silicon budget should be divided between the fabrics.
-func MixFrontier(w *workload.Result, total int) (MixResult, error) {
+func MixFrontier(ctx context.Context, eval Evaluator, total int) (MixResult, error) {
 	res := MixResult{Total: total}
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := eval(ctx, arch.Config{}, PolicyRISC)
 	if err != nil {
 		return res, err
 	}
@@ -37,8 +37,8 @@ func MixFrontier(w *workload.Result, total int) (MixResult, error) {
 	for prc := 0; prc <= total; prc++ {
 		cfgs = append(cfgs, arch.Config{NPRC: prc, NCG: total - prc})
 	}
-	rows, err := parMap(len(cfgs), func(i int) (MixRow, error) {
-		rep, err := runPolicy(PolicyMRTS, cfgs[i], w)
+	rows, err := ParMap(ctx, len(cfgs), func(ctx context.Context, i int) (MixRow, error) {
+		rep, err := eval(ctx, cfgs[i], PolicyMRTS)
 		if err != nil {
 			return MixRow{}, err
 		}

@@ -1,18 +1,27 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
 
-// parMap evaluates f(0..n-1) concurrently (bounded by GOMAXPROCS) and
-// returns the results in index order. The first error wins; remaining
-// results are still awaited. Simulation runs are independent — each builds
-// its own runtime system and only reads the shared workload — so the
-// fabric sweeps parallelise over combinations.
-func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
+// ParMap evaluates f(ctx, 0..n-1) concurrently (bounded by GOMAXPROCS) and
+// returns the results in index order. The first error wins: no further
+// indices are dispatched after it, the context passed to in-flight calls is
+// cancelled so they can bail out early, and the remaining workers are still
+// awaited. Cancelling ctx has the same effect and surfaces its cause.
+// Simulation runs are independent — each builds its own runtime system and
+// only reads the shared workload — so the fabric sweeps parallelise over
+// combinations.
+func ParMap[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
 	out := make([]T, n)
-	errs := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -27,19 +36,30 @@ func parMap[T any](n int, f func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = f(i)
+				v, err := f(ctx, i)
+				if err != nil {
+					// The first cancel records its cause; later
+					// failures (typically context.Canceled echoes
+					// from aborted siblings) are no-ops.
+					cancel(err)
+					continue
+				}
+				out[i] = v
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
 	}
 	return out, nil
 }

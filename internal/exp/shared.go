@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"io"
 	"math"
 
@@ -51,9 +52,9 @@ type SharedResult struct {
 // while the yardstick is an offline-optimal selection recompiled for the
 // shrunken budget. A run-time system is valuable exactly when it tracks
 // that oracle without recompilation.
-func Shared(w *workload.Result, full arch.Config) (SharedResult, error) {
+func Shared(ctx context.Context, w *workload.Result, full arch.Config) (SharedResult, error) {
 	res := SharedResult{Full: full, MinRetention: math.Inf(1)}
-	risc, err := runPolicy(PolicyRISC, arch.Config{}, w)
+	risc, err := RunPoint(ctx, w, arch.Config{}, PolicyRISC)
 	if err != nil {
 		return res, err
 	}
@@ -66,7 +67,10 @@ func Shared(w *workload.Result, full arch.Config) (SharedResult, error) {
 		}
 	}
 
-	rows, err := parMap(len(levels), func(i int) (SharedRow, error) {
+	rows, err := ParMap(ctx, len(levels), func(ctx context.Context, i int) (SharedRow, error) {
+		if err := ctx.Err(); err != nil {
+			return SharedRow{}, context.Cause(ctx)
+		}
 		lv := levels[i]
 		row := SharedRow{
 			ReservedPRC: lv.prc,

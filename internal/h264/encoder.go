@@ -68,6 +68,13 @@ type Config struct {
 	ForceIntraEvery int
 }
 
+// Canonical returns the configuration with every default applied, for
+// content-addressed cache keys.
+func (c Config) Canonical() Config {
+	c.defaults()
+	return c
+}
+
 func (c *Config) defaults() {
 	if c.QP == 0 {
 		c.QP = 28

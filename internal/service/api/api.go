@@ -1,0 +1,265 @@
+// Package api defines the wire types of the mrts-serve HTTP/JSON API. It
+// is shared by the server (internal/service), the client
+// (internal/service/client) and the command-line tools, so a report
+// encoded by mrts-sim -o, a cached result served by the daemon and a
+// result printed by mrts-submit all use the same encoding.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/reconfig"
+	"mrts/internal/sim"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+// Job types accepted by POST /v1/jobs.
+const (
+	// JobSim runs one (fabric, policy) point and reports its cycle
+	// accounting against the RISC-mode reference.
+	JobSim = "sim"
+	// JobFig regenerates one figure/table of the paper's evaluation.
+	JobFig = "fig"
+	// JobSweep evaluates an explicit batch of points.
+	JobSweep = "sweep"
+)
+
+// Figs lists the valid figure names of a JobFig spec, in mrts-sweep order.
+var Figs = []string{"8", "9", "10", "overhead", "shared", "mix"}
+
+// WorkloadSpec selects the workload a job runs on. The zero value is the
+// default experiment workload geometry with no scene cuts.
+type WorkloadSpec struct {
+	Width       int    `json:"width,omitempty"`
+	Height      int    `json:"height,omitempty"`
+	Frames      int    `json:"frames,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	ProfileSeed uint64 `json:"profile_seed,omitempty"`
+	SceneCuts   []int  `json:"scene_cuts,omitempty"`
+}
+
+// Options converts the spec to workload build options.
+func (ws WorkloadSpec) Options() workload.Options {
+	return workload.Options{
+		Width:       ws.Width,
+		Height:      ws.Height,
+		Frames:      ws.Frames,
+		Seed:        ws.Seed,
+		ProfileSeed: ws.ProfileSeed,
+		Video:       video.Options{SceneCuts: ws.SceneCuts},
+	}
+}
+
+// Point is one (fabric combination, policy) evaluation.
+type Point struct {
+	PRC    int    `json:"prc"`
+	CG     int    `json:"cg"`
+	Policy string `json:"policy"`
+}
+
+// Config returns the fabric budget of the point.
+func (p Point) Config() arch.Config { return arch.Config{NPRC: p.PRC, NCG: p.CG} }
+
+// JobSpec is the body of POST /v1/jobs.
+type JobSpec struct {
+	// Type is one of JobSim, JobFig, JobSweep.
+	Type     string       `json:"type"`
+	Workload WorkloadSpec `json:"workload"`
+
+	// Sim jobs: the point to evaluate.
+	PRC    int    `json:"prc,omitempty"`
+	CG     int    `json:"cg,omitempty"`
+	Policy string `json:"policy,omitempty"`
+
+	// Fig jobs: figure name plus the sweep bounds.
+	Fig    string `json:"fig,omitempty"`
+	MaxPRC int    `json:"maxprc,omitempty"`
+	MaxCG  int    `json:"maxcg,omitempty"`
+
+	// Sweep jobs: the batch of points.
+	Points []Point `json:"points,omitempty"`
+
+	// TimeoutSec overrides the server's per-job timeout when positive.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// Validate checks the spec before it is queued, so submissions fail fast
+// with a 400 instead of failing later on a worker.
+func (s JobSpec) Validate() error {
+	if err := (arch.Config{NPRC: s.PRC, NCG: s.CG}).Validate(); err != nil {
+		return err
+	}
+	if s.Workload.Frames < 0 {
+		return fmt.Errorf("api: negative frame count %d", s.Workload.Frames)
+	}
+	switch s.Type {
+	case JobSim:
+		if _, err := exp.ParsePolicy(s.policyOrDefault()); err != nil {
+			return err
+		}
+	case JobFig:
+		for _, f := range Figs {
+			if s.Fig == f {
+				return nil
+			}
+		}
+		return fmt.Errorf("api: unknown fig %q (valid: 8, 9, 10, overhead, shared, mix)", s.Fig)
+	case JobSweep:
+		if len(s.Points) == 0 {
+			return fmt.Errorf("api: sweep job needs at least one point")
+		}
+		for _, p := range s.Points {
+			if err := p.Config().Validate(); err != nil {
+				return err
+			}
+			if _, err := exp.ParsePolicy(p.Policy); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("api: unknown job type %q (valid: sim, fig, sweep)", s.Type)
+	}
+	return nil
+}
+
+func (s JobSpec) policyOrDefault() string {
+	if s.Policy == "" {
+		return "mrts"
+	}
+	return s.Policy
+}
+
+// SimPolicy resolves the policy of a sim job.
+func (s JobSpec) SimPolicy() (exp.Policy, error) { return exp.ParsePolicy(s.policyOrDefault()) }
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Report is the flat JSON encoding of a simulation report plus its
+// RISC-mode reference — the same shape mrts-sim prints with -json.
+type Report struct {
+	Policy          string                 `json:"policy"`
+	PRC             int                    `json:"prc"`
+	CG              int                    `json:"cg"`
+	TotalCycles     arch.Cycles            `json:"total_cycles"`
+	RISCCycles      arch.Cycles            `json:"risc_cycles"`
+	Speedup         float64                `json:"speedup"`
+	Executions      int64                  `json:"executions"`
+	OverheadCycles  arch.Cycles            `json:"overhead_cycles"`
+	SoftwareCycles  arch.Cycles            `json:"software_cycles"`
+	KernelCycles    arch.Cycles            `json:"kernel_cycles"`
+	ModeExecutions  [4]int64               `json:"mode_executions"`
+	BlockCycles     map[string]arch.Cycles `json:"block_cycles"`
+	BlockIterations map[string]int         `json:"block_iterations"`
+	Reconfig        reconfig.Stats         `json:"reconfig"`
+}
+
+// NewReport flattens a simulation report; ref is the RISC-mode reference
+// run for the speedup (may be the report itself for RISC jobs).
+func NewReport(rep, ref *sim.Report) Report {
+	return Report{
+		Policy:          rep.Policy,
+		PRC:             rep.Config.NPRC,
+		CG:              rep.Config.NCG,
+		TotalCycles:     rep.TotalCycles,
+		RISCCycles:      ref.TotalCycles,
+		Speedup:         rep.Speedup(ref),
+		Executions:      rep.Executions,
+		OverheadCycles:  rep.OverheadCycles,
+		SoftwareCycles:  rep.SoftwareCycles,
+		KernelCycles:    rep.KernelCycles,
+		ModeExecutions:  rep.ModeExecs,
+		BlockCycles:     rep.BlockCycles,
+		BlockIterations: rep.BlockIterations,
+		Reconfig:        rep.Reconfig,
+	}
+}
+
+// MarshalIndentReport renders a report as indented JSON with a trailing
+// newline — the one encoding shared by mrts-sim (-json / -o),
+// mrts-submit and the service's golden tests.
+func MarshalIndentReport(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// JobResult is what a finished job carries.
+type JobResult struct {
+	// Text is the rendered figure/table, byte-identical to what the
+	// offline CLI (mrts-sweep / mrts-sim) prints for the same request.
+	Text string `json:"text,omitempty"`
+	// Report is set for sim jobs.
+	Report *Report `json:"report,omitempty"`
+	// Reports is set for sweep jobs, in point order.
+	Reports []Report `json:"reports,omitempty"`
+	// CacheHits/CacheMisses count result-cache lookups made by this job.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// ElapsedSec is the job's wall-clock execution time.
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string     `json:"id"`
+	State    JobState   `json:"state"`
+	Spec     JobSpec    `json:"spec"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Created  string     `json:"created,omitempty"`
+	Started  string     `json:"started,omitempty"`
+	Finished string     `json:"finished,omitempty"`
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Workload WorkloadSpec `json:"workload"`
+	Points   []Point      `json:"points"`
+}
+
+// SweepEvent is one newline-delimited JSON event of the /v1/sweep stream:
+// a progress event per completed point, then a final summary event with
+// Done set.
+type SweepEvent struct {
+	Index  int     `json:"index"`
+	Point  Point   `json:"point"`
+	Cached bool    `json:"cached,omitempty"`
+	Report *Report `json:"report,omitempty"`
+	Error  string  `json:"error,omitempty"`
+
+	Done       bool    `json:"done,omitempty"`
+	Completed  int     `json:"completed,omitempty"`
+	Failed     int     `json:"failed,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}

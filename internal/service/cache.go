@@ -1,0 +1,140 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/sim"
+	"mrts/internal/workload"
+)
+
+// CodeVersion salts every cache key. Bump it whenever a change to the
+// simulator, runtime systems, workload substrate or ISE library can alter
+// results, so stale entries from a previous binary can never be served
+// (relevant once the cache is persisted or shared between replicas).
+const CodeVersion = "mrts-sim-v1"
+
+// pointKey is the canonical identity of one simulation point. Hashing its
+// JSON form (fixed field order, defaults applied) makes the key
+// content-addressed: two requests that mean the same simulation produce
+// the same key no matter how sparsely they were spelled.
+type pointKey struct {
+	Version  string           `json:"version"`
+	Workload workload.Options `json:"workload"`
+	Config   arch.Config      `json:"config"`
+	Policy   exp.Policy       `json:"policy"`
+}
+
+// PointKey returns the content-addressed cache key of one (workload,
+// fabric, policy) simulation point.
+func PointKey(opts workload.Options, cfg arch.Config, p exp.Policy) string {
+	return hashJSON(pointKey{Version: CodeVersion, Workload: opts.Canonical(), Config: cfg, Policy: p})
+}
+
+// WorkloadKey returns the content-addressed key of a workload build.
+func WorkloadKey(opts workload.Options) string {
+	return hashJSON(struct {
+		Version  string           `json:"version"`
+		Workload workload.Options `json:"workload"`
+	}{CodeVersion, opts.Canonical()})
+}
+
+func hashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// The key structs hold only plain data; this cannot fail.
+		panic("service: cache key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// ResultCache is a bounded LRU of simulation reports keyed by PointKey.
+// Reports are treated as immutable once cached: every consumer only reads
+// them (the simulator allocates a fresh Report per run).
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *Counter
+	entries                 *Gauge
+}
+
+type cacheEntry struct {
+	key string
+	rep *sim.Report
+}
+
+// NewResultCache creates a cache holding at most capacity reports
+// (capacity <= 0 means 4096) and registers its metrics.
+func NewResultCache(capacity int, m *Metrics) *ResultCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &ResultCache{
+		cap:       capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		hits:      m.Counter("mrts_result_cache_hits_total"),
+		misses:    m.Counter("mrts_result_cache_misses_total"),
+		evictions: m.Counter("mrts_result_cache_evictions_total"),
+		entries:   m.Gauge("mrts_result_cache_entries"),
+	}
+}
+
+// Get returns the cached report for key, marking it most recently used.
+func (c *ResultCache) Get(key string) (*sim.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// Peek reports whether key is cached without touching the hit/miss
+// counters or the LRU order (used to label streamed sweep events).
+func (c *ResultCache) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put stores the report under key, evicting the least recently used entry
+// when the cache is full.
+func (c *ResultCache) Put(key string, rep *sim.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rep: rep})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(int64(c.ll.Len()))
+}
+
+// Len returns the number of cached reports.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,211 @@
+// Package client is the Go client of the mrts-serve HTTP API, used by
+// cmd/mrts-submit and by programs that want to run sweeps against a
+// shared daemon instead of simulating in-process.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mrts/internal/service/api"
+)
+
+// Client talks to one mrts-serve daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8341".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New creates a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Submit enqueues a job and returns its ID.
+func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (string, error) {
+	var resp api.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every retained job.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel cancels a job and returns its (possibly already terminal) status.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job every interval until it is terminal or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*api.JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, context.Cause(ctx)
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal state.
+func (c *Client) Run(ctx context.Context, spec api.JobSpec, poll time.Duration) (*api.JobStatus, error) {
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id, poll)
+}
+
+// Sweep streams a point batch. onEvent (may be nil) is called for every
+// progress event in arrival order; the final summary event is returned.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest, onEvent func(api.SweepEvent)) (*api.SweepEvent, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweep", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("sweep: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("sweep: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.SweepEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("sweep: bad event: %w", err)
+		}
+		if ev.Done {
+			return &ev, nil
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("sweep: stream ended without summary event")
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the plain-text metrics page.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/service/api"
+	"mrts/internal/sim"
+	"mrts/internal/workload"
+)
+
+// EvalStats counts the result-cache traffic of one job.
+type EvalStats struct {
+	Hits, Misses atomic.Int64
+}
+
+// Evaluator returns the service's job-execution path as an exp.Evaluator:
+// every (fabric, policy) point is first looked up in the content-addressed
+// result cache; on a miss the workload is fetched from the singleflight
+// workload cache (building it at most once per options) and the point is
+// simulated and cached. Figure sweeps, sweep batches and single sim jobs
+// all run through this one path. Two jobs racing on the same uncached
+// point may simulate it twice — the second Put is idempotent — which keeps
+// the hot path lock-free outside the cache lookups.
+func (s *Server) Evaluator(opts workload.Options) (exp.Evaluator, *EvalStats) {
+	canon := opts.Canonical()
+	stats := &EvalStats{}
+	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
+		key := PointKey(canon, cfg, p)
+		if rep, ok := s.results.Get(key); ok {
+			stats.Hits.Add(1)
+			return rep, nil
+		}
+		stats.Misses.Add(1)
+		w, err := s.workloads.Get(ctx, canon)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := exp.RunPoint(ctx, w, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		s.pointSeconds.Observe(time.Since(start).Seconds())
+		s.results.Put(key, rep)
+		return rep, nil
+	}
+	return eval, stats
+}
+
+// execute runs one job spec to completion under ctx.
+func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+	opts := spec.Workload.Options()
+	eval, stats := s.Evaluator(opts)
+	res := &api.JobResult{}
+
+	var err error
+	switch spec.Type {
+	case api.JobSim:
+		err = s.execSim(ctx, spec, eval, res)
+	case api.JobFig:
+		err = s.execFig(ctx, spec, opts, eval, res)
+	case api.JobSweep:
+		err = s.execSweep(ctx, spec.Points, eval, res)
+	default:
+		err = fmt.Errorf("service: unknown job type %q", spec.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.CacheHits = stats.Hits.Load()
+	res.CacheMisses = stats.Misses.Load()
+	return res, nil
+}
+
+func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.Evaluator, res *api.JobResult) error {
+	p, err := spec.SimPolicy()
+	if err != nil {
+		return err
+	}
+	rep, err := eval(ctx, arch.Config{NPRC: spec.PRC, NCG: spec.CG}, p)
+	if err != nil {
+		return err
+	}
+	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+	if err != nil {
+		return err
+	}
+	r := api.NewReport(rep, ref)
+	res.Report = &r
+	return nil
+}
+
+// execFig regenerates one figure. The rendered text is byte-identical to
+// what `mrts-sweep -fig <name>` prints for the same workload and bounds,
+// because the identical harness and renderer run underneath.
+func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Options, eval exp.Evaluator, res *api.JobResult) error {
+	maxPRC, maxCG := spec.MaxPRC, spec.MaxCG
+	if maxPRC == 0 {
+		maxPRC = 4
+	}
+	if maxCG == 0 {
+		maxCG = 3
+	}
+	var buf bytes.Buffer
+	switch spec.Fig {
+	case "8":
+		r, err := exp.Fig8(ctx, eval, maxPRC, maxCG)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
+	case "9":
+		r, err := exp.Fig9(ctx, eval, maxPRC, maxCG)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
+	case "10":
+		r, err := exp.Fig10(ctx, eval, min(maxPRC, 3), maxCG)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
+	case "mix":
+		for _, total := range []int{3, 5, 7} {
+			r, err := exp.MixFrontier(ctx, eval, total)
+			if err != nil {
+				return err
+			}
+			r.Render(&buf)
+			fmt.Fprintln(&buf)
+		}
+	case "shared":
+		w, err := s.workloads.Get(ctx, opts)
+		if err != nil {
+			return err
+		}
+		r, err := exp.Shared(ctx, w, arch.Config{NPRC: maxPRC, NCG: maxCG})
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
+	case "overhead":
+		w, err := s.workloads.Get(ctx, opts)
+		if err != nil {
+			return err
+		}
+		r, err := exp.Overhead(w, arch.Config{NPRC: 2, NCG: 2})
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
+	default:
+		return fmt.Errorf("service: unknown fig %q", spec.Fig)
+	}
+	res.Text = buf.String()
+	return nil
+}
+
+// execSweep evaluates an explicit batch of points (the body of both sweep
+// jobs and the streaming /v1/sweep endpoint's final result).
+func (s *Server) execSweep(ctx context.Context, points []api.Point, eval exp.Evaluator, res *api.JobResult) error {
+	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+	if err != nil {
+		return err
+	}
+	reports, err := exp.ParMap(ctx, len(points), func(ctx context.Context, i int) (api.Report, error) {
+		p, err := exp.ParsePolicy(points[i].Policy)
+		if err != nil {
+			return api.Report{}, err
+		}
+		rep, err := eval(ctx, points[i].Config(), p)
+		if err != nil {
+			return api.Report{}, err
+		}
+		return api.NewReport(rep, ref), nil
+	})
+	if err != nil {
+		return err
+	}
+	res.Reports = reports
+	return nil
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/service/api"
+)
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs             submit a job            -> 202 SubmitResponse
+//	GET    /v1/jobs             list jobs               -> 200 []JobStatus
+//	GET    /v1/jobs/{id}        poll a job              -> 200 JobStatus
+//	POST   /v1/jobs/{id}/cancel cancel a job            -> 200 JobStatus
+//	DELETE /v1/jobs/{id}        cancel a job            -> 200 JobStatus
+//	POST   /v1/sweep            evaluate a point batch, streaming one
+//	                            ndjson SweepEvent per completed point
+//	GET    /healthz             liveness                -> 200 "ok"
+//	GET    /metrics             plain-text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.metrics.WriteText(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: job.ID, State: api.StateQueued})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(job, true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(job, true))
+}
+
+// handleSweep evaluates a batch of points synchronously in the request,
+// streaming one newline-delimited JSON SweepEvent as each point
+// completes, then a final summary event. Closing the request aborts the
+// remaining points.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep request: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep needs at least one point")
+		return
+	}
+	for _, p := range req.Points {
+		if err := p.Config().Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if _, err := exp.ParsePolicy(p.Policy); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	eval, _ := s.Evaluator(req.Workload.Options())
+	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+
+	events := make(chan api.SweepEvent)
+	go func() {
+		defer close(events)
+		_, _ = exp.ParMap(ctx, len(req.Points), func(ctx context.Context, i int) (struct{}, error) {
+			pt := req.Points[i]
+			ev := api.SweepEvent{Index: i, Point: pt}
+			pol, _ := exp.ParsePolicy(pt.Policy) // validated above
+			ev.Cached = s.results.Peek(PointKey(req.Workload.Options(), pt.Config(), pol))
+			rep, err := eval(ctx, pt.Config(), pol)
+			if err != nil {
+				ev.Error = err.Error()
+			} else {
+				r := api.NewReport(rep, ref)
+				ev.Report = &r
+			}
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+			}
+			return struct{}{}, err
+		})
+	}()
+
+	var completed, failed int
+	for ev := range events {
+		if ev.Error != "" {
+			failed++
+		} else {
+			completed++
+		}
+		_ = enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(api.SweepEvent{
+		Index:      len(req.Points),
+		Done:       true,
+		Completed:  completed,
+		Failed:     failed,
+		ElapsedSec: time.Since(start).Seconds(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,363 @@
+// Package service is the mrts-serve daemon core: a concurrent simulation
+// service that accepts simulation, figure and sweep jobs over HTTP/JSON,
+// executes them on a bounded worker pool with per-job cancellation and
+// timeouts, and amortises repeated work across requests with a
+// content-addressed result cache and a singleflight workload cache. It is
+// the long-lived counterpart of the one-shot CLIs: the same experiment
+// pipeline (internal/exp) runs underneath, but sweeps over many (fabric x
+// policy x workload) points share traces and previously simulated points
+// instead of rebuilding them per process.
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mrts/internal/service/api"
+)
+
+// errJobCancelled is the cancel cause distinguishing an API cancellation
+// from a timeout or a server shutdown.
+var errJobCancelled = errors.New("job cancelled")
+
+// Options configure a server.
+type Options struct {
+	// Workers is the size of the worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// submissions beyond it are rejected with 503 (default 256).
+	QueueDepth int
+	// ResultCacheSize bounds the point-result LRU (default 4096).
+	ResultCacheSize int
+	// WorkloadCacheSize bounds the built-workload LRU (default 16).
+	WorkloadCacheSize int
+	// JobTimeout is the default per-job execution deadline; a job spec
+	// may override it with TimeoutSec (default 10 minutes).
+	JobTimeout time.Duration
+	// KeepJobs bounds how many terminal jobs are retained for polling
+	// before the oldest are forgotten (default 1024).
+	KeepJobs int
+}
+
+func (o *Options) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.KeepJobs <= 0 {
+		o.KeepJobs = 1024
+	}
+}
+
+// Job is the server-side state of one submitted job. Fields are guarded
+// by the owning Server's mu.
+type Job struct {
+	ID       string
+	Spec     api.JobSpec
+	State    api.JobState
+	Err      string
+	Result   *api.JobResult
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// Server owns the worker pool, the job table and the caches.
+type Server struct {
+	opts      Options
+	metrics   *Metrics
+	results   *ResultCache
+	workloads *WorkloadCache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission order, for listing and retention
+	queue chan *Job
+
+	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *Counter
+	queueDepth, running                                *Gauge
+	jobSeconds, pointSeconds                           *Histogram
+}
+
+// New creates a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts.defaults()
+	m := NewMetrics()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		metrics:   m,
+		results:   NewResultCache(opts.ResultCacheSize, m),
+		workloads: NewWorkloadCache(opts.WorkloadCacheSize, m),
+		baseCtx:   ctx,
+		stop:      stop,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, opts.QueueDepth),
+
+		jobsSubmitted: m.Counter("mrts_jobs_submitted_total"),
+		jobsDone:      m.Counter("mrts_jobs_done_total"),
+		jobsFailed:    m.Counter("mrts_jobs_failed_total"),
+		jobsCancelled: m.Counter("mrts_jobs_cancelled_total"),
+		queueDepth:    m.Gauge("mrts_queue_depth"),
+		running:       m.Gauge("mrts_jobs_running"),
+		jobSeconds:    m.Histogram("mrts_job_seconds"),
+		pointSeconds:  m.Histogram("mrts_point_eval_seconds"),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the registry (for /metrics and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ResultCache exposes the point cache (for tests and benchmarks).
+func (s *Server) ResultCache() *ResultCache { return s.results }
+
+// Close cancels every running job, stops the workers and waits for them.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// Submit validates and enqueues a job. It returns the job with state
+// queued, or an error (ErrQueueFull when the pool is saturated).
+func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	job := &Job{
+		ID:      newJobID(),
+		Spec:    spec,
+		State:   api.StateQueued,
+		Created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.retireOldLocked()
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		cancel(ErrQueueFull)
+		return nil, ErrQueueFull
+	}
+	s.jobsSubmitted.Inc()
+	s.queueDepth.Set(int64(len(s.queue)))
+	return job, nil
+}
+
+// ErrQueueFull is returned by Submit when the job queue is saturated.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// retireOldLocked drops the oldest terminal jobs beyond the retention
+// bound so the job table cannot grow without limit.
+func (s *Server) retireOldLocked() {
+	for len(s.order) > s.opts.KeepJobs {
+		dropped := false
+		for i, id := range s.order {
+			if j, ok := s.jobs[id]; ok && j.State.Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // everything live; keep them all
+		}
+	}
+}
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel moves a queued job straight to cancelled, or cancels the context
+// of a running one (its worker then marks it cancelled and frees the
+// slot). Cancelling a terminal job is a no-op. The second return reports
+// whether the job exists.
+func (s *Server) Cancel(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	switch j.State {
+	case api.StateQueued:
+		s.finishLocked(j, api.StateCancelled, "cancelled while queued", nil)
+	case api.StateRunning:
+		// The worker observes the cancellation at the next point
+		// boundary and finishes the job itself.
+	}
+	s.mu.Unlock()
+	j.cancel(errJobCancelled)
+	return j, true
+}
+
+// Status snapshots a job as its API representation.
+func (s *Server) Status(j *Job, includeResult bool) api.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := api.JobStatus{
+		ID:      j.ID,
+		State:   j.State,
+		Spec:    j.Spec,
+		Error:   j.Err,
+		Created: j.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.Started.IsZero() {
+		st.Started = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		st.Finished = j.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if includeResult {
+		st.Result = j.Result
+	}
+	return st
+}
+
+// Jobs snapshots every retained job in submission order.
+func (s *Server) Jobs() []api.JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Job(id); ok {
+			out = append(out, s.Status(j, false))
+		}
+	}
+	return out
+}
+
+// Wait blocks until the job is terminal or ctx expires.
+func (s *Server) Wait(ctx context.Context, j *Job) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// worker is the pool loop: one goroutine per worker slot.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.queueDepth.Set(int64(len(s.queue)))
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job and records its terminal state.
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	if job.State != api.StateQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	job.State = api.StateRunning
+	job.Started = time.Now()
+	s.mu.Unlock()
+	s.running.Inc()
+	defer s.running.Dec()
+
+	timeout := s.opts.JobTimeout
+	if job.Spec.TimeoutSec > 0 {
+		timeout = time.Duration(job.Spec.TimeoutSec * float64(time.Second))
+	}
+	ctx, cancel := context.WithTimeout(job.ctx, timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.execute(ctx, job.Spec)
+	elapsed := time.Since(start)
+	s.jobSeconds.Observe(elapsed.Seconds())
+	if res != nil {
+		res.ElapsedSec = elapsed.Seconds()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.finishLocked(job, api.StateDone, "", res)
+	case errors.Is(err, errJobCancelled):
+		s.finishLocked(job, api.StateCancelled, "cancelled", nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(job, api.StateFailed, fmt.Sprintf("timeout after %s", timeout), nil)
+	default:
+		s.finishLocked(job, api.StateFailed, err.Error(), nil)
+	}
+}
+
+// finishLocked moves a job to a terminal state exactly once.
+func (s *Server) finishLocked(j *Job, state api.JobState, msg string, res *api.JobResult) {
+	if j.State.Terminal() {
+		return
+	}
+	j.State = state
+	j.Err = msg
+	j.Result = res
+	j.Finished = time.Now()
+	close(j.done)
+	switch state {
+	case api.StateDone:
+		s.jobsDone.Inc()
+	case api.StateFailed:
+		s.jobsFailed.Inc()
+	case api.StateCancelled:
+		s.jobsCancelled.Inc()
+	}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: job id entropy: " + err.Error())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

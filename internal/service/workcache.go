@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"mrts/internal/workload"
+)
+
+// WorkloadCache deduplicates workload builds: concurrent jobs over the
+// same (video, encoder) parameters run the H.264 encode once and share
+// the resulting trace (singleflight), and completed builds stay cached in
+// a small LRU because traces are the most expensive artifact the service
+// produces. A *workload.Result is immutable after Build, so sharing one
+// instance across concurrent simulations is safe — the simulator and
+// runtime systems only read it.
+type WorkloadCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // completed entries, front = most recently used
+	items map[string]*workEntry
+
+	hits, misses, waits, evictions *Counter
+	buildSeconds                   *Histogram
+}
+
+type workEntry struct {
+	key  string
+	done chan struct{} // closed when the build finishes
+	w    *workload.Result
+	err  error
+	el   *list.Element // non-nil once the entry is in the LRU list
+}
+
+// NewWorkloadCache creates a cache keeping at most capacity built
+// workloads (capacity <= 0 means 16) and registers its metrics.
+func NewWorkloadCache(capacity int, m *Metrics) *WorkloadCache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &WorkloadCache{
+		cap:          capacity,
+		ll:           list.New(),
+		items:        make(map[string]*workEntry),
+		hits:         m.Counter("mrts_workload_cache_hits_total"),
+		misses:       m.Counter("mrts_workload_cache_misses_total"),
+		waits:        m.Counter("mrts_workload_cache_shared_builds_total"),
+		evictions:    m.Counter("mrts_workload_cache_evictions_total"),
+		buildSeconds: m.Histogram("mrts_workload_build_seconds"),
+	}
+}
+
+// Get returns the workload for opts, building it if no other job already
+// has. If a build for the same options is in flight, Get waits for it
+// instead of encoding the sequence a second time. The build itself is not
+// interrupted by ctx (another waiter may still want it); only the wait is.
+func (c *WorkloadCache) Get(ctx context.Context, opts workload.Options) (*workload.Result, error) {
+	key := WorkloadKey(opts)
+
+	c.mu.Lock()
+	if e, ok := c.items[key]; ok {
+		select {
+		case <-e.done: // completed: a plain cache hit
+			if e.err == nil {
+				c.hits.Inc()
+				c.ll.MoveToFront(e.el)
+			}
+		default: // in flight: join the build
+			c.waits.Inc()
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+		return e.w, e.err
+	}
+	e := &workEntry{key: key, done: make(chan struct{})}
+	c.items[key] = e
+	c.misses.Inc()
+	c.mu.Unlock()
+
+	start := time.Now()
+	e.w, e.err = workload.Build(opts)
+	c.buildSeconds.Observe(time.Since(start).Seconds())
+	close(e.done)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Do not cache failures: a later retry should rebuild.
+		delete(c.items, key)
+	} else {
+		e.el = c.ll.PushFront(e)
+		if c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*workEntry).key)
+			c.evictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	return e.w, e.err
+}
+
+// Len returns the number of completed cached workloads.
+func (c *WorkloadCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -112,6 +112,13 @@ type Options struct {
 	Speed float64
 }
 
+// Canonical returns the options with every default applied, for
+// content-addressed cache keys.
+func (o Options) Canonical() Options {
+	o.defaults()
+	return o
+}
+
 func (o *Options) defaults() {
 	if o.Objects == 0 {
 		o.Objects = 4

@@ -68,6 +68,17 @@ func (o *Options) defaults() {
 	}
 }
 
+// Canonical returns the options with every default applied. Two Options
+// values that build the same workload have the same Canonical form, which
+// is what content-addressed caches (the mrts-serve result and workload
+// caches) hash instead of the raw user input.
+func (o Options) Canonical() Options {
+	o.defaults()
+	o.Video = o.Video.Canonical()
+	o.Encoder = o.Encoder.Canonical()
+	return o
+}
+
 // Result bundles everything a workload build produces.
 type Result struct {
 	App    *ise.Application
