@@ -139,6 +139,31 @@ func BenchmarkFig10(b *testing.B) {
 	b.ReportMetric(r.AvgByClass[arch.GrainMG], "avg-MG-x")
 }
 
+// BenchmarkFaults regenerates the graceful-degradation sweep (`mrts-sweep
+// -fig faults`): permanent fabric failures at growing loss fractions, the
+// four Fig. 8 policies run to completion on what survives. Reported
+// metrics are mRTS's slowdown at full loss relative to RISC mode (should
+// approach 1) and its advantage over the best static baseline at 50% loss.
+func BenchmarkFaults(b *testing.B) {
+	w, _ := benchWorkload(b)
+	b.ResetTimer()
+	var r exp.FaultsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.Faults(context.Background(), exp.DirectFaultEvaluator(w), exp.FaultsConfig, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(float64(last.Cycles[exp.PolicyMRTS])/float64(r.RISCCycles), "full-loss-vs-RISC-x")
+	for _, row := range r.Rows {
+		if row.Fraction == 0.5 {
+			b.ReportMetric(row.AdvantageStatic, "half-loss-vs-static-x")
+		}
+	}
+}
+
 // BenchmarkOverhead regenerates the Section 5.4 analysis: the mRTS
 // selection overhead in cycles per trigger instruction.
 func BenchmarkOverhead(b *testing.B) {

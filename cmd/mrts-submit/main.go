@@ -12,6 +12,13 @@
 //	mrts-submit -stream -maxprc 2 -maxcg 2 # streamed per-point sweep
 //	mrts-submit -metrics                  # the daemon's /metrics page
 //
+// Fault scenarios attach to single simulations and sweeps (-failprc,
+// -failcg, -flapprc, -flapcg, -corruptfg, -corruptcg, -faultseed), and
+// `-fig faults` regenerates the graceful-degradation sweep. Transient
+// submission failures (daemon restarting, connection refused, HTTP
+// 502/503/504) are retried up to -retries attempts with capped
+// exponential backoff.
+//
 // The workload flags (-frames, -seed) and sweep bounds (-maxprc, -maxcg)
 // default to the same values as cmd/mrts-sweep.
 package main
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mrts/internal/service/api"
@@ -30,7 +38,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "http://localhost:8341", "mrts-serve base URL")
-		fig     = flag.String("fig", "", "figure to regenerate: 8|9|10|overhead|shared|mix|all (empty = single simulation)")
+		fig     = flag.String("fig", "", "figure to regenerate: "+strings.Join(api.Figs, "|")+"|all (empty = single simulation)")
 		prc     = flag.Int("prc", 2, "number of PRCs (single simulation)")
 		cgN     = flag.Int("cg", 1, "number of CG-EDPEs (single simulation)")
 		policy  = flag.String("policy", "mrts", "runtime policy (single simulation)")
@@ -45,12 +53,33 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the daemon's /metrics page and exit")
 		cancel  = flag.String("cancel", "", "cancel the job with this ID and exit")
 		nowait  = flag.Bool("nowait", false, "submit without waiting; print the job ID")
+		retries = flag.Int("retries", 3, "attempts per API call for transient daemon errors (1 = no retry)")
+
+		failPRC   = flag.Int("failprc", 0, "fault scenario: PRCs failing permanently")
+		failCG    = flag.Int("failcg", 0, "fault scenario: CG-EDPEs failing permanently")
+		flapPRC   = flag.Int("flapprc", 0, "fault scenario: PRCs failing transiently and recovering")
+		flapCG    = flag.Int("flapcg", 0, "fault scenario: CG-EDPEs failing transiently and recovering")
+		corruptFG = flag.Int("corruptfg", 0, "fault scenario: corrupted FG bitstream transfers")
+		corruptCG = flag.Int("corruptcg", 0, "fault scenario: corrupted CG configuration transfers")
+		faultSeed = flag.Uint64("faultseed", 1, "fault-schedule seed")
+		horizonM  = flag.Float64("horizon", 0, "fault horizon in Mcycles (0 = a tenth of the RISC reference run)")
 	)
 	flag.Parse()
 
 	ctx, stop := context.WithTimeout(context.Background(), *timeout)
 	defer stop()
 	c := client.New(*addr)
+	c.Retry = client.RetryPolicy{MaxAttempts: *retries}
+
+	faults := &api.FaultSpec{
+		Seed: *faultSeed, FailPRC: *failPRC, FailCG: *failCG,
+		FlapPRC: *flapPRC, FlapCG: *flapCG,
+		CorruptFG: *corruptFG, CorruptCG: *corruptCG,
+		HorizonMCycles: *horizonM,
+	}
+	if *failPRC+*failCG+*flapPRC+*flapCG+*corruptFG+*corruptCG == 0 && *fig != "faults" {
+		faults = nil // benign scenario: submit the plain spec
+	}
 
 	switch {
 	case *metrics:
@@ -74,14 +103,14 @@ func main() {
 	}
 
 	if *stream {
-		streamSweep(ctx, c, wl, *maxPRC, *maxCG)
+		streamSweep(ctx, c, wl, faults, *maxPRC, *maxCG)
 		return
 	}
 
 	var out string
 	switch *fig {
 	case "":
-		spec := api.JobSpec{Type: api.JobSim, Workload: wl, PRC: *prc, CG: *cgN, Policy: *policy}
+		spec := api.JobSpec{Type: api.JobSim, Workload: wl, PRC: *prc, CG: *cgN, Policy: *policy, Faults: faults}
 		st := runJob(ctx, c, spec, *poll, *nowait)
 		if st == nil {
 			return
@@ -94,14 +123,14 @@ func main() {
 			if i > 0 {
 				out += "\n"
 			}
-			st := runJob(ctx, c, figSpec(name, wl, *maxPRC, *maxCG), *poll, *nowait)
+			st := runJob(ctx, c, figSpec(name, wl, nil, *maxPRC, *maxCG), *poll, *nowait)
 			if st == nil {
 				return
 			}
 			out += st.Result.Text
 		}
 	default:
-		st := runJob(ctx, c, figSpec(*fig, wl, *maxPRC, *maxCG), *poll, *nowait)
+		st := runJob(ctx, c, figSpec(*fig, wl, faults, *maxPRC, *maxCG), *poll, *nowait)
 		if st == nil {
 			return
 		}
@@ -113,8 +142,8 @@ func main() {
 	}
 }
 
-func figSpec(name string, wl api.WorkloadSpec, maxPRC, maxCG int) api.JobSpec {
-	return api.JobSpec{Type: api.JobFig, Workload: wl, Fig: name, MaxPRC: maxPRC, MaxCG: maxCG}
+func figSpec(name string, wl api.WorkloadSpec, faults *api.FaultSpec, maxPRC, maxCG int) api.JobSpec {
+	return api.JobSpec{Type: api.JobFig, Workload: wl, Fig: name, MaxPRC: maxPRC, MaxCG: maxCG, Faults: faults}
 }
 
 // runJob submits and (unless nowait) waits; a nil return means the ID was
@@ -137,8 +166,9 @@ func runJob(ctx context.Context, c *client.Client, spec api.JobSpec, poll time.D
 }
 
 // streamSweep runs the mRTS policy over the full fabric sweep through the
-// streaming endpoint, printing each point as it completes.
-func streamSweep(ctx context.Context, c *client.Client, wl api.WorkloadSpec, maxPRC, maxCG int) {
+// streaming endpoint, printing each point as it completes. A fault
+// scenario, when given, applies to every point.
+func streamSweep(ctx context.Context, c *client.Client, wl api.WorkloadSpec, faults *api.FaultSpec, maxPRC, maxCG int) {
 	var points []api.Point
 	for p := 0; p <= maxPRC; p++ {
 		for cg := 0; cg <= maxCG; cg++ {
@@ -148,7 +178,7 @@ func streamSweep(ctx context.Context, c *client.Client, wl api.WorkloadSpec, max
 			points = append(points, api.Point{PRC: p, CG: cg, Policy: "mrts"})
 		}
 	}
-	final, err := c.Sweep(ctx, api.SweepRequest{Workload: wl, Points: points}, func(ev api.SweepEvent) {
+	final, err := c.Sweep(ctx, api.SweepRequest{Workload: wl, Points: points, Faults: faults}, func(ev api.SweepEvent) {
 		src := "sim"
 		if ev.Cached {
 			src = "hit"

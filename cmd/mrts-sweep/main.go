@@ -8,6 +8,7 @@
 //	mrts-sweep -fig 8            # one figure
 //	mrts-sweep -fig all          # everything
 //	mrts-sweep -fig 10 -frames 16 -maxprc 3 -maxcg 3
+//	mrts-sweep -fig faults       # graceful-degradation sweep
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
@@ -24,14 +26,19 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 8|9|10|overhead|shared|mix|all")
-		frames = flag.Int("frames", 16, "video frames to encode")
-		seed   = flag.Uint64("seed", 1, "synthetic video seed")
-		maxPRC = flag.Int("maxprc", 4, "maximum PRC count of the sweep")
-		maxCG  = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
-		chart  = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
+		fig       = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigNames, "|")+"|all")
+		frames    = flag.Int("frames", 16, "video frames to encode")
+		seed      = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC    = flag.Int("maxprc", 4, "maximum PRC count of the sweep")
+		maxCG     = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
+		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
+		faultSeed = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
 	)
 	flag.Parse()
+
+	if *fig != "all" && !exp.ValidFig(*fig) {
+		fatal(fmt.Errorf("unknown figure %q (valid: %s, all)", *fig, strings.Join(exp.FigNames, ", ")))
+	}
 
 	w, err := workload.Build(workload.Options{
 		Frames: *frames,
@@ -94,8 +101,14 @@ func main() {
 				fatal(err)
 			}
 			r.Render(os.Stdout)
+		case "faults":
+			r, err := exp.Faults(ctx, exp.DirectFaultEvaluator(w), exp.FaultsConfig, *faultSeed)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
 		default:
-			fatal(fmt.Errorf("unknown figure %q", name))
+			fatal(fmt.Errorf("unknown figure %q (valid: %s, all)", name, strings.Join(exp.FigNames, ", ")))
 		}
 	}
 

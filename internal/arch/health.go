@@ -1,0 +1,135 @@
+package arch
+
+import "fmt"
+
+// Health classifies the state of one reconfigurable container (a PRC or a
+// CG-EDPE). The benign case — every container Healthy forever — is the
+// model the paper evaluates; the fault subsystem (internal/fault) drives
+// the other two states at run time.
+type Health int
+
+const (
+	// Healthy containers accept configurations and execute them.
+	Healthy Health = iota
+	// Suspect containers are transiently down (an intermittent fault) and
+	// are expected to recover; they hold no configuration meanwhile.
+	Suspect
+	// Failed containers are permanently lost.
+	Failed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// Fabric tracks per-container health for one processor instance. The zero
+// count case (RISC-only configs) is valid and always reports zero
+// availability. With every container Healthy — the initial state — the
+// available counts equal the configured totals, so a fault-free run is
+// indistinguishable from the pre-fault capacity arithmetic.
+type Fabric struct {
+	prc []Health
+	cg  []Health
+}
+
+// NewFabric creates an all-healthy fabric for the budget.
+func NewFabric(cfg Config) *Fabric {
+	return &Fabric{
+		prc: make([]Health, cfg.NPRC),
+		cg:  make([]Health, cfg.NCG),
+	}
+}
+
+func (f *Fabric) units(kind FabricKind) []Health {
+	if kind == FG {
+		return f.prc
+	}
+	return f.cg
+}
+
+func countHealthy(hs []Health) int {
+	n := 0
+	for _, h := range hs {
+		if h == Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// AvailablePRC returns the number of healthy PRCs.
+func (f *Fabric) AvailablePRC() int { return countHealthy(f.prc) }
+
+// AvailableCG returns the number of healthy CG-EDPEs.
+func (f *Fabric) AvailableCG() int { return countHealthy(f.cg) }
+
+// Available returns the number of healthy containers of the kind.
+func (f *Fabric) Available(kind FabricKind) int { return countHealthy(f.units(kind)) }
+
+// Lost returns the number of containers of the kind currently not healthy
+// (failed or suspect).
+func (f *Fabric) Lost(kind FabricKind) int {
+	hs := f.units(kind)
+	return len(hs) - countHealthy(hs)
+}
+
+// Health returns the state of container i of the kind.
+func (f *Fabric) Health(kind FabricKind, i int) Health {
+	hs := f.units(kind)
+	if i < 0 || i >= len(hs) {
+		return Failed
+	}
+	return hs[i]
+}
+
+// Fail marks the lowest-indexed healthy container of the kind as Failed
+// (permanent) or Suspect (transient). It reports whether a healthy
+// container was found; failing an already-dead fabric is a no-op.
+func (f *Fabric) Fail(kind FabricKind, permanent bool) bool {
+	hs := f.units(kind)
+	for i, h := range hs {
+		if h != Healthy {
+			continue
+		}
+		if permanent {
+			hs[i] = Failed
+		} else {
+			hs[i] = Suspect
+		}
+		return true
+	}
+	return false
+}
+
+// Recover returns the lowest-indexed Suspect container of the kind to
+// Healthy. It reports whether a suspect container was found; permanent
+// failures never recover.
+func (f *Fabric) Recover(kind FabricKind) bool {
+	hs := f.units(kind)
+	for i, h := range hs {
+		if h == Suspect {
+			hs[i] = Healthy
+			return true
+		}
+	}
+	return false
+}
+
+// Reset returns every container to Healthy.
+func (f *Fabric) Reset() {
+	for i := range f.prc {
+		f.prc[i] = Healthy
+	}
+	for i := range f.cg {
+		f.cg[i] = Healthy
+	}
+}

@@ -1,0 +1,87 @@
+package arch
+
+import "testing"
+
+func TestFabricAllHealthy(t *testing.T) {
+	f := NewFabric(Config{NPRC: 3, NCG: 2})
+	if f.AvailablePRC() != 3 || f.AvailableCG() != 2 {
+		t.Errorf("fresh fabric available = %d/%d, want 3/2", f.AvailablePRC(), f.AvailableCG())
+	}
+	if f.Lost(FG) != 0 || f.Lost(CG) != 0 {
+		t.Errorf("fresh fabric lost = %d/%d, want 0/0", f.Lost(FG), f.Lost(CG))
+	}
+}
+
+func TestFabricFailAndRecover(t *testing.T) {
+	f := NewFabric(Config{NPRC: 2, NCG: 1})
+
+	if !f.Fail(FG, true) {
+		t.Fatal("permanent failure rejected on healthy fabric")
+	}
+	if f.AvailablePRC() != 1 || f.Lost(FG) != 1 {
+		t.Errorf("after one failure: available=%d lost=%d", f.AvailablePRC(), f.Lost(FG))
+	}
+	// Permanent failures never recover.
+	if f.Recover(FG) {
+		t.Error("Recover resurrected a permanently failed PRC")
+	}
+
+	if !f.Fail(CG, false) {
+		t.Fatal("transient failure rejected")
+	}
+	if f.AvailableCG() != 0 {
+		t.Errorf("suspect container still available")
+	}
+	if !f.Recover(CG) {
+		t.Fatal("suspect container did not recover")
+	}
+	if f.AvailableCG() != 1 {
+		t.Errorf("recovered container not available")
+	}
+
+	// Exhaust the PRCs, then further failures report false.
+	if !f.Fail(FG, true) {
+		t.Fatal("second PRC failure rejected")
+	}
+	if f.Fail(FG, true) {
+		t.Error("failure accepted on an exhausted fabric")
+	}
+
+	f.Reset()
+	if f.AvailablePRC() != 2 || f.AvailableCG() != 1 {
+		t.Errorf("Reset did not restore health: %d/%d", f.AvailablePRC(), f.AvailableCG())
+	}
+}
+
+func TestFabricHealthStates(t *testing.T) {
+	f := NewFabric(Config{NPRC: 2})
+	f.Fail(FG, true)  // unit 0 -> Failed
+	f.Fail(FG, false) // unit 1 -> Suspect
+	if got := f.Health(FG, 0); got != Failed {
+		t.Errorf("unit 0 health = %v, want %v", got, Failed)
+	}
+	if got := f.Health(FG, 1); got != Suspect {
+		t.Errorf("unit 1 health = %v, want %v", got, Suspect)
+	}
+	if f.Available(FG) != 0 {
+		t.Errorf("Available = %d, want 0", f.Available(FG))
+	}
+	// Recover targets the suspect unit, not the failed one.
+	if !f.Recover(FG) {
+		t.Fatal("recover failed")
+	}
+	if got := f.Health(FG, 1); got != Healthy {
+		t.Errorf("unit 1 health after recover = %v, want %v", got, Healthy)
+	}
+	if got := f.Health(FG, 0); got != Failed {
+		t.Errorf("unit 0 health after recover = %v, want %v", got, Failed)
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{Healthy: "healthy", Suspect: "suspect", Failed: "failed"} {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q, want %q", h, h.String(), want)
+		}
+	}
+}

@@ -55,13 +55,16 @@ func (s *StaticRTS) Selected(id ise.KernelID) *ise.ISE { return s.byKernel[id] }
 
 // OnTrigger implements core.RuntimeSystem. Static systems perform no
 // run-time selection (zero overhead); in multiplex mode the block's
-// precomputed set is committed to the fabric.
+// precomputed set is committed to the fabric. The commit is the
+// fault-tolerant variant: a static set that no longer fits the surviving
+// fabric loses ISEs (their kernels run in RISC mode) instead of aborting
+// the run — but, unlike mRTS, the selection is never revised to suit the
+// remaining capacity.
 func (s *StaticRTS) OnTrigger(block *ise.FunctionalBlock, _ string, _ []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
 	s.ctrl.Advance(now)
 	if set, ok := s.perBlock[block.ID]; ok {
-		if _, err := s.ctrl.CommitSelection(set, now); err != nil {
-			return 0, fmt.Errorf("baseline: %s: %w", s.name, err)
-		}
+		res := s.ctrl.CommitSelectionSafe(set, now)
+		s.stats.Degradations += int64(len(res.Skipped))
 	}
 	return 0, nil
 }

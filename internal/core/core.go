@@ -49,6 +49,17 @@ type RuntimeSystem interface {
 	Reset()
 }
 
+// FaultHandler is implemented by runtime systems that react to fabric
+// fault events (container failures and recoveries). The simulator applies
+// each event batch to the reconfiguration controller first, then calls
+// OnFault with the data paths that were lost; `lost` may be empty (e.g. a
+// recovery, or a failed container that held nothing). The returned cycles
+// are re-selection overhead visible on the critical path. OnFault must
+// degrade rather than fail: a run never aborts because fabric died.
+type FaultHandler interface {
+	OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, error)
+}
+
 // Overhead cost model of the run-time system (paper Section 5.4): the
 // selection cost is dominated by profit-function evaluations, whose count
 // the selector reports.
@@ -76,6 +87,19 @@ type Stats struct {
 	Execs [4]int64
 	// ExecCycles accumulates execution cycles per ECU mode.
 	ExecCycles [4]arch.Cycles
+
+	// FaultEvents counts fabric fault notifications delivered to the
+	// runtime system.
+	FaultEvents int64
+	// Invalidations counts selected ISEs dropped because a data path
+	// they reference was lost to a container failure.
+	Invalidations int64
+	// Reselections counts selections re-run in reaction to a fault.
+	Reselections int64
+	// Degradations counts selected ISEs that could not be (re)configured
+	// on the surviving fabric; their kernels fall back through the ECU
+	// chain (intermediate -> monoCG -> RISC).
+	Degradations int64
 }
 
 // SelectFunc is a pluggable selection algorithm (selector.Greedy by default,
@@ -111,9 +135,17 @@ type MRTS struct {
 
 	selected map[ise.KernelID]*ise.ISE
 	stats    Stats
+
+	// lastBlock / lastPhase / lastTriggers memoise the most recent
+	// trigger instruction, so a fault mid-iteration can re-run the
+	// selection for the block currently executing.
+	lastBlock    *ise.FunctionalBlock
+	lastPhase    string
+	lastTriggers []ise.Trigger
 }
 
 var _ RuntimeSystem = (*MRTS)(nil)
+var _ FaultHandler = (*MRTS)(nil)
 
 // New creates an mRTS instance managing the given fabric budget.
 func New(cfg arch.Config, opts Options) (*MRTS, error) {
@@ -167,6 +199,17 @@ func (m *MRTS) Selected(id ise.KernelID) *ise.ISE { return m.selected[id] }
 // the MPU, runs the ISE selection algorithm, commits the selection to the
 // reconfiguration controller and returns the visible selection overhead.
 func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
+	m.lastBlock, m.lastPhase = block, phase
+	m.lastTriggers = triggers
+	return m.selectAndCommit(block, phase, triggers, now)
+}
+
+// selectAndCommit is the selection pipeline shared by trigger instructions
+// and fault reactions: MPU-corrected forecasts, the selection algorithm,
+// and a fault-tolerant commit to the reconfiguration controller. ISEs the
+// surviving fabric cannot hold are dropped from the selection (their
+// kernels degrade through the ECU chain) instead of aborting the run.
+func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
 	m.ctrl.Advance(now)
 	corrected := m.pred.ForecastAll(forecastKey(block.ID, phase), triggers)
 
@@ -180,9 +223,11 @@ func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []is
 		return 0, fmt.Errorf("core: selection for block %q: %w", block.ID, err)
 	}
 
-	if _, err := m.ctrl.CommitSelection(res.ISEs(), now); err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
+	// A skipped ISE keeps its kernel -> ISE assignment: its configured
+	// prefix (if any) stays on the fabric, so the ECU can still dispatch
+	// it as an intermediate ISE, and falls back to monoCG/RISC otherwise.
+	commit := m.ctrl.CommitSelectionSafe(res.ISEs(), now)
+	m.stats.Degradations += int64(len(commit.Skipped))
 	for id := range m.selected {
 		delete(m.selected, id)
 	}
@@ -203,6 +248,50 @@ func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []is
 	if !m.opts.ChargeOverhead {
 		visible = 0
 	}
+	return visible, nil
+}
+
+// OnFault implements FaultHandler: selected ISEs whose data paths were
+// lost are invalidated, the MPU is told to discard the disrupted
+// iteration's observations, and — if a trigger instruction has been seen —
+// the selection is re-run over the surviving fabric. Failures degrade
+// (clear the selection, fall back to RISC) rather than abort.
+func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, error) {
+	m.stats.FaultEvents++
+	m.ctrl.Advance(now)
+	if len(lost) > 0 {
+		lostSet := make(map[ise.DataPathID]bool, len(lost))
+		for _, id := range lost {
+			lostSet[id] = true
+		}
+		for kid, e := range m.selected {
+			for _, d := range e.DataPaths {
+				if lostSet[d.ID] {
+					delete(m.selected, kid)
+					m.stats.Invalidations++
+					break
+				}
+			}
+		}
+	}
+	if m.lastBlock == nil {
+		return 0, nil
+	}
+	visible, err := m.selectAndCommit(m.lastBlock, m.lastPhase, m.lastTriggers, now)
+	// Mark the disruption after the re-selection's ForecastAll (which
+	// clears pending marks): the observations of the iteration currently
+	// executing must be discarded at its block end.
+	m.pred.NoteDisruption(forecastKey(m.lastBlock.ID, m.lastPhase))
+	if err != nil {
+		// Selection itself failed: degrade to RISC for every kernel
+		// rather than aborting the run.
+		m.stats.Degradations++
+		for id := range m.selected {
+			delete(m.selected, id)
+		}
+		return 0, nil
+	}
+	m.stats.Reselections++
 	return visible, nil
 }
 
@@ -242,6 +331,7 @@ func (m *MRTS) Reset() {
 	m.pred.Reset()
 	m.selected = make(map[ise.KernelID]*ise.ISE)
 	m.stats = Stats{}
+	m.lastBlock, m.lastPhase, m.lastTriggers = nil, "", nil
 }
 
 // RISCOnly is the null policy: every kernel executes on the core

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ecu"
+)
+
+func TestOnFaultBeforeTriggerIsNoop(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{ChargeOverhead: true})
+	visible, err := m.OnFault(nil, 100)
+	if err != nil || visible != 0 {
+		t.Fatalf("OnFault before any trigger = (%d, %v), want (0, nil)", visible, err)
+	}
+	if st := m.Stats(); st.FaultEvents != 1 || st.Reselections != 0 {
+		t.Errorf("stats = %+v, want one fault event, no re-selection", st)
+	}
+}
+
+func TestOnFaultInvalidatesAndReselects(t *testing.T) {
+	m := MustNew(arch.Config{NPRC: 1, NCG: 1}, Options{ChargeOverhead: true})
+	blk := testBlock()
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	sel := m.Selected("k")
+	if sel == nil {
+		t.Fatal("no ISE selected")
+	}
+
+	// Lose the container under the selected ISE's first data path.
+	kind := sel.DataPaths[0].Kind
+	if !m.Controller().FailUnit(kind, true) {
+		t.Fatal("FailUnit failed")
+	}
+	lost := m.Controller().TakeInvalidated()
+	visible, err := m.OnFault(lost, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.FaultEvents != 1 || st.Reselections != 1 {
+		t.Errorf("FaultEvents=%d Reselections=%d, want 1/1", st.FaultEvents, st.Reselections)
+	}
+	if len(lost) > 0 && st.Invalidations == 0 {
+		t.Error("lost data paths did not invalidate the selection")
+	}
+	if visible == 0 {
+		t.Error("re-selection reported no visible overhead despite ChargeOverhead")
+	}
+	// The re-selection works with the surviving fabric: whatever is
+	// selected now must not use the dead fabric kind beyond its capacity.
+	if again := m.Selected("k"); again != nil {
+		for _, d := range again.DataPaths {
+			if d.Kind == kind {
+				t.Errorf("re-selection still uses the dead %v fabric", kind)
+			}
+		}
+	}
+}
+
+func TestOnFaultFullLossDegradesToRISC(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{})
+	blk := testBlock()
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Controller().FailUnit(arch.CG, true)
+	lost := m.Controller().TakeInvalidated()
+	if _, err := m.OnFault(lost, 500); err != nil {
+		t.Fatalf("OnFault on a fully dead fabric must degrade, got error %v", err)
+	}
+	// Execution falls back: the kernel still runs (RISC or monoCG are
+	// impossible here — the CG-EDPE is gone — so RISC it is).
+	d := m.Execute(blk.Kernel("k"), 1000)
+	if d.Mode != ecu.RISC {
+		t.Errorf("post-loss execution mode = %v, want RISC", d.Mode)
+	}
+	if d.Latency != blk.Kernel("k").RISCLatency {
+		t.Errorf("post-loss latency = %d, want RISC latency", d.Latency)
+	}
+}
+
+func TestResetClearsFaultMemo(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1}, Options{})
+	if _, err := m.OnTrigger(testBlock(), "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	// After Reset there is no memoised trigger: OnFault is a no-op again.
+	if visible, err := m.OnFault(nil, 0); err != nil || visible != 0 {
+		t.Errorf("OnFault after Reset = (%d, %v), want (0, nil)", visible, err)
+	}
+	if st := m.Stats(); st.Reselections != 0 {
+		t.Errorf("Reset did not clear re-selection state: %+v", st)
+	}
+}

@@ -92,6 +92,21 @@ func NewPolicy(p Policy, cfg arch.Config, app *ise.Application, tr *trace.Trace)
 	}
 }
 
+// FigNames are the figure/sweep names the CLIs and the service accept, in
+// presentation order. It is the single figure-name table shared by
+// mrts-sweep, mrts-submit and the service API.
+var FigNames = []string{"8", "9", "10", "overhead", "shared", "mix", "faults"}
+
+// ValidFig reports whether name is a known figure name.
+func ValidFig(name string) bool {
+	for _, f := range FigNames {
+		if name == f {
+			return true
+		}
+	}
+	return false
+}
+
 // Evaluator evaluates one (fabric combination, policy) point of a sweep.
 // The figure harnesses are written against this single job-execution path,
 // so the same aggregation code runs whether points are simulated directly

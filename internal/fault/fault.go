@@ -1,0 +1,361 @@
+// Package fault is a seeded, fully deterministic fault-injection engine for
+// the multi-grained reconfigurable fabric. It produces a time-ordered
+// schedule of fabric events — permanent PRC/CG-EDPE failures, transient
+// configuration (bitstream) corruptions detected by a CRC-style check after
+// streaming, and intermittent containers that fail and later recover —
+// parameterised by per-fabric counts over a time horizon, and replayable
+// byte-for-byte from a seed.
+//
+// The paper's central claim is that a run-time system beats static
+// selection because fabric availability changes under its feet; faults are
+// the sharpest instance of such a change. A Schedule is immutable and
+// shareable across concurrent runs; each run obtains its own Engine cursor
+// via Schedule.Engine.
+//
+// Determinism notes: event times are drawn from independent per-category
+// splitmix64 streams, so the k-th permanent PRC failure lands at the same
+// time regardless of how many further failures a scenario requests. A
+// degradation sweep that grows the failure count row by row therefore adds
+// failures to a fixed prefix instead of reshuffling the whole schedule —
+// which is what makes measured degradation curves monotone and comparable.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"mrts/internal/arch"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+const (
+	// PermanentFail kills one container of the event's fabric forever.
+	PermanentFail Kind = iota
+	// TransientDown takes one container of the event's fabric down; a
+	// matching Recover event follows DownCycles later.
+	TransientDown
+	// Recover returns one transiently-down container to service.
+	Recover
+	// Corrupt marks the next configuration attempts on the event's fabric
+	// as corrupted (CRC check fails after streaming); the reconfiguration
+	// controller retries with bounded backoff. Corrupt events are consumed
+	// by the configuration port, not delivered to the runtime system.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PermanentFail:
+		return "permanent-fail"
+	case TransientDown:
+		return "transient-down"
+	case Recover:
+		return "recover"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a fault schedule.
+type Event struct {
+	// Time is when the event strikes, in core clock cycles.
+	Time arch.Cycles
+	// Kind is what happens.
+	Kind Kind
+	// Fabric is which fabric it happens to.
+	Fabric arch.FabricKind
+	// Runs is, for Corrupt events, how many consecutive configuration
+	// attempts the corruption spoils (>= 1). Zero for container events.
+	Runs int
+}
+
+func (e Event) String() string {
+	if e.Kind == Corrupt {
+		return fmt.Sprintf("@%d %s %s x%d", e.Time, e.Fabric, e.Kind, e.Runs)
+	}
+	return fmt.Sprintf("@%d %s %s", e.Time, e.Fabric, e.Kind)
+}
+
+// Options parameterise a fault schedule. The zero value is the benign
+// no-fault scenario.
+type Options struct {
+	// FailPRC / FailCG are the numbers of permanent container failures
+	// per fabric, spread over the horizon.
+	FailPRC int
+	FailCG  int
+
+	// FlapPRC / FlapCG are the numbers of intermittent outages per
+	// fabric: a container goes down and recovers DownCycles later.
+	FlapPRC int
+	FlapCG  int
+	// DownCycles is the outage length of one flap (default 500_000).
+	DownCycles arch.Cycles
+
+	// CorruptFG / CorruptCG are the numbers of bitstream-corruption
+	// events per fabric. Each spoils MaxRun-bounded consecutive
+	// configuration attempts on that fabric's port.
+	CorruptFG int
+	CorruptCG int
+	// MaxRun bounds the consecutive corrupted attempts of one Corrupt
+	// event (default 1; the run length is drawn uniformly from 1..MaxRun).
+	MaxRun int
+
+	// Horizon is the time window events are drawn from. Required (> 0)
+	// whenever any event count is non-zero.
+	Horizon arch.Cycles
+}
+
+// IsZero reports whether the options describe the benign scenario.
+func (o Options) IsZero() bool {
+	return o.FailPRC == 0 && o.FailCG == 0 &&
+		o.FlapPRC == 0 && o.FlapCG == 0 &&
+		o.CorruptFG == 0 && o.CorruptCG == 0
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"FailPRC", o.FailPRC}, {"FailCG", o.FailCG},
+		{"FlapPRC", o.FlapPRC}, {"FlapCG", o.FlapCG},
+		{"CorruptFG", o.CorruptFG}, {"CorruptCG", o.CorruptCG},
+	} {
+		if c.n < 0 {
+			return fmt.Errorf("fault: negative %s %d", c.name, c.n)
+		}
+	}
+	if o.DownCycles < 0 {
+		return fmt.Errorf("fault: negative DownCycles %d", o.DownCycles)
+	}
+	if o.MaxRun < 0 {
+		return fmt.Errorf("fault: negative MaxRun %d", o.MaxRun)
+	}
+	if !o.IsZero() && o.Horizon <= 0 {
+		return fmt.Errorf("fault: horizon %d must be positive when events are requested", o.Horizon)
+	}
+	return nil
+}
+
+const (
+	// DefaultDownCycles is the outage length of one intermittent flap:
+	// 5 ms at the core clock, i.e. a handful of functional-block
+	// iterations.
+	DefaultDownCycles arch.Cycles = 500_000
+	// DefaultMaxRun is the default bound on consecutive corrupted
+	// configuration attempts per Corrupt event.
+	DefaultMaxRun = 1
+)
+
+// rng is a splitmix64 stream (Steele et al., "Fast splittable pseudorandom
+// number generators"): tiny, full-period, and — unlike math/rand's global
+// source — owned by the schedule, so generation is reproducible and
+// race-free by construction.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// cycles draws a uniform time in [0, horizon).
+func (r *rng) cycles(horizon arch.Cycles) arch.Cycles {
+	return arch.Cycles(r.next() % uint64(horizon))
+}
+
+// intn draws a uniform int in [1, n].
+func (r *rng) oneTo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + int(r.next()%uint64(n))
+}
+
+// stream derives an independent sub-stream for an event category. Each
+// category consumes only its own stream, so growing one count never
+// perturbs the times of another category — or of that category's prefix.
+func stream(seed uint64, category uint64) *rng {
+	base := rng{s: seed}
+	for i := uint64(0); i <= category; i++ {
+		base.next()
+	}
+	return &rng{s: base.next() ^ (category+1)*0xd1342543de82ef95}
+}
+
+// Schedule is an immutable, time-ordered fault schedule. Safe for
+// concurrent use; per-run cursor state lives in Engine.
+type Schedule struct {
+	seed uint64
+	opts Options
+
+	// events holds the container events (fail / down / recover), sorted
+	// by time, ties broken deterministically.
+	events []Event
+	// corrupt holds the corruption events per fabric kind, sorted by
+	// time; they feed the reconfiguration controller's CRC verifier.
+	corrupt [2][]Event
+}
+
+// NewSchedule draws a schedule from the seed and options.
+func NewSchedule(seed uint64, opts Options) (*Schedule, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.DownCycles == 0 {
+		opts.DownCycles = DefaultDownCycles
+	}
+	if opts.MaxRun == 0 {
+		opts.MaxRun = DefaultMaxRun
+	}
+	s := &Schedule{seed: seed, opts: opts}
+
+	type cat struct {
+		id     uint64
+		n      int
+		kind   Kind
+		fabric arch.FabricKind
+	}
+	cats := []cat{
+		{0, opts.FailPRC, PermanentFail, arch.FG},
+		{1, opts.FailCG, PermanentFail, arch.CG},
+		{2, opts.FlapPRC, TransientDown, arch.FG},
+		{3, opts.FlapCG, TransientDown, arch.CG},
+		{4, opts.CorruptFG, Corrupt, arch.FG},
+		{5, opts.CorruptCG, Corrupt, arch.CG},
+	}
+	for _, c := range cats {
+		if c.n == 0 {
+			continue
+		}
+		r := stream(seed, c.id)
+		for i := 0; i < c.n; i++ {
+			at := r.cycles(opts.Horizon)
+			switch c.kind {
+			case Corrupt:
+				runs := r.oneTo(opts.MaxRun)
+				s.corrupt[c.fabric] = append(s.corrupt[c.fabric],
+					Event{Time: at, Kind: Corrupt, Fabric: c.fabric, Runs: runs})
+			case TransientDown:
+				s.events = append(s.events,
+					Event{Time: at, Kind: TransientDown, Fabric: c.fabric},
+					Event{Time: at + opts.DownCycles, Kind: Recover, Fabric: c.fabric})
+			default:
+				s.events = append(s.events, Event{Time: at, Kind: c.kind, Fabric: c.fabric})
+			}
+		}
+	}
+	order := func(evs []Event) {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].Time != evs[j].Time {
+				return evs[i].Time < evs[j].Time
+			}
+			if evs[i].Fabric != evs[j].Fabric {
+				return evs[i].Fabric < evs[j].Fabric
+			}
+			return evs[i].Kind < evs[j].Kind
+		})
+	}
+	order(s.events)
+	order(s.corrupt[arch.FG])
+	order(s.corrupt[arch.CG])
+	return s, nil
+}
+
+// MustSchedule is NewSchedule for options known to be valid.
+func MustSchedule(seed uint64, opts Options) *Schedule {
+	s, err := NewSchedule(seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Seed returns the seed the schedule was drawn from.
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+// Options returns the (defaulted) options the schedule was drawn with.
+func (s *Schedule) Options() Options { return s.opts }
+
+// Events returns a copy of the container-event schedule in time order.
+func (s *Schedule) Events() []Event {
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Corruptions returns a copy of the corruption events of the fabric kind.
+func (s *Schedule) Corruptions(kind arch.FabricKind) []Event {
+	out := make([]Event, len(s.corrupt[kind]))
+	copy(out, s.corrupt[kind])
+	return out
+}
+
+// Len returns the total number of events in the schedule.
+func (s *Schedule) Len() int {
+	return len(s.events) + len(s.corrupt[arch.FG]) + len(s.corrupt[arch.CG])
+}
+
+// Engine returns a fresh replay cursor over the schedule. Each simulation
+// run must use its own Engine; the Schedule itself is never mutated.
+type Engine struct {
+	sched *Schedule
+	// next indexes the first undelivered container event.
+	next int
+	// corrupt[k] is the remaining corruption queue of fabric k; head
+	// first. remaining counts the head event's unconsumed run units.
+	corrupt   [2][]Event
+	remaining [2]int
+}
+
+// Engine returns a fresh cursor positioned at time zero.
+func (s *Schedule) Engine() *Engine {
+	e := &Engine{sched: s}
+	for k := range e.corrupt {
+		e.corrupt[k] = s.corrupt[k]
+		if len(e.corrupt[k]) > 0 {
+			e.remaining[k] = e.corrupt[k][0].Runs
+		}
+	}
+	return e
+}
+
+// Next returns the container events due at or before now, in schedule
+// order, advancing the cursor past them.
+func (e *Engine) Next(now arch.Cycles) []Event {
+	start := e.next
+	for e.next < len(e.sched.events) && e.sched.events[e.next].Time <= now {
+		e.next++
+	}
+	return e.sched.events[start:e.next]
+}
+
+// Pending reports whether undelivered container events remain.
+func (e *Engine) Pending() bool { return e.next < len(e.sched.events) }
+
+// Corrupted implements the reconfiguration controller's CRC verifier: it
+// reports whether a configuration attempt on the fabric kind completing at
+// time `at` streams a corrupted bitstream. Each call consumes one run unit
+// of the head corruption event once that event's time has passed, so a
+// retry after backoff sees the next unit (and eventually a clean stream).
+func (e *Engine) Corrupted(kind arch.FabricKind, at arch.Cycles) bool {
+	q := e.corrupt[kind]
+	if len(q) == 0 || q[0].Time > at {
+		return false
+	}
+	e.remaining[kind]--
+	if e.remaining[kind] <= 0 {
+		e.corrupt[kind] = q[1:]
+		if len(e.corrupt[kind]) > 0 {
+			e.remaining[kind] = e.corrupt[kind][0].Runs
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"mrts/internal/arch"
+)
+
+func TestScheduleReproducible(t *testing.T) {
+	opts := Options{
+		FailPRC: 3, FailCG: 2, FlapPRC: 2, FlapCG: 1,
+		CorruptFG: 4, CorruptCG: 3, MaxRun: 3,
+		Horizon: 10_000_000,
+	}
+	a := MustSchedule(42, opts)
+	b := MustSchedule(42, opts)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("same seed, different container events:\n%v\n%v", a.Events(), b.Events())
+	}
+	for _, k := range []arch.FabricKind{arch.FG, arch.CG} {
+		if !reflect.DeepEqual(a.Corruptions(k), b.Corruptions(k)) {
+			t.Fatalf("same seed, different %v corruptions", k)
+		}
+	}
+	c := MustSchedule(43, opts)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatalf("different seeds produced identical container events")
+	}
+}
+
+// TestSchedulePrefixStable is the property the degradation sweep depends
+// on: the schedule with N failures of one category must be a superset of
+// the schedule with N-1 — growing a count appends events, it never
+// reshuffles the ones already drawn, in any category.
+func TestSchedulePrefixStable(t *testing.T) {
+	base := Options{FailPRC: 2, FailCG: 1, FlapPRC: 1, CorruptFG: 2, Horizon: 5_000_000}
+	grown := base
+	grown.FailPRC = 4
+	grown.CorruptCG = 3
+
+	timesOf := func(s *Schedule, kind Kind, fabric arch.FabricKind) []arch.Cycles {
+		var out []arch.Cycles
+		for _, ev := range s.Events() {
+			if ev.Kind == kind && ev.Fabric == fabric {
+				out = append(out, ev.Time)
+			}
+		}
+		return out
+	}
+	a, b := MustSchedule(7, base), MustSchedule(7, grown)
+
+	small := timesOf(a, PermanentFail, arch.FG)
+	big := timesOf(b, PermanentFail, arch.FG)
+	if len(small) != 2 || len(big) != 4 {
+		t.Fatalf("want 2 and 4 PRC failures, got %d and %d", len(small), len(big))
+	}
+	bigSet := map[arch.Cycles]bool{}
+	for _, at := range big {
+		bigSet[at] = true
+	}
+	for _, at := range small {
+		if !bigSet[at] {
+			t.Fatalf("failure at %d from the smaller schedule missing in the grown one", at)
+		}
+	}
+	// Untouched categories are byte-identical.
+	for _, probe := range []struct {
+		kind   Kind
+		fabric arch.FabricKind
+	}{
+		{PermanentFail, arch.CG},
+		{TransientDown, arch.FG},
+		{Recover, arch.FG},
+	} {
+		if !reflect.DeepEqual(timesOf(a, probe.kind, probe.fabric), timesOf(b, probe.kind, probe.fabric)) {
+			t.Fatalf("growing FailPRC/CorruptCG perturbed %v %v times", probe.fabric, probe.kind)
+		}
+	}
+	if !reflect.DeepEqual(a.Corruptions(arch.FG), b.Corruptions(arch.FG)) {
+		t.Fatalf("growing other categories perturbed FG corruptions")
+	}
+}
+
+func TestScheduleFlapsPair(t *testing.T) {
+	opts := Options{FlapPRC: 3, DownCycles: 1000, Horizon: 1_000_000}
+	s := MustSchedule(1, opts)
+	downs := map[arch.Cycles]bool{}
+	var nDown, nRec int
+	for _, ev := range s.Events() {
+		switch ev.Kind {
+		case TransientDown:
+			nDown++
+			downs[ev.Time] = true
+		case Recover:
+			nRec++
+			if !downs[ev.Time-1000] {
+				t.Fatalf("recover at %d has no matching down at %d", ev.Time, ev.Time-1000)
+			}
+		default:
+			t.Fatalf("unexpected %v in a flap-only schedule", ev)
+		}
+	}
+	if nDown != 3 || nRec != 3 {
+		t.Fatalf("want 3 downs and 3 recovers, got %d and %d", nDown, nRec)
+	}
+	// Events are time-ordered.
+	evs := s.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("events out of order: %v before %v", evs[i-1], evs[i])
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{FailPRC: -1, Horizon: 1},
+		{DownCycles: -1},
+		{MaxRun: -1},
+		{FailCG: 1}, // events without a horizon
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options should validate: %v", err)
+	}
+	if !(Options{}).IsZero() {
+		t.Errorf("zero options should report IsZero")
+	}
+	if (Options{CorruptFG: 1, Horizon: 1}).IsZero() {
+		t.Errorf("corruption-only options must not report IsZero")
+	}
+}
+
+func TestEngineNextAndPending(t *testing.T) {
+	s := MustSchedule(9, Options{FailPRC: 4, Horizon: 1_000_000})
+	e := s.Engine()
+	if !e.Pending() {
+		t.Fatalf("fresh engine reports no pending events")
+	}
+	var got []Event
+	// Deliver in two arbitrary slices; the union must be the schedule.
+	mid := s.Events()[1].Time
+	got = append(got, e.Next(mid)...)
+	if len(got) < 2 {
+		t.Fatalf("Next(%d) delivered %d events, want >= 2", mid, len(got))
+	}
+	got = append(got, e.Next(2_000_000)...)
+	if !reflect.DeepEqual(got, s.Events()) {
+		t.Fatalf("delivered events %v != schedule %v", got, s.Events())
+	}
+	if e.Pending() {
+		t.Fatalf("drained engine still pending")
+	}
+	if evs := e.Next(3_000_000); len(evs) != 0 {
+		t.Fatalf("drained engine delivered %v", evs)
+	}
+}
+
+func TestEngineCorruptionConsumed(t *testing.T) {
+	// One corruption event with a known run length: the first Runs
+	// attempts after its time fail the CRC check, then the port is clean.
+	s := MustSchedule(3, Options{CorruptFG: 1, MaxRun: 3, Horizon: 1_000_000})
+	ev := s.Corruptions(arch.FG)[0]
+	e := s.Engine()
+
+	if e.Corrupted(arch.FG, ev.Time-1) {
+		t.Fatalf("corruption consumed before its time")
+	}
+	if e.Corrupted(arch.CG, ev.Time+1) {
+		t.Fatalf("FG corruption leaked onto the CG port")
+	}
+	for i := 0; i < ev.Runs; i++ {
+		if !e.Corrupted(arch.FG, ev.Time+arch.Cycles(i)) {
+			t.Fatalf("attempt %d of %d not corrupted", i+1, ev.Runs)
+		}
+	}
+	if e.Corrupted(arch.FG, ev.Time+1_000_000) {
+		t.Fatalf("corruption outlived its run length %d", ev.Runs)
+	}
+
+	// A second engine over the same schedule replays identically —
+	// cursors do not share consumption state.
+	e2 := s.Engine()
+	if !e2.Corrupted(arch.FG, ev.Time) {
+		t.Fatalf("fresh engine did not replay the corruption")
+	}
+}
+
+func TestScheduleDefaults(t *testing.T) {
+	s := MustSchedule(1, Options{FlapCG: 1, CorruptCG: 1, Horizon: 1000})
+	o := s.Options()
+	if o.DownCycles != DefaultDownCycles {
+		t.Errorf("DownCycles = %d, want default %d", o.DownCycles, DefaultDownCycles)
+	}
+	if o.MaxRun != DefaultMaxRun {
+		t.Errorf("MaxRun = %d, want default %d", o.MaxRun, DefaultMaxRun)
+	}
+	if s.Len() != 3 { // down + recover + corrupt
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.Seed() != 1 {
+		t.Errorf("Seed = %d, want 1", s.Seed())
+	}
+}

@@ -38,6 +38,10 @@ type Predictor struct {
 	timing bool
 
 	state map[key]*entry
+	// disrupted marks trigger-instruction keys whose next observations
+	// must be discarded: a fabric fault mid-iteration perturbs the
+	// monitored timings in a way that says nothing about the workload.
+	disrupted map[string]bool
 }
 
 type key struct {
@@ -84,7 +88,7 @@ func WithTimingTracking() Option {
 
 // New creates a Predictor.
 func New(opts ...Option) *Predictor {
-	p := &Predictor{alpha: 0.25, enabled: true, state: make(map[key]*entry)}
+	p := &Predictor{alpha: 0.25, enabled: true, state: make(map[key]*entry), disrupted: make(map[string]bool)}
 	for _, o := range opts {
 		o(p)
 	}
@@ -113,8 +117,11 @@ func (p *Predictor) Forecast(block string, t ise.Trigger) ise.Trigger {
 	return t
 }
 
-// ForecastAll corrects a whole trigger instruction.
+// ForecastAll corrects a whole trigger instruction. Reaching the next
+// trigger instruction also clears a pending disruption mark for the key:
+// the iteration the fault perturbed is over.
 func (p *Predictor) ForecastAll(block string, ts []ise.Trigger) []ise.Trigger {
+	delete(p.disrupted, block)
 	out := make([]ise.Trigger, len(ts))
 	for i, t := range ts {
 		out[i] = p.Forecast(block, t)
@@ -122,11 +129,21 @@ func (p *Predictor) ForecastAll(block string, ts []ise.Trigger) []ise.Trigger {
 	return out
 }
 
+// NoteDisruption tells the MPU that a fabric fault disturbed the current
+// iteration of the trigger instruction: the observations delivered at its
+// block end reflect executions stalled by dying containers, not workload
+// behaviour, and folding them back would poison the learned forecasts.
+func (p *Predictor) NoteDisruption(block string) {
+	if p.enabled {
+		p.disrupted[block] = true
+	}
+}
+
 // Observe folds the monitored values of a completed block iteration back
 // into the forecasts: pred += alpha * (observed - pred). The first
 // observation seeds the state from the profile trigger that was used.
 func (p *Predictor) Observe(block string, profile ise.Trigger, obs Observation) {
-	if !p.enabled {
+	if !p.enabled || p.disrupted[block] {
 		return
 	}
 	k := key{block, obs.Kernel}
@@ -143,6 +160,7 @@ func (p *Predictor) Observe(block string, profile ise.Trigger, obs Observation) 
 // Reset clears all learned state.
 func (p *Predictor) Reset() {
 	p.state = make(map[key]*entry)
+	p.disrupted = make(map[string]bool)
 }
 
 // Len returns the number of (block, kernel) forecasts currently tracked.

@@ -158,3 +158,43 @@ func TestObservationTypes(t *testing.T) {
 		t.Error("observation fields wrong")
 	}
 }
+
+func TestNoteDisruptionSkipsObservations(t *testing.T) {
+	p := New(WithAlpha(0.5))
+	prof := profileTrigger()
+	p.NoteDisruption("blk")
+	// The disrupted iteration's observation is discarded: the forecast
+	// stays at the profile values.
+	p.Observe("blk", prof, Observation{Kernel: "k", E: 200})
+	if got := p.Forecast("blk", prof); got.E != prof.E {
+		t.Errorf("disrupted observation leaked into the forecast: E = %d", got.E)
+	}
+	// Other keys are unaffected.
+	p.Observe("other", prof, Observation{Kernel: "k", E: 200})
+	if got := p.Forecast("other", prof); got.E == prof.E {
+		t.Error("undisrupted key skipped its observation")
+	}
+	// ForecastAll (the next trigger instruction) clears the mark, so the
+	// following iteration's observation counts again.
+	p.ForecastAll("blk", []ise.Trigger{prof})
+	p.Observe("blk", prof, Observation{Kernel: "k", E: 200})
+	if got := p.Forecast("blk", prof); got.E == prof.E {
+		t.Error("observation after the clearing trigger still skipped")
+	}
+}
+
+func TestNoteDisruptionResetAndDisabled(t *testing.T) {
+	p := New(WithAlpha(0.5))
+	p.NoteDisruption("blk")
+	p.Reset()
+	prof := profileTrigger()
+	p.Observe("blk", prof, Observation{Kernel: "k", E: 200})
+	if got := p.Forecast("blk", prof); got.E == prof.E {
+		t.Error("disruption mark survived Reset")
+	}
+	d := New(Disabled())
+	d.NoteDisruption("blk") // must not panic or allocate state
+	if got := d.Forecast("blk", prof); got != prof {
+		t.Error("disabled predictor changed the forecast")
+	}
+}

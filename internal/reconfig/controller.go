@@ -14,6 +14,7 @@
 package reconfig
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -21,7 +22,9 @@ import (
 	"mrts/internal/ise"
 )
 
-// Stats accumulates controller activity for the experiment reports.
+// Stats accumulates controller activity for the experiment reports. The
+// fault-related counters carry omitempty tags so that the serialised form
+// of a fault-free run is byte-identical to the pre-fault encoding.
 type Stats struct {
 	// FGReconfigs / CGReconfigs count scheduled data-path
 	// reconfigurations per fabric.
@@ -36,6 +39,43 @@ type Stats struct {
 	Evictions int64
 	// MonoCGLoads counts monoCG-Extension context loads.
 	MonoCGLoads int64
+
+	// CRCFailures counts configuration attempts whose streamed bitstream
+	// failed the CRC-style check.
+	CRCFailures int64 `json:",omitempty"`
+	// Retries counts configurations re-streamed after a CRC failure.
+	Retries int64 `json:",omitempty"`
+	// RetryCycles accumulates the deterministic backoff delays inserted
+	// between configuration attempts.
+	RetryCycles arch.Cycles `json:",omitempty"`
+	// UnitsFailed counts containers taken out of service (fault events
+	// plus containers declared failed after exhausted retries).
+	UnitsFailed int64 `json:",omitempty"`
+	// UnitsRecovered counts containers returning from transient outages.
+	UnitsRecovered int64 `json:",omitempty"`
+	// FaultEvictions counts data paths lost because their container
+	// failed underneath them (a subset of Evictions).
+	FaultEvictions int64 `json:",omitempty"`
+}
+
+// Retry bounds of the configuration port: a corrupted bitstream is
+// re-streamed after a deterministic, exponentially growing backoff, at
+// most MaxConfigAttempts times in total, after which the target container
+// is declared failed. The loop is therefore provably bounded.
+const MaxConfigAttempts = 3
+
+// ErrConfigFailed marks a data-path configuration abandoned after
+// MaxConfigAttempts corrupted streaming attempts; the target container has
+// been declared failed.
+var ErrConfigFailed = errors.New("configuration failed after retries")
+
+// Verifier is the CRC-style configuration check the fault engine plugs
+// into the controller: it reports whether the configuration attempt on the
+// fabric kind completing at time `at` streamed a corrupted bitstream.
+// Implementations may consume internal state per call (each attempt checks
+// one streamed bitstream). A nil Verifier means every attempt is clean.
+type Verifier interface {
+	Corrupted(kind arch.FabricKind, at arch.Cycles) bool
 }
 
 type slot struct {
@@ -68,6 +108,18 @@ type Controller struct {
 
 	monos map[ise.KernelID]*monoSlot
 
+	// fabric tracks per-container health; all-healthy (the initial and
+	// fault-free state) makes the capacity arithmetic identical to the
+	// plain budget counts.
+	fabric *arch.Fabric
+	// verifier is the CRC check applied to every configuration attempt
+	// (nil outside fault scenarios: every attempt is clean).
+	verifier Verifier
+	// invalidated logs data paths lost to container failures since the
+	// last TakeInvalidated call, for the runtime system to invalidate
+	// the ISEs that reference them.
+	invalidated []ise.DataPathID
+
 	stats Stats
 }
 
@@ -79,9 +131,10 @@ func NewController(cfg arch.Config) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{
-		cfg:   cfg,
-		paths: make(map[ise.DataPathID]*slot),
-		monos: make(map[ise.KernelID]*monoSlot),
+		cfg:    cfg,
+		paths:  make(map[ise.DataPathID]*slot),
+		monos:  make(map[ise.KernelID]*monoSlot),
+		fabric: arch.NewFabric(cfg),
 	}, nil
 }
 
@@ -110,8 +163,20 @@ func (c *Controller) Reset() {
 	c.fgPortEnd, c.cgPortEnd = 0, 0
 	c.now = 0
 	c.reservedPRC, c.reservedCG = 0, 0
+	c.fabric.Reset()
+	c.verifier = nil
+	c.invalidated = nil
 	c.stats = Stats{}
 }
+
+// SetVerifier installs (or, with nil, removes) the CRC-style configuration
+// check. The simulator installs the fault engine's verifier after Reset,
+// so a reused controller never carries a stale verifier across runs.
+func (c *Controller) SetVerifier(v Verifier) { c.verifier = v }
+
+// Fabric exposes the per-container health state (read-mostly; mutate it
+// through FailUnit / RecoverUnit so capacity overflows are handled).
+func (c *Controller) Fabric() *arch.Fabric { return c.fabric }
 
 // occupiedPRC/occupiedCG include in-flight data paths: a PRC is unusable
 // from the moment its partial bitstream starts streaming.
@@ -131,14 +196,16 @@ func (c *Controller) occupiedCG() int {
 	return n + len(c.monos)
 }
 
-// FreePRC implements ise.FabricView: PRCs neither occupied nor reserved.
+// FreePRC implements ise.FabricView: healthy PRCs neither occupied nor
+// reserved.
 func (c *Controller) FreePRC() int {
-	return c.cfg.NPRC - c.reservedPRC - c.occupiedPRC()
+	return c.fabric.AvailablePRC() - c.reservedPRC - c.occupiedPRC()
 }
 
-// FreeCG implements ise.FabricView: CG-EDPEs neither occupied nor reserved.
+// FreeCG implements ise.FabricView: healthy CG-EDPEs neither occupied nor
+// reserved.
 func (c *Controller) FreeCG() int {
-	return c.cfg.NCG - c.reservedCG - c.occupiedCG()
+	return c.fabric.AvailableCG() - c.reservedCG - c.occupiedCG()
 }
 
 // IsConfigured implements ise.FabricView: the data path is present and its
@@ -201,9 +268,16 @@ func (c *Controller) Reserved() (prc, cg int) { return c.reservedPRC, c.reserved
 // returns the units actually freed. Eviction order is deterministic:
 // oldest ready time first, ties by ID.
 func (c *Controller) evict(kind arch.FabricKind, units int) int {
+	return c.evictPass(kind, units, false, false)
+}
+
+// evictPass is the eviction worker: it removes data paths of the kind with
+// the given pin state until `units` capacity units are freed. record logs
+// the removed paths as fault-invalidated (container failures only).
+func (c *Controller) evictPass(kind arch.FabricKind, units int, pinned, record bool) int {
 	var cands []*slot
 	for _, s := range c.paths {
-		if s.pinned || s.dp.Kind != kind {
+		if s.pinned != pinned || s.dp.Kind != kind {
 			continue
 		}
 		cands = append(cands, s)
@@ -221,9 +295,94 @@ func (c *Controller) evict(kind arch.FabricKind, units int) int {
 		}
 		delete(c.paths, s.dp.ID)
 		c.stats.Evictions++
+		if record {
+			c.stats.FaultEvictions++
+			c.invalidated = append(c.invalidated, s.dp.ID)
+		}
 		freed += s.dp.PRCs + s.dp.CGs
 	}
 	return freed
+}
+
+// evictOverflow restores the capacity invariant after a container of the
+// kind was lost: occupied + reserved must not exceed the healthy count.
+// Unlike normal lazy eviction the pin cannot save a data path here — the
+// hardware underneath it is gone — so pinned paths go too, after monoCG
+// contexts (cheapest to drop) and unpinned paths. Every removed path is
+// logged for the runtime system to invalidate the ISEs referencing it.
+func (c *Controller) evictOverflow(kind arch.FabricKind) {
+	var overflow int
+	if kind == arch.FG {
+		overflow = c.occupiedPRC() + c.reservedPRC - c.fabric.AvailablePRC()
+	} else {
+		overflow = c.occupiedCG() + c.reservedCG - c.fabric.AvailableCG()
+	}
+	if overflow <= 0 {
+		return
+	}
+	if kind == arch.CG && len(c.monos) > 0 {
+		ids := make([]ise.KernelID, 0, len(c.monos))
+		for id := range c.monos {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if overflow <= 0 {
+				break
+			}
+			delete(c.monos, id)
+			overflow--
+		}
+	}
+	if overflow > 0 {
+		overflow -= c.evictPass(kind, overflow, false, true)
+	}
+	if overflow > 0 {
+		c.evictPass(kind, overflow, true, true)
+	}
+}
+
+// FailUnit takes one healthy container of the kind out of service —
+// permanently (a hard fault) or transiently (Suspect; RecoverUnit returns
+// it). Data paths and monoCG contexts that no longer fit on the surviving
+// fabric are evicted, pinned or not, and logged for invalidation. It
+// reports whether a healthy container was left to fail.
+func (c *Controller) FailUnit(kind arch.FabricKind, permanent bool) bool {
+	if !c.fabric.Fail(kind, permanent) {
+		return false
+	}
+	c.stats.UnitsFailed++
+	c.evictOverflow(kind)
+	return true
+}
+
+// RecoverUnit returns one transiently-down container of the kind to
+// service. It reports whether a suspect container existed.
+func (c *Controller) RecoverUnit(kind arch.FabricKind) bool {
+	if !c.fabric.Recover(kind) {
+		return false
+	}
+	c.stats.UnitsRecovered++
+	return true
+}
+
+// TakeInvalidated drains the log of data paths lost to container failures
+// since the last call, sorted for determinism. The runtime system uses it
+// to invalidate the ISEs whose data paths are gone.
+func (c *Controller) TakeInvalidated() []ise.DataPathID {
+	out := c.invalidated
+	c.invalidated = nil
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// declareFailed marks one container of the kind permanently failed after a
+// configuration exhausted its retry budget on it.
+func (c *Controller) declareFailed(kind arch.FabricKind) {
+	if c.fabric.Fail(kind, true) {
+		c.stats.UnitsFailed++
+		c.evictOverflow(kind)
+	}
 }
 
 // Request schedules the reconfiguration of a single data path at time now,
@@ -252,27 +411,62 @@ func (c *Controller) Request(d ise.DataPath, now arch.Cycles) (arch.Cycles, erro
 			return 0, fmt.Errorf("reconfig: no free CG-EDPE for data path %q (need %d, free %d)", d.ID, d.CGs, c.FreeCG())
 		}
 	}
-	ready := c.schedule(d, now)
+	ready, ok := c.schedule(d, now)
+	if !ok {
+		c.declareFailed(d.Kind)
+		return ready, fmt.Errorf("reconfig: data path %q: %w", d.ID, ErrConfigFailed)
+	}
 	c.paths[d.ID] = &slot{dp: d, ready: ready, pinned: true}
 	return ready, nil
 }
 
-func (c *Controller) schedule(d ise.DataPath, now arch.Cycles) arch.Cycles {
+// schedule streams the data path's configuration through its fabric's
+// port. Every attempt occupies the port for the full reconfiguration
+// latency; a corrupted attempt (CRC check fails after streaming) is
+// retried after a deterministic exponential backoff, at most
+// MaxConfigAttempts times in total. It returns the completion time and
+// whether a clean configuration was achieved. Without a verifier the loop
+// body runs exactly once and the accounting matches the fault-free model.
+func (c *Controller) schedule(d ise.DataPath, now arch.Cycles) (arch.Cycles, bool) {
 	dur := d.ReconfigCycles()
-	switch d.Kind {
-	case arch.FG:
-		start := maxCycles(now, c.fgPortEnd)
-		c.fgPortEnd = start + dur
+	portEnd := &c.cgPortEnd
+	busy := &c.stats.CGBusyCycles
+	if d.Kind == arch.FG {
+		portEnd = &c.fgPortEnd
+		busy = &c.stats.FGBusyCycles
 		c.stats.FGReconfigs++
-		c.stats.FGBusyCycles += dur
-		return c.fgPortEnd
-	default:
-		start := maxCycles(now, c.cgPortEnd)
-		c.cgPortEnd = start + dur
+	} else {
 		c.stats.CGReconfigs++
-		c.stats.CGBusyCycles += dur
-		return c.cgPortEnd
 	}
+	start := maxCycles(now, *portEnd)
+	for attempt := 1; ; attempt++ {
+		end := start + dur
+		*busy += dur
+		if c.verifier == nil || !c.verifier.Corrupted(d.Kind, end) {
+			*portEnd = end
+			return end, true
+		}
+		c.stats.CRCFailures++
+		if attempt >= MaxConfigAttempts {
+			*portEnd = end
+			return end, false
+		}
+		c.stats.Retries++
+		b := configBackoff(dur, attempt)
+		c.stats.RetryCycles += b
+		start = end + b
+	}
+}
+
+// configBackoff is the deterministic backoff inserted after corrupted
+// attempt number `attempt` (1-based): a quarter of the reconfiguration
+// latency, doubling per attempt, capped at one full latency.
+func configBackoff(dur arch.Cycles, attempt int) arch.Cycles {
+	b := (dur / 4) << uint(attempt-1)
+	if b > dur {
+		b = dur
+	}
+	return b
 }
 
 // CommitSelection installs the data paths of a newly selected ISE set: the
@@ -281,6 +475,31 @@ func (c *Controller) schedule(d ise.DataPath, now arch.Cycles) arch.Cycles {
 // in the order the ISEs were selected (priority order). It returns the
 // per-ISE completion times.
 func (c *Controller) CommitSelection(selected []*ise.ISE, now arch.Cycles) ([]arch.Cycles, error) {
+	done, _, err := c.commit(selected, now, false)
+	return done, err
+}
+
+// CommitResult reports a fault-tolerant commit: Done holds the per-ISE
+// completion times (zero for skipped entries); Skipped holds the indices
+// of ISEs whose data paths could not be configured on the surviving
+// fabric. Already-configured prefixes of skipped ISEs stay on the fabric,
+// so the ECU can still dispatch them as intermediate ISEs.
+type CommitResult struct {
+	Done    []arch.Cycles
+	Skipped []int
+}
+
+// CommitSelectionSafe is the fault-tolerant variant of CommitSelection:
+// an ISE whose configuration fails — the surviving fabric is too small, or
+// a container dies under retry exhaustion — is skipped instead of aborting
+// the commit, and the remaining ISEs are still installed. With a healthy
+// fabric it behaves exactly like CommitSelection.
+func (c *Controller) CommitSelectionSafe(selected []*ise.ISE, now arch.Cycles) CommitResult {
+	done, skipped, _ := c.commit(selected, now, true)
+	return CommitResult{Done: done, Skipped: skipped}
+}
+
+func (c *Controller) commit(selected []*ise.ISE, now arch.Cycles, tolerate bool) ([]arch.Cycles, []int, error) {
 	c.Advance(now)
 	for _, s := range c.paths {
 		s.pinned = false
@@ -299,20 +518,30 @@ func (c *Controller) CommitSelection(selected []*ise.ISE, now arch.Cycles) ([]ar
 		}
 	}
 	done := make([]arch.Cycles, len(selected))
+	var skipped []int
 	for i, e := range selected {
 		var last arch.Cycles = now
+		var fail error
 		for _, d := range e.DataPaths {
 			ready, err := c.Request(d, now)
 			if err != nil {
-				return nil, fmt.Errorf("reconfig: committing ISE %q: %w", e.ID, err)
+				fail = err
+				break
 			}
 			if ready > last {
 				last = ready
 			}
 		}
+		if fail != nil {
+			if !tolerate {
+				return nil, nil, fmt.Errorf("reconfig: committing ISE %q: %w", e.ID, fail)
+			}
+			skipped = append(skipped, i)
+			continue
+		}
 		done[i] = last
 	}
-	return done, nil
+	return done, skipped, nil
 }
 
 // SelectionView returns the fabric view the ISE selector works with when a
@@ -326,8 +555,8 @@ func (c *Controller) SelectionView() ise.FabricView {
 
 type selectionView struct{ c *Controller }
 
-func (v selectionView) FreePRC() int { return v.c.cfg.NPRC - v.c.reservedPRC }
-func (v selectionView) FreeCG() int  { return v.c.cfg.NCG - v.c.reservedCG }
+func (v selectionView) FreePRC() int { return v.c.fabric.AvailablePRC() - v.c.reservedPRC }
+func (v selectionView) FreeCG() int  { return v.c.fabric.AvailableCG() - v.c.reservedCG }
 func (v selectionView) IsConfigured(id ise.DataPathID) bool {
 	return v.c.IsConfigured(id)
 }

@@ -1,0 +1,236 @@
+package reconfig
+
+import (
+	"errors"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// scriptVerifier fails the CRC check for the first n attempts per fabric.
+type scriptVerifier struct {
+	bad [2]int
+	// calls counts check invocations per fabric, for bounding assertions.
+	calls [2]int
+}
+
+func (v *scriptVerifier) Corrupted(kind arch.FabricKind, at arch.Cycles) bool {
+	v.calls[kind]++
+	if v.bad[kind] > 0 {
+		v.bad[kind]--
+		return true
+	}
+	return false
+}
+
+func TestFailUnitEvictsAndInvalidates(t *testing.T) {
+	c := newCtrl(t, 2, 0)
+	if _, err := c.CommitSelection([]*ise.ISE{mkISE("e1", fgDP("a")), mkISE("e2", fgDP("b"))}, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(10 * arch.FGReconfigCycles)
+
+	if !c.FailUnit(arch.FG, true) {
+		t.Fatal("FailUnit found no healthy PRC")
+	}
+	if c.Fabric().AvailablePRC() != 1 {
+		t.Errorf("available PRCs = %d, want 1", c.Fabric().AvailablePRC())
+	}
+	// Capacity invariant restored: one pinned path had to go, despite the
+	// pin — the hardware underneath is gone.
+	if c.occupiedPRC() != 1 {
+		t.Errorf("occupied PRCs = %d after failure, want 1", c.occupiedPRC())
+	}
+	lost := c.TakeInvalidated()
+	if len(lost) != 1 {
+		t.Fatalf("invalidated = %v, want exactly one data path", lost)
+	}
+	if got := c.TakeInvalidated(); len(got) != 0 {
+		t.Errorf("second TakeInvalidated = %v, want drained", got)
+	}
+	st := c.Stats()
+	if st.UnitsFailed != 1 || st.FaultEvictions != 1 {
+		t.Errorf("UnitsFailed=%d FaultEvictions=%d, want 1/1", st.UnitsFailed, st.FaultEvictions)
+	}
+
+	// Fail the second PRC, then a third failure has nothing left to kill.
+	if !c.FailUnit(arch.FG, true) {
+		t.Fatal("second FailUnit failed")
+	}
+	if c.FailUnit(arch.FG, true) {
+		t.Error("FailUnit succeeded on an empty fabric")
+	}
+}
+
+func TestFailUnitTransientRecovers(t *testing.T) {
+	c := newCtrl(t, 1, 1)
+	if !c.FailUnit(arch.CG, false) {
+		t.Fatal("transient failure rejected")
+	}
+	if c.FreeCG() != 0 {
+		t.Errorf("FreeCG = %d during outage, want 0", c.FreeCG())
+	}
+	if !c.RecoverUnit(arch.CG) {
+		t.Fatal("RecoverUnit found no suspect container")
+	}
+	if c.FreeCG() != 1 {
+		t.Errorf("FreeCG = %d after recovery, want 1", c.FreeCG())
+	}
+	// A permanent failure cannot be recovered.
+	c.FailUnit(arch.CG, true)
+	if c.RecoverUnit(arch.CG) {
+		t.Error("RecoverUnit resurrected a permanently failed container")
+	}
+	st := c.Stats()
+	if st.UnitsFailed != 2 || st.UnitsRecovered != 1 {
+		t.Errorf("UnitsFailed=%d UnitsRecovered=%d, want 2/1", st.UnitsFailed, st.UnitsRecovered)
+	}
+}
+
+func TestRetryBoundedAndAccounted(t *testing.T) {
+	c := newCtrl(t, 1, 0)
+	v := &scriptVerifier{}
+	v.bad[arch.FG] = 1 // first attempt corrupted, second clean
+	c.SetVerifier(v)
+
+	dur := arch.FGReconfigCycles
+	ready, err := c.Request(fgDP("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attempt 1: [0, dur) corrupted; backoff dur/4; attempt 2 completes at
+	// dur + dur/4 + dur.
+	want := dur + configBackoff(dur, 1) + dur
+	if ready != want {
+		t.Errorf("ready = %d, want %d (one retry with backoff)", ready, want)
+	}
+	st := c.Stats()
+	if st.CRCFailures != 1 || st.Retries != 1 {
+		t.Errorf("CRCFailures=%d Retries=%d, want 1/1", st.CRCFailures, st.Retries)
+	}
+	if st.RetryCycles != configBackoff(dur, 1) {
+		t.Errorf("RetryCycles = %d, want %d", st.RetryCycles, configBackoff(dur, 1))
+	}
+	if st.FGBusyCycles != 2*dur {
+		t.Errorf("FGBusyCycles = %d, want %d (two streamed attempts)", st.FGBusyCycles, 2*dur)
+	}
+	if v.calls[arch.FG] != 2 {
+		t.Errorf("verifier consulted %d times, want 2", v.calls[arch.FG])
+	}
+}
+
+func TestRetryExhaustionDeclaresFailure(t *testing.T) {
+	c := newCtrl(t, 2, 0)
+	v := &scriptVerifier{}
+	v.bad[arch.FG] = 1000 // every attempt corrupted
+	c.SetVerifier(v)
+
+	_, err := c.Request(fgDP("a"), 0)
+	if !errors.Is(err, ErrConfigFailed) {
+		t.Fatalf("err = %v, want ErrConfigFailed", err)
+	}
+	// The loop is provably bounded: exactly MaxConfigAttempts attempts.
+	if v.calls[arch.FG] != MaxConfigAttempts {
+		t.Errorf("attempts = %d, want %d", v.calls[arch.FG], MaxConfigAttempts)
+	}
+	st := c.Stats()
+	if st.CRCFailures != MaxConfigAttempts || st.Retries != MaxConfigAttempts-1 {
+		t.Errorf("CRCFailures=%d Retries=%d, want %d/%d",
+			st.CRCFailures, st.Retries, MaxConfigAttempts, MaxConfigAttempts-1)
+	}
+	// The target container was declared permanently failed.
+	if c.Fabric().AvailablePRC() != 1 {
+		t.Errorf("available PRCs = %d after exhaustion, want 1", c.Fabric().AvailablePRC())
+	}
+	if st.UnitsFailed != 1 {
+		t.Errorf("UnitsFailed = %d, want 1", st.UnitsFailed)
+	}
+	// The failed configuration was not installed.
+	if _, ok := c.ReadyTime("a"); ok {
+		t.Error("failed data path left in the configured set")
+	}
+}
+
+func TestCommitSelectionSafeSkips(t *testing.T) {
+	c := newCtrl(t, 1, 1)
+	v := &scriptVerifier{}
+	v.bad[arch.FG] = 1000 // FG port permanently corrupted
+	c.SetVerifier(v)
+
+	e1 := mkISE("e1", cgDP("c"))            // CG only: unaffected
+	e2 := mkISE("e2", fgDP("a"), cgDP("b")) // FG path dies under retry
+	res := c.CommitSelectionSafe([]*ise.ISE{e1, e2}, 0)
+	if len(res.Skipped) != 1 || res.Skipped[0] != 1 {
+		t.Fatalf("Skipped = %v, want [1]", res.Skipped)
+	}
+	if res.Done[0] == 0 {
+		t.Error("surviving ISE has no completion time")
+	}
+	if res.Done[1] != 0 {
+		t.Errorf("skipped ISE has completion time %d", res.Done[1])
+	}
+	c.Advance(res.Done[0])
+	if !c.IsConfigured("c") {
+		t.Error("surviving ISE's data path not configured")
+	}
+
+	// With a healthy fabric, Safe behaves exactly like the strict commit.
+	c2 := newCtrl(t, 1, 1)
+	sel := []*ise.ISE{mkISE("e", fgDP("x"), cgDP("y"))}
+	strictDone, err := newCtrl(t, 1, 1).CommitSelection(sel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe := c2.CommitSelectionSafe(sel, 0)
+	if len(safe.Skipped) != 0 || safe.Done[0] != strictDone[0] {
+		t.Errorf("healthy Safe commit = %+v, strict done = %v", safe, strictDone)
+	}
+}
+
+func TestCommitSelectionSafeOverBudget(t *testing.T) {
+	// The surviving fabric is too small for the ISE: skipped, not aborted.
+	c := newCtrl(t, 1, 0)
+	c.FailUnit(arch.FG, true)
+	res := c.CommitSelectionSafe([]*ise.ISE{mkISE("e", fgDP("a"))}, 0)
+	if len(res.Skipped) != 1 {
+		t.Fatalf("Skipped = %v, want the one over-budget ISE", res.Skipped)
+	}
+}
+
+func TestResetClearsFaultState(t *testing.T) {
+	c := newCtrl(t, 1, 1)
+	v := &scriptVerifier{}
+	v.bad[arch.FG] = 1000
+	c.SetVerifier(v)
+	_, _ = c.Request(fgDP("a"), 0)
+	c.FailUnit(arch.CG, true)
+
+	c.Reset()
+	if c.Fabric().AvailablePRC() != 1 || c.Fabric().AvailableCG() != 1 {
+		t.Error("Reset did not restore fabric health")
+	}
+	if got := c.TakeInvalidated(); len(got) != 0 {
+		t.Errorf("Reset left invalidation log %v", got)
+	}
+	// Verifier is gone: configurations are clean again.
+	if _, err := c.Request(fgDP("b"), 0); err != nil {
+		t.Errorf("post-Reset request failed: %v", err)
+	}
+	if st := c.Stats(); st.CRCFailures != 0 {
+		t.Errorf("Reset left CRCFailures = %d", st.CRCFailures)
+	}
+}
+
+func TestConfigBackoffCapped(t *testing.T) {
+	dur := arch.Cycles(1000)
+	if b := configBackoff(dur, 1); b != 250 {
+		t.Errorf("backoff(1) = %d, want 250", b)
+	}
+	if b := configBackoff(dur, 2); b != 500 {
+		t.Errorf("backoff(2) = %d, want 500", b)
+	}
+	if b := configBackoff(dur, 10); b != dur {
+		t.Errorf("backoff(10) = %d, want capped at %d", b, dur)
+	}
+}

@@ -8,9 +8,11 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
 	"mrts/internal/reconfig"
 	"mrts/internal/sim"
 	"mrts/internal/video"
@@ -28,8 +30,9 @@ const (
 	JobSweep = "sweep"
 )
 
-// Figs lists the valid figure names of a JobFig spec, in mrts-sweep order.
-var Figs = []string{"8", "9", "10", "overhead", "shared", "mix"}
+// Figs lists the valid figure names of a JobFig spec, in mrts-sweep order
+// (the shared exp.FigNames table).
+var Figs = exp.FigNames
 
 // WorkloadSpec selects the workload a job runs on. The zero value is the
 // default experiment workload geometry with no scene cuts.
@@ -52,6 +55,68 @@ func (ws WorkloadSpec) Options() workload.Options {
 		ProfileSeed: ws.ProfileSeed,
 		Video:       video.Options{SceneCuts: ws.SceneCuts},
 	}
+}
+
+// FaultSpec selects a deterministic fault scenario for a job. The zero
+// value — and a nil *FaultSpec — is the benign fault-free run, whose
+// results are byte-identical to a job without the field.
+type FaultSpec struct {
+	// Seed draws the fault schedule; the same seed reproduces the same
+	// schedule and report byte-for-byte.
+	Seed uint64 `json:"seed,omitempty"`
+	// FailPRC / FailCG are permanent container failures per fabric.
+	FailPRC int `json:"fail_prc,omitempty"`
+	FailCG  int `json:"fail_cg,omitempty"`
+	// FlapPRC / FlapCG are intermittent outages (down, later recovered).
+	FlapPRC int `json:"flap_prc,omitempty"`
+	FlapCG  int `json:"flap_cg,omitempty"`
+	// CorruptFG / CorruptCG are bitstream corruptions caught by the
+	// configuration port's CRC check and retried with bounded backoff.
+	CorruptFG int `json:"corrupt_fg,omitempty"`
+	CorruptCG int `json:"corrupt_cg,omitempty"`
+	// HorizonMCycles is the window (in Mcycles) fault times are drawn
+	// from; when zero the server derives it from the RISC-mode reference
+	// run (a tenth of its execution time).
+	HorizonMCycles float64 `json:"horizon_mcycles,omitempty"`
+}
+
+// IsZero reports whether the spec requests no fault events.
+func (f *FaultSpec) IsZero() bool {
+	return f == nil || (f.FailPRC == 0 && f.FailCG == 0 &&
+		f.FlapPRC == 0 && f.FlapCG == 0 && f.CorruptFG == 0 && f.CorruptCG == 0)
+}
+
+// Options converts the spec to fault engine options. The horizon may still
+// be zero; the executor defaults it from the RISC reference run.
+func (f *FaultSpec) Options() fault.Options {
+	if f == nil {
+		return fault.Options{}
+	}
+	return fault.Options{
+		FailPRC:   f.FailPRC,
+		FailCG:    f.FailCG,
+		FlapPRC:   f.FlapPRC,
+		FlapCG:    f.FlapCG,
+		CorruptFG: f.CorruptFG,
+		CorruptCG: f.CorruptCG,
+		Horizon:   arch.Cycles(f.HorizonMCycles * 1e6),
+	}
+}
+
+// Validate checks the scenario counts (the horizon is validated at
+// execution time, after defaulting).
+func (f *FaultSpec) Validate() error {
+	if f == nil {
+		return nil
+	}
+	fo := f.Options()
+	if fo.Horizon == 0 {
+		fo.Horizon = 1 // placeholder: the executor derives the real one
+	}
+	if f.HorizonMCycles < 0 {
+		return fmt.Errorf("api: negative fault horizon %v", f.HorizonMCycles)
+	}
+	return fo.Validate()
 }
 
 // Point is one (fabric combination, policy) evaluation.
@@ -83,6 +148,11 @@ type JobSpec struct {
 	// Sweep jobs: the batch of points.
 	Points []Point `json:"points,omitempty"`
 
+	// Faults selects a deterministic fault scenario. For sim and sweep
+	// jobs it applies to every evaluated point; for the "faults" figure
+	// only the seed is used (the figure sweeps its own loss fractions).
+	Faults *FaultSpec `json:"faults,omitempty"`
+
 	// TimeoutSec overrides the server's per-job timeout when positive.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
@@ -96,18 +166,18 @@ func (s JobSpec) Validate() error {
 	if s.Workload.Frames < 0 {
 		return fmt.Errorf("api: negative frame count %d", s.Workload.Frames)
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
+	}
 	switch s.Type {
 	case JobSim:
 		if _, err := exp.ParsePolicy(s.policyOrDefault()); err != nil {
 			return err
 		}
 	case JobFig:
-		for _, f := range Figs {
-			if s.Fig == f {
-				return nil
-			}
+		if !exp.ValidFig(s.Fig) {
+			return fmt.Errorf("api: unknown fig %q (valid: %s)", s.Fig, strings.Join(Figs, ", "))
 		}
-		return fmt.Errorf("api: unknown fig %q (valid: 8, 9, 10, overhead, shared, mix)", s.Fig)
 	case JobSweep:
 		if len(s.Points) == 0 {
 			return fmt.Errorf("api: sweep job needs at least one point")
@@ -169,12 +239,22 @@ type Report struct {
 	BlockCycles     map[string]arch.Cycles `json:"block_cycles"`
 	BlockIterations map[string]int         `json:"block_iterations"`
 	Reconfig        reconfig.Stats         `json:"reconfig"`
+	// Fault is present only when the run saw fault activity, so the
+	// encoding of fault-free reports is byte-identical to earlier
+	// versions.
+	Fault *sim.FaultStats `json:"fault,omitempty"`
 }
 
 // NewReport flattens a simulation report; ref is the RISC-mode reference
 // run for the speedup (may be the report itself for RISC jobs).
 func NewReport(rep, ref *sim.Report) Report {
+	var fs *sim.FaultStats
+	if !rep.Fault.IsZero() {
+		f := rep.Fault
+		fs = &f
+	}
 	return Report{
+		Fault:           fs,
 		Policy:          rep.Policy,
 		PRC:             rep.Config.NPRC,
 		CG:              rep.Config.NCG,
@@ -242,10 +322,13 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// SweepRequest is the body of POST /v1/sweep.
+// SweepRequest is the body of POST /v1/sweep. A fault scenario, when
+// given, applies to every point of the batch (the RISC reference run
+// stays fault-free).
 type SweepRequest struct {
 	Workload WorkloadSpec `json:"workload"`
 	Points   []Point      `json:"points"`
+	Faults   *FaultSpec   `json:"faults,omitempty"`
 }
 
 // SweepEvent is one newline-delimited JSON event of the /v1/sweep stream:

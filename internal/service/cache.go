@@ -9,6 +9,7 @@ import (
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
 	"mrts/internal/sim"
 	"mrts/internal/workload"
 )
@@ -22,18 +23,34 @@ const CodeVersion = "mrts-sim-v1"
 // pointKey is the canonical identity of one simulation point. Hashing its
 // JSON form (fixed field order, defaults applied) makes the key
 // content-addressed: two requests that mean the same simulation produce
-// the same key no matter how sparsely they were spelled.
+// the same key no matter how sparsely they were spelled. The fault fields
+// are omitted for benign scenarios, so fault-free keys are identical to
+// the pre-fault encoding (and a zero-fault job shares the plain job's
+// cache entry — their reports are bit-identical by the determinism guard).
 type pointKey struct {
 	Version  string           `json:"version"`
 	Workload workload.Options `json:"workload"`
 	Config   arch.Config      `json:"config"`
 	Policy   exp.Policy       `json:"policy"`
+	Seed     uint64           `json:"fault_seed,omitempty"`
+	Faults   *fault.Options   `json:"faults,omitempty"`
 }
 
 // PointKey returns the content-addressed cache key of one (workload,
 // fabric, policy) simulation point.
 func PointKey(opts workload.Options, cfg arch.Config, p exp.Policy) string {
-	return hashJSON(pointKey{Version: CodeVersion, Workload: opts.Canonical(), Config: cfg, Policy: p})
+	return PointKeyFaults(opts, cfg, p, 0, fault.Options{})
+}
+
+// PointKeyFaults returns the cache key of one simulation point under a
+// fault scenario; the benign scenario hashes identically to PointKey.
+func PointKeyFaults(opts workload.Options, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) string {
+	k := pointKey{Version: CodeVersion, Workload: opts.Canonical(), Config: cfg, Policy: p}
+	if !fo.IsZero() {
+		k.Seed = seed
+		k.Faults = &fo
+	}
+	return hashJSON(k)
 }
 
 // WorkloadKey returns the content-addressed key of a workload build.

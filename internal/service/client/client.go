@@ -8,8 +8,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -17,12 +19,74 @@ import (
 	"mrts/internal/service/api"
 )
 
+// RetryPolicy bounds the client's retry loop for transient failures:
+// connection errors and gateway-class responses (502/503/504) are retried
+// with capped exponential backoff plus jitter; definitive responses (4xx,
+// or a 5xx the daemon itself produced) are returned immediately. The zero
+// value performs no retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Values below 1 mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 100ms);
+	// it doubles per attempt up to MaxDelay (default 2s). The actual
+	// sleep is drawn uniformly from [delay/2, delay] (jitter), and is
+	// cut short when the context expires.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// delay returns the jittered backoff before attempt+1 (attempt is 1-based).
+func (r RetryPolicy) delay(attempt int) time.Duration {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := r.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// StatusError is the error returned for every non-2xx response, so
+// callers (and the retry loop) can inspect the status code.
+type StatusError struct {
+	Method  string
+	Path    string
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Code)
+	}
+	return fmt.Sprintf("%s %s: HTTP %d", e.Method, e.Path, e.Code)
+}
+
+// Temporary reports whether the response is gateway-class and worth
+// retrying: the request may never have reached a healthy daemon.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusBadGateway ||
+		e.Code == http.StatusServiceUnavailable ||
+		e.Code == http.StatusGatewayTimeout
+}
+
 // Client talks to one mrts-serve daemon.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:8341".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry bounds the transient-failure retry loop of every JSON call
+	// (not the streaming Sweep, which cannot resume mid-stream). The
+	// zero value performs no retries.
+	Retry RetryPolicy
 }
 
 // New creates a client for the daemon at baseURL.
@@ -37,20 +101,62 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// retryable reports whether the error is transient: a transport-level
+// failure (connection refused/reset, daemon restarting) or a
+// gateway-class response. Definitive daemon answers are not retried.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	// Everything else from Do is transport-level: the request may not
+	// have produced a definitive answer.
+	return true
+}
+
+// do performs one JSON round trip, retrying transient failures under the
+// client's RetryPolicy. The attempt loop is bounded by MaxAttempts and by
+// the context: both the sleep and the request honour ctx cancellation.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = c.doOnce(ctx, method, path, payload, out)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryable(lastErr) || ctx.Err() != nil {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(c.Retry.delay(attempt)):
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -59,11 +165,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		se := &StatusError{Method: method, Path: path, Code: resp.StatusCode}
 		var e api.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			se.Message = e.Error
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		return se
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)

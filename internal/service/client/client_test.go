@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrts/internal/service/api"
+)
+
+// flaky returns a handler that answers `failures` requests with the given
+// status before succeeding, and the total request count.
+func flaky(failures int, code int) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(failures) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"try again"}`))
+			return
+		}
+		w.Write([]byte(`[]`))
+	})
+	return h, &calls
+}
+
+func retryClient(url string, attempts int) *Client {
+	c := New(url)
+	c.Retry = RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	return c
+}
+
+func TestRetryRecoversFromGatewayErrors(t *testing.T) {
+	h, calls := flaky(2, http.StatusServiceUnavailable)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := retryClient(ts.URL, 3)
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("Jobs with retries = %v, want success on third attempt", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryBounded(t *testing.T) {
+	h, calls := flaky(1000, http.StatusBadGateway)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := retryClient(ts.URL, 3)
+	_, err := c.Jobs(context.Background())
+	if err == nil {
+		t.Fatal("permanently failing daemon reported success")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want exactly MaxAttempts", got)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+		t.Errorf("err = %v, want StatusError with the last status", err)
+	}
+	if !strings.Contains(err.Error(), "HTTP 502") || !strings.Contains(err.Error(), "try again") {
+		t.Errorf("error text lost context: %v", err)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	h, calls := flaky(1000, http.StatusBadRequest)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := retryClient(ts.URL, 5)
+	_, err := c.Submit(context.Background(), api.JobSpec{})
+	if err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("definitive 4xx retried: %d attempts", got)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Temporary() {
+		t.Errorf("4xx classified as temporary: %v", err)
+	}
+}
+
+func TestRetryConnectionError(t *testing.T) {
+	// A server that is already closed: every attempt is a transport error.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	c := retryClient(url, 2)
+	start := time.Now()
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("dead daemon reported healthy")
+	}
+	// Two attempts with a ~1ms backoff in between: well under a second.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("bounded retry took %v", d)
+	}
+}
+
+func TestRetryHonoursContext(t *testing.T) {
+	h, calls := flaky(1000, http.StatusServiceUnavailable)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	// Long backoff: the context must cut the sleep short.
+	c.Retry = RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Jobs(ctx); err == nil {
+		t.Fatal("cancelled retry loop reported success")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("context-cancelled retry took %v", d)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("attempts after immediate cancel = %d, want 1", got)
+	}
+}
+
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	h, calls := flaky(1000, http.StatusServiceUnavailable)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL) // zero RetryPolicy
+	if _, err := c.Jobs(context.Background()); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("zero policy made %d attempts, want 1", got)
+	}
+}
+
+func TestStatusErrorText(t *testing.T) {
+	with := &StatusError{Method: "GET", Path: "/v1/jobs", Code: 503, Message: "queue full"}
+	if got := with.Error(); got != "GET /v1/jobs: queue full (HTTP 503)" {
+		t.Errorf("Error() = %q", got)
+	}
+	without := &StatusError{Method: "GET", Path: "/healthz", Code: 500}
+	if got := without.Error(); got != "GET /healthz: HTTP 500" {
+		t.Errorf("Error() = %q", got)
+	}
+}

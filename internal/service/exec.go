@@ -9,6 +9,7 @@ import (
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
 	"mrts/internal/service/api"
 	"mrts/internal/sim"
 	"mrts/internal/workload"
@@ -19,19 +20,20 @@ type EvalStats struct {
 	Hits, Misses atomic.Int64
 }
 
-// Evaluator returns the service's job-execution path as an exp.Evaluator:
-// every (fabric, policy) point is first looked up in the content-addressed
-// result cache; on a miss the workload is fetched from the singleflight
-// workload cache (building it at most once per options) and the point is
-// simulated and cached. Figure sweeps, sweep batches and single sim jobs
-// all run through this one path. Two jobs racing on the same uncached
-// point may simulate it twice — the second Put is idempotent — which keeps
-// the hot path lock-free outside the cache lookups.
-func (s *Server) Evaluator(opts workload.Options) (exp.Evaluator, *EvalStats) {
+// FaultEvaluator returns the service's job-execution path as an
+// exp.FaultEvaluator: every (fabric, policy, fault scenario) point is
+// first looked up in the content-addressed result cache; on a miss the
+// workload is fetched from the singleflight workload cache (building it at
+// most once per options) and the point is simulated and cached. Figure
+// sweeps, sweep batches and single sim jobs all run through this one path.
+// Two jobs racing on the same uncached point may simulate it twice — the
+// second Put is idempotent — which keeps the hot path lock-free outside
+// the cache lookups.
+func (s *Server) FaultEvaluator(opts workload.Options) (exp.FaultEvaluator, *EvalStats) {
 	canon := opts.Canonical()
 	stats := &EvalStats{}
-	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
-		key := PointKey(canon, cfg, p)
+	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) (*sim.Report, error) {
+		key := PointKeyFaults(canon, cfg, p, seed, fo)
 		if rep, ok := s.results.Get(key); ok {
 			stats.Hits.Add(1)
 			return rep, nil
@@ -42,7 +44,7 @@ func (s *Server) Evaluator(opts workload.Options) (exp.Evaluator, *EvalStats) {
 			return nil, err
 		}
 		start := time.Now()
-		rep, err := exp.RunPoint(ctx, w, cfg, p)
+		rep, err := exp.RunPointFaults(ctx, w, cfg, p, seed, fo)
 		if err != nil {
 			return nil, err
 		}
@@ -53,20 +55,33 @@ func (s *Server) Evaluator(opts workload.Options) (exp.Evaluator, *EvalStats) {
 	return eval, stats
 }
 
+// Evaluator is FaultEvaluator restricted to the benign scenario — the
+// fault-free sweep path used by figures and the streaming endpoint.
+func (s *Server) Evaluator(opts workload.Options) (exp.Evaluator, *EvalStats) {
+	feval, stats := s.FaultEvaluator(opts)
+	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
+		return feval(ctx, cfg, p, 0, fault.Options{})
+	}
+	return eval, stats
+}
+
 // execute runs one job spec to completion under ctx.
 func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
 	opts := spec.Workload.Options()
-	eval, stats := s.Evaluator(opts)
+	feval, stats := s.FaultEvaluator(opts)
+	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
+		return feval(ctx, cfg, p, 0, fault.Options{})
+	}
 	res := &api.JobResult{}
 
 	var err error
 	switch spec.Type {
 	case api.JobSim:
-		err = s.execSim(ctx, spec, eval, res)
+		err = s.execSim(ctx, spec, feval, res)
 	case api.JobFig:
-		err = s.execFig(ctx, spec, opts, eval, res)
+		err = s.execFig(ctx, spec, opts, eval, feval, res)
 	case api.JobSweep:
-		err = s.execSweep(ctx, spec.Points, eval, res)
+		err = s.execSweep(ctx, spec.Points, spec.Faults, feval, res)
 	default:
 		err = fmt.Errorf("service: unknown job type %q", spec.Type)
 	}
@@ -78,16 +93,33 @@ func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult,
 	return res, nil
 }
 
-func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.Evaluator, res *api.JobResult) error {
+// faultScenario resolves a job's fault spec against the RISC reference
+// run: scenarios that gave no horizon get a tenth of the RISC-mode
+// execution time, the same derivation the faults figure uses.
+func faultScenario(spec *api.FaultSpec, ref *sim.Report) (uint64, fault.Options) {
+	if spec.IsZero() {
+		return 0, fault.Options{}
+	}
+	fo := spec.Options()
+	if fo.Horizon == 0 {
+		fo.Horizon = ref.TotalCycles / 10
+	}
+	return spec.Seed, fo
+}
+
+func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.FaultEvaluator, res *api.JobResult) error {
 	p, err := spec.SimPolicy()
 	if err != nil {
 		return err
 	}
-	rep, err := eval(ctx, arch.Config{NPRC: spec.PRC, NCG: spec.CG}, p)
+	// The RISC reference is always fault-free: it has no fabric to fail,
+	// and it anchors the speedup of the degraded run.
+	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC, 0, fault.Options{})
 	if err != nil {
 		return err
 	}
-	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+	seed, fo := faultScenario(spec.Faults, ref)
+	rep, err := eval(ctx, arch.Config{NPRC: spec.PRC, NCG: spec.CG}, p, seed, fo)
 	if err != nil {
 		return err
 	}
@@ -99,7 +131,7 @@ func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.Evaluat
 // execFig regenerates one figure. The rendered text is byte-identical to
 // what `mrts-sweep -fig <name>` prints for the same workload and bounds,
 // because the identical harness and renderer run underneath.
-func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Options, eval exp.Evaluator, res *api.JobResult) error {
+func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Options, eval exp.Evaluator, feval exp.FaultEvaluator, res *api.JobResult) error {
 	maxPRC, maxCG := spec.MaxPRC, spec.MaxCG
 	if maxPRC == 0 {
 		maxPRC = 4
@@ -156,6 +188,16 @@ func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Op
 			return err
 		}
 		r.Render(&buf)
+	case "faults":
+		seed := uint64(1)
+		if spec.Faults != nil && spec.Faults.Seed != 0 {
+			seed = spec.Faults.Seed
+		}
+		r, err := exp.Faults(ctx, feval, exp.FaultsConfig, seed)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
 	default:
 		return fmt.Errorf("service: unknown fig %q", spec.Fig)
 	}
@@ -164,18 +206,20 @@ func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Op
 }
 
 // execSweep evaluates an explicit batch of points (the body of both sweep
-// jobs and the streaming /v1/sweep endpoint's final result).
-func (s *Server) execSweep(ctx context.Context, points []api.Point, eval exp.Evaluator, res *api.JobResult) error {
-	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+// jobs and the streaming /v1/sweep endpoint's final result). A job-level
+// fault scenario applies to every point of the batch.
+func (s *Server) execSweep(ctx context.Context, points []api.Point, faults *api.FaultSpec, eval exp.FaultEvaluator, res *api.JobResult) error {
+	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC, 0, fault.Options{})
 	if err != nil {
 		return err
 	}
+	seed, fo := faultScenario(faults, ref)
 	reports, err := exp.ParMap(ctx, len(points), func(ctx context.Context, i int) (api.Report, error) {
 		p, err := exp.ParsePolicy(points[i].Policy)
 		if err != nil {
 			return api.Report{}, err
 		}
-		rep, err := eval(ctx, points[i].Config(), p)
+		rep, err := eval(ctx, points[i].Config(), p, seed, fo)
 		if err != nil {
 			return api.Report{}, err
 		}

@@ -10,6 +10,7 @@ import (
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
 	"mrts/internal/service/api"
 )
 
@@ -120,14 +121,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := req.Faults.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	ctx := r.Context()
-	eval, _ := s.Evaluator(req.Workload.Options())
-	ref, err := eval(ctx, arch.Config{}, exp.PolicyRISC)
+	feval, _ := s.FaultEvaluator(req.Workload.Options())
+	ref, err := feval(ctx, arch.Config{}, exp.PolicyRISC, 0, fault.Options{})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	seed, fo := faultScenario(req.Faults, ref)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -142,8 +148,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			pt := req.Points[i]
 			ev := api.SweepEvent{Index: i, Point: pt}
 			pol, _ := exp.ParsePolicy(pt.Policy) // validated above
-			ev.Cached = s.results.Peek(PointKey(req.Workload.Options(), pt.Config(), pol))
-			rep, err := eval(ctx, pt.Config(), pol)
+			ev.Cached = s.results.Peek(PointKeyFaults(req.Workload.Options(), pt.Config(), pol, seed, fo))
+			rep, err := feval(ctx, pt.Config(), pol, seed, fo)
 			if err != nil {
 				ev.Error = err.Error()
 			} else {

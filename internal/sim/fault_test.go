@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/ecu"
+	"mrts/internal/fault"
+)
+
+func newMRTS(t *testing.T, cfg arch.Config) *core.MRTS {
+	t.Helper()
+	rts, err := core.New(cfg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rts
+}
+
+// TestZeroRateScheduleIdentical is the determinism guard: installing a
+// fault schedule that contains no events must leave the report — stats,
+// timings, JSON encoding — bit-identical to the plain fault-free Run.
+func TestZeroRateScheduleIdentical(t *testing.T) {
+	app, tr := testWorld(t)
+	rts := newMRTS(t, arch.Config{NCG: 1})
+
+	plain, err := Run(app, tr, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := fault.MustSchedule(1, fault.Options{})
+	faulted, err := RunOpts(app, tr, rts, Options{Faults: zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, faulted) {
+		t.Errorf("zero-rate schedule changed the report:\nplain:   %+v\nfaulted: %+v", plain, faulted)
+	}
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(faulted)
+	if string(a) != string(b) {
+		t.Errorf("JSON encodings differ:\n%s\n%s", a, b)
+	}
+	if !plain.Fault.IsZero() {
+		t.Errorf("fault-free run reports fault activity: %+v", plain.Fault)
+	}
+}
+
+func TestFaultedRunNeverAborts(t *testing.T) {
+	app, tr := testWorld(t)
+	rts := newMRTS(t, arch.Config{NCG: 1})
+
+	clean, err := Run(app, tr, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the only CG-EDPE somewhere inside the run: the accelerated
+	// kernel must fall back to RISC and the run must still complete.
+	sched := fault.MustSchedule(3, fault.Options{FailCG: 1, Horizon: clean.TotalCycles})
+	rep, err := RunOpts(app, tr, rts, Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != clean.Iterations || rep.Executions != clean.Executions {
+		t.Errorf("faulted run dropped work: %d/%d iterations, %d/%d executions",
+			rep.Iterations, clean.Iterations, rep.Executions, clean.Executions)
+	}
+	if rep.Fault.Events != 1 || rep.Fault.UnitsFailed != 1 {
+		t.Errorf("Fault stats = %+v, want 1 event / 1 unit failed", rep.Fault)
+	}
+	if rep.TotalCycles < clean.TotalCycles {
+		t.Errorf("losing the whole fabric sped the run up: %d < %d", rep.TotalCycles, clean.TotalCycles)
+	}
+	if rep.ModeExecs[ecu.RISC] == 0 {
+		t.Error("no RISC fallback executions after losing the only CG-EDPE")
+	}
+}
+
+func TestFaultedRunReproducible(t *testing.T) {
+	app, tr := testWorld(t)
+	rts := newMRTS(t, arch.Config{NCG: 1})
+	// Keep the whole flap well inside the run (~1000 cycles for this
+	// world), so both events hit delivery points.
+	sched := fault.MustSchedule(7, fault.Options{FlapCG: 1, DownCycles: 100, Horizon: 400})
+
+	a, err := RunOpts(app, tr, rts, Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOpts(app, tr, rts, Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same schedule, different reports:\n%+v\n%+v", a, b)
+	}
+	if a.Fault.Events != 2 { // down + recover
+		t.Errorf("Fault.Events = %d, want 2", a.Fault.Events)
+	}
+	if a.Fault.UnitsFailed != 1 || a.Fault.UnitsRecovered != 1 {
+		t.Errorf("UnitsFailed/Recovered = %d/%d, want 1/1", a.Fault.UnitsFailed, a.Fault.UnitsRecovered)
+	}
+}
+
+func TestCorruptionRetriesVisible(t *testing.T) {
+	app, tr := testWorld(t)
+	rts := newMRTS(t, arch.Config{NCG: 1})
+
+	// Corruption at time zero hits the first CG context load; MaxRun 1
+	// means exactly one retry fixes it.
+	sched := fault.MustSchedule(5, fault.Options{CorruptCG: 1, MaxRun: 1, Horizon: 1})
+	rep, err := RunOpts(app, tr, rts, Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fault.CRCFailures != 1 || rep.Fault.Retries != 1 {
+		t.Errorf("CRCFailures/Retries = %d/%d, want 1/1", rep.Fault.CRCFailures, rep.Fault.Retries)
+	}
+	if rep.Fault.RetryCycles == 0 {
+		t.Error("retry backoff not accounted")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"mrts/internal/arch"
 	"mrts/internal/core"
 	"mrts/internal/ecu"
+	"mrts/internal/fault"
 	"mrts/internal/ise"
 	"mrts/internal/mpu"
 	"mrts/internal/reconfig"
@@ -47,7 +48,37 @@ type Report struct {
 	Executions int64
 	// Reconfig summarises the reconfiguration controller's activity.
 	Reconfig reconfig.Stats
+	// Fault summarises fault injection and the runtime system's
+	// reaction; all-zero (and omitted from the wire encoding) for
+	// fault-free runs.
+	Fault FaultStats
 }
+
+// FaultStats aggregates fault activity of one run: what the fault engine
+// did to the fabric (from reconfig.Stats) and how the runtime system
+// reacted (from core.Stats).
+type FaultStats struct {
+	// Events counts fabric fault events applied (failures, outages,
+	// recoveries — corruptions are consumed by the configuration port
+	// and show up as CRCFailures instead).
+	Events int64
+	// UnitsFailed / UnitsRecovered count containers lost / returned.
+	UnitsFailed    int64
+	UnitsRecovered int64
+	// CRCFailures / Retries / RetryCycles mirror the configuration
+	// port's corruption handling.
+	CRCFailures int64
+	Retries     int64
+	RetryCycles arch.Cycles
+	// Reselections / Invalidations / Degradations mirror the runtime
+	// system's reaction (zero for static systems, which cannot react).
+	Reselections  int64
+	Invalidations int64
+	Degradations  int64
+}
+
+// IsZero reports whether no fault activity occurred.
+func (f FaultStats) IsZero() bool { return f == FaultStats{} }
 
 // Speedup returns how much faster this run is than the reference run.
 func (r *Report) Speedup(reference *Report) float64 {
@@ -65,10 +96,24 @@ func (r *Report) ModeShare(m ecu.Mode) float64 {
 	return float64(r.ModeExecs[m]) / float64(r.Executions)
 }
 
+// Options parameterise a simulation run beyond workload and policy. The
+// zero value is the plain fault-free, unreserved run.
+type Options struct {
+	// ReservePRC / ReserveCG shrink the fabric for the whole run
+	// (competing tasks, paper Section 1).
+	ReservePRC int
+	ReserveCG  int
+	// Faults is the fault schedule to interleave with the trace (nil for
+	// the benign scenario). The schedule is immutable and may be shared
+	// across concurrent runs; each run replays it through its own engine
+	// cursor.
+	Faults *fault.Schedule
+}
+
 // Run replays the trace against the runtime system. The runtime system is
 // Reset first, so a Run is reproducible on a reused policy instance.
 func Run(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem) (*Report, error) {
-	return RunReserved(app, tr, rts, 0, 0)
+	return RunOpts(app, tr, rts, Options{})
 }
 
 // RunReserved replays the trace with part of the fabric reserved by
@@ -76,14 +121,34 @@ func Run(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem) (*Report
 // fabric is shared among various tasks). The reservation is applied after
 // the policy's Reset, before the first trigger instruction.
 func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, reservePRC, reserveCG int) (*Report, error) {
+	return RunOpts(app, tr, rts, Options{ReservePRC: reservePRC, ReserveCG: reserveCG})
+}
+
+// RunOpts replays the trace under the given options. Fault events are
+// delivered at trigger instructions and between kernel executions — the
+// points where the modelled hardware raises its fault interrupts — and a
+// fault never aborts the run: affected kernels degrade through the ECU
+// fallback chain, and a reacting runtime system re-selects over the
+// surviving fabric.
+func RunOpts(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts Options) (*Report, error) {
 	if err := tr.Validate(app); err != nil {
 		return nil, err
 	}
 	rts.Reset()
-	if reservePRC > 0 || reserveCG > 0 {
-		if err := rts.Controller().Reserve(reservePRC, reserveCG); err != nil {
+	if opts.ReservePRC > 0 || opts.ReserveCG > 0 {
+		if err := rts.Controller().Reserve(opts.ReservePRC, opts.ReserveCG); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
+	}
+	ctrl := rts.Controller()
+	var eng *fault.Engine
+	if opts.Faults != nil {
+		eng = opts.Faults.Engine()
+		ctrl.SetVerifier(eng)
+	} else {
+		// Reset cleared any previous verifier; be explicit anyway so a
+		// reused policy instance never replays stale faults.
+		ctrl.SetVerifier(nil)
 	}
 	rep := &Report{
 		Policy:          rts.Name(),
@@ -99,11 +164,54 @@ func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, 
 		n       int64
 	}
 
+	// deliver applies the container fault events due at `now` to the
+	// reconfiguration controller and notifies the runtime system once per
+	// batch; it returns the visible re-selection overhead.
+	fh, reacts := rts.(core.FaultHandler)
+	deliver := func(now arch.Cycles) (arch.Cycles, error) {
+		if eng == nil {
+			return 0, nil
+		}
+		events := eng.Next(now)
+		if len(events) == 0 {
+			return 0, nil
+		}
+		for _, ev := range events {
+			switch ev.Kind {
+			case fault.PermanentFail:
+				ctrl.FailUnit(ev.Fabric, true)
+			case fault.TransientDown:
+				ctrl.FailUnit(ev.Fabric, false)
+			case fault.Recover:
+				ctrl.RecoverUnit(ev.Fabric)
+			}
+		}
+		rep.Fault.Events += int64(len(events))
+		lost := ctrl.TakeInvalidated()
+		if !reacts {
+			return 0, nil
+		}
+		visible, err := fh.OnFault(lost, now)
+		if err != nil {
+			return 0, fmt.Errorf("sim: fault reaction: %w", err)
+		}
+		return visible, nil
+	}
+
 	var t arch.Cycles
 	for i := range tr.Iterations {
 		it := &tr.Iterations[i]
 		blk := app.Block(it.Block)
 		start := t
+
+		// Fault events that struck since the last delivery point are
+		// applied before the trigger instruction sees the fabric.
+		fv, err := deliver(t)
+		if err != nil {
+			return nil, err
+		}
+		t += fv
+		rep.OverheadCycles += fv
 
 		// Trigger instruction: the runtime system selects ISEs and
 		// starts reconfigurations; its visible overhead extends the
@@ -125,6 +233,13 @@ func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, 
 			k := blk.Kernel(ev.Kernel)
 			t += ev.Gap
 			rep.SoftwareCycles += ev.Gap
+
+			fv, err := deliver(t)
+			if err != nil {
+				return nil, err
+			}
+			t += fv
+			rep.OverheadCycles += fv
 
 			d := rts.Execute(k, t)
 			rep.ModeExecs[d.Mode]++
@@ -165,6 +280,17 @@ func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, 
 	}
 	rep.TotalCycles = t
 	rep.Reconfig = rts.Controller().Stats()
+	rep.Fault.UnitsFailed = rep.Reconfig.UnitsFailed
+	rep.Fault.UnitsRecovered = rep.Reconfig.UnitsRecovered
+	rep.Fault.CRCFailures = rep.Reconfig.CRCFailures
+	rep.Fault.Retries = rep.Reconfig.Retries
+	rep.Fault.RetryCycles = rep.Reconfig.RetryCycles
+	if cs, ok := rts.(interface{ Stats() core.Stats }); ok {
+		s := cs.Stats()
+		rep.Fault.Reselections = s.Reselections
+		rep.Fault.Invalidations = s.Invalidations
+		rep.Fault.Degradations = s.Degradations
+	}
 	return rep, nil
 }
 
