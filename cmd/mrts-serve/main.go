@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,8 +35,20 @@ func main() {
 		cacheSize  = flag.Int("cache", 4096, "result cache capacity (points)")
 		wcacheSize = flag.Int("wcache", 16, "workload cache capacity (built traces)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job execution timeout")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux; the service
+		// API uses its own mux, so profiling stays off the public listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "mrts-serve: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mrts-serve: pprof:", err)
+			}
+		}()
+	}
 
 	s := service.New(service.Options{
 		Workers:           *workers,

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mrts/internal/arch"
@@ -26,18 +28,45 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigNames, "|")+"|all")
-		frames    = flag.Int("frames", 16, "video frames to encode")
-		seed      = flag.Uint64("seed", 1, "synthetic video seed")
-		maxPRC    = flag.Int("maxprc", 4, "maximum PRC count of the sweep")
-		maxCG     = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
-		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
-		faultSeed = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
+		fig        = flag.String("fig", "all", "figure to regenerate: "+strings.Join(exp.FigNames, "|")+"|all")
+		frames     = flag.Int("frames", 16, "video frames to encode")
+		seed       = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC     = flag.Int("maxprc", 4, "maximum PRC count of the sweep")
+		maxCG      = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
+		chart      = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
+		faultSeed  = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
 
 	if *fig != "all" && !exp.ValidFig(*fig) {
 		fatal(fmt.Errorf("unknown figure %q (valid: %s, all)", *fig, strings.Join(exp.FigNames, ", ")))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	w, err := workload.Build(workload.Options{

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"mrts/internal/arch"
 	"mrts/internal/ecu"
@@ -88,6 +89,24 @@ type Stats struct {
 	// ExecCycles accumulates execution cycles per ECU mode.
 	ExecCycles [4]arch.Cycles
 
+	// CacheHits counts selections replayed from the selection cache: the
+	// inputs (corrected forecasts, fabric capacity, configured data paths,
+	// port backlogs) matched a previous selection exactly. Hits charge the
+	// same modelled overhead as the selection they replay — the simulated
+	// timeline is bit-identical with the cache on or off — but cost the
+	// host only a fingerprint lookup.
+	CacheHits int64
+	// CacheMisses counts selections that ran the selector for real while
+	// the cache was enabled.
+	CacheMisses int64
+	// EvaluationsSaved counts modelled profit evaluations answered without
+	// recomputation: all of a replayed selection's evaluations on a cache
+	// hit, plus the incremental greedy's memoized evaluations on a miss.
+	EvaluationsSaved int64
+	// CoveredPicks counts ISEs selected directly by Fig. 6 Step 2b (fully
+	// covered by previously selected data paths, no profit evaluation).
+	CoveredPicks int64
+
 	// FaultEvents counts fabric fault notifications delivered to the
 	// runtime system.
 	FaultEvents int64
@@ -123,7 +142,19 @@ type Options struct {
 	ChargeOverhead bool
 	// Name overrides the policy name in reports.
 	Name string
+	// SelectionCacheSize bounds the LRU selection cache: 0 uses
+	// DefaultSelectionCacheSize, a negative value disables the cache.
+	// The cache replays a previous selector.Result when the selection
+	// inputs repeat exactly, so it requires Select to be a pure function
+	// of its Request (true for selector.Greedy and selector.Optimal).
+	SelectionCacheSize int
 }
+
+// DefaultSelectionCacheSize is the selection-cache bound used when
+// Options.SelectionCacheSize is zero. Video workloads cycle through a
+// handful of (phase, fabric-state) combinations per block, so a small
+// cache already captures the steady state.
+const DefaultSelectionCacheSize = 128
 
 // MRTS is the mRTS run-time system.
 type MRTS struct {
@@ -135,6 +166,11 @@ type MRTS struct {
 
 	selected map[ise.KernelID]*ise.ISE
 	stats    Stats
+
+	// selCache memoizes selection results per input fingerprint; nil when
+	// disabled. fpBuf is the reusable fingerprint build buffer.
+	selCache *selCache
+	fpBuf    []byte
 
 	// lastBlock / lastPhase / lastTriggers memoise the most recent
 	// trigger instruction, so a fault mid-iteration can re-run the
@@ -168,7 +204,21 @@ func New(cfg arch.Config, opts Options) (*MRTS, error) {
 		selected: make(map[ise.KernelID]*ise.ISE),
 	}
 	m.exec = ecu.New(ctrl, opts.ECU)
+	m.SetSelectionCacheSize(opts.SelectionCacheSize)
 	return m, nil
+}
+
+// SetSelectionCacheSize resizes (n > 0), resets to the default (n == 0) or
+// disables (n < 0) the selection cache. Any cached entries are dropped.
+func (m *MRTS) SetSelectionCacheSize(n int) {
+	switch {
+	case n < 0:
+		m.selCache = nil
+	case n == 0:
+		m.selCache = newSelCache(DefaultSelectionCacheSize)
+	default:
+		m.selCache = newSelCache(n)
+	}
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -213,15 +263,41 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 	m.ctrl.Advance(now)
 	corrected := m.pred.ForecastAll(forecastKey(block.ID, phase), triggers)
 
-	res, err := m.opts.Select(selector.Request{
-		Block:    block,
-		Triggers: corrected,
-		Fabric:   m.ctrl.SelectionView(),
-		Model:    m.opts.Model,
-	})
-	if err != nil {
-		return 0, fmt.Errorf("core: selection for block %q: %w", block.ID, err)
+	var (
+		res selector.Result
+		hit bool
+		key string
+	)
+	if m.selCache != nil {
+		key = m.selectionFingerprint(block, corrected)
+		res, hit = m.selCache.get(key)
 	}
+	if hit {
+		// Replay the cached selection verbatim: the fingerprint covers the
+		// selector's entire input surface, so this is the result the
+		// selector would have produced. The modelled overhead charged
+		// below is therefore identical to an uncached run; only the host
+		// skips the real selection work.
+		m.stats.CacheHits++
+		m.stats.EvaluationsSaved += int64(res.Evaluations)
+	} else {
+		var err error
+		res, err = m.opts.Select(selector.Request{
+			Block:    block,
+			Triggers: corrected,
+			Fabric:   m.ctrl.SelectionView(),
+			Model:    m.opts.Model,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("core: selection for block %q: %w", block.ID, err)
+		}
+		if m.selCache != nil {
+			m.selCache.put(key, res)
+			m.stats.CacheMisses++
+		}
+		m.stats.EvaluationsSaved += int64(res.SavedEvaluations)
+	}
+	m.stats.CoveredPicks += int64(res.CoveredPicks)
 
 	// A skipped ISE keeps its kernel -> ISE assignment: its configured
 	// prefix (if any) stays on the fabric, so the ECU can still dispatch
@@ -258,6 +334,12 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 // (clear the selection, fall back to RISC) rather than abort.
 func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, error) {
 	m.stats.FaultEvents++
+	// Fault events change what the fabric can hold in ways the selection
+	// fingerprint does not capture (container health, in-flight
+	// configurations): drop every cached selection.
+	if m.selCache != nil {
+		m.selCache.clear()
+	}
 	m.ctrl.Advance(now)
 	if len(lost) > 0 {
 		lostSet := make(map[ise.DataPathID]bool, len(lost))
@@ -332,6 +414,49 @@ func (m *MRTS) Reset() {
 	m.selected = make(map[ise.KernelID]*ise.ISE)
 	m.stats = Stats{}
 	m.lastBlock, m.lastPhase, m.lastTriggers = nil, "", nil
+	if m.selCache != nil {
+		m.selCache.clear()
+	}
+}
+
+// selectionFingerprint serialises the selector's entire input surface into
+// a canonical string: the functional block, the MPU-corrected forecasts (in
+// trigger order — order is part of the selection semantics), the free
+// fabric capacity, both configuration-port backlogs and the set of
+// currently configured data paths. Two selections with equal fingerprints
+// see indistinguishable inputs, so a deterministic selector returns the
+// same Result for both. The profit model and selection algorithm are fixed
+// per instance and need no encoding.
+func (m *MRTS) selectionFingerprint(block *ise.FunctionalBlock, triggers []ise.Trigger) string {
+	view := m.ctrl.SelectionView()
+	b := m.fpBuf[:0]
+	b = append(b, block.ID...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(view.FreePRC()), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(view.FreeCG()), 10)
+	b = append(b, '|')
+	if pv, ok := view.(ise.PortView); ok {
+		b = strconv.AppendInt(b, int64(pv.PortBacklog(arch.FG)), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(pv.PortBacklog(arch.CG)), 10)
+	}
+	for _, t := range triggers {
+		b = append(b, '|')
+		b = append(b, string(t.Kernel)...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, t.E, 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(t.TF), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(t.TB), 10)
+	}
+	for _, id := range m.ctrl.ConfiguredPaths() {
+		b = append(b, '|', '+')
+		b = append(b, string(id)...)
+	}
+	m.fpBuf = b
+	return string(b)
 }
 
 // RISCOnly is the null policy: every kernel executes on the core

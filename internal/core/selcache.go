@@ -1,0 +1,70 @@
+package core
+
+import (
+	"container/list"
+
+	"mrts/internal/selector"
+)
+
+// selCache is a bounded LRU of selection results keyed by a canonical
+// fingerprint of the selection inputs (see MRTS.selectionFingerprint). The
+// video workloads the paper targets are highly repetitive frame-to-frame:
+// once the fabric reaches steady state, trigger instructions present the
+// same (forecast, fabric) pair over and over, and the run-time system can
+// replay the previous selection instead of re-running the selector.
+//
+// The cache is not safe for concurrent use; each MRTS instance owns one,
+// matching the single-threaded RuntimeSystem contract.
+type selCache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type selEntry struct {
+	key string
+	res selector.Result
+}
+
+func newSelCache(capacity int) *selCache {
+	return &selCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for the fingerprint and marks it most
+// recently used.
+func (c *selCache) get(key string) (selector.Result, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return selector.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*selEntry).res, true
+}
+
+// put inserts (or refreshes) the result for the fingerprint, evicting the
+// least recently used entry when the cache is full.
+func (c *selCache) put(key string, res selector.Result) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*selEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*selEntry).key)
+	}
+	c.m[key] = c.ll.PushFront(&selEntry{key: key, res: res})
+}
+
+// clear drops every entry (fault events, Reset).
+func (c *selCache) clear() {
+	c.ll.Init()
+	clear(c.m)
+}
+
+func (c *selCache) len() int { return c.ll.Len() }

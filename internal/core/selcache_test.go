@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+	"mrts/internal/selector"
+)
+
+func TestSelCacheLRU(t *testing.T) {
+	c := newSelCache(2)
+	r := func(n int) selector.Result { return selector.Result{Evaluations: n} }
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put("a", r(1))
+	c.put("b", r(2))
+	if got, ok := c.get("a"); !ok || got.Evaluations != 1 {
+		t.Fatalf("get(a) = %v,%v", got, ok)
+	}
+	// "a" is now most recently used; inserting "c" must evict "b".
+	c.put("c", r(3))
+	if _, ok := c.get("b"); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("new entry c missing")
+	}
+	// Refreshing an existing key must update in place, not grow.
+	c.put("a", r(9))
+	if got, _ := c.get("a"); got.Evaluations != 9 {
+		t.Errorf("refresh did not update: %v", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	c.clear()
+	if c.len() != 0 {
+		t.Errorf("len after clear = %d, want 0", c.len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("cleared cache reported a hit")
+	}
+}
+
+// TestSelectionCacheHitReplaysIdentically drives an MRTS with the cache on
+// and an identical twin with the cache off through the same trigger
+// sequence: the cached instance must produce the same selections, the same
+// visible overhead per trigger and the same modelled counters, while its
+// host-side stats show the replay.
+func TestSelectionCacheHitReplaysIdentically(t *testing.T) {
+	cached := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	plain := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	plain.SetSelectionCacheSize(-1)
+
+	blk := testBlock()
+	// Trigger at t=0 (cold fabric), then twice at a time when every
+	// reconfiguration completed and the port backlogs drained: the second
+	// warm trigger sees exactly the state the first one saw.
+	times := []arch.Cycles{0, 1_000_000, 2_000_000, 3_000_000}
+	for i, now := range times {
+		vc, err := cached.OnTrigger(blk, "", triggers(), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp, err := plain.OnTrigger(blk, "", triggers(), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vc != vp {
+			t.Errorf("trigger %d: visible overhead %d (cached) != %d (uncached)", i, vc, vp)
+		}
+		sc, sp := cached.Selected("k"), plain.Selected("k")
+		if sc != sp {
+			t.Errorf("trigger %d: selected %v (cached) != %v (uncached)", i, sc, sp)
+		}
+	}
+
+	cs, ps := cached.Stats(), plain.Stats()
+	if cs.Selections != ps.Selections || cs.Evaluations != ps.Evaluations ||
+		cs.OverheadVisible != ps.OverheadVisible || cs.OverheadTotal != ps.OverheadTotal ||
+		cs.CoveredPicks != ps.CoveredPicks {
+		t.Errorf("modelled stats diverge: cached %+v, uncached %+v", cs, ps)
+	}
+	if ps.CacheHits != 0 || ps.CacheMisses != 0 {
+		t.Errorf("disabled cache recorded activity: %+v", ps)
+	}
+	if cs.CacheHits == 0 {
+		t.Error("warm repeat triggers produced no cache hit")
+	}
+	if cs.CacheHits+cs.CacheMisses != cs.Selections {
+		t.Errorf("hits %d + misses %d != selections %d", cs.CacheHits, cs.CacheMisses, cs.Selections)
+	}
+	if cs.EvaluationsSaved <= ps.EvaluationsSaved {
+		t.Errorf("EvaluationsSaved = %d (cached) vs %d (uncached): hits saved nothing",
+			cs.EvaluationsSaved, ps.EvaluationsSaved)
+	}
+}
+
+// TestSelectionCacheMissOnDifferentInputs: a change in any fingerprint
+// component — forecast or fabric state — must bypass the cached entry.
+func TestSelectionCacheMissOnDifferentInputs(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{})
+	blk := testBlock()
+	// Cold trigger, then a trigger on the settled warm fabric (a miss:
+	// the configured-path set changed), then an exact warm replay (hit).
+	for i, now := range []arch.Cycles{0, 1_000_000, 2_000_000} {
+		if _, err := m.OnTrigger(blk, "", triggers(), now); err != nil {
+			t.Fatal(i, err)
+		}
+	}
+	st := m.Stats()
+	if st.CacheMisses != 2 || st.CacheHits != 1 {
+		t.Fatalf("warm-up: misses %d hits %d, want 2/1", st.CacheMisses, st.CacheHits)
+	}
+	// Same time, same fabric, different forecast: must be a miss.
+	other := []ise.Trigger{{Kernel: "k", E: 999, TF: 50, TB: 20}}
+	if _, err := m.OnTrigger(blk, "", other, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.CacheMisses != 3 || st.CacheHits != 1 {
+		t.Errorf("misses %d hits %d after changed forecast, want 3/1", st.CacheMisses, st.CacheHits)
+	}
+}
+
+// TestSelectionCacheInvalidatedByFault: cache entries must not survive a
+// fault event — the fabric's health changed in ways the fingerprint does
+// not capture.
+func TestSelectionCacheInvalidatedByFault(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{})
+	blk := testBlock()
+	for i, now := range []arch.Cycles{0, 1_000_000, 2_000_000} {
+		if _, err := m.OnTrigger(blk, "", triggers(), now); err != nil {
+			t.Fatal(i, err)
+		}
+	}
+	st := m.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("warm-up: hits %d misses %d, want 1/2", st.CacheHits, st.CacheMisses)
+	}
+	// A fault (even one losing no data paths) drops every entry; the
+	// fault-driven re-selection runs in the state the last hit replayed
+	// from, so without the clear it would wrongly hit the stale entry.
+	if _, err := m.OnFault(nil, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.CacheMisses != 3 {
+		t.Errorf("misses = %d after fault, want 3 (re-selection must not hit)", st.CacheMisses)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("hits = %d after fault, want unchanged 1", st.CacheHits)
+	}
+}
+
+func TestSelectionCacheClearedByReset(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{})
+	if _, err := m.OnTrigger(testBlock(), "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.selCache.len() == 0 {
+		t.Fatal("selection not cached")
+	}
+	m.Reset()
+	if m.selCache.len() != 0 {
+		t.Errorf("cache holds %d entries after Reset, want 0", m.selCache.len())
+	}
+}
+
+func TestSelectionCacheBound(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{SelectionCacheSize: 1})
+	blk := testBlock()
+	a := triggers()
+	b := []ise.Trigger{{Kernel: "k", E: 77, TF: 50, TB: 20}}
+	// Alternating fingerprints through a 1-entry cache never hit.
+	for i := 0; i < 3; i++ {
+		if _, err := m.OnTrigger(blk, "", a, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.OnTrigger(blk, "", b, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.CacheHits != 0 {
+		t.Errorf("hits = %d through a 1-entry cache with alternating inputs, want 0", st.CacheHits)
+	}
+	if m.selCache.len() != 1 {
+		t.Errorf("cache len = %d, want bounded at 1", m.selCache.len())
+	}
+}

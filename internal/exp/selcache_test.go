@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/fault"
+	"mrts/internal/sim"
+)
+
+// cacheSizer is implemented by runtime systems carrying a selection cache
+// (*core.MRTS); static policies (Morpheus-4S, offline optimal, RISC) have
+// no selection loop to cache.
+type cacheSizer interface{ SetSelectionCacheSize(n int) }
+
+// TestSelectionCacheIdenticalEveryPolicy is the determinism guard of the
+// selection fast path: for every Fig. 8 policy (plus RISC), a full
+// simulation with the selection cache enabled (the default) must produce a
+// report byte-identical (JSON) to one with the cache disabled. The cache
+// may only remove host-side work, never change a simulated cycle.
+func TestSelectionCacheIdenticalEveryPolicy(t *testing.T) {
+	ctx := context.Background()
+	cfg := arch.Config{NPRC: 2, NCG: 2}
+	for _, p := range append([]Policy{PolicyRISC}, Fig8Policies...) {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			pc := cfg
+			if p == PolicyRISC {
+				pc = arch.Config{}
+			}
+			withCache, err := RunPoint(ctx, expWorkload, pc, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rts, err := NewPolicy(p, pc, expWorkload.App, expWorkload.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c, ok := rts.(cacheSizer); ok {
+				c.SetSelectionCacheSize(-1)
+			}
+			noCache, err := sim.Run(expWorkload.App, expWorkload.Trace, rts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a, _ := json.Marshal(withCache)
+			b, _ := json.Marshal(noCache)
+			if !bytes.Equal(a, b) {
+				t.Errorf("cache-on report differs from cache-off:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestSelectionCacheIdenticalUnderFaults extends the guard to a faulted
+// run: fault events invalidate the cache mid-run, and the re-selections
+// after each event must still replay identically to an uncached run.
+func TestSelectionCacheIdenticalUnderFaults(t *testing.T) {
+	cfg := arch.Config{NPRC: 2, NCG: 2}
+	fo := fault.Options{FailPRC: 1, FailCG: 1, Horizon: 1_000_000}
+	const seed = 7
+
+	withCache, err := RunPointFaults(context.Background(), expWorkload, cfg, PolicyMRTS, seed, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rts, err := NewPolicy(PolicyMRTS, cfg, expWorkload.App, expWorkload.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts.(cacheSizer).SetSelectionCacheSize(-1)
+	sched, err := fault.NewSchedule(seed, fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCache, err := sim.RunOpts(expWorkload.App, expWorkload.Trace, rts, sim.Options{Faults: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(withCache)
+	b, _ := json.Marshal(noCache)
+	if !bytes.Equal(a, b) {
+		t.Errorf("faulted cache-on report differs from cache-off:\n%s\n%s", a, b)
+	}
+	if withCache.Fault.IsZero() {
+		t.Error("fault scenario injected nothing; the guard did not exercise invalidation")
+	}
+}

@@ -76,14 +76,23 @@ func PIF(k *ise.Kernel, e *ise.ISE, executions int64) float64 {
 // serial configuration port; if the fabric view reports a port backlog
 // (ise.PortView), new reconfigurations queue behind it.
 func RecT(e *ise.ISE, fab ise.FabricView, m Model) []arch.Cycles {
-	out := make([]arch.Cycles, e.NumDataPaths()+1)
+	return AppendRecT(make([]arch.Cycles, 0, e.NumDataPaths()+1), e, fab, m)
+}
+
+// AppendRecT is RecT appending into dst (usually a reused scratch buffer
+// sliced to length zero) instead of allocating: after the call,
+// dst[len0+i] is the time until data paths 1..i are available, i = 0..n.
+// The selector's inner loop uses it to evaluate profits without per-call
+// allocations.
+func AppendRecT(dst []arch.Cycles, e *ise.ISE, fab ise.FabricView, m Model) []arch.Cycles {
+	dst = append(dst, 0)
 	var fgT, cgT arch.Cycles
 	if pv, ok := fab.(ise.PortView); ok && m != PortBlind {
 		fgT = pv.PortBacklog(arch.FG)
 		cgT = pv.PortBacklog(arch.CG)
 	}
 	var avail arch.Cycles
-	for i, d := range e.DataPaths {
+	for _, d := range e.DataPaths {
 		if fab == nil || !fab.IsConfigured(d.ID) {
 			dur := dataPathReconfig(d, m)
 			kind := d.Kind
@@ -104,9 +113,9 @@ func RecT(e *ise.ISE, fab ise.FabricView, m Model) []arch.Cycles {
 				avail = ready
 			}
 		}
-		out[i+1] = avail
+		dst = append(dst, avail)
 	}
-	return out
+	return dst
 }
 
 func dataPathReconfig(d ise.DataPath, m Model) arch.Cycles {
@@ -137,15 +146,26 @@ func NoE(e *ise.ISE, k *ise.Kernel, fab ise.FabricView, p Params, m Model) []flo
 		return nil
 	}
 	rec := RecT(e, fab, m)
-	return noeFromRec(e, k, rec, p)
+	return AppendNoE(make([]float64, 0, n-1), e, k, rec, p)
 }
 
-func noeFromRec(e *ise.ISE, k *ise.Kernel, rec []arch.Cycles, p Params) []float64 {
+// AppendNoE is NoE appending into dst instead of allocating, given the
+// cumulative reconfiguration times rec already produced by RecT/AppendRecT
+// for the same ISE. It appends exactly NumDataPaths()-1 values (none when
+// the ISE has a single data path).
+func AppendNoE(dst []float64, e *ise.ISE, k *ise.Kernel, rec []arch.Cycles, p Params) []float64 {
 	n := e.NumDataPaths()
-	out := make([]float64, n-1)
-	if p.E <= 0 {
-		return out
+	if n <= 1 {
+		return dst
 	}
+	len0 := len(dst)
+	for i := 1; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	if p.E <= 0 {
+		return dst
+	}
+	out := dst[len0:]
 	// Executions consumed in RISC mode before intermediate ISE 1 exists.
 	budget := float64(p.E) - riscModeExecutions(k, rec[1], p)
 	if budget < 0 {
@@ -171,7 +191,7 @@ func noeFromRec(e *ise.ISE, k *ise.Kernel, rec []arch.Cycles, p Params) []float6
 		out[i-1] = v
 		budget -= v
 	}
-	return out
+	return dst
 }
 
 // riscModeExecutions estimates NoE_RM of Fig. 5: the executions performed
@@ -200,12 +220,30 @@ func riscModeExecutions(k *ise.Kernel, firstReady arch.Cycles, p Params) float64
 //
 // fab supplies already-configured (shared) data paths and may be nil.
 func Profit(k *ise.Kernel, e *ise.ISE, fab ise.FabricView, p Params, m Model) float64 {
+	n := e.NumDataPaths()
+	s := Scratch{rec: make([]arch.Cycles, 0, n+1), noe: make([]float64, 0, max(n-1, 0))}
+	return s.Profit(k, e, fab, p, m)
+}
+
+// Scratch holds reusable buffers for repeated profit evaluations so that
+// hot loops (the selector's greedy rounds, branch-and-bound walks) can
+// compute profits without per-call allocations. The zero value is ready to
+// use; buffers grow to the largest ISE seen and are then reused.
+type Scratch struct {
+	rec []arch.Cycles
+	noe []float64
+}
+
+// Profit is profit.Profit evaluated on the scratch buffers. It returns
+// exactly the same value as the package-level function.
+func (s *Scratch) Profit(k *ise.Kernel, e *ise.ISE, fab ise.FabricView, p Params, m Model) float64 {
 	if p.E <= 0 {
 		return 0
 	}
 	n := e.NumDataPaths()
-	rec := RecT(e, fab, m)
-	noe := noeFromRec(e, k, rec, p)
+	s.rec = AppendRecT(s.rec[:0], e, fab, m)
+	s.noe = AppendNoE(s.noe[:0], e, k, s.rec, p)
+	rec, noe := s.rec, s.noe
 
 	var total, used float64
 	for i := 1; i < n; i++ {

@@ -1,0 +1,123 @@
+package profit
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+)
+
+// scratchCases spans the input surface of the profit kernels: every model,
+// a nil fabric, shared (pre-configured) data paths and port backlogs.
+func scratchCases() []struct {
+	name string
+	fab  ise.FabricView
+	m    Model
+} {
+	return []struct {
+		name string
+		fab  ise.FabricView
+		m    Model
+	}{
+		{"nil-multigrained", nil, Multigrained},
+		{"nil-fgtuned", nil, FGTuned},
+		{"nil-portblind", nil, PortBlind},
+		{"shared", configuredFabric{"a": true}, Multigrained},
+		{"backlogged", backloggedFabric{configuredFabric: configuredFabric{}, fg: 900, cg: 40}, Multigrained},
+		{"backlogged-fgtuned", backloggedFabric{configuredFabric: configuredFabric{"c": true}, fg: 900, cg: 40}, FGTuned},
+		{"backlogged-portblind", backloggedFabric{configuredFabric: configuredFabric{}, fg: 900, cg: 40}, PortBlind},
+	}
+}
+
+// TestAppendRecTMatchesRecT pins the append-into API to the allocating
+// one, including when dst already carries a prefix that must survive.
+func TestAppendRecTMatchesRecT(t *testing.T) {
+	k := testKernel()
+	for _, tc := range scratchCases() {
+		for _, e := range k.ISEs {
+			want := RecT(e, tc.fab, tc.m)
+			got := AppendRecT(nil, e, tc.fab, tc.m)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: AppendRecT len = %d, want %d", tc.name, e.ID, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s/%s: AppendRecT[%d] = %d, want %d", tc.name, e.ID, i, got[i], want[i])
+				}
+			}
+			prefix := []arch.Cycles{7, 8}
+			got2 := AppendRecT(prefix, e, tc.fab, tc.m)
+			if got2[0] != 7 || got2[1] != 8 {
+				t.Errorf("%s/%s: AppendRecT clobbered the dst prefix", tc.name, e.ID)
+			}
+			for i := range want {
+				if got2[2+i] != want[i] {
+					t.Errorf("%s/%s: AppendRecT with prefix [%d] = %d, want %d", tc.name, e.ID, i, got2[2+i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendNoEMatchesNoE pins AppendNoE to NoE for every ISE and case.
+func TestAppendNoEMatchesNoE(t *testing.T) {
+	k := testKernel()
+	params := []Params{
+		{E: 500, TF: 100, TB: 60},
+		{E: 0, TF: 0, TB: 0},
+		{E: 3, TF: 5000, TB: 1},
+	}
+	for _, tc := range scratchCases() {
+		for _, e := range k.ISEs {
+			for _, p := range params {
+				want := NoE(e, k, tc.fab, p, tc.m)
+				rec := AppendRecT(nil, e, tc.fab, tc.m)
+				got := AppendNoE(nil, e, k, rec, p)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%s: AppendNoE len = %d, want %d", tc.name, e.ID, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s/%s: AppendNoE[%d] = %v, want %v", tc.name, e.ID, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchProfitMatchesProfit pins the scratch-buffer evaluation to the
+// package-level function bit-for-bit, across repeated reuse of the same
+// scratch (the selector's usage pattern).
+func TestScratchProfitMatchesProfit(t *testing.T) {
+	k := testKernel()
+	p := Params{E: 500, TF: 100, TB: 60}
+	var s Scratch
+	for round := 0; round < 3; round++ {
+		for _, tc := range scratchCases() {
+			for _, e := range k.ISEs {
+				want := Profit(k, e, tc.fab, p, tc.m)
+				got := s.Profit(k, e, tc.fab, p, tc.m)
+				if got != want {
+					t.Errorf("round %d %s/%s: Scratch.Profit = %v, want %v", round, tc.name, e.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchProfitNoAllocs asserts the selector's hot path allocates
+// nothing once the scratch buffers are warm.
+func TestScratchProfitNoAllocs(t *testing.T) {
+	k := testKernel()
+	e := k.ISEs[0]
+	p := Params{E: 500, TF: 100, TB: 60}
+	var s Scratch
+	s.Profit(k, e, nil, p, Multigrained) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Profit(k, e, nil, p, Multigrained)
+	})
+	if allocs != 0 {
+		t.Errorf("Scratch.Profit allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,8 +1,40 @@
 package selector
 
 import (
+	"sync"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
 	"mrts/internal/profit"
 )
+
+// gcand is a candidate plus its memoized profit. The incremental greedy
+// keeps the last computed profit per candidate and only recomputes it when
+// a claim actually changed the candidate's profit inputs.
+type gcand struct {
+	candidate
+	profit float64
+	valid  bool
+}
+
+// greedyScratch bundles the per-call working memory of Greedy so repeated
+// selections (one per trigger instruction in the simulator's inner loop)
+// allocate nothing beyond the escaping Result.
+type greedyScratch struct {
+	st    state
+	prof  profit.Scratch
+	cands []gcand
+}
+
+var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
+
+func (gs *greedyScratch) release() {
+	// Drop the caller's fabric view so the pool does not pin it; kernels
+	// and ISEs referenced by leftover gcands belong to long-lived
+	// applications and are cheap to retain.
+	gs.st.base = nil
+	greedyPool.Put(gs)
+}
 
 // Greedy runs the mRTS ISE selection algorithm of paper Fig. 6:
 //
@@ -20,19 +52,26 @@ import (
 // The loop repeats until the candidate list is empty. Kernels whose ISEs
 // never fit (or never yield positive profit) stay unselected and execute in
 // RISC mode or on a monoCG-Extension. Complexity is O(N*M) profit
-// evaluations for N kernels with M ISEs each.
+// evaluations for N kernels with M ISEs each — Result.Evaluations models
+// that full cost, while Result.SavedEvaluations reports how many of them
+// the per-candidate profit memo answered without recomputation.
 func Greedy(q Request) (Result, error) {
 	if err := q.Validate(); err != nil {
 		return Result{}, err
 	}
 	var res Result
-	st := newState(q.Fabric)
-	cands := gatherCandidates(q)
+	gs := greedyPool.Get().(*greedyScratch)
+	defer gs.release()
+	st := &gs.st
+	st.reset(q.Fabric)
+	gs.cands = appendCandidates(gs.cands[:0], q)
+	cands := gs.cands
 
 	for len(cands) > 0 {
 		res.Rounds++
 
-		// Step 2a: drop non-fitting candidates.
+		// Step 2a: drop non-fitting candidates. Removals never change the
+		// profit inputs of the surviving candidates, so memos stay valid.
 		fitting := cands[:0]
 		for _, c := range cands {
 			if st.fits(c.e) {
@@ -44,32 +83,46 @@ func Greedy(q Request) (Result, error) {
 			break
 		}
 
-		// Step 2b: an ISE fully covered by available data paths is
-		// free; select the fastest covered ISE per kernel outright.
-		if picked, rest := pickCovered(cands, st); picked != nil {
+		// Step 2b: an ISE fully covered by available data paths is free;
+		// select the fastest covered ISE per kernel outright, without a
+		// profit evaluation (its profit is still computed for the report,
+		// but does not count toward the modelled selection overhead).
+		if ci := coveredIndex(cands, st); ci >= 0 {
+			picked := cands[ci].candidate
+			fg0, cg0 := st.pendingFG, st.pendingCG
 			st.claim(picked.e)
-			p := profitOf(*picked, st, q.Model, &res)
-			if res.Rounds == 1 {
-				res.FirstRoundEvaluations++
-			}
+			p := gs.prof.Profit(picked.kernel, picked.e, st, picked.params, q.Model)
+			res.CoveredPicks++
 			res.Selected = append(res.Selected, Choice{
 				Kernel: picked.kernel.ID,
 				ISE:    picked.e,
 				Profit: p,
 			})
-			cands = rest
+			cands = removeKernel(cands, picked.kernel.ID)
+			invalidateStale(cands, st, picked.e, q.Model,
+				st.pendingFG != fg0, st.pendingCG != cg0)
 			continue
 		}
 
-		// Step 3: profit of each candidate; keep the maximum.
+		// Step 3: profit of each candidate; keep the maximum. Candidates
+		// whose inputs did not change since their last evaluation reuse
+		// the memoized profit.
 		firstRound := res.Rounds == 1
 		best := -1
 		bestProfit := 0.0
-		for i, c := range cands {
-			p := profitOf(c, st, q.Model, &res)
+		for i := range cands {
+			c := &cands[i]
+			if !c.valid {
+				c.profit = gs.prof.Profit(c.kernel, c.e, st, c.params, q.Model)
+				c.valid = true
+			} else {
+				res.SavedEvaluations++
+			}
+			res.Evaluations++
 			if firstRound {
 				res.FirstRoundEvaluations++
 			}
+			p := c.profit
 			if p <= 0 {
 				continue
 			}
@@ -81,29 +134,45 @@ func Greedy(q Request) (Result, error) {
 			break // no candidate improves performance
 		}
 
-		// Step 4: select, update fabric, drop the kernel's other ISEs.
-		chosen := cands[best]
+		// Step 4: select, update fabric, drop the kernel's other ISEs and
+		// re-mark only the candidates the claim actually affected.
+		chosen := cands[best].candidate
+		fg0, cg0 := st.pendingFG, st.pendingCG
 		st.claim(chosen.e)
 		res.Selected = append(res.Selected, Choice{
 			Kernel: chosen.kernel.ID,
 			ISE:    chosen.e,
 			Profit: bestProfit,
 		})
-		next := cands[:0]
-		for _, c := range cands {
-			if c.kernel.ID != chosen.kernel.ID {
-				next = append(next, c)
-			}
-		}
-		cands = next
+		cands = removeKernel(cands, chosen.kernel.ID)
+		invalidateStale(cands, st, chosen.e, q.Model,
+			st.pendingFG != fg0, st.pendingCG != cg0)
 	}
 	return res, nil
 }
 
-// pickCovered finds the covered candidate with the lowest full latency (ties
-// broken by ISE ID); it returns nil if no candidate is covered. rest is the
-// candidate list with the picked kernel's ISEs removed.
-func pickCovered(cands []candidate, st *state) (*candidate, []candidate) {
+// appendCandidates is gatherCandidates appending gcands into a reusable
+// buffer, growing it at most once per call.
+func appendCandidates(dst []gcand, q Request) []gcand {
+	if n := numCandidates(q); cap(dst) < n {
+		dst = make([]gcand, 0, n)
+	}
+	for _, t := range q.Triggers {
+		k := q.Block.Kernel(t.Kernel)
+		if k == nil {
+			continue
+		}
+		p := profit.ParamsFromTrigger(t)
+		for _, e := range k.ISEs {
+			dst = append(dst, gcand{candidate: candidate{kernel: k, e: e, params: p}})
+		}
+	}
+	return dst
+}
+
+// coveredIndex finds the covered candidate with the lowest full latency
+// (ties broken by ISE ID); it returns -1 if no candidate is covered.
+func coveredIndex(cands []gcand, st *state) int {
 	best := -1
 	for i, c := range cands {
 		if !st.covered(c.e) {
@@ -115,20 +184,73 @@ func pickCovered(cands []candidate, st *state) (*candidate, []candidate) {
 			best = i
 		}
 	}
-	if best < 0 {
-		return nil, cands
-	}
-	picked := cands[best]
-	rest := make([]candidate, 0, len(cands))
-	for _, c := range cands {
-		if c.kernel.ID != picked.kernel.ID {
-			rest = append(rest, c)
-		}
-	}
-	return &picked, rest
+	return best
 }
 
-func profitOf(c candidate, st *state, m profit.Model, res *Result) float64 {
-	res.Evaluations++
-	return profit.Profit(c.kernel, c.e, st, c.params, m)
+// removeKernel compacts the candidate list in place, dropping every ISE of
+// the given kernel (Fig. 6 Step 4).
+func removeKernel(cands []gcand, id ise.KernelID) []gcand {
+	next := cands[:0]
+	for _, c := range cands {
+		if c.kernel.ID != id {
+			next = append(next, c)
+		}
+	}
+	return next
+}
+
+// invalidateStale marks the candidates whose memoized profit the claim of
+// picked made stale. Profit reads the selection state only through
+// IsConfigured (for the candidate's own data paths) and PortBacklog (only
+// for ports the candidate still has unconfigured work on), so a candidate's
+// profit changed iff it shares a data path with the picked ISE, or a port
+// backlog grew and the candidate queues unconfigured data paths on that
+// port. PortBlind profits never read backlogs, and FGTuned charges every
+// data path to the fine-grained port.
+func invalidateStale(cands []gcand, st *state, picked *ise.ISE, m profit.Model, fgChanged, cgChanged bool) {
+	portAware := m != profit.PortBlind && (fgChanged || cgChanged)
+	for i := range cands {
+		c := &cands[i]
+		if !c.valid {
+			continue
+		}
+		if sharesDataPath(c.e, picked) ||
+			(portAware && portSensitive(c.e, st, m, fgChanged, cgChanged)) {
+			c.valid = false
+		}
+	}
+}
+
+func sharesDataPath(a, b *ise.ISE) bool {
+	for _, da := range a.DataPaths {
+		for _, db := range b.DataPaths {
+			if da.ID == db.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// portSensitive reports whether the ISE's profit depends on a changed port
+// backlog: it has at least one not-yet-configured data path whose effective
+// fabric kind reconfigures through that port.
+func portSensitive(e *ise.ISE, st *state, m profit.Model, fgChanged, cgChanged bool) bool {
+	for _, d := range e.DataPaths {
+		if st.IsConfigured(d.ID) {
+			continue
+		}
+		kind := d.Kind
+		if m == profit.FGTuned {
+			kind = arch.FG
+		}
+		if kind == arch.FG {
+			if fgChanged {
+				return true
+			}
+		} else if cgChanged {
+			return true
+		}
+	}
+	return false
 }

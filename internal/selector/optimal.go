@@ -2,6 +2,8 @@ package selector
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"mrts/internal/ise"
 	"mrts/internal/profit"
@@ -37,6 +39,7 @@ func Optimal(q Request) (Result, error) {
 	}
 
 	dpOwners := countDataPathOwners(q)
+	var prof profit.Scratch
 	var groups []group
 	base := newState(q.Fabric)
 	for _, t := range q.Triggers {
@@ -52,7 +55,7 @@ func Optimal(q Request) (Result, error) {
 				continue // can never fit
 			}
 			res.Evaluations++
-			pr := profit.Profit(k, e, q.Fabric, p, q.Model)
+			pr := prof.Profit(k, e, q.Fabric, p, q.Model)
 			shared := false
 			for _, d := range e.DataPaths {
 				if dpOwners[d.ID] > 1 {
@@ -67,10 +70,20 @@ func Optimal(q Request) (Result, error) {
 				continue
 			}
 			g.opts = append(g.opts, option{c: candidate{kernel: k, e: e, params: p}, standalone: pr, prc: prc, cg: cg, shared: shared})
-			// The steady-state profit (all reconfiguration transients
-			// hidden) upper-bounds the profit in every context,
-			// including contexts where shared data paths are free.
-			if b := profit.SteadyStateProfit(k, e, p.E); b > g.best {
+			// Per-option upper bound on the profit in any context. An
+			// unshared option's data paths are never configured by other
+			// kernels' choices, so context can only add port backlog —
+			// which delays availability and moves executions to
+			// lower-improvement intermediate modes, strictly shrinking
+			// profit. Its exact stand-alone profit therefore bounds it.
+			// A shared option may get data paths for free from another
+			// kernel, so only the steady-state profit (all transients
+			// hidden) bounds it.
+			b := pr
+			if shared {
+				b = profit.SteadyStateProfit(k, e, p.E)
+			}
+			if b > g.best {
 				g.best = b
 			}
 		}
@@ -113,7 +126,7 @@ func Optimal(q Request) (Result, error) {
 			// reconfigurations queued by earlier choices delay this
 			// ISE on the configuration ports.
 			res.Evaluations++
-			pr := profit.Profit(o.c.kernel, o.c.e, st, o.c.params, q.Model)
+			pr := prof.Profit(o.c.kernel, o.c.e, st, o.c.params, q.Model)
 			if pr <= 0 {
 				continue
 			}
@@ -148,9 +161,54 @@ func Optimal(q Request) (Result, error) {
 	return res, nil
 }
 
+// dpOwnersCache memoizes countDataPathOwners across Optimal calls: the
+// ownership map depends only on the functional block and the set of
+// triggered kernels, both of which repeat on every trigger of the
+// simulator's inner loop. The cached maps are read-only after insertion,
+// so sharing them across goroutines is safe. The cache is dropped wholesale
+// when it exceeds its bound (blocks are few and long-lived in practice).
+var dpOwnersCache = struct {
+	sync.Mutex
+	m map[dpOwnersKey]map[ise.DataPathID]int
+}{m: make(map[dpOwnersKey]map[ise.DataPathID]int)}
+
+type dpOwnersKey struct {
+	block   *ise.FunctionalBlock
+	kernels string
+}
+
+const dpOwnersCacheCap = 64
+
 // countDataPathOwners maps each data-path ID to the number of distinct
-// kernels whose candidate ISEs reference it.
+// kernels whose candidate ISEs reference it, memoized per (block,
+// triggered-kernel sequence).
 func countDataPathOwners(q Request) map[ise.DataPathID]int {
+	var sb strings.Builder
+	for _, t := range q.Triggers {
+		sb.WriteString(string(t.Kernel))
+		sb.WriteByte('|')
+	}
+	key := dpOwnersKey{block: q.Block, kernels: sb.String()}
+
+	dpOwnersCache.Lock()
+	if m, ok := dpOwnersCache.m[key]; ok {
+		dpOwnersCache.Unlock()
+		return m
+	}
+	dpOwnersCache.Unlock()
+
+	out := computeDataPathOwners(q)
+
+	dpOwnersCache.Lock()
+	if len(dpOwnersCache.m) >= dpOwnersCacheCap {
+		clear(dpOwnersCache.m)
+	}
+	dpOwnersCache.m[key] = out
+	dpOwnersCache.Unlock()
+	return out
+}
+
+func computeDataPathOwners(q Request) map[ise.DataPathID]int {
 	owners := make(map[ise.DataPathID]map[ise.KernelID]bool)
 	for _, t := range q.Triggers {
 		k := q.Block.Kernel(t.Kernel)

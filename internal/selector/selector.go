@@ -39,6 +39,17 @@ type Result struct {
 	// Rounds counts selection rounds (iterations of the Fig. 6 loop or
 	// explored nodes for the optimal algorithm).
 	Rounds int
+	// SavedEvaluations counts the evaluations the incremental greedy
+	// served from its per-candidate profit memo instead of recomputing.
+	// Saved evaluations are still included in Evaluations: the modelled
+	// run-time overhead (paper Section 5.4) charges the full Fig. 6
+	// evaluation count either way, the memo only removes host-side work.
+	SavedEvaluations int
+	// CoveredPicks counts ISEs selected directly by Fig. 6 Step 2b
+	// because all their data paths were already covered by previously
+	// selected ISEs. Covered picks need no profit evaluation and are not
+	// counted in Evaluations or FirstRoundEvaluations.
+	CoveredPicks int
 }
 
 // ISEs returns just the selected ISEs in selection order.
@@ -101,10 +112,22 @@ type candidate struct {
 	params profit.Params
 }
 
+// numCandidates counts the candidates gatherCandidates would produce, so
+// candidate buffers can be sized in one allocation (or none, when pooled).
+func numCandidates(q Request) int {
+	n := 0
+	for _, t := range q.Triggers {
+		if k := q.Block.Kernel(t.Kernel); k != nil {
+			n += len(k.ISEs)
+		}
+	}
+	return n
+}
+
 // gatherCandidates builds the initial candidate list (Fig. 6 Step 1) in a
 // deterministic order: triggers in given order, ISEs in kernel order.
 func gatherCandidates(q Request) []candidate {
-	var out []candidate
+	out := make([]candidate, 0, numCandidates(q))
 	for _, t := range q.Triggers {
 		k := q.Block.Kernel(t.Kernel)
 		if k == nil {
@@ -148,12 +171,24 @@ var (
 )
 
 func newState(base ise.FabricView) *state {
-	return &state{
-		base:    base,
-		freePRC: base.FreePRC(),
-		freeCG:  base.FreeCG(),
-		claimed: make(map[ise.DataPathID]bool),
+	s := &state{}
+	s.reset(base)
+	return s
+}
+
+// reset re-initialises the state onto a new base view, reusing the claimed
+// map so pooled states allocate nothing on reuse.
+func (s *state) reset(base ise.FabricView) {
+	s.base = base
+	s.freePRC = base.FreePRC()
+	s.freeCG = base.FreeCG()
+	if s.claimed == nil {
+		s.claimed = make(map[ise.DataPathID]bool)
+	} else {
+		clear(s.claimed)
 	}
+	s.pendingFG = 0
+	s.pendingCG = 0
 }
 
 func (s *state) FreePRC() int { return s.freePRC }
