@@ -25,6 +25,7 @@ import (
 	"mrts/internal/ise"
 	"mrts/internal/iselib"
 	"mrts/internal/mpu"
+	"mrts/internal/obs"
 	"mrts/internal/profit"
 	"mrts/internal/selector"
 	"mrts/internal/service"
@@ -322,6 +323,36 @@ func BenchmarkSelectionCached(b *testing.B) {
 	b.StopTimer()
 	st := m.Stats()
 	b.ReportMetric(float64(st.CacheHits)/float64(st.Selections), "hit-rate")
+}
+
+// BenchmarkSelectionObserved is BenchmarkSelectionCached with a
+// decision-trace recorder attached: the cost of tracing the hot path. The
+// observer-off case (BenchmarkSelectionCached) must stay allocation-free
+// with respect to observation — the baseline check pins its allocs/op.
+func BenchmarkSelectionObserved(b *testing.B) {
+	w, _ := benchWorkload(b)
+	blk := w.App.Block("enc")
+	triggers := w.Trace.ProfileFor("enc", "P")
+	m := core.MustNew(arch.Config{NPRC: 2, NCG: 2}, core.Options{ChargeOverhead: true})
+	rec := obs.New()
+	m.SetObserver(rec)
+	const settled = 50_000_000
+	if _, err := m.OnTrigger(blk, "P", triggers, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.OnTrigger(blk, "P", triggers, settled); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.OnTrigger(blk, "P", triggers, settled); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			rec.Reset() // bound the event buffer; Reset keeps the recorder attached
+		}
+	}
 }
 
 // BenchmarkSelectionUncached is the same trigger reaction with the cache

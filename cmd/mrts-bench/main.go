@@ -26,7 +26,7 @@ import (
 // selection fast path; the figure-level benches are too slow and noisy for
 // a CI guard.
 const defaultPattern = "BenchmarkProfitFunction$|BenchmarkGreedySelection$|BenchmarkOptimalSelection$|" +
-	"BenchmarkSelectionCached$|BenchmarkSelectionUncached$|BenchmarkGreedyIncremental|" +
+	"BenchmarkSelectionCached$|BenchmarkSelectionUncached$|BenchmarkSelectionObserved$|BenchmarkGreedyIncremental|" +
 	"BenchmarkSelectorScalability|BenchmarkOptimalScalability"
 
 type metrics struct {

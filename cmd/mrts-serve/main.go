@@ -18,7 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // profiling endpoints on the -pprof listener only
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,12 +39,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// The pprof listener gets its own mux and server — never
+	// http.DefaultServeMux, which any imported package can register
+	// handlers on — and shuts down with the API server below.
+	var pprofSrv *http.Server
 	if *pprofAddr != "" {
-		// The pprof handlers register on http.DefaultServeMux; the service
-		// API uses its own mux, so profiling stays off the public listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: mux}
 		go func() {
 			fmt.Fprintf(os.Stderr, "mrts-serve: pprof on %s\n", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "mrts-serve: pprof:", err)
 			}
 		}()
@@ -75,5 +84,8 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(ctx)
+		}
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"mrts/internal/arch"
 	"mrts/internal/ecu"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
+	"mrts/internal/obs"
 	"mrts/internal/service/api"
 	"mrts/internal/video"
 	"mrts/internal/workload"
@@ -33,6 +35,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-block and reconfiguration details")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON (for scripting)")
 		outFile  = flag.String("o", "", "write the JSON report to this file (in addition to stdout output)")
+		traceOut = flag.String("trace", "", "write the decision trace (JSONL) to this file; render it with mrts-timeline")
 	)
 	flag.Parse()
 
@@ -55,9 +58,27 @@ func main() {
 		fatal(err)
 	}
 
-	rep, err := exp.RunPoint(nil, w, cfg, pol)
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.New()
+		rec.SetRun(fmt.Sprintf("%s/%dx%d", pol, cfg.NPRC, cfg.NCG))
+	}
+	rep, err := exp.RunPointObserved(nil, w, cfg, pol, 0, fault.Options{}, rec)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mrts-sim: wrote %d trace events to %s\n", rec.Len(), *traceOut)
 	}
 	ref, err := exp.RunPoint(nil, w, arch.Config{}, exp.PolicyRISC)
 	if err != nil {

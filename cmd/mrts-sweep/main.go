@@ -19,9 +19,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"mrts/internal/arch"
 	"mrts/internal/exp"
+	"mrts/internal/fault"
+	"mrts/internal/obs"
+	"mrts/internal/sim"
 	"mrts/internal/video"
 	"mrts/internal/workload"
 )
@@ -37,6 +41,7 @@ func main() {
 		faultSeed  = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+		traceOut   = flag.String("trace", "", "write the decision traces of every point (JSONL, one run label per point) to this file; render with mrts-timeline")
 	)
 	flag.Parse()
 
@@ -80,6 +85,44 @@ func main() {
 
 	ctx := context.Background()
 	eval := exp.DirectEvaluator(w)
+	feval := exp.DirectFaultEvaluator(w)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// Points run concurrently (ParMap), so each gets its own labelled
+		// in-memory recorder; completed traces are appended whole under the
+		// mutex, keeping every run's lines contiguous and monotonic.
+		var mu sync.Mutex
+		flush := func(rec *obs.Recorder) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := rec.WriteJSONL(f); err != nil {
+				fatal(err)
+			}
+		}
+		eval = func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
+			rec := obs.New()
+			rec.SetRun(fmt.Sprintf("%s/%dx%d", p, cfg.NPRC, cfg.NCG))
+			rep, err := exp.RunPointObserved(ctx, w, cfg, p, 0, fault.Options{}, rec)
+			if err == nil {
+				flush(rec)
+			}
+			return rep, err
+		}
+		feval = func(ctx context.Context, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) (*sim.Report, error) {
+			rec := obs.New()
+			rec.SetRun(fmt.Sprintf("%s/%dx%d/fail%d+%d", p, cfg.NPRC, cfg.NCG, fo.FailPRC, fo.FailCG))
+			rep, err := exp.RunPointObserved(ctx, w, cfg, p, seed, fo, rec)
+			if err == nil {
+				flush(rec)
+			}
+			return rep, err
+		}
+	}
 
 	run := func(name string) {
 		switch name {
@@ -131,7 +174,7 @@ func main() {
 			}
 			r.Render(os.Stdout)
 		case "faults":
-			r, err := exp.Faults(ctx, exp.DirectFaultEvaluator(w), exp.FaultsConfig, *faultSeed)
+			r, err := exp.Faults(ctx, feval, exp.FaultsConfig, *faultSeed)
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,304 @@
+// Command mrts-timeline renders a decision trace (the JSONL stream written
+// by mrts-sim/mrts-sweep -trace or returned by trace-capturing service
+// jobs) into per-container Gantt-style timelines: one lane per data path
+// showing configuration-port activity (streaming, retries, evictions) and
+// one lane per kernel showing the ECU's execution-mode choices, with fault
+// deliveries marked on a separate lane.
+//
+// Usage:
+//
+//	mrts-sim -prc 2 -cg 1 -trace run.jsonl
+//	mrts-timeline run.jsonl
+//	mrts-timeline -csv run.jsonl > run.csv
+//	mrts-timeline -run 'mRTS/2x1' -width 100 run.jsonl
+//
+// Lane characters: '=' configuration streaming, 'R' retry backoff after a
+// CRC failure, 'x' eviction; dispatch lanes use r/m/i/F for
+// RISC/monoCG/intermediate/full-ISE executions; '!' marks a fault delivery.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mrts/internal/arch"
+	"mrts/internal/obs"
+)
+
+func main() {
+	var (
+		width   = flag.Int("width", 72, "timeline width in columns")
+		runSel  = flag.String("run", "", "render only this run label (default: every run in the trace)")
+		csvOut  = flag.Bool("csv", false, "emit flat CSV rows instead of the text timeline")
+		summary = flag.Bool("summary", false, "print only the per-run event summary, no lanes")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mrts-timeline [flags] <trace.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadAll(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fatal(fmt.Errorf("trace holds no events"))
+	}
+
+	runs := groupRuns(events)
+	if *runSel != "" {
+		if evs, ok := runs.byRun[*runSel]; ok {
+			runs = runGroups{order: []string{*runSel}, byRun: map[string][]obs.Event{*runSel: evs}}
+		} else {
+			fatal(fmt.Errorf("run %q not in trace (runs: %s)", *runSel, strings.Join(runs.order, ", ")))
+		}
+	}
+
+	if *csvOut {
+		if err := writeCSV(os.Stdout, runs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for i, run := range runs.order {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderRun(os.Stdout, run, runs.byRun[run], *width, *summary)
+	}
+}
+
+type runGroups struct {
+	order []string
+	byRun map[string][]obs.Event
+}
+
+func groupRuns(events []obs.Event) runGroups {
+	g := runGroups{byRun: make(map[string][]obs.Event)}
+	for _, ev := range events {
+		if _, ok := g.byRun[ev.Run]; !ok {
+			g.order = append(g.order, ev.Run)
+		}
+		g.byRun[ev.Run] = append(g.byRun[ev.Run], ev)
+	}
+	return g
+}
+
+// span is one rendered interval on a lane. Priority resolves overlaps
+// within a column: faults and retries beat plain streaming.
+type span struct {
+	from, to arch.Cycles
+	ch       byte
+	prio     int
+}
+
+type lane struct {
+	name  string
+	spans []span
+	note  string
+}
+
+func (l *lane) add(from, to arch.Cycles, ch byte, prio int) {
+	if to < from {
+		to = from
+	}
+	l.spans = append(l.spans, span{from: from, to: to, ch: ch, prio: prio})
+}
+
+func modeChar(mode string) byte {
+	switch mode {
+	case "RISC":
+		return 'r'
+	case "monoCG":
+		return 'm'
+	case "intermediate":
+		return 'i'
+	case "full-ISE":
+		return 'F'
+	}
+	return '?'
+}
+
+func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOnly bool) {
+	if run == "" {
+		run = "(unlabelled)"
+	}
+	var meta string
+	counts := map[string]int{}
+	var maxCycle arch.Cycles
+	for _, ev := range events {
+		counts[ev.Source+"/"+ev.Kind]++
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+		if ev.Ready > maxCycle {
+			maxCycle = ev.Ready
+		}
+		if ev.Kind == obs.KindRun && meta == "" {
+			meta = ev.Detail
+		}
+	}
+	if meta != "" {
+		fmt.Fprintf(w, "run %s  (%s)\n", run, meta)
+	} else {
+		fmt.Fprintf(w, "run %s\n", run)
+	}
+	fmt.Fprintf(w, "  %d events over %.2f Mcycles\n", len(events), maxCycle.MCycles())
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "    %-20s %d\n", k, counts[k])
+	}
+	if summaryOnly || maxCycle == 0 {
+		return
+	}
+
+	// Build lanes: reconfiguration per data path, dispatch per kernel, one
+	// fault lane.
+	paths := map[string]*lane{}
+	kernels := map[string]*lane{}
+	var faults lane
+	faults.name = "faults"
+	get := func(m map[string]*lane, name string) *lane {
+		l, ok := m[name]
+		if !ok {
+			l = &lane{name: name}
+			m[name] = l
+		}
+		return l
+	}
+	for _, ev := range events {
+		switch {
+		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindConfig:
+			get(paths, ev.Path).add(ev.Ready-ev.Latency, ev.Ready, '=', 1)
+		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindRetry:
+			get(paths, ev.Path).add(ev.Ready-ev.Latency, ev.Ready, 'R', 2)
+		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindEvict:
+			get(paths, ev.Path).add(ev.Cycle, ev.Cycle, 'x', 3)
+		case ev.Source == obs.SourceECU && ev.Kind == obs.KindDispatch:
+			get(kernels, ev.Kernel).add(ev.Cycle, ev.Cycle+ev.Latency, modeChar(ev.Mode), 1)
+		case ev.Source == obs.SourceSim && ev.Kind == obs.KindFault:
+			faults.add(ev.Cycle, ev.Cycle, '!', 3)
+		}
+	}
+
+	perCol := (int64(maxCycle) + int64(width) - 1) / int64(width)
+	if perCol == 0 {
+		perCol = 1
+	}
+	fmt.Fprintf(w, "  timeline: %d columns, %d cycles each ('=' config stream, R retry, x evict; r/m/i/F exec modes; ! fault)\n", width, perCol)
+
+	render := func(l *lane, count int) {
+		row := make([]byte, width)
+		prios := make([]int, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range l.spans {
+			c0 := int(int64(s.from) / perCol)
+			c1 := int(int64(s.to) / perCol)
+			if c0 >= width {
+				c0 = width - 1
+			}
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				if s.prio >= prios[c] {
+					row[c] = s.ch
+					prios[c] = s.prio
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %-14s |%s| %d\n", l.name, row, count)
+	}
+
+	if len(paths) > 0 {
+		fmt.Fprintf(w, "  -- reconfiguration (per data path) --\n")
+		for _, name := range sortedKeys(paths) {
+			render(paths[name], len(paths[name].spans))
+		}
+	}
+	if len(kernels) > 0 {
+		fmt.Fprintf(w, "  -- dispatch (per kernel) --\n")
+		for _, name := range sortedKeys(kernels) {
+			render(kernels[name], len(kernels[name].spans))
+		}
+	}
+	if len(faults.spans) > 0 {
+		fmt.Fprintf(w, "  -- faults --\n")
+		render(&faults, len(faults.spans))
+	}
+}
+
+func sortedKeys(m map[string]*lane) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeCSV emits every event as one flat row, preserving trace order.
+func writeCSV(w io.Writer, runs runGroups) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"run", "cycle", "source", "kind", "block", "phase", "kernel", "ise",
+		"path", "fabric", "mode", "level", "round", "e", "tf", "tb",
+		"profit", "latency", "ready", "detail",
+	}); err != nil {
+		return err
+	}
+	for _, run := range runs.order {
+		for _, ev := range runs.byRun[run] {
+			rec := []string{
+				ev.Run,
+				strconv.FormatInt(int64(ev.Cycle), 10),
+				ev.Source, ev.Kind, ev.Block, ev.Phase, ev.Kernel, ev.ISE,
+				ev.Path, ev.Fabric, ev.Mode,
+				strconv.Itoa(ev.Level), strconv.Itoa(ev.Round),
+				strconv.FormatInt(ev.E, 10),
+				strconv.FormatInt(ev.TF, 10),
+				strconv.FormatInt(ev.TB, 10),
+				strconv.FormatFloat(ev.Profit, 'g', -1, 64),
+				strconv.FormatInt(int64(ev.Latency), 10),
+				strconv.FormatInt(int64(ev.Ready), 10),
+				ev.Detail,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mrts-timeline:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"mrts/internal/ecu"
 	"mrts/internal/ise"
 	"mrts/internal/mpu"
+	"mrts/internal/obs"
 	"mrts/internal/profit"
 	"mrts/internal/reconfig"
 	"mrts/internal/selector"
@@ -172,6 +173,11 @@ type MRTS struct {
 	selCache *selCache
 	fpBuf    []byte
 
+	// obsr records MPU, selector, ECU and cache decision events when
+	// tracing is on; nil otherwise. The recorder never feeds back into the
+	// simulation, so traced runs are byte-identical to untraced ones.
+	obsr *obs.Recorder
+
 	// lastBlock / lastPhase / lastTriggers memoise the most recent
 	// trigger instruction, so a fault mid-iteration can re-run the
 	// selection for the block currently executing.
@@ -221,6 +227,15 @@ func (m *MRTS) SetSelectionCacheSize(n int) {
 	}
 }
 
+// SetObserver installs (or, with nil, removes) the decision-trace
+// recorder on the runtime system and its reconfiguration controller. The
+// simulator calls this per run (after Reset) when sim.Options.Observer is
+// set, so a reused policy instance never streams into a stale trace.
+func (m *MRTS) SetObserver(r *obs.Recorder) {
+	m.obsr = r
+	m.ctrl.SetObserver(r)
+}
+
 // MustNew is New for static configurations known to be valid.
 func MustNew(cfg arch.Config, opts Options) *MRTS {
 	m, err := New(cfg, opts)
@@ -262,6 +277,21 @@ func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []is
 func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
 	m.ctrl.Advance(now)
 	corrected := m.pred.ForecastAll(forecastKey(block.ID, phase), triggers)
+	if m.obsr != nil {
+		for i, t := range corrected {
+			ev := obs.Event{
+				Cycle: now, Source: obs.SourceMPU, Kind: obs.KindForecast,
+				Block: block.ID, Phase: phase, Kernel: string(t.Kernel),
+				E: t.E, TF: int64(t.TF), TB: int64(t.TB),
+			}
+			if i < len(triggers) && triggers[i] != t {
+				ev.Detail = "corrected"
+			} else {
+				ev.Detail = "profile"
+			}
+			m.obsr.Record(ev)
+		}
+	}
 
 	var (
 		res selector.Result
@@ -280,6 +310,12 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 		// skips the real selection work.
 		m.stats.CacheHits++
 		m.stats.EvaluationsSaved += int64(res.Evaluations)
+		if m.obsr != nil {
+			m.obsr.Record(obs.Event{
+				Cycle: now, Source: obs.SourceCore, Kind: obs.KindCacheHit,
+				Block: block.ID, Phase: phase, Round: res.Rounds, E: int64(res.Evaluations),
+			})
+		}
 	} else {
 		var err error
 		res, err = m.opts.Select(selector.Request{
@@ -294,16 +330,41 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 		if m.selCache != nil {
 			m.selCache.put(key, res)
 			m.stats.CacheMisses++
+			if m.obsr != nil {
+				m.obsr.Record(obs.Event{
+					Cycle: now, Source: obs.SourceCore, Kind: obs.KindCacheMiss,
+					Block: block.ID, Phase: phase, Round: res.Rounds, E: int64(res.Evaluations),
+				})
+			}
 		}
 		m.stats.EvaluationsSaved += int64(res.SavedEvaluations)
 	}
 	m.stats.CoveredPicks += int64(res.CoveredPicks)
+	if m.obsr != nil {
+		for i, c := range res.Selected {
+			m.obsr.Record(obs.Event{
+				Cycle: now, Source: obs.SourceSelector, Kind: obs.KindClaim,
+				Block: block.ID, Phase: phase, Kernel: string(c.Kernel),
+				ISE: c.ISE.ID, Round: i + 1, Profit: c.Profit,
+			})
+		}
+	}
 
 	// A skipped ISE keeps its kernel -> ISE assignment: its configured
 	// prefix (if any) stays on the fabric, so the ECU can still dispatch
 	// it as an intermediate ISE, and falls back to monoCG/RISC otherwise.
 	commit := m.ctrl.CommitSelectionSafe(res.ISEs(), now)
 	m.stats.Degradations += int64(len(commit.Skipped))
+	if m.obsr != nil {
+		for _, i := range commit.Skipped {
+			c := res.Selected[i]
+			m.obsr.Record(obs.Event{
+				Cycle: now, Source: obs.SourceCore, Kind: obs.KindSkip,
+				Block: block.ID, Phase: phase, Kernel: string(c.Kernel), ISE: c.ISE.ID,
+				Detail: "not configurable on surviving fabric",
+			})
+		}
+	}
 	for id := range m.selected {
 		delete(m.selected, id)
 	}
@@ -351,6 +412,13 @@ func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, err
 				if lostSet[d.ID] {
 					delete(m.selected, kid)
 					m.stats.Invalidations++
+					if m.obsr != nil {
+						m.obsr.Record(obs.Event{
+							Cycle: now, Source: obs.SourceCore, Kind: obs.KindInvalidate,
+							Kernel: string(kid), ISE: e.ID, Path: string(d.ID),
+							Detail: "data path lost to container failure",
+						})
+					}
 					break
 				}
 			}
@@ -364,6 +432,13 @@ func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, err
 	// clears pending marks): the observations of the iteration currently
 	// executing must be discarded at its block end.
 	m.pred.NoteDisruption(forecastKey(m.lastBlock.ID, m.lastPhase))
+	if m.obsr != nil {
+		m.obsr.Record(obs.Event{
+			Cycle: now, Source: obs.SourceMPU, Kind: obs.KindDisrupt,
+			Block: m.lastBlock.ID, Phase: m.lastPhase,
+			Detail: "iteration observations will be discarded",
+		})
+	}
 	if err != nil {
 		// Selection itself failed: degrade to RISC for every kernel
 		// rather than aborting the run.
@@ -382,6 +457,17 @@ func (m *MRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
 	d := m.exec.Decide(k, m.selected[k.ID], now)
 	m.stats.Execs[d.Mode]++
 	m.stats.ExecCycles[d.Mode] += d.Latency
+	if m.obsr != nil {
+		ev := obs.Event{
+			Cycle: now, Source: obs.SourceECU, Kind: obs.KindDispatch,
+			Kernel: string(k.ID), Mode: d.Mode.String(), Level: d.Level,
+			Latency: d.Latency,
+		}
+		if e := m.selected[k.ID]; e != nil {
+			ev.ISE = e.ID
+		}
+		m.obsr.Record(ev)
+	}
 	return d
 }
 
@@ -396,6 +482,20 @@ func (m *MRTS) OnBlockEnd(block *ise.FunctionalBlock, phase string, profile []is
 	for _, o := range obs {
 		m.pred.Observe(key, byKernel[o.Kernel], o)
 	}
+	if m.obsr != nil {
+		for _, o := range obs {
+			m.obsr.Record(obsEvent(now, block.ID, phase, o))
+		}
+	}
+}
+
+// obsEvent builds the MPU observation event for one monitored kernel.
+func obsEvent(now arch.Cycles, block, phase string, o mpu.Observation) obs.Event {
+	return obs.Event{
+		Cycle: now, Source: obs.SourceMPU, Kind: obs.KindObserve,
+		Block: block, Phase: phase, Kernel: string(o.Kernel),
+		E: o.E, TF: int64(o.TF), TB: int64(o.TB),
+	}
 }
 
 // forecastKey scopes MPU state to one trigger instruction: the same block
@@ -407,8 +507,10 @@ func forecastKey(block, phase string) string {
 	return block + "#" + phase
 }
 
-// Reset implements RuntimeSystem.
+// Reset implements RuntimeSystem. Like the controller's verifier, the
+// observer does not survive a Reset: the simulator re-installs it per run.
 func (m *MRTS) Reset() {
+	m.obsr = nil
 	m.ctrl.Reset()
 	m.pred.Reset()
 	m.selected = make(map[ise.KernelID]*ise.ISE)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/mpu"
+)
+
+// TestSelectionCacheCoherentWithMPUDisruption is the regression test for
+// the cache/MPU interaction audit: a fault event must (a) invalidate every
+// cached selection before the fault-driven re-selection runs, and (b) mark
+// the in-flight iteration disrupted so its block-end observation is
+// discarded — otherwise the next trigger would select from a forecast the
+// uncached path never sees, and the cache fingerprint (which covers the
+// corrected triggers) would diverge from reality. A cached twin and an
+// uncached twin are driven through trigger -> fault -> disrupted block end
+// -> trigger and must stay in lockstep throughout.
+func TestSelectionCacheCoherentWithMPUDisruption(t *testing.T) {
+	cached := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	plain := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	plain.SetSelectionCacheSize(-1)
+	blk := testBlock()
+
+	step := func(label string, now arch.Cycles) {
+		t.Helper()
+		vc, err := cached.OnTrigger(blk, "", triggers(), now)
+		if err != nil {
+			t.Fatal(label, err)
+		}
+		vp, err := plain.OnTrigger(blk, "", triggers(), now)
+		if err != nil {
+			t.Fatal(label, err)
+		}
+		if vc != vp {
+			t.Errorf("%s: visible overhead %d (cached) != %d (uncached)", label, vc, vp)
+		}
+		if sc, sp := cached.Selected("k"), plain.Selected("k"); sc != sp {
+			t.Errorf("%s: selected %v (cached) != %v (uncached)", label, sc, sp)
+		}
+	}
+
+	// Warm up to a steady state in which the cache serves the trigger.
+	step("cold", 0)
+	step("warm fill", 1_000_000)
+	step("warm hit", 2_000_000)
+	pre := cached.Stats()
+	if pre.CacheHits == 0 {
+		t.Fatal("warm-up never hit the cache; the scenario does not cover the fast path")
+	}
+
+	// Fault mid-iteration: both twins re-select; the cached one must not
+	// serve the re-selection from a pre-fault entry.
+	vc, err := cached.OnFault(nil, 2_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := plain.OnFault(nil, 2_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc != vp {
+		t.Errorf("fault re-selection: visible %d (cached) != %d (uncached)", vc, vp)
+	}
+	post := cached.Stats()
+	if post.CacheHits != pre.CacheHits {
+		t.Errorf("fault re-selection hit the cache (%d -> %d hits): stale pre-fault entry served",
+			pre.CacheHits, post.CacheHits)
+	}
+	if post.CacheMisses != pre.CacheMisses+1 {
+		t.Errorf("fault re-selection misses %d -> %d, want +1", pre.CacheMisses, post.CacheMisses)
+	}
+
+	// The disrupted iteration ends with a wildly different monitored value.
+	// Both twins must discard it (the MPU was told the iteration is
+	// disturbed); if either folded it in, the next forecast — and with it
+	// the cache fingerprint and the selection inputs — would change.
+	wild := []mpu.Observation{{Kernel: "k", E: 9999, TF: 1, TB: 1}}
+	cached.OnBlockEnd(blk, "", triggers(), wild, 3_000_000)
+	plain.OnBlockEnd(blk, "", triggers(), wild, 3_000_000)
+	if got := cached.pred.Forecast(forecastKey(blk.ID, ""), triggers()[0]); got.E != triggers()[0].E {
+		t.Errorf("disrupted observation leaked into the forecast: E = %d, want profile %d",
+			got.E, triggers()[0].E)
+	}
+
+	// Next iteration: twins still agree, and an un-disrupted observation
+	// resumes normal MPU learning in both.
+	step("post-fault", 3_500_000)
+	ok := []mpu.Observation{{Kernel: "k", E: 120, TF: 60, TB: 25}}
+	cached.OnBlockEnd(blk, "", triggers(), ok, 4_000_000)
+	plain.OnBlockEnd(blk, "", triggers(), ok, 4_000_000)
+	if got := cached.pred.Forecast(forecastKey(blk.ID, ""), triggers()[0]); got.E == triggers()[0].E {
+		t.Error("post-disruption observation ignored: MPU learning did not resume")
+	}
+	step("corrected forecast", 4_500_000)
+
+	cs, ps := cached.Stats(), plain.Stats()
+	if cs.Selections != ps.Selections || cs.Evaluations != ps.Evaluations ||
+		cs.OverheadVisible != ps.OverheadVisible || cs.Invalidations != ps.Invalidations {
+		t.Errorf("modelled stats diverge after fault+disruption: cached %+v, uncached %+v", cs, ps)
+	}
+}

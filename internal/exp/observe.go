@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"context"
+
+	"mrts/internal/arch"
+	"mrts/internal/fault"
+	"mrts/internal/obs"
+	"mrts/internal/sim"
+	"mrts/internal/workload"
+)
+
+// RunPointObserved is RunPoint with a decision-trace recorder attached and
+// an optional fault scenario: the unit of work behind the CLIs' -trace
+// flag and the service's trace-capturing jobs. A nil recorder (or zero
+// fault options) degrades to the plain path; either way the report is
+// byte-identical to an unobserved run — the recorder is strictly a tap.
+func RunPointObserved(ctx context.Context, w *workload.Result, cfg arch.Config, p Policy, seed uint64, fo fault.Options, rec *obs.Recorder) (*sim.Report, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+	}
+	rts, err := NewPolicy(p, cfg, w.App, w.Trace)
+	if err != nil {
+		return nil, err
+	}
+	var sched *fault.Schedule
+	if !fo.IsZero() {
+		if sched, err = fault.NewSchedule(seed, fo); err != nil {
+			return nil, err
+		}
+	}
+	return sim.RunOpts(w.App, w.Trace, rts, sim.Options{Faults: sched, Observer: rec})
+}

@@ -20,6 +20,7 @@ import (
 
 	"mrts/internal/arch"
 	"mrts/internal/ise"
+	"mrts/internal/obs"
 )
 
 // Stats accumulates controller activity for the experiment reports. The
@@ -115,6 +116,9 @@ type Controller struct {
 	// verifier is the CRC check applied to every configuration attempt
 	// (nil outside fault scenarios: every attempt is clean).
 	verifier Verifier
+	// obsr records configuration-port and fault events when tracing is on
+	// (nil otherwise — the observer is strictly a tap).
+	obsr *obs.Recorder
 	// invalidated logs data paths lost to container failures since the
 	// last TakeInvalidated call, for the runtime system to invalidate
 	// the ISEs that reference them.
@@ -165,6 +169,7 @@ func (c *Controller) Reset() {
 	c.reservedPRC, c.reservedCG = 0, 0
 	c.fabric.Reset()
 	c.verifier = nil
+	c.obsr = nil
 	c.invalidated = nil
 	c.stats = Stats{}
 }
@@ -173,6 +178,12 @@ func (c *Controller) Reset() {
 // check. The simulator installs the fault engine's verifier after Reset,
 // so a reused controller never carries a stale verifier across runs.
 func (c *Controller) SetVerifier(v Verifier) { c.verifier = v }
+
+// SetObserver installs (or, with nil, removes) the decision-trace recorder.
+// Like the verifier, it is cleared by Reset and re-installed by the
+// simulator per run, so a reused controller never streams into a stale
+// trace.
+func (c *Controller) SetObserver(r *obs.Recorder) { c.obsr = r }
 
 // Fabric exposes the per-container health state (read-mostly; mutate it
 // through FailUnit / RecoverUnit so capacity overflows are handled).
@@ -299,6 +310,16 @@ func (c *Controller) evictPass(kind arch.FabricKind, units int, pinned, record b
 			c.stats.FaultEvictions++
 			c.invalidated = append(c.invalidated, s.dp.ID)
 		}
+		if c.obsr != nil {
+			detail := "capacity"
+			if record {
+				detail = "fault"
+			}
+			c.obsr.Record(obs.Event{
+				Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindEvict,
+				Path: string(s.dp.ID), Fabric: kind.String(), Detail: detail,
+			})
+		}
 		freed += s.dp.PRCs + s.dp.CGs
 	}
 	return freed
@@ -352,6 +373,16 @@ func (c *Controller) FailUnit(kind arch.FabricKind, permanent bool) bool {
 		return false
 	}
 	c.stats.UnitsFailed++
+	if c.obsr != nil {
+		detail := "transient"
+		if permanent {
+			detail = "permanent"
+		}
+		c.obsr.Record(obs.Event{
+			Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindUnitFail,
+			Fabric: kind.String(), Detail: detail,
+		})
+	}
 	c.evictOverflow(kind)
 	return true
 }
@@ -363,6 +394,12 @@ func (c *Controller) RecoverUnit(kind arch.FabricKind) bool {
 		return false
 	}
 	c.stats.UnitsRecovered++
+	if c.obsr != nil {
+		c.obsr.Record(obs.Event{
+			Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindUnitUp,
+			Fabric: kind.String(),
+		})
+	}
 	return true
 }
 
@@ -381,6 +418,12 @@ func (c *Controller) TakeInvalidated() []ise.DataPathID {
 func (c *Controller) declareFailed(kind arch.FabricKind) {
 	if c.fabric.Fail(kind, true) {
 		c.stats.UnitsFailed++
+		if c.obsr != nil {
+			c.obsr.Record(obs.Event{
+				Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindUnitFail,
+				Fabric: kind.String(), Detail: "retries exhausted",
+			})
+		}
 		c.evictOverflow(kind)
 	}
 }
@@ -442,18 +485,41 @@ func (c *Controller) schedule(d ise.DataPath, now arch.Cycles) (arch.Cycles, boo
 	for attempt := 1; ; attempt++ {
 		end := start + dur
 		*busy += dur
+		// Events are stamped with the controller clock (the request time),
+		// not the — possibly future — port-streaming window, so trace
+		// timestamps stay monotonic; the window is [Ready-Latency, Ready].
 		if c.verifier == nil || !c.verifier.Corrupted(d.Kind, end) {
 			*portEnd = end
+			if c.obsr != nil {
+				c.obsr.Record(obs.Event{
+					Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindConfig,
+					Path: string(d.ID), Fabric: d.Kind.String(), Ready: end, Latency: dur,
+				})
+			}
 			return end, true
 		}
 		c.stats.CRCFailures++
 		if attempt >= MaxConfigAttempts {
 			*portEnd = end
+			if c.obsr != nil {
+				c.obsr.Record(obs.Event{
+					Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindRetry,
+					Path: string(d.ID), Fabric: d.Kind.String(), Ready: end, Latency: dur,
+					Detail: "abandoned: attempts exhausted",
+				})
+			}
 			return end, false
 		}
 		c.stats.Retries++
 		b := configBackoff(dur, attempt)
 		c.stats.RetryCycles += b
+		if c.obsr != nil {
+			c.obsr.Record(obs.Event{
+				Cycle: c.now, Source: obs.SourceReconfig, Kind: obs.KindRetry,
+				Path: string(d.ID), Fabric: d.Kind.String(), Ready: end, Latency: b,
+				Detail: "CRC failure, re-streaming after backoff",
+			})
+		}
 		start = end + b
 	}
 }

@@ -153,6 +153,12 @@ type JobSpec struct {
 	// only the seed is used (the figure sweeps its own loss fractions).
 	Faults *FaultSpec `json:"faults,omitempty"`
 
+	// Trace asks a sim job to capture the decision trace of its evaluated
+	// point; the JSONL stream comes back in JobResult.TraceJSONL. Traced
+	// points bypass the result cache (the trace must come from a real run)
+	// but still produce a byte-identical report.
+	Trace bool `json:"trace,omitempty"`
+
 	// TimeoutSec overrides the server's per-job timeout when positive.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
@@ -168,6 +174,9 @@ func (s JobSpec) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
+	}
+	if s.Trace && s.Type != JobSim {
+		return fmt.Errorf("api: trace capture is only supported for sim jobs, not %q", s.Type)
 	}
 	switch s.Type {
 	case JobSim:
@@ -292,6 +301,9 @@ type JobResult struct {
 	Report *Report `json:"report,omitempty"`
 	// Reports is set for sweep jobs, in point order.
 	Reports []Report `json:"reports,omitempty"`
+	// TraceJSONL is the decision trace of a sim job that set Trace: one
+	// JSON event per line, renderable with mrts-timeline.
+	TraceJSONL string `json:"trace_jsonl,omitempty"`
 	// CacheHits/CacheMisses count result-cache lookups made by this job.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`

@@ -7,6 +7,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -118,6 +120,13 @@ func retryable(err error) bool {
 // client's RetryPolicy. The attempt loop is bounded by MaxAttempts and by
 // the context: both the sleep and the request honour ctx cancellation.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHdr(ctx, method, path, nil, in, out)
+}
+
+// doHdr is do with extra request headers, applied to every attempt. Retried
+// POSTs must carry the same Idempotency-Key on each attempt, which is why
+// the headers are fixed here rather than per attempt.
+func (c *Client) doHdr(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
 	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -132,7 +141,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		lastErr = c.doOnce(ctx, method, path, payload, out)
+		lastErr = c.doOnce(ctx, method, path, hdr, payload, out)
 		if lastErr == nil {
 			return nil
 		}
@@ -147,7 +156,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, payload []byte, out any) error {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -158,6 +167,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -178,13 +192,28 @@ func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte
 	return nil
 }
 
-// Submit enqueues a job and returns its ID.
+// Submit enqueues a job and returns its ID. Submission is made safe to
+// retry by a per-call idempotency key: POST /v1/jobs is not naturally
+// idempotent, and the retry loop re-sends it whenever the transport failed
+// — including after the daemon accepted the job but the response was lost.
+// The key, constant across attempts, lets the daemon map the replay onto
+// the already-created job instead of duplicating it.
 func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (string, error) {
+	hdr := http.Header{"Idempotency-Key": []string{newIdemKey()}}
 	var resp api.SubmitResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
+	if err := c.doHdr(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &resp); err != nil {
 		return "", err
 	}
 	return resp.ID, nil
+}
+
+// newIdemKey draws a fresh 128-bit idempotency key.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("client: idempotency key entropy: " + err.Error())
+	}
+	return "idem-" + hex.EncodeToString(b[:])
 }
 
 // Job polls one job.

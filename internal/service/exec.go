@@ -10,6 +10,7 @@ import (
 	"mrts/internal/arch"
 	"mrts/internal/exp"
 	"mrts/internal/fault"
+	"mrts/internal/obs"
 	"mrts/internal/service/api"
 	"mrts/internal/sim"
 	"mrts/internal/workload"
@@ -119,9 +120,33 @@ func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.FaultEv
 		return err
 	}
 	seed, fo := faultScenario(spec.Faults, ref)
-	rep, err := eval(ctx, arch.Config{NPRC: spec.PRC, NCG: spec.CG}, p, seed, fo)
-	if err != nil {
-		return err
+	cfg := arch.Config{NPRC: spec.PRC, NCG: spec.CG}
+
+	var rep *sim.Report
+	if spec.Trace {
+		// Traced points bypass the result-cache lookup — the trace must
+		// come from a real run — but the report (identical by the
+		// observer-off byte-identity guarantee) is still cached for
+		// untraced followers.
+		w, err := s.workloads.Get(ctx, spec.Workload.Options().Canonical())
+		if err != nil {
+			return err
+		}
+		rec := obs.New()
+		rec.SetRun(fmt.Sprintf("%s/%dx%d", p, cfg.NPRC, cfg.NCG))
+		start := time.Now()
+		rep, err = exp.RunPointObserved(ctx, w, cfg, p, seed, fo, rec)
+		if err != nil {
+			return err
+		}
+		s.pointSeconds.Observe(time.Since(start).Seconds())
+		s.results.Put(PointKeyFaults(spec.Workload.Options().Canonical(), cfg, p, seed, fo), rep)
+		res.TraceJSONL = rec.JSONL()
+	} else {
+		rep, err = eval(ctx, cfg, p, seed, fo)
+		if err != nil {
+			return err
+		}
 	}
 	r := api.NewReport(rep, ref)
 	res.Report = &r

@@ -63,7 +63,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	job, err := s.Submit(spec)
+	job, deduped, err := s.SubmitIdem(r.Header.Get("Idempotency-Key"), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -72,7 +72,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: job.ID, State: api.StateQueued})
+	// A deduped retry gets the original job back — possibly already past
+	// queued — so the client's poll loop lands on the same result either
+	// way.
+	st := s.Status(job, false)
+	if deduped {
+		w.Header().Set("Idempotent-Replayed", "true")
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: job.ID, State: st.State})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrts/internal/obs"
+	"mrts/internal/service/api"
+	"mrts/internal/service/client"
+)
+
+func simSpec() api.JobSpec {
+	return api.JobSpec{Type: api.JobSim, Workload: testWorkload, PRC: 1, CG: 1, Policy: "mrts"}
+}
+
+func TestSubmitIdemDedupes(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	first, deduped, err := s.SubmitIdem("key-a", simSpec())
+	if err != nil || deduped {
+		t.Fatalf("first submit: job %v, deduped %v, err %v", first, deduped, err)
+	}
+	replay, deduped, err := s.SubmitIdem("key-a", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || replay.ID != first.ID {
+		t.Errorf("replayed key got job %s (deduped %v), want original %s", replay.ID, deduped, first.ID)
+	}
+	other, deduped, err := s.SubmitIdem("key-b", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || other.ID == first.ID {
+		t.Errorf("distinct key deduped onto %s", other.ID)
+	}
+	anonA, _, err := s.SubmitIdem("", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonB, _, err := s.SubmitIdem("", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anonA.ID == anonB.ID {
+		t.Error("empty keys must never dedupe")
+	}
+	if got := s.metrics.Counter("mrts_jobs_deduped_total").Value(); got != 1 {
+		t.Errorf("deduped counter = %d, want 1", got)
+	}
+	// Dedupe works across the whole job lifecycle: wait the original out
+	// and replay again — still the same (now terminal) job.
+	if err := s.Wait(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	replay, deduped, err = s.SubmitIdem("key-a", simSpec())
+	if err != nil || !deduped || replay.ID != first.ID {
+		t.Errorf("post-completion replay: job %s, deduped %v, err %v", replay.ID, deduped, err)
+	}
+}
+
+func TestSubmitIdemQueueFullRollsBack(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	if _, err := s.Submit(slowSweepSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot, then overflow it; the key of the rejected
+	// submission must not linger in the dedupe table (a later retry with it
+	// must be accepted as fresh work, not mapped to a job that never ran).
+	keys := []string{"qf-0", "qf-1", "qf-2"}
+	var fullKey string
+	for _, k := range keys {
+		if _, _, err := s.SubmitIdem(k, simSpec()); err != nil {
+			fullKey = k
+			break
+		}
+	}
+	if fullKey == "" {
+		t.Fatal("queue never reported full")
+	}
+	s.mu.Lock()
+	_, lingers := s.idem[fullKey]
+	s.mu.Unlock()
+	if lingers {
+		t.Errorf("key %s of a rejected submission lingers in the dedupe table", fullKey)
+	}
+}
+
+// TestRetriedSubmitNotDuplicated is the regression test for the unsafe-POST
+// bug: the daemon accepts a submission but the response is lost in
+// transit, and the client's retry loop re-sends the POST. Without the
+// idempotency key the daemon would run the job twice; with it the retry
+// lands on the already-created job.
+func TestRetriedSubmitNotDuplicated(t *testing.T) {
+	s := New(Options{Workers: 2})
+	t.Cleanup(s.Close)
+
+	inner := s.Handler()
+	var posts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" && posts.Add(1) == 1 {
+			// First attempt: the daemon processes the submission — the job
+			// is really created — but the response never reaches the
+			// client (connection aborted mid-response).
+			inner.ServeHTTP(httptest.NewRecorder(), r)
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL)
+	c.Retry = client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	id, err := c.Submit(context.Background(), simSpec())
+	if err != nil {
+		t.Fatalf("retried submit failed: %v", err)
+	}
+	if got := posts.Load(); got != 2 {
+		t.Fatalf("POST attempts = %d, want 2 (dropped response, then retry)", got)
+	}
+
+	jobs := s.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("job table holds %d jobs after a retried submit, want exactly 1: %+v", len(jobs), jobs)
+	}
+	if jobs[0].ID != id {
+		t.Errorf("client resolved to job %s, table holds %s", id, jobs[0].ID)
+	}
+	if got := s.metrics.Counter("mrts_jobs_deduped_total").Value(); got != 1 {
+		t.Errorf("deduped counter = %d, want 1", got)
+	}
+	st, err := c.Wait(context.Background(), id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Errorf("deduped job finished %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestSubmitReplayMarksResponse(t *testing.T) {
+	s := New(Options{Workers: 1})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(simSpec())
+	post := func() *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "mark-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	first := post()
+	defer first.Body.Close()
+	if first.Header.Get("Idempotent-Replayed") != "" {
+		t.Error("fresh submission marked as replayed")
+	}
+	var a, b api.SubmitResponse
+	if err := json.NewDecoder(first.Body).Decode(&a); err != nil {
+		t.Fatal(err)
+	}
+	second := post()
+	defer second.Body.Close()
+	if second.Header.Get("Idempotent-Replayed") != "true" {
+		t.Error("replayed submission not marked")
+	}
+	if err := json.NewDecoder(second.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Errorf("replay returned %s, want original %s", b.ID, a.ID)
+	}
+}
+
+// TestTraceJobCapturesDecisionTrace: a sim job with Trace set returns the
+// JSONL decision trace alongside a report identical to the untraced run's
+// — and the traced run's report still lands in the result cache.
+func TestTraceJobCapturesDecisionTrace(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	spec := api.JobSpec{Type: api.JobSim, Workload: testWorkload, PRC: 2, CG: 1, Policy: "mrts"}
+	plain, err := c.Run(ctx, spec, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.State != api.StateDone {
+		t.Fatalf("untraced: %s (%s)", plain.State, plain.Error)
+	}
+	if plain.Result.TraceJSONL != "" {
+		t.Error("untraced job carries a trace")
+	}
+
+	traced := spec
+	traced.Trace = true
+	tr, err := c.Run(ctx, traced, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.State != api.StateDone {
+		t.Fatalf("traced: %s (%s)", tr.State, tr.Error)
+	}
+	a, _ := json.Marshal(plain.Result.Report)
+	b, _ := json.Marshal(tr.Result.Report)
+	if string(a) != string(b) {
+		t.Errorf("traced report differs from untraced:\n%s\n%s", a, b)
+	}
+	events, err := obs.ReadAll(strings.NewReader(tr.Result.TraceJSONL))
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("traced job returned an empty trace")
+	}
+	for _, ev := range events[:min(10, len(events))] {
+		if ev.Run == "" {
+			t.Fatalf("trace event without run label: %+v", ev)
+		}
+	}
+
+	// The traced run cached its (identical) report: an untraced replay of
+	// the point is a pure hit.
+	replay, err := c.Run(ctx, spec, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Result.CacheMisses != 0 {
+		t.Errorf("replay after traced run missed the cache %d times", replay.Result.CacheMisses)
+	}
+}
+
+func TestTraceOnlyForSimJobs(t *testing.T) {
+	spec := api.JobSpec{Type: api.JobFig, Fig: "8", Workload: testWorkload, Trace: true}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "trace capture") {
+		t.Errorf("fig job with trace validated: %v", err)
+	}
+}
+
+func TestMetricsLatencyHistograms(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	if _, err := c.Run(ctx, simSpec(), 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mrts_job_queue_seconds_bucket", "mrts_job_e2e_seconds_bucket",
+		"mrts_job_seconds_bucket", "mrts_point_eval_seconds_bucket",
+		"mrts_jobs_deduped_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics page missing %s", want)
+		}
+	}
+	if s.queueWaitSeconds.Count() < 1 || s.e2eSeconds.Count() < 1 {
+		t.Errorf("latency histograms empty: queue %d, e2e %d",
+			s.queueWaitSeconds.Count(), s.e2eSeconds.Count())
+	}
+}

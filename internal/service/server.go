@@ -71,6 +71,9 @@ type Job struct {
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
+	// IdemKey is the client-supplied idempotency key, if any; it maps back
+	// to this job in the server's dedupe table until the job is retired.
+	IdemKey string
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -92,10 +95,17 @@ type Server struct {
 	jobs  map[string]*Job
 	order []string // submission order, for listing and retention
 	queue chan *Job
+	// idem maps client idempotency keys to job IDs, so a retried
+	// submission (the client's POST is replayed after a dropped response)
+	// lands on the already-created job instead of duplicating it. Entries
+	// live as long as their job is retained.
+	idem map[string]string
 
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *Counter
+	jobsDeduped                                        *Counter
 	queueDepth, running                                *Gauge
-	jobSeconds, pointSeconds                           *Histogram
+	jobSeconds, queueWaitSeconds, e2eSeconds           *Histogram
+	pointSeconds                                       *Histogram
 }
 
 // New creates a server and starts its worker pool.
@@ -112,15 +122,19 @@ func New(opts Options) *Server {
 		stop:      stop,
 		jobs:      make(map[string]*Job),
 		queue:     make(chan *Job, opts.QueueDepth),
+		idem:      make(map[string]string),
 
-		jobsSubmitted: m.Counter("mrts_jobs_submitted_total"),
-		jobsDone:      m.Counter("mrts_jobs_done_total"),
-		jobsFailed:    m.Counter("mrts_jobs_failed_total"),
-		jobsCancelled: m.Counter("mrts_jobs_cancelled_total"),
-		queueDepth:    m.Gauge("mrts_queue_depth"),
-		running:       m.Gauge("mrts_jobs_running"),
-		jobSeconds:    m.Histogram("mrts_job_seconds"),
-		pointSeconds:  m.Histogram("mrts_point_eval_seconds"),
+		jobsSubmitted:    m.Counter("mrts_jobs_submitted_total"),
+		jobsDone:         m.Counter("mrts_jobs_done_total"),
+		jobsFailed:       m.Counter("mrts_jobs_failed_total"),
+		jobsCancelled:    m.Counter("mrts_jobs_cancelled_total"),
+		jobsDeduped:      m.Counter("mrts_jobs_deduped_total"),
+		queueDepth:       m.Gauge("mrts_queue_depth"),
+		running:          m.Gauge("mrts_jobs_running"),
+		jobSeconds:       m.Histogram("mrts_job_seconds"),
+		queueWaitSeconds: m.Histogram("mrts_job_queue_seconds"),
+		e2eSeconds:       m.Histogram("mrts_job_e2e_seconds"),
+		pointSeconds:     m.Histogram("mrts_point_eval_seconds"),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -144,20 +158,43 @@ func (s *Server) Close() {
 // Submit validates and enqueues a job. It returns the job with state
 // queued, or an error (ErrQueueFull when the pool is saturated).
 func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
+	job, _, err := s.SubmitIdem("", spec)
+	return job, err
+}
+
+// SubmitIdem is Submit with an optional client idempotency key: a key that
+// was already accepted returns the existing job (deduped=true) instead of
+// creating a duplicate — the contract that makes retrying a POST whose
+// response was lost safe. An empty key never dedupes.
+func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
-	job := &Job{
+	job = &Job{
 		ID:      newJobID(),
 		Spec:    spec,
 		State:   api.StateQueued,
 		Created: time.Now(),
+		IdemKey: key,
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
 	s.mu.Lock()
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			if prev, ok := s.jobs[id]; ok {
+				s.mu.Unlock()
+				cancel(nil)
+				s.jobsDeduped.Inc()
+				return prev, true, nil
+			}
+			// The deduped job was retired; fall through and accept the
+			// retry as a fresh submission.
+		}
+		s.idem[key] = job.ID
+	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.retireOldLocked()
@@ -169,13 +206,16 @@ func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
 		s.order = s.order[:len(s.order)-1]
+		if key != "" && s.idem[key] == job.ID {
+			delete(s.idem, key)
+		}
 		s.mu.Unlock()
 		cancel(ErrQueueFull)
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 	s.jobsSubmitted.Inc()
 	s.queueDepth.Set(int64(len(s.queue)))
-	return job, nil
+	return job, false, nil
 }
 
 // ErrQueueFull is returned by Submit when the job queue is saturated.
@@ -189,6 +229,9 @@ func (s *Server) retireOldLocked() {
 		for i, id := range s.order {
 			if j, ok := s.jobs[id]; ok && j.State.Terminal() {
 				delete(s.jobs, id)
+				if j.IdemKey != "" && s.idem[j.IdemKey] == id {
+					delete(s.idem, j.IdemKey)
+				}
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				dropped = true
 				break
@@ -301,6 +344,7 @@ func (s *Server) runJob(job *Job) {
 	}
 	job.State = api.StateRunning
 	job.Started = time.Now()
+	s.queueWaitSeconds.Observe(job.Started.Sub(job.Created).Seconds())
 	s.mu.Unlock()
 	s.running.Inc()
 	defer s.running.Dec()
@@ -343,6 +387,7 @@ func (s *Server) finishLocked(j *Job, state api.JobState, msg string, res *api.J
 	j.Err = msg
 	j.Result = res
 	j.Finished = time.Now()
+	s.e2eSeconds.Observe(j.Finished.Sub(j.Created).Seconds())
 	close(j.done)
 	switch state {
 	case api.StateDone:

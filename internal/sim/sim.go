@@ -17,6 +17,7 @@ import (
 	"mrts/internal/fault"
 	"mrts/internal/ise"
 	"mrts/internal/mpu"
+	"mrts/internal/obs"
 	"mrts/internal/reconfig"
 	"mrts/internal/trace"
 )
@@ -108,6 +109,12 @@ type Options struct {
 	// across concurrent runs; each run replays it through its own engine
 	// cursor.
 	Faults *fault.Schedule
+	// Observer, when non-nil, receives the run's decision-trace events
+	// (MPU corrections, selector claims, ECU dispatches, reconfiguration
+	// port activity, fault deliveries, cache traffic). The observer is
+	// strictly a tap: a traced run's Report is byte-identical to an
+	// untraced one.
+	Observer *obs.Recorder
 }
 
 // Run replays the trace against the runtime system. The runtime system is
@@ -150,6 +157,23 @@ func RunOpts(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts
 		// reused policy instance never replays stale faults.
 		ctrl.SetVerifier(nil)
 	}
+	// Install the decision-trace observer (or, explicitly, none — same
+	// stale-state reasoning as the verifier). Runtime systems with their
+	// own recording sites get it via the optional interface; static
+	// policies still trace reconfiguration-port activity through the
+	// controller.
+	if so, ok := rts.(interface{ SetObserver(*obs.Recorder) }); ok {
+		so.SetObserver(opts.Observer)
+	} else {
+		ctrl.SetObserver(opts.Observer)
+	}
+	if opts.Observer != nil {
+		cfg := rts.Controller().Config()
+		opts.Observer.Record(obs.Event{
+			Source: obs.SourceSim, Kind: obs.KindRun,
+			Detail: fmt.Sprintf("policy=%s prc=%d cg=%d", rts.Name(), cfg.NPRC, cfg.NCG),
+		})
+	}
 	rep := &Report{
 		Policy:          rts.Name(),
 		Config:          rts.Controller().Config(),
@@ -176,7 +200,20 @@ func RunOpts(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts
 		if len(events) == 0 {
 			return 0, nil
 		}
+		// The fault strikes at `now`; the controller's clock may still sit
+		// at its last Advance. Move it forward before applying so the
+		// controller's own trace events carry the delivery time. Nothing in
+		// the fault application reads the clock, and every runtime system
+		// re-advances to `now` on its next call, so this cannot change the
+		// simulated outcome.
+		ctrl.Advance(now)
 		for _, ev := range events {
+			if opts.Observer != nil {
+				opts.Observer.Record(obs.Event{
+					Cycle: now, Source: obs.SourceSim, Kind: obs.KindFault,
+					Fabric: ev.Fabric.String(), Detail: ev.Kind.String(),
+				})
+			}
 			switch ev.Kind {
 			case fault.PermanentFail:
 				ctrl.FailUnit(ev.Fabric, true)
