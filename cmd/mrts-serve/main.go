@@ -6,11 +6,21 @@
 // Usage:
 //
 //	mrts-serve -addr :8341 -workers 8
+//	mrts-serve -journal /var/lib/mrts -rate 50 -drain 30s
+//
+// With -journal, every accepted job is recorded in a write-ahead journal
+// before it is acknowledged; on restart the daemon replays the journal,
+// restores completed results and re-runs whatever was queued or in
+// flight when the previous process died. -rate/-burst enable per-client
+// token-bucket admission control (rejections carry Retry-After). On
+// SIGINT/SIGTERM the daemon flips /readyz to 503, stops admitting jobs
+// and waits up to -drain for in-flight work before exiting.
 //
 // Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id},
 // POST /v1/jobs/{id}/cancel, POST /v1/sweep (ndjson stream),
-// GET /healthz, GET /metrics. Submit jobs with cmd/mrts-submit or plain
-// curl; see the README's "Running as a service" section.
+// GET /healthz, GET /readyz, GET /metrics. Submit jobs with
+// cmd/mrts-submit or plain curl; see the README's "Running as a
+// service" and "Running in production" sections.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"time"
 
 	"mrts/internal/service"
+	"mrts/internal/service/journal"
 )
 
 func main() {
@@ -35,9 +46,26 @@ func main() {
 		cacheSize  = flag.Int("cache", 4096, "result cache capacity (points)")
 		wcacheSize = flag.Int("wcache", 16, "workload cache capacity (built traces)")
 		timeout    = flag.Duration("timeout", 10*time.Minute, "default per-job execution timeout")
+		journalDir = flag.String("journal", "", "directory for the write-ahead job journal; empty disables durability")
+		rate       = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-client burst size (0 = ceil(rate))")
+		drain      = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
+
+	var j *journal.Journal
+	if *journalDir != "" {
+		var err error
+		j, err = journal.Open(*journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrts-serve: journal:", err)
+			os.Exit(1)
+		}
+		st := j.Stats()
+		fmt.Fprintf(os.Stderr, "mrts-serve: journal %s: %d records replayed, %d skipped\n",
+			*journalDir, st.Replayed, st.ReplaySkipped)
+	}
 
 	// The pprof listener gets its own mux and server — never
 	// http.DefaultServeMux, which any imported package can register
@@ -65,8 +93,14 @@ func main() {
 		ResultCacheSize:   *cacheSize,
 		WorkloadCacheSize: *wcacheSize,
 		JobTimeout:        *timeout,
+		Journal:           j, // server owns it and closes it
+		RatePerSec:        *rate,
+		RateBurst:         *burst,
 	})
 	defer s.Close()
+	if n := s.RecoveredJobs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "mrts-serve: re-running %d unfinished jobs from the journal\n", n)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -80,9 +114,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mrts-serve:", err)
 		os.Exit(1)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "mrts-serve: %s, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: /readyz goes 503 and submissions are refused
+		// immediately, then in-flight jobs get up to -drain to finish
+		// before Close cancels whatever is left.
+		fmt.Fprintf(os.Stderr, "mrts-serve: %s, draining (up to %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mrts-serve:", err)
+		}
 		_ = srv.Shutdown(ctx)
 		if pprofSrv != nil {
 			_ = pprofSrv.Shutdown(ctx)

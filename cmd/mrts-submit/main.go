@@ -16,8 +16,10 @@
 // -failcg, -flapprc, -flapcg, -corruptfg, -corruptcg, -faultseed), and
 // `-fig faults` regenerates the graceful-degradation sweep. Transient
 // submission failures (daemon restarting, connection refused, HTTP
-// 502/503/504) are retried up to -retries attempts with capped
-// exponential backoff.
+// 429/502/503/504) are retried up to -retries attempts with capped
+// exponential backoff; when the daemon answers with a Retry-After hint
+// (rate limited, queue full, draining) the client sleeps for the hinted
+// duration instead, capped at the policy's maximum delay.
 //
 // The workload flags (-frames, -seed) and sweep bounds (-maxprc, -maxcg)
 // default to the same values as cmd/mrts-sweep.

@@ -32,12 +32,11 @@ import (
 )
 
 func main() {
-	var (
-		width   = flag.Int("width", 72, "timeline width in columns")
-		runSel  = flag.String("run", "", "render only this run label (default: every run in the trace)")
-		csvOut  = flag.Bool("csv", false, "emit flat CSV rows instead of the text timeline")
-		summary = flag.Bool("summary", false, "print only the per-run event summary, no lanes")
-	)
+	var cfg config
+	flag.IntVar(&cfg.width, "width", 72, "timeline width in columns")
+	flag.StringVar(&cfg.runSel, "run", "", "render only this run label (default: every run in the trace)")
+	flag.BoolVar(&cfg.csvOut, "csv", false, "emit flat CSV rows instead of the text timeline")
+	flag.BoolVar(&cfg.summary, "summary", false, "print only the per-run event summary, no lanes")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mrts-timeline [flags] <trace.jsonl | ->\n")
 		flag.PrintDefaults()
@@ -52,40 +51,81 @@ func main() {
 	if name := flag.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "mrts-timeline:", err)
+			os.Exit(1)
 		}
 		defer f.Close()
 		in = f
 	}
-	events, err := obs.ReadAll(in)
+	os.Exit(run(cfg, in, os.Stdout, os.Stderr))
+}
+
+type config struct {
+	width   int
+	runSel  string
+	csvOut  bool
+	summary bool
+}
+
+// run renders the trace read from in. It reads leniently: malformed or
+// truncated lines (a crashed writer, a corrupted file) are skipped and
+// reported to errw, and everything intact is still rendered. The return
+// value is the process exit code.
+func run(cfg config, in io.Reader, out, errw io.Writer) int {
+	if cfg.width < 1 {
+		cfg.width = 1
+	}
+	events, skipped, err := obs.ReadAllLenient(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(errw, "mrts-timeline:", err)
+		return 1
+	}
+	if n := len(skipped); n > 0 {
+		fmt.Fprintf(errw, "mrts-timeline: skipped %d malformed trace line(s): %s\n", n, joinLines(skipped))
 	}
 	if len(events) == 0 {
-		fatal(fmt.Errorf("trace holds no events"))
+		fmt.Fprintln(errw, "mrts-timeline: trace holds no events")
+		return 1
 	}
 
 	runs := groupRuns(events)
-	if *runSel != "" {
-		if evs, ok := runs.byRun[*runSel]; ok {
-			runs = runGroups{order: []string{*runSel}, byRun: map[string][]obs.Event{*runSel: evs}}
+	if cfg.runSel != "" {
+		if evs, ok := runs.byRun[cfg.runSel]; ok {
+			runs = runGroups{order: []string{cfg.runSel}, byRun: map[string][]obs.Event{cfg.runSel: evs}}
 		} else {
-			fatal(fmt.Errorf("run %q not in trace (runs: %s)", *runSel, strings.Join(runs.order, ", ")))
+			fmt.Fprintf(errw, "mrts-timeline: run %q not in trace (runs: %s)\n", cfg.runSel, strings.Join(runs.order, ", "))
+			return 1
 		}
 	}
 
-	if *csvOut {
-		if err := writeCSV(os.Stdout, runs); err != nil {
-			fatal(err)
+	if cfg.csvOut {
+		if err := writeCSV(out, runs); err != nil {
+			fmt.Fprintln(errw, "mrts-timeline:", err)
+			return 1
 		}
-		return
+		return 0
 	}
-	for i, run := range runs.order {
+	for i, r := range runs.order {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
-		renderRun(os.Stdout, run, runs.byRun[run], *width, *summary)
+		renderRun(out, r, runs.byRun[r], cfg.width, cfg.summary)
 	}
+	return 0
+}
+
+// joinLines formats skipped line numbers compactly, eliding long tails.
+func joinLines(lines []int) string {
+	const maxShown = 10
+	parts := make([]string, 0, maxShown+1)
+	for i, n := range lines {
+		if i == maxShown {
+			parts = append(parts, fmt.Sprintf("... (%d more)", len(lines)-maxShown))
+			break
+		}
+		parts = append(parts, strconv.Itoa(n))
+	}
+	return strings.Join(parts, ", ")
 }
 
 type runGroups struct {
@@ -296,9 +336,4 @@ func writeCSV(w io.Writer, runs runGroups) error {
 	}
 	cw.Flush()
 	return cw.Error()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mrts-timeline:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrts/internal/obs"
+)
+
+// goodTrace builds a small two-run trace through the real recorder, so
+// the tests exercise exactly the wire format the simulator writes.
+func goodTrace(t *testing.T) string {
+	t.Helper()
+	r := obs.New()
+	r.SetRun("mRTS/2x1")
+	r.Record(obs.Event{Cycle: 0, Source: obs.SourceSim, Kind: obs.KindRun, Detail: "policy=mRTS fabric=2x1"})
+	r.Record(obs.Event{Cycle: 10, Source: obs.SourceReconfig, Kind: obs.KindConfig, Path: "CG0", Latency: 90, Ready: 100})
+	r.Record(obs.Event{Cycle: 120, Source: obs.SourceReconfig, Kind: obs.KindRetry, Path: "CG0", Latency: 40, Ready: 160})
+	r.Record(obs.Event{Cycle: 200, Source: obs.SourceECU, Kind: obs.KindDispatch, Kernel: "sad", Mode: "full-ISE", Latency: 30})
+	r.Record(obs.Event{Cycle: 240, Source: obs.SourceSim, Kind: obs.KindFault, Detail: "cg-transient"})
+	r.SetRun("RISC/2x1")
+	r.Record(obs.Event{Cycle: 0, Source: obs.SourceSim, Kind: obs.KindRun, Detail: "policy=RISC"})
+	r.Record(obs.Event{Cycle: 50, Source: obs.SourceECU, Kind: obs.KindDispatch, Kernel: "sad", Mode: "RISC", Latency: 80})
+	return r.JSONL()
+}
+
+func render(t *testing.T, cfg config, trace string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(cfg, strings.NewReader(trace), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRenderIntactTrace(t *testing.T) {
+	code, out, errw := render(t, config{width: 40}, goodTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	for _, want := range []string{"run mRTS/2x1", "run RISC/2x1", "policy=mRTS fabric=2x1", "CG0", "sad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lost %q:\n%s", want, out)
+		}
+	}
+	if errw != "" {
+		t.Errorf("clean trace produced stderr: %q", errw)
+	}
+}
+
+func TestEmptyTraceNoPanic(t *testing.T) {
+	code, out, errw := render(t, config{width: 40}, "")
+	if code == 0 {
+		t.Error("empty trace reported success")
+	}
+	if !strings.Contains(errw, "no events") {
+		t.Errorf("stderr = %q, want a 'no events' diagnostic", errw)
+	}
+	if out != "" {
+		t.Errorf("empty trace wrote to stdout: %q", out)
+	}
+}
+
+// A trace truncated mid-line — the file a SIGKILLed writer leaves behind
+// — renders every intact event and reports the torn tail.
+func TestTruncatedTraceRendersWhatItCan(t *testing.T) {
+	trace := goodTrace(t)
+	trace = trace[:len(trace)-15] // tear the final line mid-JSON
+	code, out, errw := render(t, config{width: 40}, trace)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	if !strings.Contains(out, "run mRTS/2x1") {
+		t.Errorf("intact run not rendered:\n%s", out)
+	}
+	if !strings.Contains(errw, "skipped 1 malformed trace line") {
+		t.Errorf("stderr = %q, want a skipped-line report", errw)
+	}
+}
+
+// Corrupt garbage lines in the middle are skipped with their 1-based
+// line numbers; the surrounding events still render.
+func TestCorruptLinesSkippedAndReported(t *testing.T) {
+	lines := strings.Split(strings.TrimRight(goodTrace(t), "\n"), "\n")
+	mixed := strings.Join([]string{
+		lines[0],
+		"!!! not json !!!",
+		lines[1],
+		`{"cycle": "a string where a number belongs"}`,
+		strings.Join(lines[2:], "\n"),
+	}, "\n") + "\n"
+	code, out, errw := render(t, config{width: 40}, mixed)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	if !strings.Contains(errw, "skipped 2 malformed trace line(s): 2, 4") {
+		t.Errorf("stderr = %q, want lines 2 and 4 reported", errw)
+	}
+	for _, want := range []string{"run mRTS/2x1", "run RISC/2x1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lost %q after corruption:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllLinesCorruptIsNoEvents(t *testing.T) {
+	code, _, errw := render(t, config{width: 40}, "oops\nstill not json\n")
+	if code == 0 {
+		t.Error("fully corrupt trace reported success")
+	}
+	if !strings.Contains(errw, "skipped 2 malformed trace line") || !strings.Contains(errw, "no events") {
+		t.Errorf("stderr = %q, want skip report and 'no events'", errw)
+	}
+}
+
+func TestRunSelector(t *testing.T) {
+	code, out, _ := render(t, config{width: 40, runSel: "RISC/2x1"}, goodTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out, "run mRTS/2x1") || !strings.Contains(out, "run RISC/2x1") {
+		t.Errorf("-run did not filter:\n%s", out)
+	}
+
+	code, _, errw := render(t, config{width: 40, runSel: "nope"}, goodTrace(t))
+	if code == 0 || !strings.Contains(errw, `run "nope" not in trace`) {
+		t.Errorf("unknown run: code=%d stderr=%q", code, errw)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	code, out, _ := render(t, config{width: 40, csvOut: true}, goodTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(rows) != 8 { // header + 7 events
+		t.Errorf("csv rows = %d, want 8:\n%s", len(rows), out)
+	}
+	if !strings.HasPrefix(rows[0], "run,cycle,source,kind") {
+		t.Errorf("csv header = %q", rows[0])
+	}
+}
+
+func TestZeroWidthClamped(t *testing.T) {
+	// Degenerate -width values must not divide by zero or panic.
+	if code, _, _ := render(t, config{width: 0}, goodTrace(t)); code != 0 {
+		t.Errorf("width 0: exit = %d", code)
+	}
+	if code, _, _ := render(t, config{width: -5}, goodTrace(t)); code != 0 {
+		t.Errorf("width -5: exit = %d", code)
+	}
+}
+
+func TestSkipReportElidesLongTail(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 15; i++ {
+		sb.WriteString("garbage\n")
+	}
+	sb.WriteString(goodTrace(t))
+	_, _, errw := render(t, config{width: 40}, sb.String())
+	if !strings.Contains(errw, "... (5 more)") {
+		t.Errorf("stderr = %q, want elided tail for 15 skips", errw)
+	}
+}

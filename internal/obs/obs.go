@@ -251,3 +251,33 @@ func ReadAll(rd io.Reader) ([]Event, error) {
 	}
 	return out, nil
 }
+
+// ReadAllLenient parses a JSONL trace stream, skipping malformed lines
+// instead of failing on the first one — the right behaviour for traces
+// truncated by a crash or corrupted in transit. It returns the events it
+// could parse and the 1-based line numbers it skipped; only I/O errors
+// are fatal. Blank lines are neither events nor skips.
+func ReadAllLenient(rd io.Reader) ([]Event, []int, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Event
+	var skipped []int
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			skipped = append(skipped, line)
+			continue
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, skipped, nil
+}

@@ -116,6 +116,33 @@ func TestReadAllSkipsBlankAndReportsLine(t *testing.T) {
 	}
 }
 
+func TestReadAllLenientSkipsMalformed(t *testing.T) {
+	// A corrupt line in the middle and a torn line at the tail — the shape
+	// of a trace whose writer was SIGKILLed mid-flush.
+	in := "{\"cycle\":1,\"source\":\"sim\",\"kind\":\"run\"}\n" +
+		"not json at all\n" +
+		"{\"cycle\":2,\"source\":\"mpu\",\"kind\":\"observe\"}\n" +
+		"\n" +
+		"{\"cycle\":3,\"source\":\"ecu\",\"kind\":\"disp"
+	evs, skipped, err := ReadAllLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Errorf("events = %+v, want the two intact lines", evs)
+	}
+	if len(skipped) != 2 || skipped[0] != 2 || skipped[1] != 5 {
+		t.Errorf("skipped = %v, want [2 5] (1-based, blanks not counted as skips)", skipped)
+	}
+}
+
+func TestReadAllLenientEmpty(t *testing.T) {
+	evs, skipped, err := ReadAllLenient(strings.NewReader(""))
+	if err != nil || len(evs) != 0 || len(skipped) != 0 {
+		t.Errorf("empty trace: evs=%v skipped=%v err=%v", evs, skipped, err)
+	}
+}
+
 func TestStreamingRecorderWritesAtRecordTime(t *testing.T) {
 	var buf bytes.Buffer
 	r := NewStreaming(&buf)

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"mrts/internal/service/api"
+	"mrts/internal/service/client"
+	"mrts/internal/service/journal"
+)
+
+// The chaos harness kills a real journaled mrts-serve process with
+// SIGKILL mid-sweep, restarts it on the same journal, and asserts that
+// no accepted job is ever lost and that every result is byte-identical
+// to an uninterrupted run. The server process is this test binary
+// re-executed with MRTS_CHAOS_SERVER=1: TestMain intercepts the env var
+// and runs a journaled server instead of the test suite.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("MRTS_CHAOS_SERVER") == "1" {
+		chaosServe()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// chaosServe is the child: a journaled server on an ephemeral port,
+// announced through an addr file, running until it is killed.
+func chaosServe() {
+	dir := os.Getenv("MRTS_CHAOS_DIR")
+	addrFile := os.Getenv("MRTS_CHAOS_ADDRFILE")
+	if dir == "" || addrFile == "" {
+		fmt.Fprintln(os.Stderr, "chaos server: MRTS_CHAOS_DIR and MRTS_CHAOS_ADDRFILE required")
+		os.Exit(1)
+	}
+	j, err := journal.Open(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		os.Exit(1)
+	}
+	s := New(Options{Workers: 2, Journal: j})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		os.Exit(1)
+	}
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos server:", err)
+		os.Exit(1)
+	}
+	_ = http.Serve(ln, s.Handler()) // until SIGKILL
+}
+
+// chaosSpecs is the job mix the harness runs: figures, single points
+// and a sweep batch, all deterministic.
+func chaosSpecs() []api.JobSpec {
+	return []api.JobSpec{
+		{Type: api.JobFig, Workload: testWorkload, Fig: "8", MaxPRC: 2, MaxCG: 2},
+		{Type: api.JobFig, Workload: testWorkload, Fig: "overhead"},
+		{Type: api.JobFig, Workload: testWorkload, Fig: "shared", MaxPRC: 2, MaxCG: 2},
+		{Type: api.JobSim, Workload: testWorkload, PRC: 2, CG: 1, Policy: "mrts"},
+		{Type: api.JobSim, Workload: testWorkload, PRC: 1, CG: 2, Policy: "mrts",
+			Faults: &api.FaultSpec{Seed: 7, FailCG: 1}},
+		{Type: api.JobSweep, Workload: testWorkload, Points: []api.Point{
+			{PRC: 1, CG: 1, Policy: "mrts"},
+			{PRC: 2, CG: 2, Policy: "mrts"},
+		}},
+	}
+}
+
+// payload extracts the deterministic part of a job result — the bytes
+// that must be identical across crashes, restarts and re-runs.
+// (ElapsedSec and the cache counters legitimately vary.)
+func payload(t *testing.T, st *api.JobStatus) string {
+	t.Helper()
+	if st.Result == nil {
+		t.Fatalf("job %s has no result", st.ID)
+	}
+	switch {
+	case st.Result.Text != "":
+		return st.Result.Text
+	case st.Result.Report != nil:
+		b, err := api.MarshalIndentReport(st.Result.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	default:
+		b, err := json.Marshal(st.Result.Reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+}
+
+// uninterruptedResults runs every spec on a plain in-process server —
+// no journal, no kills — and returns the reference payloads.
+func uninterruptedResults(t *testing.T, specs []api.JobSpec) []string {
+	t.Helper()
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	out := make([]string, len(specs))
+	for i, spec := range specs {
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("reference submit %d: %v", i, err)
+		}
+		if err := s.Wait(context.Background(), job); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Status(job, true)
+		if st.State != api.StateDone {
+			t.Fatalf("reference job %d = %s (%s)", i, st.State, st.Error)
+		}
+		out[i] = payload(t, &st)
+	}
+	return out
+}
+
+type chaosProc struct {
+	cmd  *exec.Cmd
+	c    *client.Client
+	addr string
+}
+
+// startChaos launches (or relaunches) the server child on the journal
+// dir and waits until it serves /healthz.
+func startChaos(t *testing.T, dir string, incarnation int) *chaosProc {
+	t.Helper()
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr.%d", incarnation))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"MRTS_CHAOS_SERVER=1",
+		"MRTS_CHAOS_DIR="+dir,
+		"MRTS_CHAOS_ADDRFILE="+addrFile,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var addr string
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("chaos server %d never announced its address", incarnation)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c := client.New("http://" + addr)
+	c.Retry = client.RetryPolicy{MaxAttempts: 40, BaseDelay: 25 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	if err := c.Healthz(context.Background()); err != nil {
+		_ = cmd.Process.Kill()
+		t.Fatalf("chaos server %d unhealthy: %v", incarnation, err)
+	}
+	return &chaosProc{cmd: cmd, c: c, addr: addr}
+}
+
+// kill delivers SIGKILL — no drain, no journal sync, the crash case —
+// and reaps the child.
+func (p *chaosProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestChaosKillRestartLosesNothing SIGKILLs the journaled daemon
+// mid-sweep N times (MRTS_CHAOS_KILLS, default 2; CI runs more) and
+// asserts the crash-recovery invariant: every job the daemon
+// acknowledged is still there after every restart, every job eventually
+// completes, and every result is byte-identical to the uninterrupted
+// reference run.
+func TestChaosKillRestartLosesNothing(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("chaos harness needs SIGKILL")
+	}
+	if testing.Short() {
+		t.Skip("chaos harness skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	specs := chaosSpecs()
+	want := uninterruptedResults(t, specs)
+
+	type tracked struct {
+		spec int
+		id   string
+	}
+	var jobs []tracked
+	submit := func(p *chaosProc, spec int) {
+		t.Helper()
+		id, err := p.c.Submit(ctx, specs[spec])
+		if err != nil {
+			t.Fatalf("submit spec %d: %v", spec, err)
+		}
+		jobs = append(jobs, tracked{spec: spec, id: id})
+	}
+
+	incarnation := 0
+	p := startChaos(t, dir, incarnation)
+	defer func() { p.kill() }()
+	for i := range specs {
+		submit(p, i)
+	}
+
+	kills := envInt("MRTS_CHAOS_KILLS", 2)
+	for k := 0; k < kills; k++ {
+		// Let some of the work get in flight, then pull the plug.
+		time.Sleep(150 * time.Millisecond)
+		p.kill()
+		incarnation++
+		p = startChaos(t, dir, incarnation)
+
+		// Zero lost jobs: every acknowledged job survived the crash.
+		for _, tr := range jobs {
+			if _, err := p.c.Job(ctx, tr.id); err != nil {
+				t.Fatalf("after kill %d: job %s (spec %d) lost: %v", k+1, tr.id, tr.spec, err)
+			}
+		}
+		// The restarted daemon still admits new work mid-chaos.
+		submit(p, k%len(specs))
+	}
+
+	// Every job completes, byte-identical to the uninterrupted run.
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	for _, tr := range jobs {
+		st, err := p.c.Wait(waitCtx, tr.id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("waiting for job %s (spec %d): %v", tr.id, tr.spec, err)
+		}
+		if st.State != api.StateDone {
+			t.Fatalf("job %s (spec %d) = %s (%s), want done", tr.id, tr.spec, st.State, st.Error)
+		}
+		if got := payload(t, st); got != want[tr.spec] {
+			t.Errorf("job %s (spec %d) diverged from uninterrupted run:\n got: %q\nwant: %q",
+				tr.id, tr.spec, got, want[tr.spec])
+		}
+	}
+
+	// One more crash: completed results survive restarts byte-for-byte,
+	// served from the journal without re-running anything.
+	p.kill()
+	incarnation++
+	p = startChaos(t, dir, incarnation)
+	for _, tr := range jobs {
+		st, err := p.c.Job(ctx, tr.id)
+		if err != nil {
+			t.Fatalf("final restart: job %s lost: %v", tr.id, err)
+		}
+		if st.State != api.StateDone {
+			t.Fatalf("final restart: job %s = %s, want done from journal", tr.id, st.State)
+		}
+		if got := payload(t, st); got != want[tr.spec] {
+			t.Errorf("final restart: job %s result drifted", tr.id)
+		}
+	}
+	p.kill()
+
+	// The journal's own view agrees: a submit record for every job, no
+	// torn tail fatal to replay.
+	recs, _, err := journal.ReplayFile(filepath.Join(dir, journal.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted := make(map[string]bool)
+	for _, r := range recs {
+		if r.Kind == journal.KindSubmit {
+			submitted[r.ID] = true
+		}
+	}
+	for _, tr := range jobs {
+		if !submitted[tr.id] {
+			t.Errorf("journal holds no submit record for acknowledged job %s", tr.id)
+		}
+	}
+}

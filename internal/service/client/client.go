@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,21 +39,41 @@ type RetryPolicy struct {
 	MaxDelay  time.Duration
 }
 
+func (r RetryPolicy) maxDelay() time.Duration {
+	if r.MaxDelay > 0 {
+		return r.MaxDelay
+	}
+	return 2 * time.Second
+}
+
 // delay returns the jittered backoff before attempt+1 (attempt is 1-based).
 func (r RetryPolicy) delay(attempt int) time.Duration {
 	base := r.BaseDelay
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	maxd := r.MaxDelay
-	if maxd <= 0 {
-		maxd = 2 * time.Second
-	}
+	maxd := r.maxDelay()
 	d := base << uint(attempt-1)
 	if d > maxd || d <= 0 {
 		d = maxd
 	}
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// nextDelay picks the sleep before the next attempt: when the server
+// sent a Retry-After hint (429 rate limit, 503 queue-full/draining) the
+// hint wins over the computed exponential backoff — the server knows its
+// own load — but is capped at MaxDelay so a large hint cannot stall the
+// client beyond its own patience.
+func (r RetryPolicy) nextDelay(attempt int, lastErr error) time.Duration {
+	var se *StatusError
+	if errors.As(lastErr, &se) && se.RetryAfter >= 0 {
+		if maxd := r.maxDelay(); se.RetryAfter > maxd {
+			return maxd
+		}
+		return se.RetryAfter
+	}
+	return r.delay(attempt)
 }
 
 // StatusError is the error returned for every non-2xx response, so
@@ -62,6 +83,9 @@ type StatusError struct {
 	Path    string
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint; -1 when the response
+	// carried none (a zero hint — "retry immediately" — is meaningful).
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -71,12 +95,15 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("%s %s: HTTP %d", e.Method, e.Path, e.Code)
 }
 
-// Temporary reports whether the response is gateway-class and worth
-// retrying: the request may never have reached a healthy daemon.
+// Temporary reports whether the response is worth retrying: gateway
+// class (the request may never have reached a healthy daemon) or an
+// overload rejection (429 rate limit, 503 queue-full/draining) that a
+// later attempt may clear.
 func (e *StatusError) Temporary() bool {
 	return e.Code == http.StatusBadGateway ||
 		e.Code == http.StatusServiceUnavailable ||
-		e.Code == http.StatusGatewayTimeout
+		e.Code == http.StatusGatewayTimeout ||
+		e.Code == http.StatusTooManyRequests
 }
 
 // Client talks to one mrts-serve daemon.
@@ -151,9 +178,24 @@ func (c *Client) doHdr(ctx context.Context, method, path string, hdr http.Header
 		select {
 		case <-ctx.Done():
 			return lastErr
-		case <-time.After(c.Retry.delay(attempt)):
+		case <-time.After(c.Retry.nextDelay(attempt, lastErr)):
 		}
 	}
+}
+
+// parseRetryAfter parses a Retry-After header in seconds (integer or
+// fractional). Absent or unparsable values — including HTTP-date form,
+// which the daemon never sends — yield -1, "no hint".
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return -1
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 {
+		return -1
+	}
+	return time.Duration(secs * float64(time.Second))
 }
 
 func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, payload []byte, out any) error {
@@ -179,7 +221,12 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		se := &StatusError{Method: method, Path: path, Code: resp.StatusCode}
+		se := &StatusError{
+			Method:     method,
+			Path:       path,
+			Code:       resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var e api.ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			se.Message = e.Error

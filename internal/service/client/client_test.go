@@ -143,6 +143,89 @@ func TestZeroPolicySingleAttempt(t *testing.T) {
 	}
 }
 
+// A Retry-After hint from the server is preferred over the computed
+// exponential backoff: with a huge BaseDelay and a zero hint, the retry
+// happens immediately.
+func TestRetryAfterPreferredOverBackoff(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"rate limited"}`))
+			return
+		}
+		w.Write([]byte(`[]`))
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	start := time.Now()
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("Jobs = %v, want success after rate-limited retry", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("attempts = %d, want 2", calls.Load())
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("Retry-After 0 not honoured: retry took %v (backoff would be ~1h)", d)
+	}
+}
+
+// A huge Retry-After hint is capped at the policy's MaxDelay.
+func TestRetryAfterCapped(t *testing.T) {
+	h, calls := flaky(1, http.StatusServiceUnavailable)
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		h.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	start := time.Now()
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("Jobs = %v, want success on second attempt", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("attempts = %d, want 2", calls.Load())
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("hour-long Retry-After not capped at MaxDelay: took %v", d)
+	}
+}
+
+func TestTooManyRequestsIsTemporary(t *testing.T) {
+	se := &StatusError{Code: http.StatusTooManyRequests}
+	if !se.Temporary() {
+		t.Error("429 not classified as temporary")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", -1},
+		{"garbage", -1},
+		{"Tue, 29 Oct 2024 16:56:32 GMT", -1},
+		{"-3", -1},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{"0.5", 500 * time.Millisecond},
+		{" 1 ", time.Second},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestStatusErrorText(t *testing.T) {
 	with := &StatusError{Method: "GET", Path: "/v1/jobs", Code: 503, Message: "queue full"}
 	if got := with.Error(); got != "GET /v1/jobs: queue full (HTTP 503)" {

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mrts/internal/arch"
@@ -24,7 +27,14 @@ import (
 //	POST   /v1/sweep            evaluate a point batch, streaming one
 //	                            ndjson SweepEvent per completed point
 //	GET    /healthz             liveness                -> 200 "ok"
+//	GET    /readyz              readiness: 200 while admitting,
+//	                            503 "draining" during drain/shutdown
 //	GET    /metrics             plain-text metrics
+//
+// Overload responses carry a Retry-After hint (seconds): 503 when the
+// queue is full or the server is draining, 429 when the per-client rate
+// limit (Options.RatePerSec) rejects a submission. The service client
+// honours the hint in its backoff loop.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -35,6 +45,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.Header().Set("Retry-After", "5")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -56,7 +76,38 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// admitClient applies the per-client rate limit (when configured) and
+// writes the 429 + Retry-After response itself on rejection. Clients are
+// keyed by the X-Client-ID header when present, else by remote IP.
+func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	key := r.Header.Get("X-Client-ID")
+	if key == "" {
+		key = r.RemoteAddr
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		}
+	}
+	ok, wait := s.limiter.allow(key, time.Now())
+	if ok {
+		return true
+	}
+	s.rateLimited.Inc()
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "rate limited, retry in %ds", secs)
+	return false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admitClient(w, r) {
+		return
+	}
 	var spec api.JobSpec
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(&spec); err != nil {
@@ -66,6 +117,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, deduped, err := s.SubmitIdem(r.Header.Get("Idempotency-Key"), spec)
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -109,6 +165,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // completes, then a final summary event. Closing the request aborts the
 // remaining points.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admitClient(w, r) {
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
 	var req api.SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid sweep request: %v", err)

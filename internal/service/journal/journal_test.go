@@ -1,0 +1,284 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mrts/internal/service/api"
+)
+
+func rec(kind, id string) Record { return Record{Kind: kind, ID: id} }
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &api.JobSpec{Type: api.JobSim, PRC: 2, CG: 1, Policy: "mrts"}
+	res := &api.JobResult{Text: "fig text", CacheHits: 3}
+	want := []Record{
+		{Kind: KindSubmit, ID: "j1", IdemKey: "idem-a", Spec: spec},
+		{Kind: KindStart, ID: "j1"},
+		{Kind: KindComplete, ID: "j1", State: api.StateDone, Result: res},
+		{Kind: KindSubmit, ID: "j2", Spec: spec},
+		{Kind: KindCancel, ID: "j2"},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].ID != want[i].ID || got[i].State != want[i].State {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.PRC != 2 || got[0].IdemKey != "idem-a" {
+		t.Errorf("submit record lost fields: %+v", got[0])
+	}
+	if got[2].Result == nil || got[2].Result.Text != "fig text" {
+		t.Errorf("complete record lost result: %+v", got[2])
+	}
+	if s := j2.Stats(); s.Replayed != len(want) || s.ReplaySkipped != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// A torn tail — the partial line of a crash mid-write — must not cost
+// any intact record.
+func TestReplayTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec(KindSubmit, fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, FileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through the last record.
+	if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || skipped != 1 {
+		t.Fatalf("replay = %d records, %d skipped; want 4 and 1", len(recs), skipped)
+	}
+	for i, r := range recs {
+		if r.ID != fmt.Sprintf("j%d", i) {
+			t.Errorf("record %d id = %q", i, r.ID)
+		}
+	}
+}
+
+// Reopening a journal whose final line was torn mid-write (no trailing
+// newline) must not glue the next append onto the torn bytes: the torn
+// line stays the only loss, every new record survives.
+func TestAppendAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec(KindSubmit, fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, FileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-line, newline and all.
+	if err := os.WriteFile(path, b[:len(b)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Replayed()); got != 2 {
+		t.Fatalf("replayed after tear = %d, want 2", got)
+	}
+	if err := j2.Append(rec(KindSubmit, "j-new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || skipped != 1 {
+		t.Fatalf("replay = %d records, %d skipped; want 3 and 1", len(recs), skipped)
+	}
+	if recs[2].ID != "j-new" {
+		t.Errorf("post-tear append = %q, want j-new", recs[2].ID)
+	}
+}
+
+// Corruption in the middle of the file skips only the damaged line.
+func TestReplayCorruptMiddleLine(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec(KindSubmit, fmt.Sprintf("j%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName)
+	b, _ := os.ReadFile(path)
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines", len(lines))
+	}
+	// Flip bytes inside the middle record's payload: the CRC catches it.
+	lines[1] = strings.Replace(lines[1], `"id":"j1"`, `"id":"jX"`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 1 {
+		t.Fatalf("replay = %d records, %d skipped; want 2 and 1", len(recs), skipped)
+	}
+	if recs[0].ID != "j0" || recs[1].ID != "j2" {
+		t.Errorf("recovered wrong records: %+v", recs)
+	}
+}
+
+func TestReplayGarbageLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName)
+	good, err := encode(rec(KindSubmit, "ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := "not json at all\n" + string(good) + "{\"crc\":12,\"rec\":{\"kind\":\"submit\"}}\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "ok" || skipped != 2 {
+		t.Fatalf("replay = %+v, %d skipped; want 1 record and 2 skipped", recs, skipped)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	recs, skipped, err := ReplayFile(filepath.Join(t.TempDir(), "nope", FileName))
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("missing file: recs=%v skipped=%d err=%v", recs, skipped, err)
+	}
+}
+
+// Concurrent durable appends share fsyncs (group commit): every record
+// survives, and the number of syncs stays well below the record count.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append(rec(KindSubmit, fmt.Sprintf("j%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := j.Stats()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Appends != writers*each {
+		t.Fatalf("appends = %d, want %d", stats.Appends, writers*each)
+	}
+	// Group commit cannot be asserted tightly (scheduling-dependent), but
+	// it must never need more syncs than appends.
+	if stats.Syncs > stats.Appends {
+		t.Errorf("syncs = %d > appends = %d", stats.Syncs, stats.Appends)
+	}
+	recs, skipped, err := ReplayFile(filepath.Join(dir, FileName))
+	if err != nil || skipped != 0 {
+		t.Fatalf("replay err=%v skipped=%d", err, skipped)
+	}
+	if len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(KindSubmit, "late")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

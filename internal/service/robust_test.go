@@ -1,0 +1,474 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrts/internal/service/api"
+	"mrts/internal/service/journal"
+)
+
+// A panicking evaluator fails its own job — stack in the error, counter
+// bumped — and the daemon keeps serving every other job.
+func TestWorkerPanicFailsOnlyThatJob(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	// The deliberately panicking workload: seed 99 trips it, everything
+	// else runs the real pipeline.
+	s.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		if spec.Workload.Seed == 99 {
+			panic("evaluator exploded")
+		}
+		return s.execute(ctx, spec)
+	}
+
+	bad := simSpec()
+	bad.Workload.Seed = 99
+	jb, err := s.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(context.Background(), jb); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Status(jb, true)
+	if st.State != api.StateFailed {
+		t.Fatalf("panicking job state = %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "panicked") || !strings.Contains(st.Error, "evaluator exploded") {
+		t.Errorf("panic value lost: %q", st.Error)
+	}
+	if !strings.Contains(st.Error, "goroutine") {
+		t.Errorf("stack trace missing from error: %q", st.Error)
+	}
+	if got := s.metrics.Counter("mrts_panics_total").Value(); got != 1 {
+		t.Errorf("panics_total = %d, want 1", got)
+	}
+
+	// The daemon survived: a normal job still completes.
+	jg, err := s.Submit(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(context.Background(), jg); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status(jg, true); st.State != api.StateDone {
+		t.Fatalf("job after panic = %s (%s), want done", st.State, st.Error)
+	}
+}
+
+// Close aborts in-flight and queued jobs with the distinct
+// ErrShuttingDown cause: clients see "shutting down", not a generic
+// cancellation.
+func TestCloseCancelsInFlightWithShuttingDown(t *testing.T) {
+	s := New(Options{Workers: 1})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	// The worker may legitimately pick the queued job up during shutdown
+	// (its context already cancelled), so the override can run twice.
+	s.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		startedOnce.Do(func() { close(started) })
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+
+	running, err := s.Submit(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	s.Close()
+
+	for _, j := range []*Job{running, queued} {
+		st := s.Status(j, false)
+		if st.State != api.StateCancelled {
+			t.Errorf("job %s state = %s, want cancelled", j.ID, st.State)
+		}
+		if st.Error != "shutting down" {
+			t.Errorf("job %s error = %q, want \"shutting down\"", j.ID, st.Error)
+		}
+		select {
+		case <-j.done:
+		default:
+			t.Errorf("job %s done channel not closed after Close", j.ID)
+		}
+	}
+	// New submissions after Close are refused as draining.
+	if _, err := s.Submit(simSpec()); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit after Close = %v, want ErrDraining", err)
+	}
+}
+
+// Drain stops admission (503 + Retry-After on the wire, /readyz flips)
+// and returns once the in-flight work is finished.
+func TestDrainStopsAdmissionAndWaits(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	s.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		select {
+		case <-release:
+			return &api.JobResult{}, nil
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	job, err := s.Submit(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Drain flips readiness synchronously before it starts waiting.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server still ready after Drain started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := s.Submit(simSpec()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("/readyz 503 carries no Retry-After")
+	}
+
+	// HTTP submissions get 503 + Retry-After too.
+	hresp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"type":"sim","policy":"mrts"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || hresp.Header.Get("Retry-After") == "" {
+		t.Errorf("submit while draining = %d (Retry-After %q), want 503 with hint",
+			hresp.StatusCode, hresp.Header.Get("Retry-After"))
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a job still running", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain never returned after the job finished")
+	}
+	if st := s.Status(job, false); st.State != api.StateDone {
+		t.Errorf("drained job state = %s, want done", st.State)
+	}
+}
+
+func TestDrainTimeoutReportsRemaining(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	if _, err := s.Submit(simSpec()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain of a stuck job returned nil")
+	}
+	s.Close()
+}
+
+func TestRateLimiterBucket(t *testing.T) {
+	l := newRateLimiter(1, 2)
+	t0 := time.Now()
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", t0); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("a", t0)
+	if ok {
+		t.Fatal("third immediate request admitted past burst")
+	}
+	if wait <= 0 || wait > 1100*time.Millisecond {
+		t.Errorf("retry hint = %v, want ~1s", wait)
+	}
+	// A different client has its own bucket.
+	if ok, _ := l.allow("b", t0); !ok {
+		t.Error("fresh client rejected")
+	}
+	// After the refill interval the original client is admitted again.
+	if ok, _ := l.allow("a", t0.Add(1100*time.Millisecond)); !ok {
+		t.Error("client still rejected after refill")
+	}
+}
+
+func TestRateLimitedSubmitGets429WithRetryAfter(t *testing.T) {
+	s := New(Options{Workers: 1, RatePerSec: 0.5, RateBurst: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(clientID string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+			strings.NewReader(`{"type":"sim","workload":{"frames":2},"prc":1,"cg":1,"policy":"mrts"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if clientID != "" {
+			req.Header.Set("X-Client-ID", clientID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := post("alice"); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+	resp := post("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After")
+	}
+	// Another client is unaffected.
+	if resp := post("bob"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other client rejected with %d", resp.StatusCode)
+	}
+	if got := s.metrics.Counter("mrts_rate_limited_total").Value(); got != 1 {
+		t.Errorf("rate_limited_total = %d, want 1", got)
+	}
+}
+
+// A journaled server recovers completed results, re-runs unfinished
+// jobs, and rebuilds the idempotency table across a restart.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	j1, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Options{Workers: 2, Journal: j1})
+	done, _, err := s1.SubmitIdem("idem-done", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Wait(ctx, done); err != nil {
+		t.Fatal(err)
+	}
+	wantReport := s1.Status(done, true).Result.Report
+	if wantReport == nil {
+		t.Fatal("job finished without a report")
+	}
+	s1.Close() // graceful: the complete record is journaled and synced
+
+	j2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Workers: 2, Journal: j2})
+	rec, ok := s2.Job(done.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", done.ID)
+	}
+	st := s2.Status(rec, true)
+	if st.State != api.StateDone {
+		t.Fatalf("recovered job state = %s, want done", st.State)
+	}
+	if st.Result == nil || st.Result.Report == nil {
+		t.Fatal("recovered job lost its result")
+	}
+	gotJSON, err := api.MarshalIndentReport(st.Result.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := api.MarshalIndentReport(wantReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("recovered report differs:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	// The idempotency key maps back to the recovered job: a client
+	// replaying its POST after the restart still dedupes.
+	dup, deduped, err := s2.SubmitIdem("idem-done", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || dup.ID != done.ID {
+		t.Errorf("idem replay after restart: deduped=%v id=%s, want original %s", deduped, dup.ID, done.ID)
+	}
+	s2.Close()
+}
+
+// An unfinished job — the journal holds submit but no complete, the
+// crash case — is re-enqueued and re-run to completion on startup.
+func TestJournalReplayRerunsUnfinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	spec := simSpec()
+
+	j1, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Kind: journal.KindSubmit, ID: "jcrash01", IdemKey: "idem-crash", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Kind: journal.KindStart, ID: "jcrash01"}); err != nil {
+		t.Fatal(err)
+	}
+	// Also: a submit voided by a reject must NOT come back...
+	if err := j1.Append(journal.Record{Kind: journal.KindSubmit, ID: "jreject1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Kind: journal.KindReject, ID: "jreject1"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a cancel with no complete replays as cancelled, not re-run.
+	if err := j1.Append(journal.Record{Kind: journal.KindSubmit, ID: "jcancel1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Kind: journal.KindCancel, ID: "jcancel1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 2, Journal: j2})
+	defer s.Close()
+
+	job, ok := s.Job("jcrash01")
+	if !ok {
+		t.Fatal("crashed job not recovered")
+	}
+	if !job.Recovered {
+		t.Error("recovered job not marked Recovered")
+	}
+	if err := s.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status(job, true); st.State != api.StateDone || st.Result == nil {
+		t.Fatalf("re-run job = %s (%s), want done with result", st.State, st.Error)
+	}
+	if got := s.metrics.Counter("mrts_jobs_recovered_total").Value(); got != 1 {
+		t.Errorf("jobs_recovered_total = %d, want 1", got)
+	}
+
+	if _, ok := s.Job("jreject1"); ok {
+		t.Error("rejected submission came back from the dead")
+	}
+	cj, ok := s.Job("jcancel1")
+	if !ok {
+		t.Fatal("cancelled job not recovered")
+	}
+	if st := s.Status(cj, false); st.State != api.StateCancelled {
+		t.Errorf("cancel-without-complete replayed as %s, want cancelled", st.State)
+	}
+	// The idempotency key of the re-run job survived.
+	dup, deduped, err := s.SubmitIdem("idem-crash", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || dup.ID != "jcrash01" {
+		t.Errorf("idem key lost across replay: deduped=%v id=%s", deduped, dup.ID)
+	}
+}
+
+// A hard shutdown (Close without Drain) leaves in-flight jobs without a
+// complete record, so the next start re-runs them — nothing is lost.
+func TestJournalShutdownAbortedJobsRerun(t *testing.T) {
+	dir := t.TempDir()
+
+	j1, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Options{Workers: 1, Journal: j1})
+	started := make(chan struct{})
+	s1.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	job, err := s1.Submit(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	s1.Close()
+	if st := s1.Status(job, false); st.Error != "shutting down" {
+		t.Fatalf("aborted job error = %q", st.Error)
+	}
+
+	j2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Workers: 1, Journal: j2}) // no override: the real pipeline runs
+	defer s2.Close()
+	rerun, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatal("aborted job not replayed")
+	}
+	if err := s2.Wait(context.Background(), rerun); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Status(rerun, true); st.State != api.StateDone || st.Result == nil {
+		t.Fatalf("re-run after shutdown = %s (%s), want done", st.State, st.Error)
+	}
+}

@@ -7,6 +7,13 @@
 // pipeline (internal/exp) runs underneath, but sweeps over many (fabric x
 // policy x workload) points share traces and previously simulated points
 // instead of rebuilding them per process.
+//
+// With a write-ahead journal attached (Options.Journal) the job table is
+// durable: submissions are journaled before they are acknowledged, and a
+// restarted server replays the journal — completed jobs keep their
+// results, unfinished jobs are re-run (safe because jobs are
+// deterministic), and idempotency keys are rebuilt so client replays
+// still dedupe across the restart.
 package service
 
 import (
@@ -16,15 +23,31 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrts/internal/service/api"
+	"mrts/internal/service/journal"
 )
 
 // errJobCancelled is the cancel cause distinguishing an API cancellation
 // from a timeout or a server shutdown.
 var errJobCancelled = errors.New("job cancelled")
+
+// ErrShuttingDown is the cancel cause of every job aborted by Close: a
+// client polling such a job sees "shutting down", not a generic
+// cancellation, and knows to resubmit elsewhere (or, with a journal,
+// that the job re-runs after restart).
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// ErrQueueFull is returned by Submit when the job queue is saturated.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrDraining is returned by Submit while the server is draining: it has
+// stopped admitting work and is finishing (or journaling) what it has.
+var ErrDraining = errors.New("service: draining, not admitting new jobs")
 
 // Options configure a server.
 type Options struct {
@@ -43,6 +66,19 @@ type Options struct {
 	// KeepJobs bounds how many terminal jobs are retained for polling
 	// before the oldest are forgotten (default 1024).
 	KeepJobs int
+	// Journal, when non-nil, makes the job table durable: the server
+	// replays the journal's recovered records at startup and appends
+	// every later transition. The server takes ownership and closes the
+	// journal in Close.
+	Journal *journal.Journal
+	// RatePerSec enables per-client token-bucket admission control when
+	// positive: each client (X-Client-ID header, else remote IP) may
+	// submit at this sustained rate, with RateBurst (default
+	// ceil(RatePerSec)) tokens of burst. Rejected submissions get 429
+	// with a Retry-After hint.
+	RatePerSec float64
+	// RateBurst is the bucket capacity of the per-client limiter.
+	RateBurst int
 }
 
 func (o *Options) defaults() {
@@ -74,6 +110,8 @@ type Job struct {
 	// IdemKey is the client-supplied idempotency key, if any; it maps back
 	// to this job in the server's dedupe table until the job is retired.
 	IdemKey string
+	// Recovered marks a job rebuilt from the journal at startup.
+	Recovered bool
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -86,10 +124,18 @@ type Server struct {
 	metrics   *Metrics
 	results   *ResultCache
 	workloads *WorkloadCache
+	journal   *journal.Journal
+	limiter   *rateLimiter
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
+	baseCtx  context.Context
+	stop     context.CancelCauseFunc
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	// execOverride replaces the job execution path in tests (panic
+	// injection, slow jobs). Set before the first Submit; nil in
+	// production.
+	execOverride func(context.Context, api.JobSpec) (*api.JobResult, error)
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -102,26 +148,29 @@ type Server struct {
 	idem map[string]string
 
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *Counter
-	jobsDeduped                                        *Counter
+	jobsDeduped, jobsRecovered                         *Counter
+	panics, rateLimited                                *Counter
+	journalRecords, journalErrors                      *Counter
 	queueDepth, running                                *Gauge
 	jobSeconds, queueWaitSeconds, e2eSeconds           *Histogram
 	pointSeconds                                       *Histogram
 }
 
-// New creates a server and starts its worker pool.
+// New creates a server, replays its journal (when one is configured) and
+// starts the worker pool.
 func New(opts Options) *Server {
 	opts.defaults()
 	m := NewMetrics()
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stop := context.WithCancelCause(context.Background())
 	s := &Server{
 		opts:      opts,
 		metrics:   m,
 		results:   NewResultCache(opts.ResultCacheSize, m),
 		workloads: NewWorkloadCache(opts.WorkloadCacheSize, m),
+		journal:   opts.Journal,
 		baseCtx:   ctx,
 		stop:      stop,
 		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, opts.QueueDepth),
 		idem:      make(map[string]string),
 
 		jobsSubmitted:    m.Counter("mrts_jobs_submitted_total"),
@@ -129,6 +178,11 @@ func New(opts Options) *Server {
 		jobsFailed:       m.Counter("mrts_jobs_failed_total"),
 		jobsCancelled:    m.Counter("mrts_jobs_cancelled_total"),
 		jobsDeduped:      m.Counter("mrts_jobs_deduped_total"),
+		jobsRecovered:    m.Counter("mrts_jobs_recovered_total"),
+		panics:           m.Counter("mrts_panics_total"),
+		rateLimited:      m.Counter("mrts_rate_limited_total"),
+		journalRecords:   m.Counter("mrts_journal_records_total"),
+		journalErrors:    m.Counter("mrts_journal_errors_total"),
 		queueDepth:       m.Gauge("mrts_queue_depth"),
 		running:          m.Gauge("mrts_jobs_running"),
 		jobSeconds:       m.Histogram("mrts_job_seconds"),
@@ -136,11 +190,145 @@ func New(opts Options) *Server {
 		e2eSeconds:       m.Histogram("mrts_job_e2e_seconds"),
 		pointSeconds:     m.Histogram("mrts_point_eval_seconds"),
 	}
+	if opts.RatePerSec > 0 {
+		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+	}
+
+	// Replay before the queue exists so its capacity can grow to hold
+	// every recovered pending job, whatever QueueDepth says.
+	var pending []*Job
+	if s.journal != nil {
+		pending = s.replayJournal(s.journal.Replayed())
+		m.Counter("mrts_journal_replayed_total").Add(int64(len(s.journal.Replayed())))
+		m.Counter("mrts_journal_replay_skipped_total").Add(int64(s.journal.Stats().ReplaySkipped))
+	}
+	depth := opts.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	s.queue = make(chan *Job, depth)
+	for _, j := range pending {
+		s.queue <- j
+		s.jobsRecovered.Inc()
+	}
+	s.queueDepth.Set(int64(len(s.queue)))
+
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// replayJournal folds the recovered records into the job table and
+// returns the jobs that must re-run: submitted (possibly started) but
+// never completed. Completed jobs keep their results; a cancel with no
+// completion replays as a cancelled job; a submit voided by a reject is
+// dropped. Re-running is safe because jobs are deterministic — the
+// replayed run produces byte-identical results.
+func (s *Server) replayJournal(recs []journal.Record) (pending []*Job) {
+	type fold struct {
+		submit    journal.Record
+		cancelled bool
+		rejected  bool
+		complete  *journal.Record
+	}
+	byID := make(map[string]*fold)
+	var order []string
+	for i := range recs {
+		r := recs[i]
+		switch r.Kind {
+		case journal.KindSubmit:
+			if r.Spec == nil {
+				continue
+			}
+			if _, ok := byID[r.ID]; ok {
+				continue
+			}
+			byID[r.ID] = &fold{submit: r}
+			order = append(order, r.ID)
+		case journal.KindCancel:
+			if f, ok := byID[r.ID]; ok {
+				f.cancelled = true
+			}
+		case journal.KindReject:
+			if f, ok := byID[r.ID]; ok {
+				f.rejected = true
+			}
+		case journal.KindComplete:
+			if f, ok := byID[r.ID]; ok && f.complete == nil {
+				f.complete = &recs[i]
+			}
+		}
+	}
+	now := time.Now()
+	for _, id := range order {
+		f := byID[id]
+		if f.rejected {
+			continue
+		}
+		job := &Job{
+			ID:        id,
+			Spec:      *f.submit.Spec,
+			IdemKey:   f.submit.IdemKey,
+			Created:   parseRecordTime(f.submit.Time, now),
+			Recovered: true,
+			done:      make(chan struct{}),
+		}
+		switch {
+		case f.complete != nil && f.complete.State.Terminal():
+			job.State = f.complete.State
+			job.Err = f.complete.Error
+			job.Result = f.complete.Result
+			job.Finished = parseRecordTime(f.complete.Time, now)
+			job.cancel = func(error) {}
+			close(job.done)
+		case f.cancelled:
+			job.State = api.StateCancelled
+			job.Err = "cancelled before restart"
+			job.Finished = now
+			job.cancel = func(error) {}
+			close(job.done)
+		default:
+			job.State = api.StateQueued
+			job.ctx, job.cancel = context.WithCancelCause(s.baseCtx)
+			pending = append(pending, job)
+		}
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		if job.IdemKey != "" {
+			s.idem[job.IdemKey] = id
+		}
+	}
+	return pending
+}
+
+func parseRecordTime(v string, fallback time.Time) time.Time {
+	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return t
+	}
+	return fallback
+}
+
+// appendJournal writes one record, durably when durable is set (the
+// caller blocks until the record is fsynced). Journal failures degrade
+// durability, not availability: they are counted and the job proceeds.
+func (s *Server) appendJournal(rec journal.Record, durable bool) {
+	if s.journal == nil {
+		return
+	}
+	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	var err error
+	if durable {
+		err = s.journal.Append(rec)
+	} else {
+		err = s.journal.AppendAsync(rec)
+	}
+	if err != nil {
+		s.journalErrors.Inc()
+		return
+	}
+	s.journalRecords.Inc()
 }
 
 // Metrics exposes the registry (for /metrics and tests).
@@ -149,14 +337,75 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // ResultCache exposes the point cache (for tests and benchmarks).
 func (s *Server) ResultCache() *ResultCache { return s.results }
 
-// Close cancels every running job, stops the workers and waits for them.
+// Ready reports whether the server admits new jobs (false while
+// draining or shutting down) — the /readyz signal.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
+// RecoveredJobs reports how many unfinished jobs the journal replay
+// re-enqueued at startup.
+func (s *Server) RecoveredJobs() int { return int(s.jobsRecovered.Value()) }
+
+// Drain stops admitting new jobs and waits until every queued or running
+// job is terminal, or ctx expires. On a clean drain it returns nil; on
+// ctx expiry it returns the remaining job count wrapped in an error —
+// with a journal attached those jobs are journaled as incomplete and
+// re-run after restart, so stopping anyway loses nothing.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if n := s.activeJobs(); n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service: drain: %d jobs still active: %w", s.activeJobs(), context.Cause(ctx))
+		case <-t.C:
+		}
+	}
+}
+
+// activeJobs counts non-terminal jobs.
+func (s *Server) activeJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops admission, cancels every remaining job with the
+// ErrShuttingDown cause (clients polling them see "shutting down"),
+// stops the workers and waits for them, then syncs and closes the
+// journal. Jobs aborted here are deliberately NOT journaled as complete:
+// on the next start the journal replays them as unfinished and re-runs
+// them.
 func (s *Server) Close() {
-	s.stop()
+	s.draining.Store(true)
+	s.stop(ErrShuttingDown)
 	s.wg.Wait()
+	s.mu.Lock()
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && !j.State.Terminal() {
+			s.finishLocked(j, api.StateCancelled, "shutting down", nil, false)
+		}
+	}
+	s.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.journalErrors.Inc()
+		}
+	}
 }
 
 // Submit validates and enqueues a job. It returns the job with state
-// queued, or an error (ErrQueueFull when the pool is saturated).
+// queued, or an error (ErrQueueFull when the pool is saturated,
+// ErrDraining when the server has stopped admitting).
 func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 	job, _, err := s.SubmitIdem("", spec)
 	return job, err
@@ -166,9 +415,15 @@ func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 // was already accepted returns the existing job (deduped=true) instead of
 // creating a duplicate — the contract that makes retrying a POST whose
 // response was lost safe. An empty key never dedupes.
+//
+// With a journal attached, the submit record is fsynced before the job
+// is acknowledged, so an accepted job survives a crash.
 func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
+	}
+	if s.draining.Load() {
+		return nil, false, ErrDraining
 	}
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	job = &Job{
@@ -200,6 +455,17 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 	s.retireOldLocked()
 	s.mu.Unlock()
 
+	// Journal the submission before enqueueing it, durably: once the
+	// client sees 202 the job must survive a crash, and the submit record
+	// must precede the start record a worker may write at any moment
+	// after the enqueue below.
+	s.appendJournal(journal.Record{
+		Kind:    journal.KindSubmit,
+		ID:      job.ID,
+		IdemKey: key,
+		Spec:    &spec,
+	}, true)
+
 	select {
 	case s.queue <- job:
 	default:
@@ -211,15 +477,14 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 		}
 		s.mu.Unlock()
 		cancel(ErrQueueFull)
+		// Void the submit record so replay drops the pair.
+		s.appendJournal(journal.Record{Kind: journal.KindReject, ID: job.ID}, false)
 		return nil, false, ErrQueueFull
 	}
 	s.jobsSubmitted.Inc()
 	s.queueDepth.Set(int64(len(s.queue)))
 	return job, false, nil
 }
-
-// ErrQueueFull is returned by Submit when the job queue is saturated.
-var ErrQueueFull = errors.New("service: job queue full")
 
 // retireOldLocked drops the oldest terminal jobs beyond the retention
 // bound so the job table cannot grow without limit.
@@ -262,14 +527,21 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
+	running := j.State == api.StateRunning
 	switch j.State {
 	case api.StateQueued:
-		s.finishLocked(j, api.StateCancelled, "cancelled while queued", nil)
+		s.finishLocked(j, api.StateCancelled, "cancelled while queued", nil, true)
 	case api.StateRunning:
 		// The worker observes the cancellation at the next point
 		// boundary and finishes the job itself.
 	}
 	s.mu.Unlock()
+	if running {
+		// Journal the intent: if the process dies before the worker
+		// writes the complete record, replay marks the job cancelled
+		// instead of re-running it.
+		s.appendJournal(journal.Record{Kind: journal.KindCancel, ID: id}, false)
+	}
 	j.cancel(errJobCancelled)
 	return j, true
 }
@@ -348,6 +620,7 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Unlock()
 	s.running.Inc()
 	defer s.running.Dec()
+	s.appendJournal(journal.Record{Kind: journal.KindStart, ID: job.ID}, false)
 
 	timeout := s.opts.JobTimeout
 	if job.Spec.TimeoutSec > 0 {
@@ -357,7 +630,7 @@ func (s *Server) runJob(job *Job) {
 	defer cancel()
 
 	start := time.Now()
-	res, err := s.execute(ctx, job.Spec)
+	res, err := s.executeSafe(ctx, job.Spec)
 	elapsed := time.Since(start)
 	s.jobSeconds.Observe(elapsed.Seconds())
 	if res != nil {
@@ -369,6 +642,10 @@ func (s *Server) runJob(job *Job) {
 	switch {
 	case err == nil:
 		s.finishLocked(job, api.StateDone, "", res)
+	case errors.Is(err, ErrShuttingDown):
+		// Not journaled as complete: the job replays as unfinished and
+		// re-runs after restart.
+		s.finishLocked(job, api.StateCancelled, "shutting down", nil, false)
 	case errors.Is(err, errJobCancelled):
 		s.finishLocked(job, api.StateCancelled, "cancelled", nil)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -378,8 +655,29 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
-// finishLocked moves a job to a terminal state exactly once.
-func (s *Server) finishLocked(j *Job, state api.JobState, msg string, res *api.JobResult) {
+// executeSafe runs the job execution path behind a panic barrier: a
+// panicking evaluator fails that one job — the error carries the panic
+// value and stack — instead of killing the daemon and every other job
+// with it.
+func (s *Server) executeSafe(ctx context.Context, spec api.JobSpec) (res *api.JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			res = nil
+			err = fmt.Errorf("job panicked: %v\n\n%s", r, debug.Stack())
+		}
+	}()
+	if s.execOverride != nil {
+		return s.execOverride(ctx, spec)
+	}
+	return s.execute(ctx, spec)
+}
+
+// finishLocked moves a job to a terminal state exactly once. The
+// optional persist flag (default true) controls whether the transition
+// is journaled; shutdown aborts pass false so the journal replays the
+// job as unfinished.
+func (s *Server) finishLocked(j *Job, state api.JobState, msg string, res *api.JobResult, persist ...bool) {
 	if j.State.Terminal() {
 		return
 	}
@@ -397,6 +695,16 @@ func (s *Server) finishLocked(j *Job, state api.JobState, msg string, res *api.J
 	case api.StateCancelled:
 		s.jobsCancelled.Inc()
 	}
+	if len(persist) > 0 && !persist[0] {
+		return
+	}
+	s.appendJournal(journal.Record{
+		Kind:   journal.KindComplete,
+		ID:     j.ID,
+		State:  state,
+		Error:  msg,
+		Result: res,
+	}, false)
 }
 
 func newJobID() string {
