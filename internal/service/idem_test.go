@@ -3,9 +3,12 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +16,7 @@ import (
 	"mrts/internal/obs"
 	"mrts/internal/service/api"
 	"mrts/internal/service/client"
+	"mrts/internal/service/journal"
 )
 
 func simSpec() api.JobSpec {
@@ -92,6 +96,97 @@ func TestSubmitIdemQueueFullRollsBack(t *testing.T) {
 	s.mu.Unlock()
 	if lingers {
 		t.Errorf("key %s of a rejected submission lingers in the dedupe table", fullKey)
+	}
+}
+
+// Regression for the queue-full rollback race: with the journal fsync
+// widening the window between publishing a job and (formerly) rolling it
+// back, concurrent submissions against a saturated queue must leave the
+// job table, listing order and dedupe table consistent — no accepted or
+// deduped job may vanish or become invisible to Jobs(), and no rejected
+// ID may linger anywhere.
+func TestQueueFullRaceKeepsJobTableConsistent(t *testing.T) {
+	j, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, QueueDepth: 2, Journal: j})
+	defer s.Close()
+	release := make(chan struct{})
+	s.execOverride = func(ctx context.Context, spec api.JobSpec) (*api.JobResult, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return &api.JobResult{}, nil
+	}
+
+	var mu sync.Mutex
+	returned := make(map[string]bool) // every job ID a client was promised
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Even goroutines race distinct keys; odd ones share a
+				// small pool so dedupe hits race the originals' fsync.
+				key := fmt.Sprintf("qfr-%d-%d", g, i)
+				if g%2 == 1 {
+					key = fmt.Sprintf("qfr-shared-%d", i%4)
+				}
+				job, _, err := s.SubmitIdem(key, simSpec())
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("submit: %v", err)
+					}
+					continue
+				}
+				mu.Lock()
+				returned[job.ID] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(release)
+
+	s.mu.Lock()
+	inTable := make(map[string]bool, len(s.jobs))
+	for id := range s.jobs {
+		inTable[id] = true
+	}
+	order := append([]string(nil), s.order...)
+	idem := make(map[string]string, len(s.idem))
+	for k, id := range s.idem {
+		idem[k] = id
+	}
+	s.mu.Unlock()
+
+	for id := range returned {
+		if !inTable[id] {
+			t.Errorf("job %s was returned to a client but is gone from the job table", id)
+		}
+	}
+	inOrder := make(map[string]bool, len(order))
+	for _, id := range order {
+		if inOrder[id] {
+			t.Errorf("job %s listed twice in submission order", id)
+		}
+		inOrder[id] = true
+		if !inTable[id] {
+			t.Errorf("order holds %s but the job table does not", id)
+		}
+	}
+	for id := range inTable {
+		if !inOrder[id] {
+			t.Errorf("job %s exists but is invisible to Jobs() and retention", id)
+		}
+	}
+	for key, id := range idem {
+		if !inTable[id] {
+			t.Errorf("idem key %s maps to vanished job %s", key, id)
+		}
 	}
 }
 

@@ -46,6 +46,8 @@ const (
 	KindCancel = "cancel"
 	// KindReject voids a submit whose enqueue was rolled back (queue
 	// full): replay drops the pair entirely, as if never submitted.
+	// Current servers decide admission before journaling the submit and
+	// never write rejects; replay still honors them in older journals.
 	KindReject = "reject"
 )
 
@@ -321,12 +323,20 @@ func (j *Journal) Close() error {
 	var err, cerr error
 	j.closeOnce.Do(func() {
 		err = j.Sync()
-		close(j.quit) // the syncer drains one final time and exits
-		<-j.done
+		// Seal the journal before stopping the syncer: an Append that
+		// passed the error check after the Sync above would otherwise
+		// register a waiter after the syncer's final round, and nothing
+		// would ever wake it. With the sticky error set first, later
+		// appends fail fast, and any waiter that slipped in between is
+		// woken with this error by the syncer's post-quit drain.
 		j.mu.Lock()
 		if j.err == nil {
 			j.err = fmt.Errorf("journal: closed")
 		}
+		j.mu.Unlock()
+		close(j.quit) // the syncer drains one final time and exits
+		<-j.done
+		j.mu.Lock()
 		cerr = j.f.Close()
 		j.mu.Unlock()
 	})

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mrts/internal/service/api"
 )
@@ -280,5 +281,45 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 	if err := j.Close(); err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+// Regression for the close/append race: an Append that slips past the
+// error check between Close's final sync and its sticky-error seal must
+// be woken (with an error) by the syncer's post-quit drain — never left
+// hanging on a waiter no syncer round services.
+func TestAppendRacingCloseNeverHangs(t *testing.T) {
+	for iter := 0; iter < 40; iter++ {
+		j, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for k := 0; k < 16; k++ {
+					// An error after Close is fine; hanging is the bug.
+					j.Append(rec(KindStart, fmt.Sprintf("j%d-%d-%d", iter, g, k)))
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			j.Close()
+		}()
+		close(start)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("append racing close hung")
+		}
 	}
 }

@@ -50,7 +50,15 @@ func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time
 	b, found := l.buckets[key]
 	if !found {
 		if len(l.buckets) >= maxBuckets {
-			l.pruneLocked()
+			l.pruneLocked(now)
+			// Pruning frees only idle buckets; a flood of distinct
+			// spoofed client IDs leaves none. The cap is hard: make room
+			// by evicting the longest-idle bucket instead, so the table
+			// never grows past maxBuckets and an attacker costs a real
+			// client at most its partially-refilled bucket.
+			for len(l.buckets) >= maxBuckets {
+				l.evictStalestLocked()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[key] = b
@@ -71,11 +79,30 @@ func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time
 
 // pruneLocked evicts buckets that have refilled completely — idle
 // clients whose state carries no information.
-func (l *rateLimiter) pruneLocked() {
-	now := time.Now()
+func (l *rateLimiter) pruneLocked(now time.Time) {
 	for k, b := range l.buckets {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, k)
 		}
 	}
+}
+
+// evictStalestLocked drops the bucket untouched the longest — the
+// closest to fully refilled, so the client it belonged to loses the
+// least. Linear scan: it runs only when the table is at its hard cap.
+func (l *rateLimiter) evictStalestLocked() {
+	var (
+		victim string
+		oldest time.Time
+		found  bool
+	)
+	for k, b := range l.buckets {
+		if !found || b.last.Before(oldest) {
+			victim, oldest, found = k, b.last, true
+		}
+	}
+	if !found {
+		return
+	}
+	delete(l.buckets, victim)
 }

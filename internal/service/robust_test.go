@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -235,6 +236,29 @@ func TestRateLimiterBucket(t *testing.T) {
 	// After the refill interval the original client is admitted again.
 	if ok, _ := l.allow("a", t0.Add(1100*time.Millisecond)); !ok {
 		t.Error("client still rejected after refill")
+	}
+}
+
+// A flood of distinct spoofed client IDs whose buckets never refill (so
+// the idle-bucket prune frees nothing) must not grow the table past the
+// hard cap: the limiter evicts the longest-idle bucket instead.
+func TestRateLimiterHardCap(t *testing.T) {
+	l := newRateLimiter(0.0001, 1) // refill so slow no bucket ever looks idle
+	t0 := time.Now()
+	for i := 0; i < 2*maxBuckets; i++ {
+		// Each allow drains the single burst token, leaving a non-idle
+		// bucket behind — the attack shape pruneLocked cannot help with.
+		l.allow(fmt.Sprintf("spoof-%d", i), t0.Add(time.Duration(i)*time.Microsecond))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxBuckets {
+		t.Fatalf("bucket table grew to %d entries past the cap of %d", n, maxBuckets)
+	}
+	// The limiter still works after mass eviction.
+	if ok, _ := l.allow("legit", t0.Add(time.Hour)); !ok {
+		t.Error("fresh client rejected after the table hit its cap")
 	}
 }
 

@@ -116,7 +116,20 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	done   chan struct{} // closed when the job reaches a terminal state
+	// durable is closed once the job's submit record is fsynced (or
+	// immediately when there is no journal). Deduped submissions wait on
+	// it: a 202 — original or replayed — must never point at a job that
+	// a crash could still lose.
+	durable chan struct{}
 }
+
+// closedChan is a pre-closed channel for jobs with nothing to wait for
+// (recovered from the journal, or created on a journal-less server).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // Server owns the worker pool, the job table and the caches.
 type Server struct {
@@ -131,6 +144,13 @@ type Server struct {
 	stop     context.CancelCauseFunc
 	wg       sync.WaitGroup
 	draining atomic.Bool
+	// queued counts reserved queue slots: incremented under mu by
+	// SubmitIdem before the job is published anywhere, decremented by a
+	// worker when it receives the job. Because only reservation holders
+	// send on s.queue and queued never exceeds cap(s.queue), the send is
+	// guaranteed not to block — admission is decided entirely under the
+	// lock, before the job table, idem table or journal have seen the job.
+	queued atomic.Int64
 
 	// execOverride replaces the job execution path in tests (panic
 	// injection, slow jobs). Set before the first Submit; nil in
@@ -207,6 +227,7 @@ func New(opts Options) *Server {
 		depth = len(pending)
 	}
 	s.queue = make(chan *Job, depth)
+	s.queued.Store(int64(len(pending))) // recovered jobs hold their slots
 	for _, j := range pending {
 		s.queue <- j
 		s.jobsRecovered.Inc()
@@ -274,6 +295,7 @@ func (s *Server) replayJournal(recs []journal.Record) (pending []*Job) {
 			Created:   parseRecordTime(f.submit.Time, now),
 			Recovered: true,
 			done:      make(chan struct{}),
+			durable:   closedChan, // already journaled: nothing to wait for
 		}
 		switch {
 		case f.complete != nil && f.complete.State.Terminal():
@@ -435,6 +457,7 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+		durable: make(chan struct{}),
 	}
 	s.mu.Lock()
 	if key != "" {
@@ -443,11 +466,28 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 				s.mu.Unlock()
 				cancel(nil)
 				s.jobsDeduped.Inc()
+				// The original submission may still be fsyncing its
+				// submit record; a deduped 202 makes the same durability
+				// promise, so wait until the job it points at is safe.
+				<-prev.durable
 				return prev, true, nil
 			}
 			// The deduped job was retired; fall through and accept the
 			// retry as a fresh submission.
 		}
+	}
+	// Reserve a queue slot before publishing the job anywhere. A job
+	// that cannot run is rejected here, while neither the job table, the
+	// idem table nor the journal has seen it — so there is no multi-step
+	// rollback to race, and a deduped retry can never be handed a job
+	// that queue-full later revokes.
+	if s.queued.Load() >= int64(cap(s.queue)) {
+		s.mu.Unlock()
+		cancel(ErrQueueFull)
+		return nil, false, ErrQueueFull
+	}
+	s.queued.Add(1)
+	if key != "" {
 		s.idem[key] = job.ID
 	}
 	s.jobs[job.ID] = job
@@ -465,22 +505,9 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 		IdemKey: key,
 		Spec:    &spec,
 	}, true)
+	close(job.durable)
 
-	select {
-	case s.queue <- job:
-	default:
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
-		if key != "" && s.idem[key] == job.ID {
-			delete(s.idem, key)
-		}
-		s.mu.Unlock()
-		cancel(ErrQueueFull)
-		// Void the submit record so replay drops the pair.
-		s.appendJournal(journal.Record{Kind: journal.KindReject, ID: job.ID}, false)
-		return nil, false, ErrQueueFull
-	}
+	s.queue <- job // cannot block: the reserved slot guarantees room
 	s.jobsSubmitted.Inc()
 	s.queueDepth.Set(int64(len(s.queue)))
 	return job, false, nil
@@ -601,6 +628,7 @@ func (s *Server) worker() {
 		case <-s.baseCtx.Done():
 			return
 		case job := <-s.queue:
+			s.queued.Add(-1) // the reserved slot is free again
 			s.queueDepth.Set(int64(len(s.queue)))
 			s.runJob(job)
 		}
