@@ -1,8 +1,8 @@
 // Command mrts-report regenerates the complete evaluation in one run and
 // emits a self-contained markdown report: every figure of the paper
 // (Figs. 1, 2, 8, 9, 10), the Section 5.4 overhead analysis, the
-// fabric-sharing sweep, and the hardware-model calibration table. It is
-// the tool behind EXPERIMENTS.md.
+// fabric-sharing sweep, the multi-tenant virtualization sweep, and the
+// hardware-model calibration table. It is the tool behind EXPERIMENTS.md.
 //
 //	mrts-report > report.md
 package main
@@ -26,19 +26,22 @@ import (
 
 func main() {
 	var (
-		frames = flag.Int("frames", 16, "video frames to encode")
-		seed   = flag.Uint64("seed", 1, "synthetic video seed")
-		maxPRC = flag.Int("maxprc", 4, "maximum PRC count of the sweeps")
-		maxCG  = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweeps")
+		frames  = flag.Int("frames", 16, "video frames to encode")
+		seed    = flag.Uint64("seed", 1, "synthetic video seed")
+		maxPRC  = flag.Int("maxprc", 4, "maximum PRC count of the sweeps")
+		maxCG   = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweeps")
+		tenants = flag.Int("tenants", 8, "largest tenant count of the virtualization sweep")
+		mix     = flag.String("mix", "skewed", "tenant mix of the virtualization sweep: uniform|skewed|priority")
 	)
 	flag.Parse()
 	out := os.Stdout
 
-	w, err := workload.Build(workload.Options{
+	base := workload.Options{
 		Frames: *frames,
 		Seed:   *seed,
 		Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
-	})
+	}
+	w, err := workload.Build(base)
 	check(err)
 	ctx := context.Background()
 	eval := exp.DirectEvaluator(w)
@@ -88,6 +91,13 @@ func main() {
 	shared, err := exp.Shared(ctx, w, arch.Config{NPRC: *maxPRC, NCG: *maxCG})
 	check(err)
 	shared.Render(out)
+	endSection()
+
+	section("Virtualization — static partitions vs. migrating hypervisor")
+	ten, err := exp.Tenants(ctx, exp.DirectWorkloads(), base,
+		arch.Config{NPRC: *maxPRC, NCG: *maxCG}, *tenants, *mix)
+	check(err)
+	ten.Render(out)
 	endSection()
 
 	section("Hardware-model calibration")

@@ -21,6 +21,10 @@
 // (rate limited, queue full, draining) the client sleeps for the hinted
 // duration instead, capped at the policy's maximum delay.
 //
+// `-fig tenants` regenerates the multi-tenant hypervisor sweep; -tenants
+// bounds the largest tenant count and -mix picks the demand mix
+// (uniform, skewed, or priority).
+//
 // The workload flags (-frames, -seed) and sweep bounds (-maxprc, -maxcg)
 // default to the same values as cmd/mrts-sweep.
 package main
@@ -65,6 +69,9 @@ func main() {
 		corruptCG = flag.Int("corruptcg", 0, "fault scenario: corrupted CG configuration transfers")
 		faultSeed = flag.Uint64("faultseed", 1, "fault-schedule seed")
 		horizonM  = flag.Float64("horizon", 0, "fault horizon in Mcycles (0 = a tenth of the RISC reference run)")
+
+		tenants = flag.Int("tenants", 0, "largest tenant count of the tenant sweep (-fig tenants; 0 = daemon default)")
+		mix     = flag.String("mix", "", "tenant mix of the tenant sweep: uniform|skewed|priority (empty = uniform)")
 	)
 	flag.Parse()
 
@@ -132,7 +139,14 @@ func main() {
 			out += st.Result.Text
 		}
 	default:
-		st := runJob(ctx, c, figSpec(*fig, wl, faults, *maxPRC, *maxCG), *poll, *nowait)
+		spec := figSpec(*fig, wl, faults, *maxPRC, *maxCG)
+		if *fig == "tenants" {
+			// Tenant bounds only apply to the tenant sweep; the daemon
+			// rejects them on any other figure.
+			spec.Tenants = *tenants
+			spec.Mix = *mix
+		}
+		st := runJob(ctx, c, spec, *poll, *nowait)
 		if st == nil {
 			return
 		}

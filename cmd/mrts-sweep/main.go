@@ -9,6 +9,7 @@
 //	mrts-sweep -fig all          # everything
 //	mrts-sweep -fig 10 -frames 16 -maxprc 3 -maxcg 3
 //	mrts-sweep -fig faults       # graceful-degradation sweep
+//	mrts-sweep -fig tenants -tenants 4 -mix skewed  # hypervisor sweep
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 		maxCG      = flag.Int("maxcg", 3, "maximum CG-EDPE count of the sweep")
 		chart      = flag.Bool("chart", false, "render ASCII charts instead of tables where available")
 		faultSeed  = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
+		tenants    = flag.Int("tenants", 4, "largest tenant count of the tenant sweep")
+		mix        = flag.String("mix", "uniform", "tenant mix of the tenant sweep: "+strings.Join(exp.TenantMixes, "|"))
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 		traceOut   = flag.String("trace", "", "write the decision traces of every point (JSONL, one run label per point) to this file; render with mrts-timeline")
@@ -74,11 +77,12 @@ func main() {
 		}()
 	}
 
-	w, err := workload.Build(workload.Options{
+	base := workload.Options{
 		Frames: *frames,
 		Seed:   *seed,
 		Video:  video.Options{SceneCuts: []int{*frames / 3, 2 * *frames / 3}},
-	})
+	}
+	w, err := workload.Build(base)
 	if err != nil {
 		fatal(err)
 	}
@@ -175,6 +179,13 @@ func main() {
 			r.Render(os.Stdout)
 		case "faults":
 			r, err := exp.Faults(ctx, feval, exp.FaultsConfig, *faultSeed)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "tenants":
+			r, err := exp.Tenants(ctx, exp.DirectWorkloads(), base,
+				arch.Config{NPRC: *maxPRC, NCG: *maxCG}, *tenants, *mix)
 			if err != nil {
 				fatal(err)
 			}

@@ -13,8 +13,13 @@
 //	mrts-timeline -run 'mRTS/2x1' -width 100 run.jsonl
 //
 // Lane characters: '=' configuration streaming, 'R' retry backoff after a
-// CRC failure, 'x' eviction; dispatch lanes use r/m/i/F for
-// RISC/monoCG/intermediate/full-ISE executions; '!' marks a fault delivery.
+// CRC failure, 'x' eviction, 'M' live migration; dispatch lanes use
+// r/m/i/F for RISC/monoCG/intermediate/full-ISE executions; '!' marks a
+// fault delivery and '#' a hypervisor repartition.
+//
+// Multi-tenant traces (the vfabric hypervisor) tag every event with its
+// tenant: lanes are prefixed with the tenant name, repartitions get their
+// own lane, and -tenant restricts rendering to one tenant's events.
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 	var cfg config
 	flag.IntVar(&cfg.width, "width", 72, "timeline width in columns")
 	flag.StringVar(&cfg.runSel, "run", "", "render only this run label (default: every run in the trace)")
+	flag.StringVar(&cfg.tenantSel, "tenant", "", "render only this tenant's events (multi-tenant traces)")
 	flag.BoolVar(&cfg.csvOut, "csv", false, "emit flat CSV rows instead of the text timeline")
 	flag.BoolVar(&cfg.summary, "summary", false, "print only the per-run event summary, no lanes")
 	flag.Usage = func() {
@@ -61,10 +67,11 @@ func main() {
 }
 
 type config struct {
-	width   int
-	runSel  string
-	csvOut  bool
-	summary bool
+	width     int
+	runSel    string
+	tenantSel string
+	csvOut    bool
+	summary   bool
 }
 
 // run renders the trace read from in. It reads leniently: malformed or
@@ -86,6 +93,20 @@ func run(cfg config, in io.Reader, out, errw io.Writer) int {
 	if len(events) == 0 {
 		fmt.Fprintln(errw, "mrts-timeline: trace holds no events")
 		return 1
+	}
+	if cfg.tenantSel != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.Tenant == cfg.tenantSel {
+				kept = append(kept, ev)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Fprintf(errw, "mrts-timeline: tenant %q not in trace (tenants: %s)\n",
+				cfg.tenantSel, strings.Join(tenantNames(events), ", "))
+			return 1
+		}
+		events = kept
 	}
 
 	runs := groupRuns(events)
@@ -126,6 +147,19 @@ func joinLines(lines []int) string {
 		parts = append(parts, strconv.Itoa(n))
 	}
 	return strings.Join(parts, ", ")
+}
+
+// tenantNames lists the distinct tenant tags of a trace in first-seen order.
+func tenantNames(events []obs.Event) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, ev := range events {
+		if ev.Tenant != "" && !seen[ev.Tenant] {
+			seen[ev.Tenant] = true
+			names = append(names, ev.Tenant)
+		}
+	}
+	return names
 }
 
 type runGroups struct {
@@ -217,11 +251,21 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 	}
 
 	// Build lanes: reconfiguration per data path, dispatch per kernel, one
-	// fault lane.
+	// fault lane, and — in multi-tenant traces — one repartition lane. When
+	// several tenants share the trace their lanes are kept apart by
+	// prefixing names with the tenant tag.
+	multiTenant := len(tenantNames(events)) > 1
+	laneName := func(ev obs.Event, name string) string {
+		if multiTenant && ev.Tenant != "" {
+			return ev.Tenant + ":" + name
+		}
+		return name
+	}
 	paths := map[string]*lane{}
 	kernels := map[string]*lane{}
-	var faults lane
+	var faults, reparts lane
 	faults.name = "faults"
+	reparts.name = "repartition"
 	get := func(m map[string]*lane, name string) *lane {
 		l, ok := m[name]
 		if !ok {
@@ -233,15 +277,19 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 	for _, ev := range events {
 		switch {
 		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindConfig:
-			get(paths, ev.Path).add(ev.Ready-ev.Latency, ev.Ready, '=', 1)
+			get(paths, laneName(ev, ev.Path)).add(ev.Ready-ev.Latency, ev.Ready, '=', 1)
 		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindRetry:
-			get(paths, ev.Path).add(ev.Ready-ev.Latency, ev.Ready, 'R', 2)
+			get(paths, laneName(ev, ev.Path)).add(ev.Ready-ev.Latency, ev.Ready, 'R', 2)
 		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindEvict:
-			get(paths, ev.Path).add(ev.Cycle, ev.Cycle, 'x', 3)
+			get(paths, laneName(ev, ev.Path)).add(ev.Cycle, ev.Cycle, 'x', 3)
+		case ev.Source == obs.SourceReconfig && ev.Kind == obs.KindMigrate:
+			get(paths, laneName(ev, ev.Path)).add(ev.Ready-ev.Latency, ev.Ready, 'M', 2)
 		case ev.Source == obs.SourceECU && ev.Kind == obs.KindDispatch:
-			get(kernels, ev.Kernel).add(ev.Cycle, ev.Cycle+ev.Latency, modeChar(ev.Mode), 1)
+			get(kernels, laneName(ev, ev.Kernel)).add(ev.Cycle, ev.Cycle+ev.Latency, modeChar(ev.Mode), 1)
 		case ev.Source == obs.SourceSim && ev.Kind == obs.KindFault:
 			faults.add(ev.Cycle, ev.Cycle, '!', 3)
+		case ev.Source == obs.SourceVFabric && ev.Kind == obs.KindRepartition:
+			reparts.add(ev.Cycle, ev.Cycle, '#', 3)
 		}
 	}
 
@@ -249,7 +297,7 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 	if perCol == 0 {
 		perCol = 1
 	}
-	fmt.Fprintf(w, "  timeline: %d columns, %d cycles each ('=' config stream, R retry, x evict; r/m/i/F exec modes; ! fault)\n", width, perCol)
+	fmt.Fprintf(w, "  timeline: %d columns, %d cycles each ('=' config stream, R retry, x evict, M migrate; r/m/i/F exec modes; ! fault, # repartition)\n", width, perCol)
 
 	render := func(l *lane, count int) {
 		row := make([]byte, width)
@@ -292,6 +340,10 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 		fmt.Fprintf(w, "  -- faults --\n")
 		render(&faults, len(faults.spans))
 	}
+	if len(reparts.spans) > 0 {
+		fmt.Fprintf(w, "  -- hypervisor --\n")
+		render(&reparts, len(reparts.spans))
+	}
 }
 
 func sortedKeys(m map[string]*lane) []string {
@@ -307,7 +359,7 @@ func sortedKeys(m map[string]*lane) []string {
 func writeCSV(w io.Writer, runs runGroups) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"run", "cycle", "source", "kind", "block", "phase", "kernel", "ise",
+		"run", "tenant", "cycle", "source", "kind", "block", "phase", "kernel", "ise",
 		"path", "fabric", "mode", "level", "round", "e", "tf", "tb",
 		"profit", "latency", "ready", "detail",
 	}); err != nil {
@@ -317,6 +369,7 @@ func writeCSV(w io.Writer, runs runGroups) error {
 		for _, ev := range runs.byRun[run] {
 			rec := []string{
 				ev.Run,
+				ev.Tenant,
 				strconv.FormatInt(int64(ev.Cycle), 10),
 				ev.Source, ev.Kind, ev.Block, ev.Phase, ev.Kernel, ev.ISE,
 				ev.Path, ev.Fabric, ev.Mode,

@@ -136,7 +136,7 @@ func TestCSVOutput(t *testing.T) {
 	if len(rows) != 8 { // header + 7 events
 		t.Errorf("csv rows = %d, want 8:\n%s", len(rows), out)
 	}
-	if !strings.HasPrefix(rows[0], "run,cycle,source,kind") {
+	if !strings.HasPrefix(rows[0], "run,tenant,cycle,source,kind") {
 		t.Errorf("csv header = %q", rows[0])
 	}
 }
@@ -160,5 +160,64 @@ func TestSkipReportElidesLongTail(t *testing.T) {
 	_, _, errw := render(t, config{width: 40}, sb.String())
 	if !strings.Contains(errw, "... (5 more)") {
 		t.Errorf("stderr = %q, want elided tail for 15 skips", errw)
+	}
+}
+
+// tenantTrace builds a hypervisor-style trace: two tenants interleaved in
+// one run, with a migration and a repartition event.
+func tenantTrace(t *testing.T) string {
+	t.Helper()
+	r := obs.New()
+	r.SetRun("vfabric/4x3")
+	r.SetTenant("t0")
+	r.Record(obs.Event{Cycle: 0, Source: obs.SourceSim, Kind: obs.KindRun, Detail: "policy=mRTS prc=2 cg=1"})
+	r.Record(obs.Event{Cycle: 10, Source: obs.SourceReconfig, Kind: obs.KindConfig, Path: "FG0", Latency: 90, Ready: 100})
+	r.SetTenant("t1")
+	r.Record(obs.Event{Cycle: 20, Source: obs.SourceReconfig, Kind: obs.KindConfig, Path: "FG0", Latency: 90, Ready: 110})
+	r.SetTenant("t0")
+	r.Record(obs.Event{Cycle: 300, Source: obs.SourceVFabric, Kind: obs.KindRepartition, Detail: "prc=[0,3) cg=[0,2)"})
+	r.Record(obs.Event{Cycle: 300, Source: obs.SourceReconfig, Kind: obs.KindMigrate, Path: "FG0", Latency: 120, Ready: 420})
+	r.SetTenant("")
+	return r.JSONL()
+}
+
+func TestTenantLanesAndMarks(t *testing.T) {
+	code, out, errw := render(t, config{width: 40}, tenantTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	for _, want := range []string{"t0:FG0", "t1:FG0", "M", "-- hypervisor --", "repartition", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lost %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTenantSelector(t *testing.T) {
+	code, out, _ := render(t, config{width: 40, tenantSel: "t1"}, tenantTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out, "-- hypervisor --") {
+		t.Errorf("t1 view shows t0's repartition:\n%s", out)
+	}
+	// Only one tenant survives the filter, so lanes drop the prefix.
+	if !strings.Contains(out, "FG0") {
+		t.Errorf("t1's path lane missing:\n%s", out)
+	}
+
+	code, _, errw := render(t, config{width: 40, tenantSel: "nope"}, tenantTrace(t))
+	if code == 0 || !strings.Contains(errw, `tenant "nope" not in trace (tenants: t0, t1)`) {
+		t.Errorf("unknown tenant: code=%d stderr=%q", code, errw)
+	}
+}
+
+func TestCSVTenantColumn(t *testing.T) {
+	code, out, _ := render(t, config{width: 40, csvOut: true}, tenantTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "vfabric/4x3,t1,20,reconfig,config") {
+		t.Errorf("csv rows lost the tenant column:\n%s", out)
 	}
 }

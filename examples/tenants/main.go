@@ -1,0 +1,74 @@
+// Tenants demonstrates the multi-tenant fabric hypervisor: two encoder
+// instances with very different amounts of remaining work share one
+// 4 PRC / 3 CG-EDPE fabric. The static hypervisor fixes the partition up
+// front, so the short tenant's share sits idle after it finishes; the
+// migrating hypervisor repartitions at epoch boundaries and live-migrates
+// the long tenant's configured ISEs into the reclaimed containers.
+//
+//	go run ./examples/tenants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/exp"
+	"mrts/internal/vfabric"
+	"mrts/internal/video"
+	"mrts/internal/workload"
+)
+
+func main() {
+	mk := func(frames int, seed uint64, cuts []int) *workload.Result {
+		w, err := workload.Build(workload.Options{Frames: frames, Seed: seed,
+			Video: video.Options{SceneCuts: cuts}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+	short := mk(2, 3, nil)
+	medium := mk(4, 2, nil)
+	longA := mk(8, 1, []int{3, 6})
+	longB := mk(8, 4, nil)
+
+	phys := arch.Config{NPRC: 6, NCG: 4}
+	// The short tenant sits at the low end of the container index space:
+	// when it finishes, the windows behind it slide left — partially
+	// overlapping their old shares — so the migrating run shows live
+	// migration of configured data paths, not just window growth.
+	tenants := []vfabric.Tenant{
+		{Name: "short", App: short.App, Trace: short.Trace, Build: builder(short)},
+		{Name: "longA", App: longA.App, Trace: longA.Trace, Build: builder(longA)},
+		{Name: "medium", App: medium.App, Trace: medium.Trace, Build: builder(medium)},
+		{Name: "longB", App: longB.App, Trace: longB.Trace, Build: builder(longB)},
+	}
+
+	fmt.Printf("physical fabric: %d PRCs / %d CG-EDPEs, tenants: short (2 frames), longA (8), medium (4), longB (8)\n\n",
+		phys.NPRC, phys.NCG)
+	for _, migrate := range []bool{false, true} {
+		rep, err := vfabric.Run(tenants, vfabric.Options{Physical: phys, Migrate: migrate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "static "
+		if migrate {
+			mode = "migrate"
+		}
+		fmt.Printf("%s  makespan %8.2f Mcycles  repartitions %d  paths migrated %d (%d cycles on the port)\n",
+			mode, rep.Makespan.MCycles(), rep.Repartitions, rep.Migrations, rep.MigrationCycles)
+		for _, t := range rep.Tenants {
+			fmt.Printf("  tenant %-6s %8.2f Mcycles  final share prc=%s cg=%s\n",
+				t.Name, t.Report.TotalCycles.MCycles(), t.Partition.PRC, t.Partition.CG)
+		}
+	}
+}
+
+// builder constructs the tenant's mRTS instance for a fabric budget.
+func builder(w *workload.Result) func(arch.Config) (core.RuntimeSystem, error) {
+	return func(cfg arch.Config) (core.RuntimeSystem, error) {
+		return exp.NewPolicy(exp.PolicyMRTS, cfg, w.App, w.Trace)
+	}
+}

@@ -1,0 +1,87 @@
+package arch
+
+import "fmt"
+
+// Window is a contiguous range of container indices [Start, Start+N) on
+// one fabric. The vfabric hypervisor slices each fabric's container index
+// space into windows, one per tenant: contiguity keeps repartitioning a
+// pure boundary shift, so the set of containers a tenant keeps across a
+// repartition is exactly the overlap of its old and new windows.
+type Window struct {
+	// Start is the first container index of the window.
+	Start int `json:"start"`
+	// N is the number of containers in the window.
+	N int `json:"n"`
+}
+
+// End returns the first index past the window.
+func (w Window) End() int { return w.Start + w.N }
+
+// Contains reports whether container index i falls inside the window.
+func (w Window) Contains(i int) bool { return i >= w.Start && i < w.End() }
+
+// Overlap returns the number of container indices the two windows share —
+// the containers a tenant retains when its window moves from w to o.
+func (w Window) Overlap(o Window) int {
+	lo := max(w.Start, o.Start)
+	hi := min(w.End(), o.End())
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+func (w Window) String() string {
+	if w.N == 0 {
+		return "[)"
+	}
+	return fmt.Sprintf("[%d,%d)", w.Start, w.End())
+}
+
+// Partition is one tenant's slice of the physical fabric: a window of FG
+// PRC slots and a window of CG containers.
+type Partition struct {
+	PRC Window `json:"prc"`
+	CG  Window `json:"cg"`
+}
+
+// Config returns the fabric configuration the partition presents to the
+// tenant's runtime system: it sees a fabric of exactly its window sizes.
+func (p Partition) Config() Config { return Config{NPRC: p.PRC.N, NCG: p.CG.N} }
+
+// Window returns the partition's window on the given fabric kind.
+func (p Partition) Window(k FabricKind) Window {
+	if k == FG {
+		return p.PRC
+	}
+	return p.CG
+}
+
+// Validate checks the partition fits inside a physical fabric.
+func (p Partition) Validate(phys Config) error {
+	if p.PRC.Start < 0 || p.PRC.N < 0 || p.PRC.End() > phys.NPRC {
+		return fmt.Errorf("arch: PRC window %s outside physical fabric of %d", p.PRC, phys.NPRC)
+	}
+	if p.CG.Start < 0 || p.CG.N < 0 || p.CG.End() > phys.NCG {
+		return fmt.Errorf("arch: CG window %s outside physical fabric of %d", p.CG, phys.NCG)
+	}
+	return nil
+}
+
+func (p Partition) String() string {
+	return fmt.Sprintf("prc=%s cg=%s", p.PRC, p.CG)
+}
+
+// AvailableIn returns the number of healthy containers of the given kind
+// whose index falls inside the window — the partition-aware view of
+// Available. The hypervisor uses it to size a tenant's usable share when
+// faults have taken containers down inside (or outside) its window.
+func (f *Fabric) AvailableIn(k FabricKind, w Window) int {
+	n := 0
+	for i := w.Start; i < w.End(); i++ {
+		if f.Health(k, i) == Healthy {
+			n++
+		}
+	}
+	return n
+}

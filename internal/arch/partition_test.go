@@ -1,0 +1,64 @@
+package arch
+
+import "testing"
+
+func TestWindowOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Window
+		want int
+	}{
+		{Window{0, 4}, Window{0, 4}, 4},
+		{Window{0, 4}, Window{2, 4}, 2},
+		{Window{0, 2}, Window{2, 2}, 0},
+		{Window{1, 3}, Window{0, 6}, 3},
+		{Window{0, 0}, Window{0, 4}, 0},
+		{Window{5, 2}, Window{0, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlap(c.b); got != c.want {
+			t.Errorf("%v.Overlap(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlap(c.a); got != c.want {
+			t.Errorf("%v.Overlap(%v) = %d, want %d (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPartitionValidateAndConfig(t *testing.T) {
+	phys := Config{NPRC: 4, NCG: 3}
+	p := Partition{PRC: Window{1, 2}, CG: Window{0, 3}}
+	if err := p.Validate(phys); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if got := p.Config(); got != (Config{NPRC: 2, NCG: 3}) {
+		t.Fatalf("Config() = %v", got)
+	}
+	bad := Partition{PRC: Window{3, 2}, CG: Window{0, 1}}
+	if err := bad.Validate(phys); err == nil {
+		t.Fatal("overflowing PRC window accepted")
+	}
+	neg := Partition{PRC: Window{0, 1}, CG: Window{-1, 2}}
+	if err := neg.Validate(phys); err == nil {
+		t.Fatal("negative CG start accepted")
+	}
+}
+
+func TestAvailableIn(t *testing.T) {
+	f := NewFabric(Config{NPRC: 4, NCG: 3})
+	full := Window{0, 4}
+	if got := f.AvailableIn(FG, full); got != 4 {
+		t.Fatalf("AvailableIn healthy = %d, want 4", got)
+	}
+	// Fail strikes the lowest-indexed healthy unit: PRC 0.
+	f.Fail(FG, true)
+	if got := f.AvailableIn(FG, Window{0, 2}); got != 1 {
+		t.Fatalf("AvailableIn after fail = %d, want 1", got)
+	}
+	if got := f.AvailableIn(FG, Window{2, 2}); got != 2 {
+		t.Fatalf("AvailableIn untouched window = %d, want 2", got)
+	}
+	// Out-of-range indices count as lost, never healthy.
+	if got := f.AvailableIn(CG, Window{2, 5}); got != 1 {
+		t.Fatalf("AvailableIn past the edge = %d, want 1", got)
+	}
+}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParMapOrderAndBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	out, err := ParMap(context.Background(), 100, func(ctx context.Context, i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if int(peak.Load()) > runtime.GOMAXPROCS(0) {
+		t.Errorf("peak concurrency %d above GOMAXPROCS %d", peak.Load(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestParMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := ParMap(context.Background(), 1000, func(ctx context.Context, i int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls.Load() >= 1000 {
+		t.Error("error did not stop dispatch")
+	}
+}
+
+// TestParMapCancelMidSweepNoLeak cancels the context while points are in
+// flight and asserts every worker goroutine exits: ParMap must return the
+// cancellation cause promptly, and the goroutine count must fall back to
+// its pre-call baseline.
+func TestParMapCancelMidSweepNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cause := errors.New("operator abort")
+	started := make(chan struct{}, 1)
+	var running atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := ParMap(ctx, 10_000, func(ctx context.Context, i int) (int, error) {
+			running.Add(1)
+			defer running.Add(-1)
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			// Simulate a point that honors cancellation, as RunPoint does.
+			select {
+			case <-ctx.Done():
+				return 0, context.Cause(ctx)
+			case <-time.After(time.Millisecond):
+				return i, nil
+			}
+		})
+		done <- err
+	}()
+
+	<-started // at least one point is mid-flight
+	cancel(cause)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("err = %v, want the cancellation cause", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ParMap did not return after cancellation")
+	}
+
+	// Every worker must have exited; poll because goroutine teardown is
+	// asynchronous after wg.Wait returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if running.Load() == 0 && runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running points, %d goroutines (baseline %d)",
+				running.Load(), runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestParMapZeroPoints(t *testing.T) {
+	out, err := ParMap(context.Background(), 0, func(ctx context.Context, i int) (int, error) {
+		t.Error("called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/workload"
+)
+
+var tenantsTestBase = workload.Options{Frames: 4}
+
+func TestTenantWorkloadMixes(t *testing.T) {
+	base := tenantsTestBase.Canonical()
+	for _, mix := range TenantMixes {
+		o0, w0, err := TenantWorkload(tenantsTestBase, 0, mix)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		// Tenant 0 always runs the base workload: the K=1 sweep point is
+		// the single-application pipeline under every mix.
+		if !reflect.DeepEqual(o0, base) {
+			t.Errorf("%s: tenant 0 options %+v != base %+v", mix, o0, base)
+		}
+		o1, w1, err := TenantWorkload(tenantsTestBase, 1, mix)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		if o1.Seed == o0.Seed {
+			t.Errorf("%s: tenant 1 shares tenant 0's seed", mix)
+		}
+		switch mix {
+		case "skewed":
+			if o1.Frames >= o0.Frames {
+				t.Errorf("skewed: tenant 1 frames %d not shorter than %d", o1.Frames, o0.Frames)
+			}
+		case "priority":
+			if w0 != 4 || w1 != 2 {
+				t.Errorf("priority: weights %d/%d, want 4/2", w0, w1)
+			}
+		default:
+			if w0 != 1 || w1 != 1 {
+				t.Errorf("%s: weights %d/%d, want 1/1", mix, w0, w1)
+			}
+		}
+	}
+	if _, _, err := TenantWorkload(tenantsTestBase, 0, "nope"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestTenantsSweep(t *testing.T) {
+	ctx := context.Background()
+	phys := arch.Config{NPRC: 4, NCG: 3}
+	res, err := Tenants(ctx, DirectWorkloads(), tenantsTestBase, phys, 3, "skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+
+	// K=1: one tenant owning the full fabric is exactly the Fig. 8
+	// pipeline's mRTS point; both arbitration modes must reproduce it.
+	w, err := workload.Build(tenantsTestBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunPoint(ctx, w, phys, PolicyMRTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := res.Rows[0]
+	if k1.StaticMakespan != ref.TotalCycles || k1.MigratingMakespan != ref.TotalCycles {
+		t.Errorf("K=1 makespans %d/%d != Fig. 8 pipeline %d",
+			k1.StaticMakespan, k1.MigratingMakespan, ref.TotalCycles)
+	}
+	if k1.StaticFairness != 1 || k1.MigratingFairness != 1 {
+		t.Errorf("K=1 fairness %f/%f, want 1", k1.StaticFairness, k1.MigratingFairness)
+	}
+	if k1.Repartitions != 0 || k1.Migrations != 0 {
+		t.Errorf("K=1 repartitioned (%d) or migrated (%d)", k1.Repartitions, k1.Migrations)
+	}
+
+	for _, row := range res.Rows {
+		if row.StaticAggSpeedup <= 0 || row.MigratingAggSpeedup <= 0 {
+			t.Errorf("K=%d: non-positive aggregate speedup", row.K)
+		}
+		if row.StaticFairness < 0 || row.StaticFairness > 1.0000001 ||
+			row.MigratingFairness < 0 || row.MigratingFairness > 1.0000001 {
+			t.Errorf("K=%d: fairness outside [0,1]: %f/%f",
+				row.K, row.StaticFairness, row.MigratingFairness)
+		}
+	}
+
+	// The rendered table is deterministic across runs.
+	res2, err := Tenants(ctx, DirectWorkloads(), tenantsTestBase, phys, 3, "skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	res.Render(&a)
+	res2.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical tenant sweeps rendered differently")
+	}
+}
+
+func TestTenantsValidates(t *testing.T) {
+	ctx := context.Background()
+	phys := arch.Config{NPRC: 2, NCG: 1}
+	if _, err := Tenants(ctx, DirectWorkloads(), tenantsTestBase, phys, 0, "uniform"); err == nil {
+		t.Error("maxK=0 accepted")
+	}
+	if _, err := Tenants(ctx, DirectWorkloads(), tenantsTestBase, phys, 2, "bogus"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestJain(t *testing.T) {
+	if j := jain([]float64{1, 1, 1}); j < 0.999999 {
+		t.Errorf("jain(equal) = %f, want 1", j)
+	}
+	if j := jain([]float64{1, 0, 0, 0}); j > 0.2500001 || j < 0.2499999 {
+		t.Errorf("jain(one of four) = %f, want 0.25", j)
+	}
+	if j := jain(nil); j != 1 {
+		t.Errorf("jain(nil) = %f, want 1", j)
+	}
+}

@@ -35,6 +35,7 @@ const (
 	SourceReconfig = "reconfig" // configuration-port start/finish/retry/evict
 	SourceSim      = "sim"      // run markers and fault deliveries
 	SourceCore     = "core"     // selection-cache hits/misses, invalidations
+	SourceVFabric  = "vfabric"  // hypervisor repartitions and tenant scheduling
 )
 
 // Event kinds. Not every kind carries every field; zero-valued fields are
@@ -56,6 +57,9 @@ const (
 	KindCacheMiss  = "cache-miss" // selection ran the selector for real
 	KindInvalidate = "invalidate" // selected ISE dropped: a data path was lost
 	KindSkip       = "skip"       // committed ISE skipped by the surviving fabric
+
+	KindMigrate     = "migrate"     // configured data path re-streamed into a new container
+	KindRepartition = "repartition" // a tenant's vFabric windows changed at an epoch boundary
 )
 
 // Event is one structured decision-trace record. Cycle is always the
@@ -70,6 +74,9 @@ type Event struct {
 	// Run labels the run the event belongs to when several runs share one
 	// trace stream (mrts-sweep -trace).
 	Run string `json:"run,omitempty"`
+	// Tenant labels the vFabric tenant the event belongs to when a
+	// hypervisor multiplexes several runtime systems over one stream.
+	Tenant string `json:"tenant,omitempty"`
 
 	Block  string `json:"block,omitempty"`
 	Phase  string `json:"phase,omitempty"`
@@ -109,6 +116,7 @@ type Event struct {
 type Recorder struct {
 	mu     sync.Mutex
 	run    string
+	tenant string
 	events []Event
 	w      *bufio.Writer
 	err    error
@@ -134,7 +142,20 @@ func (r *Recorder) SetRun(run string) {
 	r.mu.Unlock()
 }
 
-// Record appends one event, stamping the current run label. Nil-safe.
+// SetTenant labels every subsequently recorded event with the tenant
+// identifier. The vfabric hypervisor switches it before stepping each
+// tenant so that interleaved events stay attributable. Nil-safe.
+func (r *Recorder) SetTenant(tenant string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tenant = tenant
+	r.mu.Unlock()
+}
+
+// Record appends one event, stamping the current run and tenant labels.
+// Nil-safe.
 func (r *Recorder) Record(ev Event) {
 	if r == nil {
 		return
@@ -143,6 +164,9 @@ func (r *Recorder) Record(ev Event) {
 	defer r.mu.Unlock()
 	if ev.Run == "" {
 		ev.Run = r.run
+	}
+	if ev.Tenant == "" {
+		ev.Tenant = r.tenant
 	}
 	r.events = append(r.events, ev)
 	if r.w != nil && r.err == nil {

@@ -57,6 +57,13 @@ type Stats struct {
 	// FaultEvictions counts data paths lost because their container
 	// failed underneath them (a subset of Evictions).
 	FaultEvictions int64 `json:",omitempty"`
+
+	// Migrations counts configured data paths live-migrated between
+	// containers by a vFabric repartition; MigrationCycles accumulates
+	// their destination reconfiguration cost. Zero outside hypervisor
+	// runs, so single-tenant encodings are unchanged.
+	Migrations      int64       `json:",omitempty"`
+	MigrationCycles arch.Cycles `json:",omitempty"`
 }
 
 // Retry bounds of the configuration port: a corrupted bitstream is

@@ -1,0 +1,130 @@
+package reconfig
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/obs"
+)
+
+func TestRepartitionValidatesCapacity(t *testing.T) {
+	c := newCtrl(t, 4, 0)
+	if _, _, err := c.Repartition(arch.FG, 5, 0, 0); err == nil {
+		t.Error("capacity above the fabric accepted")
+	}
+	if _, _, err := c.Repartition(arch.FG, -1, 0, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestRepartitionSetsReservation(t *testing.T) {
+	c := newCtrl(t, 4, 3)
+	if _, _, err := c.Repartition(arch.FG, 2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Repartition(arch.CG, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if prc, cg := c.Reserved(); prc != 2 || cg != 2 {
+		t.Errorf("reservation = %d/%d, want 2/2", prc, cg)
+	}
+	if c.FreePRC() != 2 || c.FreeCG() != 1 {
+		t.Errorf("free = %d/%d, want 2/1", c.FreePRC(), c.FreeCG())
+	}
+}
+
+func TestRepartitionRetainedKeepsOldestMigratesNewest(t *testing.T) {
+	c := newCtrl(t, 4, 0)
+	ra, _ := c.Request(fgDP("a"), 0)
+	rb, _ := c.Request(fgDP("b"), 0) // streams after a: newer ready time
+	c.Advance(rb)
+
+	// Same capacity, one container retained: the newer path ("b") must be
+	// re-streamed, the older ("a") stays configured.
+	migrated, last, err := c.Repartition(arch.FG, 2, 1, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated != 1 {
+		t.Fatalf("migrated = %d, want 1", migrated)
+	}
+	if want := rb + arch.FGReconfigCycles; last != want {
+		t.Errorf("migration completes at %d, want %d", last, want)
+	}
+	if got, _ := c.ReadyTime("a"); got != ra {
+		t.Errorf("retained path re-streamed: ready %d, want %d", got, ra)
+	}
+	if got, _ := c.ReadyTime("b"); got != last {
+		t.Errorf("migrated path ready %d, want %d", got, last)
+	}
+	st := c.Stats()
+	if st.Migrations != 1 || st.MigrationCycles != arch.FGReconfigCycles {
+		t.Errorf("migration stats = %d/%d", st.Migrations, st.MigrationCycles)
+	}
+}
+
+func TestRepartitionFullOverlapMigratesNothing(t *testing.T) {
+	c := newCtrl(t, 4, 0)
+	c.Request(fgDP("a"), 0)
+	c.Request(fgDP("b"), 0)
+	migrated, _, err := c.Repartition(arch.FG, 3, 3, arch.FGReconfigCycles*3)
+	if err != nil || migrated != 0 {
+		t.Fatalf("migrated = %d (%v), want 0 on full overlap", migrated, err)
+	}
+	if c.Stats().Migrations != 0 {
+		t.Error("migration counted on full overlap")
+	}
+}
+
+func TestRepartitionShrinkEvictsOverflow(t *testing.T) {
+	c := newCtrl(t, 3, 0)
+	c.Request(fgDP("a"), 0)
+	c.Request(fgDP("b"), 0)
+	c.Request(fgDP("c"), 0)
+	rec := obs.New()
+	c.SetObserver(rec)
+	migrated, _, err := c.Repartition(arch.FG, 1, 0, arch.FGReconfigCycles*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two paths evicted to fit the one-container share, the survivor
+	// (zero retained) migrated.
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if migrated != 1 || st.Migrations != 1 {
+		t.Errorf("migrated = %d (stats %d), want 1", migrated, st.Migrations)
+	}
+	if lost := c.TakeInvalidated(); len(lost) != 2 {
+		t.Errorf("invalidated = %v, want the 2 evicted paths", lost)
+	}
+	var sawMigrate bool
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindMigrate {
+			sawMigrate = true
+			if ev.Fabric != "FG" || ev.Path == "" {
+				t.Errorf("migrate event missing fields: %+v", ev)
+			}
+		}
+	}
+	if !sawMigrate {
+		t.Error("no migrate event recorded")
+	}
+}
+
+func TestRepartitionGrowRestoresCapacity(t *testing.T) {
+	c := newCtrl(t, 4, 2)
+	if _, _, err := c.Repartition(arch.FG, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreePRC() != 1 {
+		t.Fatalf("free after shrink = %d, want 1", c.FreePRC())
+	}
+	if _, _, err := c.Repartition(arch.FG, 4, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreePRC() != 4 {
+		t.Errorf("free after grow = %d, want 4", c.FreePRC())
+	}
+}

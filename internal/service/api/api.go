@@ -34,6 +34,12 @@ const (
 // (the shared exp.FigNames table).
 var Figs = exp.FigNames
 
+// MaxTenants bounds the K of a tenant-sweep fig job: K! interleavings do
+// not exist — the run is deterministic — but each tenant is a full
+// workload build plus two hypervisor runs per row, so the sweep is capped
+// where the paper-style fabric (4/3) stops subdividing meaningfully.
+const MaxTenants = 8
+
 // WorkloadSpec selects the workload a job runs on. The zero value is the
 // default experiment workload geometry with no scene cuts.
 type WorkloadSpec struct {
@@ -145,6 +151,14 @@ type JobSpec struct {
 	MaxPRC int    `json:"maxprc,omitempty"`
 	MaxCG  int    `json:"maxcg,omitempty"`
 
+	// Tenants / Mix configure the "tenants" figure: the maximum tenant
+	// count of the K=1..Tenants sweep (default 8, capped at MaxTenants)
+	// and the tenant-population scenario (exp.TenantMixes; default
+	// "uniform"). The workload spec above is tenant 0's workload; the mix
+	// derives the other tenants from it.
+	Tenants int    `json:"tenants,omitempty"`
+	Mix     string `json:"mix,omitempty"`
+
 	// Sweep jobs: the batch of points.
 	Points []Point `json:"points,omitempty"`
 
@@ -186,6 +200,15 @@ func (s JobSpec) Validate() error {
 	case JobFig:
 		if !exp.ValidFig(s.Fig) {
 			return fmt.Errorf("api: unknown fig %q (valid: %s)", s.Fig, strings.Join(Figs, ", "))
+		}
+		if s.Tenants < 0 || s.Tenants > MaxTenants {
+			return fmt.Errorf("api: tenant count %d outside 1..%d", s.Tenants, MaxTenants)
+		}
+		if s.Mix != "" && !exp.ValidMix(s.Mix) {
+			return fmt.Errorf("api: unknown tenant mix %q (valid: %s)", s.Mix, strings.Join(exp.TenantMixes, ", "))
+		}
+		if (s.Tenants != 0 || s.Mix != "") && s.Fig != "tenants" {
+			return fmt.Errorf("api: tenants/mix only apply to the \"tenants\" fig, not %q", s.Fig)
 		}
 	case JobSweep:
 		if len(s.Points) == 0 {

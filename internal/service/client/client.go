@@ -226,10 +226,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 			Path:       path,
 			Code:       resp.StatusCode,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-		}
-		var e api.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			se.Message = e.Error
+			Message:    errorMessage(resp.Body),
 		}
 		return se
 	}
@@ -237,6 +234,22 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 		return json.NewDecoder(resp.Body).Decode(out)
 	}
 	return nil
+}
+
+// errorMessage extracts the human-readable message of a non-2xx body:
+// the api.ErrorResponse JSON the daemon sends, or — when a proxy or a
+// non-JSON handler produced the response — the trimmed raw body, so the
+// server's explanation always surfaces instead of a bare HTTP status.
+func errorMessage(body io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(body, 8*1024))
+	if err != nil {
+		return ""
+	}
+	var e api.ErrorResponse
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
 }
 
 // Submit enqueues a job and returns its ID. Submission is made safe to
@@ -340,9 +353,8 @@ func (c *Client) Sweep(ctx context.Context, req api.SweepRequest, onEvent func(a
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e api.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("sweep: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if msg := errorMessage(resp.Body); msg != "" {
+			return nil, fmt.Errorf("sweep: %s (HTTP %d)", msg, resp.StatusCode)
 		}
 		return nil, fmt.Errorf("sweep: HTTP %d", resp.StatusCode)
 	}
@@ -387,6 +399,9 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if msg := errorMessage(resp.Body); msg != "" {
+			return "", fmt.Errorf("metrics: %s (HTTP %d)", msg, resp.StatusCode)
+		}
 		return "", fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
 	}
 	b, err := io.ReadAll(resp.Body)

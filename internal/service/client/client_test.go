@@ -236,3 +236,61 @@ func TestStatusErrorText(t *testing.T) {
 		t.Errorf("Error() = %q", got)
 	}
 }
+
+// TestErrorBodySurfaced pins the error-message fallback: a daemon (or the
+// proxy in front of it) that answers with a plain-text body instead of the
+// api.ErrorResponse envelope must still have its explanation surface in
+// the client error, not a bare HTTP status.
+func TestErrorBodySurfaced(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"json envelope", `{"error":"fig \"nope\" unknown"}`, `fig "nope" unknown`},
+		{"plain text", "service restarting, come back later\n", "service restarting, come back later"},
+		{"html-ish proxy page", "502 Bad Gateway: upstream unreachable", "upstream unreachable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(http.StatusBadRequest)
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+
+			_, err := New(ts.URL).Jobs(context.Background())
+			if err == nil {
+				t.Fatal("400 reported as success")
+			}
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %T, want *StatusError", err)
+			}
+			if !strings.Contains(se.Message, tc.want) {
+				t.Errorf("Message = %q, want it to contain %q", se.Message, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Error() = %q lost the server's explanation", err)
+			}
+		})
+	}
+}
+
+// An empty error body keeps the bare-status rendering.
+func TestEmptyErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Job(context.Background(), "missing")
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StatusError", err)
+	}
+	if se.Message != "" {
+		t.Errorf("Message = %q, want empty for an empty body", se.Message)
+	}
+	if !strings.Contains(err.Error(), "HTTP 404") {
+		t.Errorf("Error() = %q, want bare status", err)
+	}
+}

@@ -223,6 +223,25 @@ func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Op
 			return err
 		}
 		r.Render(&buf)
+	case "tenants":
+		maxK := spec.Tenants
+		if maxK == 0 {
+			maxK = api.MaxTenants
+		}
+		mix := spec.Mix
+		if mix == "" {
+			mix = "uniform"
+		}
+		// Tenant workloads flow through the singleflight workload cache:
+		// each tenant's derived options build at most once per server.
+		wp := func(ctx context.Context, o workload.Options) (*workload.Result, error) {
+			return s.workloads.Get(ctx, o.Canonical())
+		}
+		r, err := exp.Tenants(ctx, wp, opts, arch.Config{NPRC: maxPRC, NCG: maxCG}, maxK, mix)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
 	default:
 		return fmt.Errorf("service: unknown fig %q", spec.Fig)
 	}

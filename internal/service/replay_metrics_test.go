@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mrts/internal/service/journal"
+)
+
+// TestJournalReplayStatsOnMetrics pins the /metrics surface of crash
+// recovery: after a restart over a journal holding intact records, a
+// corrupt line, and an unfinished job, the endpoint reports how many
+// records replayed, how many lines were skipped, and how many jobs were
+// re-enqueued — not just the startup log.
+func TestJournalReplayStatsOnMetrics(t *testing.T) {
+	dir := t.TempDir()
+	spec := simSpec()
+
+	j1, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two intact records of an unfinished job (submit + start, no
+	// complete): the crash case that re-enqueues on replay.
+	if err := j1.Append(journal.Record{Kind: journal.KindSubmit, ID: "jreplay1", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Append(journal.Record{Kind: journal.KindStart, ID: "jreplay1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn tail: half a record, no valid CRC envelope.
+	f, err := os.OpenFile(filepath.Join(dir, journal.FileName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":123,"rec":{"kind":"sub`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, Journal: j2})
+	defer s.Close()
+
+	job, ok := s.Job("jreplay1")
+	if !ok {
+		t.Fatal("unfinished job not recovered")
+	}
+	if err := s.Wait(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"mrts_journal_replayed_total 2\n",
+		"mrts_journal_replay_skipped_total 1\n",
+		"mrts_jobs_recovered_total 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

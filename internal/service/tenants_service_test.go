@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/service/api"
+)
+
+// TestTenantsFigJob pins the service's tenant sweep to the offline
+// harness: the job's rendered text must be byte-identical to what
+// exp.Tenants renders directly for the same workload and bounds.
+func TestTenantsFigJob(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	want, err := exp.Tenants(ctx, exp.DirectWorkloads(), testWorkload.Options(),
+		arch.Config{NPRC: 2, NCG: 2}, 2, "skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText bytes.Buffer
+	want.Render(&wantText)
+
+	spec := api.JobSpec{
+		Type: api.JobFig, Fig: "tenants", Workload: testWorkload,
+		MaxPRC: 2, MaxCG: 2, Tenants: 2, Mix: "skewed",
+	}
+	st, err := c.Run(ctx, spec, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("tenants fig job %s: %s", st.State, st.Error)
+	}
+	if st.Result.Text != wantText.String() {
+		t.Errorf("service tenants fig differs from offline render:\n--- service ---\n%s--- offline ---\n%s",
+			st.Result.Text, wantText.String())
+	}
+}
+
+func TestTenantsSpecValidation(t *testing.T) {
+	base := api.JobSpec{Type: api.JobFig, Fig: "tenants", Workload: testWorkload}
+	if err := base.Validate(); err != nil {
+		t.Errorf("plain tenants fig rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*api.JobSpec){
+		"too many tenants": func(s *api.JobSpec) { s.Tenants = api.MaxTenants + 1 },
+		"negative tenants": func(s *api.JobSpec) { s.Tenants = -1 },
+		"unknown mix":      func(s *api.JobSpec) { s.Mix = "chaotic" },
+		"mix on other fig": func(s *api.JobSpec) { s.Fig = "8"; s.Mix = "uniform" },
+	} {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// The tenant sweep's derived workloads flow through the workload cache:
+// a second identical job rebuilds nothing.
+func TestTenantsFigUsesWorkloadCache(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	spec := api.JobSpec{
+		Type: api.JobFig, Fig: "tenants", Workload: testWorkload,
+		MaxPRC: 2, MaxCG: 1, Tenants: 2, Mix: "uniform",
+	}
+	if _, err := c.Run(ctx, spec, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	misses := s.metrics.Counter("mrts_workload_cache_misses_total").Value()
+	if _, err := c.Run(ctx, spec, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.metrics.Counter("mrts_workload_cache_misses_total").Value(); got != misses {
+		t.Errorf("second tenants job rebuilt workloads: misses %d -> %d", misses, got)
+	}
+}

@@ -138,6 +138,47 @@ func RunReserved(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, 
 // fallback chain, and a reacting runtime system re-selects over the
 // surviving fabric.
 func RunOpts(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts Options) (*Report, error) {
+	s, err := NewStepper(app, tr, rts, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// Stepper replays a trace one functional-block iteration at a time. It is
+// the single replay implementation underneath RunOpts — a monolithic run
+// is NewStepper followed by Step until Done and Finish — and the primitive
+// the vfabric hypervisor interleaves to run K tenants against one shared
+// fabric clock: between two Steps a tenant is *drained* (no execution in
+// flight), which is exactly when the hypervisor may repartition its
+// vFabric or migrate its configured data paths.
+type Stepper struct {
+	app  *ise.Application
+	tr   *trace.Trace
+	rts  core.RuntimeSystem
+	opts Options
+
+	ctrl   *reconfig.Controller
+	eng    *fault.Engine
+	fh     core.FaultHandler
+	reacts bool
+
+	rep  *Report
+	t    arch.Cycles
+	next int
+}
+
+// NewStepper validates the trace, resets the runtime system, applies the
+// reservation, installs the fault verifier and observer, and positions the
+// stepper before the first iteration. It performs exactly the setup
+// RunOpts performs, so a Stepper-driven run is byte-identical to a
+// monolithic one.
+func NewStepper(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts Options) (*Stepper, error) {
 	if err := tr.Validate(app); err != nil {
 		return nil, err
 	}
@@ -174,161 +215,216 @@ func RunOpts(app *ise.Application, tr *trace.Trace, rts core.RuntimeSystem, opts
 			Detail: fmt.Sprintf("policy=%s prc=%d cg=%d", rts.Name(), cfg.NPRC, cfg.NCG),
 		})
 	}
-	rep := &Report{
-		Policy:          rts.Name(),
-		Config:          rts.Controller().Config(),
-		BlockCycles:     make(map[string]arch.Cycles),
-		BlockIterations: make(map[string]int),
-	}
-
-	type track struct {
-		first   arch.Cycles
-		lastEnd arch.Cycles
-		gaps    arch.Cycles
-		n       int64
-	}
-
-	// deliver applies the container fault events due at `now` to the
-	// reconfiguration controller and notifies the runtime system once per
-	// batch; it returns the visible re-selection overhead.
 	fh, reacts := rts.(core.FaultHandler)
-	deliver := func(now arch.Cycles) (arch.Cycles, error) {
-		if eng == nil {
-			return 0, nil
-		}
-		events := eng.Next(now)
-		if len(events) == 0 {
-			return 0, nil
-		}
-		// The fault strikes at `now`; the controller's clock may still sit
-		// at its last Advance. Move it forward before applying so the
-		// controller's own trace events carry the delivery time. Nothing in
-		// the fault application reads the clock, and every runtime system
-		// re-advances to `now` on its next call, so this cannot change the
-		// simulated outcome.
-		ctrl.Advance(now)
-		for _, ev := range events {
-			if opts.Observer != nil {
-				opts.Observer.Record(obs.Event{
-					Cycle: now, Source: obs.SourceSim, Kind: obs.KindFault,
-					Fabric: ev.Fabric.String(), Detail: ev.Kind.String(),
-				})
-			}
-			switch ev.Kind {
-			case fault.PermanentFail:
-				ctrl.FailUnit(ev.Fabric, true)
-			case fault.TransientDown:
-				ctrl.FailUnit(ev.Fabric, false)
-			case fault.Recover:
-				ctrl.RecoverUnit(ev.Fabric)
-			}
-		}
-		rep.Fault.Events += int64(len(events))
-		lost := ctrl.TakeInvalidated()
-		if !reacts {
-			return 0, nil
-		}
-		visible, err := fh.OnFault(lost, now)
-		if err != nil {
-			return 0, fmt.Errorf("sim: fault reaction: %w", err)
-		}
-		return visible, nil
+	return &Stepper{
+		app:    app,
+		tr:     tr,
+		rts:    rts,
+		opts:   opts,
+		ctrl:   ctrl,
+		eng:    eng,
+		fh:     fh,
+		reacts: reacts,
+		rep: &Report{
+			Policy:          rts.Name(),
+			Config:          rts.Controller().Config(),
+			BlockCycles:     make(map[string]arch.Cycles),
+			BlockIterations: make(map[string]int),
+		},
+	}, nil
+}
+
+// Done reports whether every iteration has been replayed.
+func (s *Stepper) Done() bool { return s.next >= len(s.tr.Iterations) }
+
+// Now returns the run's local clock: the end time of the last replayed
+// iteration (0 before the first Step).
+func (s *Stepper) Now() arch.Cycles { return s.t }
+
+// Remaining returns the number of iterations not yet replayed — the
+// demand signal the vfabric hypervisor repartitions on.
+func (s *Stepper) Remaining() int { return len(s.tr.Iterations) - s.next }
+
+// RTS exposes the runtime system the stepper drives (the hypervisor
+// reaches its reconfiguration controller through it between Steps).
+func (s *Stepper) RTS() core.RuntimeSystem { return s.rts }
+
+// AddOverhead charges extra visible runtime-system overhead between
+// iterations, advancing the local clock. The vfabric hypervisor uses it
+// for repartition work performed on the tenant's critical path; a plain
+// RunOpts run never calls it.
+func (s *Stepper) AddOverhead(c arch.Cycles) {
+	if c <= 0 {
+		return
 	}
+	s.t += c
+	s.rep.OverheadCycles += c
+}
 
-	var t arch.Cycles
-	for i := range tr.Iterations {
-		it := &tr.Iterations[i]
-		blk := app.Block(it.Block)
-		start := t
+type track struct {
+	first   arch.Cycles
+	lastEnd arch.Cycles
+	gaps    arch.Cycles
+	n       int64
+}
 
-		// Fault events that struck since the last delivery point are
-		// applied before the trigger instruction sees the fabric.
-		fv, err := deliver(t)
+// deliver applies the container fault events due at `now` to the
+// reconfiguration controller and notifies the runtime system once per
+// batch; it returns the visible re-selection overhead.
+func (s *Stepper) deliver(now arch.Cycles) (arch.Cycles, error) {
+	if s.eng == nil {
+		return 0, nil
+	}
+	events := s.eng.Next(now)
+	if len(events) == 0 {
+		return 0, nil
+	}
+	// The fault strikes at `now`; the controller's clock may still sit
+	// at its last Advance. Move it forward before applying so the
+	// controller's own trace events carry the delivery time. Nothing in
+	// the fault application reads the clock, and every runtime system
+	// re-advances to `now` on its next call, so this cannot change the
+	// simulated outcome.
+	s.ctrl.Advance(now)
+	for _, ev := range events {
+		if s.opts.Observer != nil {
+			s.opts.Observer.Record(obs.Event{
+				Cycle: now, Source: obs.SourceSim, Kind: obs.KindFault,
+				Fabric: ev.Fabric.String(), Detail: ev.Kind.String(),
+			})
+		}
+		switch ev.Kind {
+		case fault.PermanentFail:
+			s.ctrl.FailUnit(ev.Fabric, true)
+		case fault.TransientDown:
+			s.ctrl.FailUnit(ev.Fabric, false)
+		case fault.Recover:
+			s.ctrl.RecoverUnit(ev.Fabric)
+		}
+	}
+	s.rep.Fault.Events += int64(len(events))
+	lost := s.ctrl.TakeInvalidated()
+	if !s.reacts {
+		return 0, nil
+	}
+	visible, err := s.fh.OnFault(lost, now)
+	if err != nil {
+		return 0, fmt.Errorf("sim: fault reaction: %w", err)
+	}
+	return visible, nil
+}
+
+// Step replays exactly one functional-block iteration: fault delivery,
+// the trigger instruction, the prologue, the merged execution schedule,
+// and the block-end observation feedback.
+func (s *Stepper) Step() error {
+	if s.Done() {
+		return fmt.Errorf("sim: step past the end of the trace")
+	}
+	i := s.next
+	it := &s.tr.Iterations[i]
+	blk := s.app.Block(it.Block)
+	rep := s.rep
+	t := s.t
+	start := t
+
+	// Fault events that struck since the last delivery point are
+	// applied before the trigger instruction sees the fabric.
+	fv, err := s.deliver(t)
+	if err != nil {
+		return err
+	}
+	t += fv
+	rep.OverheadCycles += fv
+
+	// Trigger instruction: the runtime system selects ISEs and
+	// starts reconfigurations; its visible overhead extends the
+	// software path.
+	profile := s.tr.ProfileFor(it.Block, it.Phase)
+	visible, err := s.rts.OnTrigger(blk, it.Phase, profile, t)
+	if err != nil {
+		return fmt.Errorf("sim: iteration %d: %w", i, err)
+	}
+	t += visible
+	rep.OverheadCycles += visible
+
+	t += it.Prologue
+	rep.SoftwareCycles += it.Prologue
+
+	// Replay the merged single-core execution schedule.
+	tracks := make(map[ise.KernelID]*track, len(it.Loads))
+	for _, ev := range trace.Merge(it.Loads) {
+		k := blk.Kernel(ev.Kernel)
+		t += ev.Gap
+		rep.SoftwareCycles += ev.Gap
+
+		fv, err := s.deliver(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t += fv
 		rep.OverheadCycles += fv
 
-		// Trigger instruction: the runtime system selects ISEs and
-		// starts reconfigurations; its visible overhead extends the
-		// software path.
-		profile := tr.ProfileFor(it.Block, it.Phase)
-		visible, err := rts.OnTrigger(blk, it.Phase, profile, t)
-		if err != nil {
-			return nil, fmt.Errorf("sim: iteration %d: %w", i, err)
+		d := s.rts.Execute(k, t)
+		rep.ModeExecs[d.Mode]++
+		rep.ModeCycles[d.Mode] += d.Latency
+		rep.KernelCycles += d.Latency
+		rep.Executions++
+
+		tk := tracks[ev.Kernel]
+		if tk == nil {
+			tk = &track{first: t - start}
+			tracks[ev.Kernel] = tk
+		} else {
+			tk.gaps += t - tk.lastEnd
 		}
-		t += visible
-		rep.OverheadCycles += visible
-
-		t += it.Prologue
-		rep.SoftwareCycles += it.Prologue
-
-		// Replay the merged single-core execution schedule.
-		tracks := make(map[ise.KernelID]*track, len(it.Loads))
-		for _, ev := range trace.Merge(it.Loads) {
-			k := blk.Kernel(ev.Kernel)
-			t += ev.Gap
-			rep.SoftwareCycles += ev.Gap
-
-			fv, err := deliver(t)
-			if err != nil {
-				return nil, err
-			}
-			t += fv
-			rep.OverheadCycles += fv
-
-			d := rts.Execute(k, t)
-			rep.ModeExecs[d.Mode]++
-			rep.ModeCycles[d.Mode] += d.Latency
-			rep.KernelCycles += d.Latency
-			rep.Executions++
-
-			tk := tracks[ev.Kernel]
-			if tk == nil {
-				tk = &track{first: t - start}
-				tracks[ev.Kernel] = tk
-			} else {
-				tk.gaps += t - tk.lastEnd
-			}
-			tk.n++
-			t += d.Latency
-			tk.lastEnd = t
-		}
-
-		// Monitored ground truth for the MPU.
-		obs := make([]mpu.Observation, 0, len(tracks))
-		for _, l := range it.Loads {
-			tk, ok := tracks[l.Kernel]
-			if !ok {
-				continue
-			}
-			var tb arch.Cycles
-			if tk.n > 1 {
-				tb = tk.gaps / arch.Cycles(tk.n-1)
-			}
-			obs = append(obs, mpu.Observation{Kernel: l.Kernel, E: tk.n, TF: tk.first, TB: tb})
-		}
-		rts.OnBlockEnd(blk, it.Phase, profile, obs, t)
-
-		rep.BlockCycles[it.Block] += t - start
-		rep.BlockIterations[it.Block]++
-		rep.Iterations++
+		tk.n++
+		t += d.Latency
+		tk.lastEnd = t
 	}
-	rep.TotalCycles = t
-	rep.Reconfig = rts.Controller().Stats()
+
+	// Monitored ground truth for the MPU.
+	obsv := make([]mpu.Observation, 0, len(tracks))
+	for _, l := range it.Loads {
+		tk, ok := tracks[l.Kernel]
+		if !ok {
+			continue
+		}
+		var tb arch.Cycles
+		if tk.n > 1 {
+			tb = tk.gaps / arch.Cycles(tk.n-1)
+		}
+		obsv = append(obsv, mpu.Observation{Kernel: l.Kernel, E: tk.n, TF: tk.first, TB: tb})
+	}
+	s.rts.OnBlockEnd(blk, it.Phase, profile, obsv, t)
+
+	rep.BlockCycles[it.Block] += t - start
+	rep.BlockIterations[it.Block]++
+	rep.Iterations++
+	s.t = t
+	s.next = i + 1
+	return nil
+}
+
+// Finish seals the report: total time and the controller's and runtime
+// system's final counters. Call it once, after Done; the returned Report
+// is owned by the caller.
+func (s *Stepper) Finish() *Report {
+	rep := s.rep
+	rep.TotalCycles = s.t
+	rep.Reconfig = s.rts.Controller().Stats()
 	rep.Fault.UnitsFailed = rep.Reconfig.UnitsFailed
 	rep.Fault.UnitsRecovered = rep.Reconfig.UnitsRecovered
 	rep.Fault.CRCFailures = rep.Reconfig.CRCFailures
 	rep.Fault.Retries = rep.Reconfig.Retries
 	rep.Fault.RetryCycles = rep.Reconfig.RetryCycles
-	if cs, ok := rts.(interface{ Stats() core.Stats }); ok {
-		s := cs.Stats()
-		rep.Fault.Reselections = s.Reselections
-		rep.Fault.Invalidations = s.Invalidations
-		rep.Fault.Degradations = s.Degradations
+	if cs, ok := s.rts.(interface{ Stats() core.Stats }); ok {
+		st := cs.Stats()
+		rep.Fault.Reselections = st.Reselections
+		rep.Fault.Invalidations = st.Invalidations
+		rep.Fault.Degradations = st.Degradations
 	}
-	return rep, nil
+	return rep
 }
 
 // RunRISC replays the trace in pure RISC mode and returns the reference

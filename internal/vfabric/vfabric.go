@@ -1,0 +1,360 @@
+// Package vfabric is the multi-tenant fabric hypervisor: it slices one
+// physical reconfigurable fabric (the FG PRC slots and the CG-EDPE
+// containers) into per-tenant *vFabrics* and multiplexes K independent
+// runtime-system instances — each tenant its own MPU, ECU and selector
+// over its own trace — against their partitions under one shared fabric
+// clock.
+//
+// Two arbitration modes exist. *Static* fixes the partition up front:
+// each tenant's runtime system is built for exactly its window sizes and
+// never sees the rest of the fabric. *Migrating* builds every tenant at
+// the full physical fabric with the complement of its share reserved, and
+// re-partitions at epoch boundaries as tenant demand shifts: windows are
+// recomputed from weighted remaining work, and configured data paths that
+// fall outside a tenant's new window are live-migrated — re-streamed into
+// the new share at full destination reconfiguration cost (the existing
+// FG/CG constants), with the donor container drained first because
+// repartitions only happen between block iterations, never mid-execution.
+//
+// Determinism contract: tenants are stepped lowest-local-clock-first
+// (ties broken by tenant index), allocation uses largest-remainder
+// rounding with index-ordered ties, and migration is priced purely
+// through the reconfiguration port. Two runs of the same tenant set are
+// byte-identical; a single-tenant run is byte-identical to the plain
+// single-application simulator (sim.RunOpts) because the hypervisor then
+// reserves nothing and never repartitions.
+package vfabric
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/fault"
+	"mrts/internal/ise"
+	"mrts/internal/obs"
+	"mrts/internal/sim"
+	"mrts/internal/trace"
+)
+
+// DefaultEpochCycles is the repartition period on the shared fabric
+// clock: ~2M core cycles, a handful of functional-block windows — long
+// enough to amortise a full FG migration (120k cycles), short enough to
+// track scene-level demand shifts.
+const DefaultEpochCycles arch.Cycles = 2_000_000
+
+// Tenant is one application admitted to the hypervisor.
+type Tenant struct {
+	// Name labels the tenant in reports and trace events (default t<i>).
+	Name string
+	// App and Trace are the tenant's application model and workload.
+	App   *ise.Application
+	Trace *trace.Trace
+	// Build constructs the tenant's runtime system for a fabric budget:
+	// its window sizes under static partitioning, the full physical
+	// fabric under the migrating hypervisor.
+	Build func(arch.Config) (core.RuntimeSystem, error)
+	// Weight scales the tenant's share of the fabric (default 1); the
+	// priority tiers of the tenant experiments are weights 4/2/1.
+	Weight int
+	// Faults optionally injects this tenant's fault scenario.
+	Faults *fault.Schedule
+}
+
+// Options configure one hypervisor run.
+type Options struct {
+	// Physical is the physical fabric being partitioned.
+	Physical arch.Config
+	// Migrate selects the migrating hypervisor; false = static partition.
+	Migrate bool
+	// EpochCycles is the repartition period (DefaultEpochCycles if zero).
+	EpochCycles arch.Cycles
+	// Observer taps the interleaved decision trace; events are stamped
+	// with the tenant being stepped.
+	Observer *obs.Recorder
+}
+
+// TenantReport is one tenant's outcome.
+type TenantReport struct {
+	Name      string         `json:"name"`
+	Weight    int            `json:"weight"`
+	Partition arch.Partition `json:"partition"` // final windows
+	Report    *sim.Report    `json:"report"`
+}
+
+// Report is the hypervisor run outcome.
+type Report struct {
+	Physical arch.Config    `json:"physical"`
+	Migrate  bool           `json:"migrate"`
+	Tenants  []TenantReport `json:"tenants"`
+	// Makespan is the largest tenant completion time on the shared clock.
+	Makespan arch.Cycles `json:"makespan"`
+	// Repartitions counts epoch boundaries at which at least one window
+	// moved; Migrations/MigrationCycles aggregate the per-tenant path
+	// migrations they triggered.
+	Repartitions    int64       `json:"repartitions,omitempty"`
+	Migrations      int64       `json:"migrations,omitempty"`
+	MigrationCycles arch.Cycles `json:"migration_cycles,omitempty"`
+}
+
+// tenantState is the hypervisor's bookkeeping for one admitted tenant.
+type tenantState struct {
+	Tenant
+	st  *sim.Stepper
+	win arch.Partition
+}
+
+// Run partitions the physical fabric across the tenants and steps them to
+// completion. See the package comment for the arbitration modes and the
+// determinism contract.
+func Run(tenants []Tenant, opts Options) (*Report, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("vfabric: no tenants")
+	}
+	if err := opts.Physical.Validate(); err != nil {
+		return nil, fmt.Errorf("vfabric: physical fabric: %w", err)
+	}
+	epoch := opts.EpochCycles
+	if epoch <= 0 {
+		epoch = DefaultEpochCycles
+	}
+
+	states := make([]*tenantState, len(tenants))
+	weights := make([]int64, len(tenants))
+	demand := make([]int64, len(tenants))
+	for i, t := range tenants {
+		if t.Name == "" {
+			t.Name = fmt.Sprintf("t%d", i)
+		}
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		if t.App == nil || t.Trace == nil || t.Build == nil {
+			return nil, fmt.Errorf("vfabric: tenant %s: App, Trace and Build are required", t.Name)
+		}
+		states[i] = &tenantState{Tenant: t}
+		weights[i] = int64(t.Weight)
+		demand[i] = int64(t.Weight) * int64(len(t.Trace.Iterations))
+	}
+
+	// Initial partition from the weighted total work.
+	wins := partition(opts.Physical, demand)
+	for i, ts := range states {
+		ts.win = wins[i]
+		var (
+			rts core.RuntimeSystem
+			err error
+		)
+		simOpts := sim.Options{Faults: ts.Faults, Observer: opts.Observer}
+		if opts.Migrate {
+			// The runtime system owns the whole physical fabric with the
+			// other tenants' share reserved; with one tenant the
+			// reservation is zero and this is exactly a single-app run.
+			rts, err = ts.Build(opts.Physical)
+			if err == nil {
+				simOpts.ReservePRC = opts.Physical.NPRC - ts.win.PRC.N
+				simOpts.ReserveCG = opts.Physical.NCG - ts.win.CG.N
+			}
+		} else {
+			rts, err = ts.Build(ts.win.Config())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vfabric: tenant %s: %w", ts.Name, err)
+		}
+		opts.Observer.SetTenant(ts.Name)
+		st, err := sim.NewStepper(ts.App, ts.Trace, rts, simOpts)
+		if err != nil {
+			opts.Observer.SetTenant("")
+			return nil, fmt.Errorf("vfabric: tenant %s: %w", ts.Name, err)
+		}
+		ts.st = st
+	}
+	defer opts.Observer.SetTenant("")
+
+	rep := &Report{Physical: opts.Physical, Migrate: opts.Migrate}
+	nextEpoch := epoch
+	for {
+		// Pick the laggard: the unfinished tenant with the lowest local
+		// clock (ties by index) — the shared-fabric interleaving order.
+		next := -1
+		for i, ts := range states {
+			if ts.st.Done() {
+				continue
+			}
+			if next < 0 || ts.st.Now() < states[next].st.Now() {
+				next = i
+			}
+		}
+		if next < 0 {
+			break
+		}
+		ts := states[next]
+		opts.Observer.SetTenant(ts.Name)
+		if err := ts.st.Step(); err != nil {
+			return nil, fmt.Errorf("vfabric: tenant %s: %w", ts.Name, err)
+		}
+
+		if opts.Migrate && len(states) > 1 {
+			// The shared clock is the slowest unfinished tenant; an epoch
+			// boundary repartitions from weighted remaining work.
+			clock := sharedClock(states)
+			if clock >= nextEpoch {
+				if err := repartition(states, opts, weights, rep); err != nil {
+					return nil, err
+				}
+				for nextEpoch <= clock {
+					nextEpoch += epoch
+				}
+			}
+		}
+	}
+
+	for _, ts := range states {
+		r := ts.st.Finish()
+		rep.Tenants = append(rep.Tenants, TenantReport{
+			Name: ts.Name, Weight: ts.Weight, Partition: ts.win, Report: r,
+		})
+		if r.TotalCycles > rep.Makespan {
+			rep.Makespan = r.TotalCycles
+		}
+		rep.Migrations += r.Reconfig.Migrations
+		rep.MigrationCycles += r.Reconfig.MigrationCycles
+	}
+	return rep, nil
+}
+
+// sharedClock is the hypervisor's notion of now: the lowest local clock
+// among unfinished tenants (the makespan so far when all are done).
+func sharedClock(states []*tenantState) arch.Cycles {
+	var clock arch.Cycles = -1
+	for _, ts := range states {
+		if ts.st.Done() {
+			continue
+		}
+		if clock < 0 || ts.st.Now() < clock {
+			clock = ts.st.Now()
+		}
+	}
+	return clock
+}
+
+// repartition recomputes the windows from weighted remaining work and
+// applies every change: the tenant's reconfiguration controller resizes
+// its share, migrating or evicting the data paths the move displaces, and
+// a reacting runtime system is told about the invalidations so it
+// re-selects over its new share (the visible cost lands on that tenant's
+// critical path).
+func repartition(states []*tenantState, opts Options, weights []int64, rep *Report) error {
+	demand := make([]int64, len(states))
+	for i, ts := range states {
+		demand[i] = weights[i] * int64(ts.st.Remaining())
+	}
+	wins := partition(opts.Physical, demand)
+	changed := false
+	for i, ts := range states {
+		nw := wins[i]
+		if nw == ts.win {
+			continue
+		}
+		changed = true
+		old := ts.win
+		ts.win = nw
+		if ts.st.Done() {
+			continue
+		}
+		now := ts.st.Now()
+		ctrl := ts.st.RTS().Controller()
+		opts.Observer.SetTenant(ts.Name)
+		if _, _, err := ctrl.Repartition(arch.FG, nw.PRC.N, old.PRC.Overlap(nw.PRC), now); err != nil {
+			return fmt.Errorf("vfabric: tenant %s: %w", ts.Name, err)
+		}
+		if _, _, err := ctrl.Repartition(arch.CG, nw.CG.N, old.CG.Overlap(nw.CG), now); err != nil {
+			return fmt.Errorf("vfabric: tenant %s: %w", ts.Name, err)
+		}
+		if opts.Observer != nil {
+			opts.Observer.Record(obs.Event{
+				Cycle: now, Source: obs.SourceVFabric, Kind: obs.KindRepartition,
+				Detail: fmt.Sprintf("prc=%s cg=%s (was prc=%s cg=%s)", nw.PRC, nw.CG, old.PRC, old.CG),
+			})
+		}
+		// The displaced paths invalidate the ISEs referencing them; a
+		// reacting runtime system re-selects over the new share and its
+		// visible overhead extends this tenant's software path.
+		lost := ctrl.TakeInvalidated()
+		if fh, ok := ts.st.RTS().(core.FaultHandler); ok && len(lost) > 0 {
+			visible, err := fh.OnFault(lost, now)
+			if err != nil {
+				return fmt.Errorf("vfabric: tenant %s: repartition reaction: %w", ts.Name, err)
+			}
+			ts.st.AddOverhead(visible)
+		}
+	}
+	if changed {
+		rep.Repartitions++
+	}
+	return nil
+}
+
+// partition allocates each fabric's containers across the demands by
+// largest-remainder rounding and packs the shares into contiguous windows
+// in tenant index order.
+func partition(phys arch.Config, demand []int64) []arch.Partition {
+	prc := allocate(phys.NPRC, demand)
+	cg := allocate(phys.NCG, demand)
+	out := make([]arch.Partition, len(demand))
+	pStart, cStart := 0, 0
+	for i := range demand {
+		out[i] = arch.Partition{
+			PRC: arch.Window{Start: pStart, N: prc[i]},
+			CG:  arch.Window{Start: cStart, N: cg[i]},
+		}
+		pStart += prc[i]
+		cStart += cg[i]
+	}
+	return out
+}
+
+// allocate splits total units proportionally to the demands using the
+// largest-remainder method; ties go to the lower index. Zero total demand
+// allocates nothing (every tenant is finished).
+func allocate(total int, demand []int64) []int {
+	out := make([]int, len(demand))
+	var sum int64
+	for _, d := range demand {
+		sum += d
+	}
+	if total <= 0 || sum <= 0 {
+		return out
+	}
+	type frac struct {
+		i   int
+		rem int64
+	}
+	rems := make([]frac, 0, len(demand))
+	used := 0
+	for i, d := range demand {
+		share := int64(total) * d
+		out[i] = int(share / sum)
+		used += out[i]
+		rems = append(rems, frac{i: i, rem: share % sum})
+	}
+	// Stable selection sort over the leftovers: largest remainder first,
+	// ties by index — len(demand) is K ≤ a handful.
+	for left := total - used; left > 0; left-- {
+		best := -1
+		for _, f := range rems {
+			if f.rem < 0 {
+				continue
+			}
+			if best < 0 || f.rem > rems[best].rem {
+				best = f.i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[best]++
+		rems[best].rem = -1
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package vfabric_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/core"
+	"mrts/internal/exp"
+	"mrts/internal/fault"
+	"mrts/internal/obs"
+	"mrts/internal/sim"
+	"mrts/internal/vfabric"
+	"mrts/internal/workload"
+)
+
+var allPolicies = []exp.Policy{
+	exp.PolicyRISPP, exp.PolicyOffline, exp.PolicyMorpheus,
+	exp.PolicyMRTS, exp.PolicyOptimal, exp.PolicyRISC,
+}
+
+func builder(p exp.Policy, w *workload.Result) func(arch.Config) (core.RuntimeSystem, error) {
+	return func(cfg arch.Config) (core.RuntimeSystem, error) {
+		return exp.NewPolicy(p, cfg, w.App, w.Trace)
+	}
+}
+
+func tenantFor(p exp.Policy, w *workload.Result, sched *fault.Schedule) vfabric.Tenant {
+	return vfabric.Tenant{App: w.App, Trace: w.Trace, Build: builder(p, w), Faults: sched}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestK1ByteIdentity pins the hypervisor's backward-compatibility
+// contract: a single tenant under the migrating hypervisor produces a
+// report byte-identical to the plain simulator — the Fig. 8 pipeline —
+// for every policy, with and without faults.
+func TestK1ByteIdentity(t *testing.T) {
+	w := workload.Small()
+	cfg := arch.Config{NPRC: 4, NCG: 3}
+	scenarios := []struct {
+		name string
+		fo   fault.Options
+	}{
+		{"benign", fault.Options{}},
+		{"faulted", fault.Options{FailPRC: 1, FlapCG: 1, CorruptFG: 2, Horizon: 20_000_000}},
+	}
+	for _, p := range allPolicies {
+		for _, sc := range scenarios {
+			for _, migrate := range []bool{false, true} {
+				var schedSim, schedHyp *fault.Schedule
+				if !sc.fo.IsZero() {
+					schedSim = fault.MustSchedule(7, sc.fo)
+					schedHyp = fault.MustSchedule(7, sc.fo)
+				}
+				rts, err := exp.NewPolicy(p, cfg, w.App, w.Trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sim.RunOpts(w.App, w.Trace, rts, sim.Options{Faults: schedSim})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := vfabric.Run(
+					[]vfabric.Tenant{tenantFor(p, w, schedHyp)},
+					vfabric.Options{Physical: cfg, Migrate: migrate},
+				)
+				if err != nil {
+					t.Fatalf("%s/%s migrate=%v: %v", p, sc.name, migrate, err)
+				}
+				if rep.Repartitions != 0 || rep.Migrations != 0 {
+					t.Errorf("%s/%s migrate=%v: K=1 run repartitioned (%d) or migrated (%d)",
+						p, sc.name, migrate, rep.Repartitions, rep.Migrations)
+				}
+				got := rep.Tenants[0].Report
+				if gb, wb := mustJSON(t, got), mustJSON(t, want); !bytes.Equal(gb, wb) {
+					t.Errorf("%s/%s migrate=%v: K=1 report differs from sim.RunOpts\n got: %s\nwant: %s",
+						p, sc.name, migrate, gb, wb)
+				}
+			}
+		}
+	}
+}
+
+// smallTenants builds k distinct small workloads (different seeds, so
+// different content and demand).
+func smallTenants(t *testing.T, k int, p exp.Policy) []vfabric.Tenant {
+	t.Helper()
+	out := make([]vfabric.Tenant, k)
+	for i := range out {
+		w := workload.MustBuild(workload.Options{Frames: 4, Seed: uint64(i + 1)})
+		out[i] = vfabric.Tenant{App: w.App, Trace: w.Trace, Build: builder(p, w)}
+	}
+	return out
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tenants := smallTenants(t, 3, exp.PolicyMRTS)
+	tenants[0].Weight = 4
+	tenants[1].Weight = 2
+	opts := vfabric.Options{Physical: arch.Config{NPRC: 4, NCG: 3}, Migrate: true}
+	a, err := vfabric.Run(tenants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vfabric.Run(tenants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab, bb := mustJSON(t, a), mustJSON(t, b); !bytes.Equal(ab, bb) {
+		t.Error("two identical hypervisor runs produced different reports")
+	}
+}
+
+// TestMigratingRepartitions checks the demand-tracking machinery engages:
+// with skewed tenant lengths the short tenants finish, their demand goes
+// to zero, and the epoch repartition hands their containers to the
+// long-running tenant — migrating its configured paths.
+func TestMigratingRepartitions(t *testing.T) {
+	long := workload.MustBuild(workload.Options{Frames: 8, Seed: 1})
+	short := workload.MustBuild(workload.Options{Frames: 2, Seed: 2})
+	tenants := []vfabric.Tenant{
+		{App: long.App, Trace: long.Trace, Build: builder(exp.PolicyMRTS, long)},
+		{App: short.App, Trace: short.Trace, Build: builder(exp.PolicyMRTS, short)},
+	}
+	rec := obs.New()
+	rep, err := vfabric.Run(tenants, vfabric.Options{
+		Physical: arch.Config{NPRC: 4, NCG: 3}, Migrate: true, Observer: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repartitions == 0 {
+		t.Fatal("skewed tenants never repartitioned")
+	}
+	// After the short tenant finishes, the long one owns the full fabric.
+	if got := rep.Tenants[0].Partition.Config(); got != rep.Physical {
+		t.Errorf("long tenant's final partition = %v, want the full fabric %v", got, rep.Physical)
+	}
+	var sawRepartition bool
+	tenantsSeen := map[string]bool{}
+	for _, ev := range rec.Events() {
+		tenantsSeen[ev.Tenant] = true
+		if ev.Kind == obs.KindRepartition {
+			sawRepartition = true
+			if ev.Source != obs.SourceVFabric || ev.Tenant == "" {
+				t.Errorf("repartition event missing source/tenant: %+v", ev)
+			}
+		}
+	}
+	if !sawRepartition {
+		t.Error("no repartition event in the trace")
+	}
+	if !tenantsSeen["t0"] || !tenantsSeen["t1"] {
+		t.Errorf("trace not tagged with both tenants: %v", tenantsSeen)
+	}
+	// Both tenants replay their full traces regardless of arbitration.
+	for i, tr := range rep.Tenants {
+		if tr.Report.Iterations != len(tenants[i].Trace.Iterations) {
+			t.Errorf("tenant %d replayed %d/%d iterations", i, tr.Report.Iterations, len(tenants[i].Trace.Iterations))
+		}
+	}
+}
+
+// TestStaticVsMigratingSkewed: with one long and one short tenant the
+// migrating hypervisor must not be slower overall than the static
+// partition — reclaiming the finished tenant's containers can only help
+// the straggler.
+func TestStaticVsMigratingSkewed(t *testing.T) {
+	long := workload.MustBuild(workload.Options{Frames: 8, Seed: 1})
+	short := workload.MustBuild(workload.Options{Frames: 2, Seed: 2})
+	mk := func() []vfabric.Tenant {
+		return []vfabric.Tenant{
+			{App: long.App, Trace: long.Trace, Build: builder(exp.PolicyMRTS, long)},
+			{App: short.App, Trace: short.Trace, Build: builder(exp.PolicyMRTS, short)},
+		}
+	}
+	phys := arch.Config{NPRC: 4, NCG: 3}
+	st, err := vfabric.Run(mk(), vfabric.Options{Physical: phys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := vfabric.Run(mk(), vfabric.Options{Physical: phys, Migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repartitions != 0 || st.Migrations != 0 {
+		t.Errorf("static run repartitioned (%d) or migrated (%d)", st.Repartitions, st.Migrations)
+	}
+	if mg.Makespan > st.Makespan {
+		t.Errorf("migrating makespan %d worse than static %d", mg.Makespan, st.Makespan)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := vfabric.Run(nil, vfabric.Options{Physical: arch.Config{NPRC: 1}}); err == nil {
+		t.Error("empty tenant set accepted")
+	}
+	w := workload.Small()
+	if _, err := vfabric.Run(
+		[]vfabric.Tenant{{App: w.App, Trace: w.Trace}},
+		vfabric.Options{Physical: arch.Config{NPRC: 1}},
+	); err == nil {
+		t.Error("tenant without Build accepted")
+	}
+}
