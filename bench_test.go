@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"mrts/internal/arch"
@@ -644,6 +645,43 @@ func BenchmarkServiceColdJob(b *testing.B) {
 			b.Fatalf("cold job hit the cache at iteration %d", i)
 		}
 	}
+}
+
+// BenchmarkServiceThroughput measures end-to-end jobs/sec through the
+// whole service pipeline — admission, idempotency table, queue, worker
+// dispatch, result delivery — with the simulation itself served from the
+// warm result cache, so the number isolates the service machinery the
+// cluster layer multiplies across nodes.
+func BenchmarkServiceThroughput(b *testing.B) {
+	s := service.New(service.Options{Workers: 4, QueueDepth: 512})
+	defer s.Close()
+	spec := api.JobSpec{
+		Type:     api.JobSim,
+		Workload: api.WorkloadSpec{Frames: 2, Seed: 1},
+		PRC:      2, CG: 1, Policy: "mrts",
+	}
+	runServiceJob(b, s, spec) // warm the workload and result caches
+	var failure atomic.Value
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			job, err := s.Submit(spec)
+			if err == nil {
+				err = s.Wait(ctx, job)
+			}
+			if err != nil {
+				failure.Store(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if err, ok := failure.Load().(error); ok {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 }
 
 func runServiceJob(b *testing.B, s *service.Server, spec api.JobSpec) *api.JobResult {

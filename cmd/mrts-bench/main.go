@@ -27,7 +27,7 @@ import (
 // a CI guard.
 const defaultPattern = "BenchmarkProfitFunction$|BenchmarkGreedySelection$|BenchmarkOptimalSelection$|" +
 	"BenchmarkSelectionCached$|BenchmarkSelectionUncached$|BenchmarkSelectionObserved$|BenchmarkGreedyIncremental|" +
-	"BenchmarkSelectorScalability|BenchmarkOptimalScalability"
+	"BenchmarkSelectorScalability|BenchmarkOptimalScalability|BenchmarkServiceThroughput$"
 
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`

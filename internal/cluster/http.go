@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"mrts/internal/service"
+	"mrts/internal/service/api"
+	"mrts/internal/service/journal"
+)
+
+// Cluster-internal wire types (under /cluster/v1, node-to-node only).
+type replicateRequest struct {
+	From    string           `json:"from"`
+	Records []journal.Record `json:"records"`
+}
+
+type stealResponse struct {
+	ID      string      `json:"id"`
+	IdemKey string      `json:"idem_key,omitempty"`
+	Spec    api.JobSpec `json:"spec"`
+}
+
+type ackRequest struct {
+	ID string `json:"id"`
+}
+
+type statsResponse struct {
+	Node  string `json:"node"`
+	Queue int    `json:"queue"`
+	Ready bool   `json:"ready"`
+}
+
+// NodeHeader names the response header carrying the member ID that
+// answered (submission: the owner; status: the node holding the job).
+const NodeHeader = "X-Mrts-Node"
+
+// Handler returns the node's HTTP surface: the public /v1 API with
+// cluster routing layered on top (submissions redirect to the owning
+// node, lookups fan out across members), the internal /cluster/v1
+// endpoints peers use for replication, stealing and strictly-local
+// lookups, and the wrapped server's remaining endpoints (/v1/sweep,
+// /healthz, /readyz, /metrics) untouched.
+func (n *Node) Handler() http.Handler {
+	base := n.srv.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", n.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", n.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", n.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", n.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", n.handleCancel)
+
+	mux.HandleFunc("POST /cluster/v1/replicate", n.handleReplicate)
+	mux.HandleFunc("POST /cluster/v1/steal", n.handleSteal)
+	mux.HandleFunc("POST /cluster/v1/steal-ack", n.handleStealAck)
+	mux.HandleFunc("GET /cluster/v1/stats", n.handleStats)
+	mux.HandleFunc("GET /cluster/v1/jobs", n.handleLocalList)
+	mux.HandleFunc("GET /cluster/v1/jobs/{id}", n.handleLocalGet)
+
+	mux.Handle("/", base)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit routes a submission: the spec's fingerprint picks the
+// owning member; a non-owner answers 307 with the owner's submit URL
+// (clients re-POST there — Go's http.Client does it automatically), the
+// owner admits locally with follower replication. When every other
+// member is dead the survivor owns everything.
+func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	owner := n.ring.Owner(Fingerprint(spec), n.mem.Alive)
+	if owner != "" && owner != n.cfg.Self {
+		n.redirects.Inc()
+		w.Header().Set(NodeHeader, owner)
+		w.Header().Set("Location", n.addrs[owner]+"/v1/jobs")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
+	// Admission control runs at the owner only, so a redirect hop does
+	// not double-charge the client's rate budget.
+	if !n.admitClient(w, r) {
+		return
+	}
+	job, deduped, err := n.admitOwned("", r.Header.Get("Idempotency-Key"), spec)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, service.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := n.srv.Status(job, false)
+	if deduped {
+		w.Header().Set("Idempotent-Replayed", "true")
+	}
+	w.Header().Set(NodeHeader, n.cfg.Self)
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: job.ID, State: st.State})
+}
+
+// admitClient mirrors the single-node rate limit gate: keyed by
+// X-Client-ID, else remote IP.
+func (n *Node) admitClient(w http.ResponseWriter, r *http.Request) bool {
+	key := r.Header.Get("X-Client-ID")
+	if key == "" {
+		key = r.RemoteAddr
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		}
+	}
+	ok, wait := n.srv.Router().Admit(key, time.Now())
+	if ok {
+		return true
+	}
+	n.srv.Metrics().Counter("mrts_rate_limited_total").Inc()
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "rate limited, retry in %ds", secs)
+	return false
+}
+
+// handleGet serves a job status from wherever the job lives: locally
+// first, then by fanning out to every alive peer's strictly-local
+// endpoint (which cannot recurse back here), so a client can poll any
+// member — including after the original owner died and a follower
+// adopted the job.
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := n.srv.Job(id); ok {
+		w.Header().Set(NodeHeader, n.cfg.Self)
+		writeJSON(w, http.StatusOK, n.srv.Status(job, true))
+		return
+	}
+	if body, peer, ok := n.peerFetch(r, "/cluster/v1/jobs/"+id); ok {
+		n.proxiedLookups.Inc()
+		w.Header().Set(NodeHeader, peer)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// handleCancel cancels a job wherever it lives, with the same local →
+// fan-out order as handleGet.
+func (n *Node) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if job, ok := n.srv.Cancel(id); ok {
+		w.Header().Set(NodeHeader, n.cfg.Self)
+		writeJSON(w, http.StatusOK, n.srv.Status(job, true))
+		return
+	}
+	for peer, addr := range n.alivePeers() {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			addr+"/cluster/v1/jobs/"+id+"/cancel", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := n.cfg.HTTPClient.Do(req)
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && rerr == nil {
+			n.proxiedLookups.Inc()
+			w.Header().Set(NodeHeader, peer)
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// handleList merges the job tables of every alive member, deduped by
+// job ID (an adopted completed job may briefly exist on two members —
+// with identical payloads) and ordered by creation time for a stable
+// view.
+func (n *Node) handleList(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]bool)
+	var out []api.JobStatus
+	for _, st := range n.srv.Jobs() {
+		seen[st.ID] = true
+		out = append(out, st)
+	}
+	for _, addr := range n.alivePeers() {
+		var peerJobs []api.JobStatus
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, addr+"/cluster/v1/jobs", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := n.cfg.HTTPClient.Do(req)
+		if err != nil {
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&peerJobs)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, st := range peerJobs {
+			if !seen[st.ID] {
+				seen[st.ID] = true
+				out = append(out, st)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Created != out[j].Created {
+			return out[i].Created < out[j].Created
+		}
+		return out[i].ID < out[j].ID
+	})
+	if out == nil {
+		out = []api.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleLocalGet is the strictly-local status lookup peers fan out to.
+func (n *Node) handleLocalGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := n.srv.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, n.srv.Status(job, true))
+}
+
+// handleLocalList is the strictly-local job list peers merge.
+func (n *Node) handleLocalList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.srv.Jobs())
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req replicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid replicate request: %v", err)
+		return
+	}
+	if req.From == "" {
+		writeError(w, http.StatusBadRequest, "replicate request needs a from member")
+		return
+	}
+	if err := n.storeReplica(req.From, req.Records); err != nil {
+		// The in-memory stream still holds the records; report the
+		// degraded disk copy without failing the owner's ack path.
+		n.replicateFails.Inc()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	job := n.grantSteal()
+	if job == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	st := n.srv.Status(job, false)
+	writeJSON(w, http.StatusOK, stealResponse{ID: job.ID, IdemKey: job.IdemKey, Spec: st.Spec})
+}
+
+func (n *Node) handleStealAck(w http.ResponseWriter, r *http.Request) {
+	var req ackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid ack: %v", err)
+		return
+	}
+	if !n.ackSteal(req.ID) {
+		// Expired or unknown: the job was requeued here; the thief's
+		// copy runs as a harmless duplicate.
+		writeError(w, http.StatusConflict, "steal of %q expired", req.ID)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Node:  n.cfg.Self,
+		Queue: n.srv.QueueLen(),
+		Ready: n.srv.Ready(),
+	})
+}
+
+// alivePeers maps member ID to address for every peer believed up.
+func (n *Node) alivePeers() map[string]string {
+	out := make(map[string]string, len(n.addrs))
+	for id, addr := range n.addrs {
+		if id != n.cfg.Self && n.mem.Alive(id) {
+			out[id] = addr
+		}
+	}
+	return out
+}
+
+// peerFetch GETs path from each alive peer in turn and returns the
+// first 200 body.
+func (n *Node) peerFetch(r *http.Request, path string) (body []byte, peer string, ok bool) {
+	for id, addr := range n.alivePeers() {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, addr+path, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := n.cfg.HTTPClient.Do(req)
+		if err != nil {
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && rerr == nil {
+			return b, id, true
+		}
+	}
+	return nil, "", false
+}
+
+// postJSON posts in (nil = empty body) to url and decodes a 200
+// response into out (out may be nil; 204 leaves it zero).
+func (n *Node) postJSON(url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("cluster: POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// getJSON fetches url and decodes the 200 response into out.
+func (n *Node) getJSON(url string, out any) error {
+	resp, err := n.cfg.HTTPClient.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Member is one node of the static seed list.
+type Member struct {
+	// ID is the node's stable identity — it determines ring placement
+	// and follower order, so it must be unique and constant across
+	// restarts.
+	ID string `json:"id"`
+	// Addr is the node's HTTP base URL, e.g. "http://127.0.0.1:8341".
+	Addr string `json:"addr"`
+}
+
+// Membership tracks peer liveness by probing each peer's /healthz on a
+// fixed interval. A peer is declared dead after DeadAfter consecutive
+// probe failures and alive again on the first success; both transitions
+// fire their callback exactly once per transition. Peers start alive —
+// optimism costs one failed request, pessimism would reject work during
+// a clean rolling start.
+type Membership struct {
+	self      string
+	peers     []Member
+	interval  time.Duration
+	deadAfter int
+	client    *http.Client
+	onDeath   func(id string)
+	onAlive   func(id string)
+
+	mu    sync.Mutex
+	state map[string]*peerState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type peerState struct {
+	alive bool
+	fails int
+}
+
+// newMembership wires the prober; Start launches it.
+func newMembership(self string, peers []Member, interval time.Duration, deadAfter int, client *http.Client, onDeath, onAlive func(string)) *Membership {
+	m := &Membership{
+		self:      self,
+		peers:     peers,
+		interval:  interval,
+		deadAfter: deadAfter,
+		client:    client,
+		onDeath:   onDeath,
+		onAlive:   onAlive,
+		state:     make(map[string]*peerState, len(peers)),
+		stop:      make(chan struct{}),
+	}
+	for _, p := range peers {
+		m.state[p.ID] = &peerState{alive: true}
+	}
+	return m
+}
+
+// Start launches one probe loop per peer. Per-peer loops keep one slow
+// peer from delaying the death detection of another.
+func (m *Membership) Start() {
+	for _, p := range m.peers {
+		p := p
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			t := time.NewTicker(m.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-t.C:
+					m.record(p.ID, m.probe(p.Addr))
+				}
+			}
+		}()
+	}
+}
+
+// probe checks one peer's liveness. Any 2xx/3xx/4xx answer proves the
+// process is up; only transport failures and 5xx count against it (a
+// draining node still owns its jobs until it is actually gone).
+func (m *Membership) probe(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), m.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("cluster: probe %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// record folds one probe outcome into the peer's state, firing the
+// transition callback outside the lock.
+func (m *Membership) record(id string, err error) {
+	var fire func(string)
+	m.mu.Lock()
+	st := m.state[id]
+	if err == nil {
+		st.fails = 0
+		if !st.alive {
+			st.alive = true
+			fire = m.onAlive
+		}
+	} else {
+		st.fails++
+		if st.alive && st.fails >= m.deadAfter {
+			st.alive = false
+			fire = m.onDeath
+		}
+	}
+	m.mu.Unlock()
+	if fire != nil {
+		fire(id)
+	}
+}
+
+// Alive reports whether the member is believed up. Self is always alive.
+func (m *Membership) Alive(id string) bool {
+	if id == m.self {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.state[id]
+	return ok && st.alive
+}
+
+// AliveCount counts members believed up, self included.
+func (m *Membership) AliveCount() int {
+	n := 1
+	m.mu.Lock()
+	for _, st := range m.state {
+		if st.alive {
+			n++
+		}
+	}
+	m.mu.Unlock()
+	return n
+}
+
+// Close stops the probe loops.
+func (m *Membership) Close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}

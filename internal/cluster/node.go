@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mrts/internal/service"
+	"mrts/internal/service/api"
+	"mrts/internal/service/journal"
+)
+
+// Config wires one node into a cluster.
+type Config struct {
+	// Self is this node's member ID; it must appear in Members.
+	Self string
+	// Members is the full static seed list, self included. Every node
+	// must be configured with the same list (IDs determine placement).
+	Members []Member
+	// Dir, when set, persists replica streams received from peers under
+	// Dir/replica-<peer>, so replicated records survive a restart of
+	// this node. Empty keeps replicas in memory only.
+	Dir string
+
+	// ProbeInterval is the liveness probe period (default 1s).
+	ProbeInterval time.Duration
+	// DeadAfter is how many consecutive probe failures declare a peer
+	// dead (default 3).
+	DeadAfter int
+	// StealInterval is how often an idle node looks for queued work on
+	// hot peers (default 250ms). Negative disables stealing.
+	StealInterval time.Duration
+	// StealAckTimeout bounds how long a granted steal may stay
+	// unacknowledged before the job is requeued locally (default 5s).
+	StealAckTimeout time.Duration
+	// HTTPClient is used for all peer traffic (default: a client with a
+	// 10s timeout).
+	HTTPClient *http.Client
+}
+
+func (c *Config) defaults() error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: config needs a Self ID")
+	}
+	found := false
+	seen := make(map[string]bool, len(c.Members))
+	for _, m := range c.Members {
+		if m.ID == "" || m.Addr == "" {
+			return fmt.Errorf("cluster: member %+v needs both ID and Addr", m)
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		if m.ID == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: Self %q not in member list", c.Self)
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = 250 * time.Millisecond
+	}
+	if c.StealAckTimeout <= 0 {
+		c.StealAckTimeout = 5 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return nil
+}
+
+// Node is one cluster member: it wraps a service.Server with
+// fingerprint routing, journal replication to a follower, death-driven
+// adoption and work stealing. Create it with New, serve its Handler,
+// and Close it before closing the underlying server.
+type Node struct {
+	cfg  Config
+	srv  *service.Server
+	ring *Ring
+	mem  *Membership
+	reps *replicaSet
+
+	addrs    map[string]string // member ID -> base URL
+	sortedID []string          // member IDs, sorted (follower order)
+
+	mu            sync.Mutex
+	pendingSteals map[string]*stealGrant
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	redirects, proxiedLookups     *service.Counter
+	replicatedOut, replicateFails *service.Counter
+	replicatedIn                  *service.Counter
+	stealsOut, stealsGranted      *service.Counter
+	stealsAcked, stealsExpired    *service.Counter
+	peerDeaths, adoptedJobs       *service.Counter
+	aliveMembers                  *service.Gauge
+}
+
+// New wires a node around srv. The node registers its metrics in the
+// server's registry (they appear on /metrics) and starts membership
+// probing and — unless disabled — the steal loop.
+func New(cfg Config, srv *service.Server) (*Node, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	reps, err := openReplicaSet(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	m := srv.Metrics()
+	n := &Node{
+		cfg:           cfg,
+		srv:           srv,
+		reps:          reps,
+		addrs:         make(map[string]string, len(cfg.Members)),
+		pendingSteals: make(map[string]*stealGrant),
+		stop:          make(chan struct{}),
+
+		redirects:      m.Counter("mrts_cluster_redirects_total"),
+		proxiedLookups: m.Counter("mrts_cluster_proxied_lookups_total"),
+		replicatedOut:  m.Counter("mrts_cluster_replicated_records_total"),
+		replicateFails: m.Counter("mrts_cluster_replicate_failures_total"),
+		replicatedIn:   m.Counter("mrts_cluster_replica_records_held_total"),
+		stealsOut:      m.Counter("mrts_cluster_steals_total"),
+		stealsGranted:  m.Counter("mrts_cluster_steals_granted_total"),
+		stealsAcked:    m.Counter("mrts_cluster_steals_acked_total"),
+		stealsExpired:  m.Counter("mrts_cluster_steals_expired_total"),
+		peerDeaths:     m.Counter("mrts_cluster_peer_deaths_total"),
+		adoptedJobs:    m.Counter("mrts_cluster_adopted_jobs_total"),
+		aliveMembers:   m.Gauge("mrts_cluster_alive_members"),
+	}
+	ids := make([]string, 0, len(cfg.Members))
+	var peers []Member
+	for _, mem := range cfg.Members {
+		ids = append(ids, mem.ID)
+		n.addrs[mem.ID] = mem.Addr
+		if mem.ID != cfg.Self {
+			peers = append(peers, mem)
+		}
+	}
+	sort.Strings(ids)
+	n.sortedID = ids
+	n.ring = NewRing(ids)
+	n.mem = newMembership(cfg.Self, peers, cfg.ProbeInterval, cfg.DeadAfter,
+		cfg.HTTPClient, n.onPeerDeath, n.onPeerAlive)
+	n.aliveMembers.Set(int64(len(ids)))
+	n.mem.Start()
+	if cfg.StealInterval > 0 && len(peers) > 0 {
+		n.wg.Add(1)
+		go n.stealLoop()
+	}
+	return n, nil
+}
+
+// Self returns this node's member ID.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Ring exposes the placement ring (tests use it to predict owners).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Owner returns the member currently owning the given fingerprint.
+func (n *Node) Owner(fp uint64) string { return n.ring.Owner(fp, n.mem.Alive) }
+
+// follower returns the node self replicates to: the next alive member
+// after self in sorted-ID order. "" when self is the only live member.
+func (n *Node) follower() string {
+	i := sort.SearchStrings(n.sortedID, n.cfg.Self)
+	for k := 1; k < len(n.sortedID); k++ {
+		id := n.sortedID[(i+k)%len(n.sortedID)]
+		if id != n.cfg.Self && n.mem.Alive(id) {
+			return id
+		}
+	}
+	return ""
+}
+
+// onPeerDeath adopts whatever the dead peer replicated to this node:
+// completed jobs keep serving their results here, unfinished jobs are
+// re-run locally to byte-identical results. Every surviving holder of a
+// replica stream adopts its share — duplicate adoption across nodes is
+// harmless (deterministic jobs, at-least-once).
+func (n *Node) onPeerDeath(id string) {
+	n.peerDeaths.Inc()
+	n.aliveMembers.Set(int64(n.mem.AliveCount()))
+	recs := n.reps.snapshot(id)
+	if len(recs) == 0 {
+		return
+	}
+	requeued, completed, err := n.srv.Adopt(recs)
+	n.adoptedJobs.Add(int64(requeued + completed))
+	if err != nil {
+		// Queue-full adoptions retry on the next death signal or the
+		// next probe cycle; count the failure so it is visible.
+		n.replicateFails.Inc()
+	}
+	// The adopted unfinished jobs are now this node's responsibility:
+	// replicate their submit records onward so a second death does not
+	// lose them either.
+	if f := n.follower(); f != "" && requeued > 0 {
+		n.pushRecords(f, recs)
+	}
+}
+
+func (n *Node) onPeerAlive(id string) {
+	n.aliveMembers.Set(int64(n.mem.AliveCount()))
+}
+
+// pushRecords replicates records to peer's replica endpoint. Returns
+// the transport error; callers on the ack path treat failure as
+// degraded durability, not as a reason to reject the job.
+func (n *Node) pushRecords(peer string, recs []journal.Record) error {
+	addr, ok := n.addrs[peer]
+	if !ok || len(recs) == 0 {
+		return nil
+	}
+	err := n.postJSON(addr+"/cluster/v1/replicate", replicateRequest{
+		From:    n.cfg.Self,
+		Records: recs,
+	}, nil)
+	if err != nil {
+		n.replicateFails.Inc()
+		return err
+	}
+	n.replicatedOut.Add(int64(len(recs)))
+	return nil
+}
+
+// admitOwned is the owner-side submission path: replicate the submit
+// record to the follower first, then admit locally under the
+// pre-replicated ID, so a death of this node after the ack is covered
+// by the follower's copy. id is empty for fresh client submissions and
+// set for steal handoffs (the victim already named the job).
+func (n *Node) admitOwned(id, key string, spec api.JobSpec) (*service.Job, bool, error) {
+	if id == "" {
+		// A client replay of an idempotency key must not plant a second
+		// submit record in the follower's replica stream.
+		if j, ok := n.srv.LookupIdem(key); ok {
+			return j, true, nil
+		}
+		id = service.NewJobID()
+	}
+	follower := n.follower()
+	if follower != "" {
+		// Synchronous: the ack the client is about to receive promises
+		// the job survives this node's death. A failed push degrades to
+		// local-journal durability only (counted, not fatal).
+		_ = n.pushRecords(follower, []journal.Record{{
+			Kind:    journal.KindSubmit,
+			ID:      id,
+			Time:    time.Now().UTC().Format(time.RFC3339Nano),
+			IdemKey: key,
+			Spec:    &spec,
+		}})
+	}
+	job, deduped, err := n.srv.SubmitWithID(id, key, spec)
+	if err != nil {
+		if follower != "" {
+			// Void the replica entry so the follower does not resurrect
+			// a job that was never admitted.
+			_ = n.pushRecords(follower, []journal.Record{{Kind: journal.KindForget, ID: id}})
+		}
+		return nil, false, err
+	}
+	if !deduped {
+		n.wg.Add(1)
+		go n.watchComplete(job)
+	}
+	return job, deduped, nil
+}
+
+// watchComplete replicates a job's terminal record to the follower once
+// it finishes, so the follower can serve the result (not just re-run
+// the job) if this node dies later.
+func (n *Node) watchComplete(j *service.Job) {
+	defer n.wg.Done()
+	select {
+	case <-n.stop:
+		return
+	case <-j.Done():
+	}
+	st := n.srv.Status(j, true)
+	if f := n.follower(); f != "" {
+		_ = n.pushRecords(f, []journal.Record{{
+			Kind:   journal.KindComplete,
+			ID:     j.ID,
+			Time:   time.Now().UTC().Format(time.RFC3339Nano),
+			State:  st.State,
+			Error:  st.Error,
+			Result: st.Result,
+		}})
+	}
+}
+
+// Close stops probing, stealing and watchers, requeues any unacked
+// steal grants, and closes the replica journals. The underlying
+// service.Server is not closed — the caller owns it.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.mem.Close()
+	n.wg.Wait()
+	n.mu.Lock()
+	grants := make([]*stealGrant, 0, len(n.pendingSteals))
+	for id, g := range n.pendingSteals {
+		delete(n.pendingSteals, id)
+		grants = append(grants, g)
+	}
+	n.mu.Unlock()
+	for _, g := range grants {
+		g.timer.Stop()
+		n.srv.Requeue(g.job)
+	}
+	n.reps.close()
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mrts/internal/service/journal"
+)
+
+// replicaSet stores the journal records peers have replicated to this
+// node, one stream per origin peer. Records are always held in memory —
+// adoption folds the in-memory stream — and, when a directory is
+// configured, also appended to a per-peer on-disk journal so a restart
+// of this node still covers a double fault (peer dies while we are down
+// or right after we come back).
+type replicaSet struct {
+	dir string // "" = memory only
+
+	mu    sync.Mutex
+	peers map[string]*peerReplica
+}
+
+type peerReplica struct {
+	recs []journal.Record
+	j    *journal.Journal // nil when memory-only
+}
+
+// replicaPrefix names the per-peer journal directories inside dir.
+const replicaPrefix = "replica-"
+
+// openReplicaSet loads any per-peer replica journals that survived a
+// restart of this node, so previously replicated records are not lost
+// with the process.
+func openReplicaSet(dir string) (*replicaSet, error) {
+	rs := &replicaSet{dir: dir, peers: make(map[string]*peerReplica)}
+	if dir == "" {
+		return rs, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: replicas: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replicas: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), replicaPrefix) {
+			continue
+		}
+		peer := strings.TrimPrefix(e.Name(), replicaPrefix)
+		j, err := journal.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica for %s: %w", peer, err)
+		}
+		rs.peers[peer] = &peerReplica{recs: j.Replayed(), j: j}
+	}
+	return rs, nil
+}
+
+// store appends records from one origin peer, opening its on-disk
+// journal lazily. Disk failures degrade durability, not availability:
+// the in-memory stream still covers a single fault.
+func (rs *replicaSet) store(peer string, recs []journal.Record) error {
+	if peer == "" || len(recs) == 0 {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var err error
+	pr, ok := rs.peers[peer]
+	if !ok {
+		pr = &peerReplica{}
+		if rs.dir != "" {
+			j, jerr := journal.Open(filepath.Join(rs.dir, replicaPrefix+peer))
+			if jerr != nil {
+				err = jerr // keep the memory stream regardless
+			} else {
+				pr.j = j
+			}
+		}
+		rs.peers[peer] = pr
+	}
+	// The replica is a secondary copy: the owner holds the primary in
+	// its own journal. Async appends ride the journal's group commit.
+	for _, r := range recs {
+		if pr.j != nil {
+			if aerr := pr.j.AppendAsync(r); aerr != nil && err == nil {
+				err = aerr
+			}
+		}
+	}
+	pr.recs = append(pr.recs, recs...)
+	return err
+}
+
+// snapshot returns a copy of the records replicated by peer.
+func (rs *replicaSet) snapshot(peer string) []journal.Record {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	pr, ok := rs.peers[peer]
+	if !ok {
+		return nil
+	}
+	return append([]journal.Record(nil), pr.recs...)
+}
+
+// close flushes and closes every on-disk replica journal.
+func (rs *replicaSet) close() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, pr := range rs.peers {
+		if pr.j != nil {
+			_ = pr.j.Close()
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"time"
+
+	"mrts/internal/service"
+	"mrts/internal/service/journal"
+)
+
+// Work stealing moves queued-but-unstarted jobs from hot shards to idle
+// nodes. The handoff is two-phase so a job can never be lost mid-steal:
+//
+//  1. The thief polls a hot victim's /cluster/v1/steal. The victim
+//     removes one queued job from its pool (service.TakeQueued — the
+//     job stays in its table, slot reserved) and grants it with an ack
+//     deadline.
+//  2. The thief replicates the submit record to its own follower,
+//     admits the job locally under the original ID (durably journaled),
+//     and only then acks via /cluster/v1/steal-ack. The victim Forgets
+//     the job — journaling a forget record that voids its submit.
+//
+// If the ack never arrives (thief died, network partition), the ack
+// timer fires and the victim requeues the job locally. The worst case
+// in every failure interleaving is a duplicate execution — byte
+// identical, because jobs are deterministic — never a lost job.
+
+// stealGrant is one victim-side outstanding handoff.
+type stealGrant struct {
+	job   *service.Job
+	timer *time.Timer
+}
+
+// grantSteal removes one queued job for a thief and arms the ack timer.
+// Returns nil when nothing is queued.
+func (n *Node) grantSteal() *service.Job {
+	job, ok := n.srv.TakeQueued()
+	if !ok {
+		return nil
+	}
+	g := &stealGrant{job: job}
+	n.mu.Lock()
+	n.pendingSteals[job.ID] = g
+	n.mu.Unlock()
+	g.timer = time.AfterFunc(n.cfg.StealAckTimeout, func() {
+		n.mu.Lock()
+		_, pending := n.pendingSteals[job.ID]
+		delete(n.pendingSteals, job.ID)
+		n.mu.Unlock()
+		if pending {
+			n.stealsExpired.Inc()
+			n.srv.Requeue(job)
+		}
+	})
+	n.stealsGranted.Inc()
+	return job
+}
+
+// ackSteal settles a granted handoff: the thief holds the job durably,
+// so this node forgets it. Returns false for unknown or expired grants
+// (the job was already requeued here — the thief's copy becomes a
+// harmless duplicate).
+func (n *Node) ackSteal(id string) bool {
+	n.mu.Lock()
+	g, ok := n.pendingSteals[id]
+	delete(n.pendingSteals, id)
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	g.timer.Stop()
+	n.stealsAcked.Inc()
+	return n.srv.Forget(id)
+}
+
+// stealLoop runs on every node: when the local queue is empty, find the
+// alive peer with the deepest queue and pull one job from it.
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			if n.srv.QueueLen() > 0 || n.srv.Router().Draining() {
+				continue // not idle; nothing to gain
+			}
+			victim := n.hottestPeer()
+			if victim == "" {
+				continue
+			}
+			n.stealOnce(victim)
+		}
+	}
+}
+
+// hottestPeer returns the alive peer with the deepest queue, or "" when
+// no peer has queued work.
+func (n *Node) hottestPeer() string {
+	best, bestDepth := "", 0
+	for id, addr := range n.addrs {
+		if id == n.cfg.Self || !n.mem.Alive(id) {
+			continue
+		}
+		var st statsResponse
+		if err := n.getJSON(addr+"/cluster/v1/stats", &st); err != nil {
+			continue
+		}
+		if st.Queue > bestDepth {
+			best, bestDepth = id, st.Queue
+		}
+	}
+	return best
+}
+
+// stealOnce pulls one job from victim and executes the thief side of
+// the handoff.
+func (n *Node) stealOnce(victim string) {
+	addr := n.addrs[victim]
+	var grant stealResponse
+	err := n.postJSON(addr+"/cluster/v1/steal", nil, &grant)
+	if err != nil || grant.ID == "" {
+		return // empty queue (204) or transport failure
+	}
+	// admitOwned replicates to our follower, then journals the job
+	// durably here under the victim's ID.
+	if _, _, err := n.admitOwned(grant.ID, grant.IdemKey, grant.Spec); err != nil {
+		return // unacked: the victim's timer requeues it
+	}
+	// Ack failure is also covered by the victim's timer: it requeues,
+	// and both copies run to the same bytes.
+	_ = n.postJSON(addr+"/cluster/v1/steal-ack", ackRequest{ID: grant.ID}, nil)
+	n.stealsOut.Inc()
+}
+
+// storeReplica accepts records pushed by a peer (the receive side of
+// pushRecords).
+func (n *Node) storeReplica(from string, recs []journal.Record) error {
+	err := n.reps.store(from, recs)
+	n.replicatedIn.Add(int64(len(recs)))
+	return err
+}

@@ -77,6 +77,9 @@ type Event struct {
 	// Tenant labels the vFabric tenant the event belongs to when a
 	// hypervisor multiplexes several runtime systems over one stream.
 	Tenant string `json:"tenant,omitempty"`
+	// Node labels the cluster member that produced the event when traces
+	// from several mrts-serve nodes are merged for analysis.
+	Node string `json:"node,omitempty"`
 
 	Block  string `json:"block,omitempty"`
 	Phase  string `json:"phase,omitempty"`
@@ -117,6 +120,7 @@ type Recorder struct {
 	mu     sync.Mutex
 	run    string
 	tenant string
+	node   string
 	events []Event
 	w      *bufio.Writer
 	err    error
@@ -154,6 +158,18 @@ func (r *Recorder) SetTenant(tenant string) {
 	r.mu.Unlock()
 }
 
+// SetNode labels every subsequently recorded event with the cluster
+// member that produced it, so traces captured on different mrts-serve
+// nodes stay attributable after they are merged. Nil-safe.
+func (r *Recorder) SetNode(node string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+}
+
 // Record appends one event, stamping the current run and tenant labels.
 // Nil-safe.
 func (r *Recorder) Record(ev Event) {
@@ -167,6 +183,9 @@ func (r *Recorder) Record(ev Event) {
 	}
 	if ev.Tenant == "" {
 		ev.Tenant = r.tenant
+	}
+	if ev.Node == "" {
+		ev.Node = r.node
 	}
 	r.events = append(r.events, ev)
 	if r.w != nil && r.err == nil {

@@ -183,19 +183,36 @@ func (c *Client) doHdr(ctx context.Context, method, path string, hdr http.Header
 	}
 }
 
-// parseRetryAfter parses a Retry-After header in seconds (integer or
-// fractional). Absent or unparsable values — including HTTP-date form,
-// which the daemon never sends — yield -1, "no hint".
+// parseRetryAfter parses a Retry-After header in either RFC 7231 form:
+// delta-seconds (integer or fractional, the daemon's own format) or an
+// HTTP-date (what proxies and load balancers in front of a cluster
+// emit), which is converted to the remaining wait from now. A date in
+// the past means "retry immediately" (0), not "no hint". Absent or
+// unparsable values yield -1, "no hint".
 func parseRetryAfter(v string) time.Duration {
+	return parseRetryAfterAt(v, time.Now())
+}
+
+// parseRetryAfterAt is parseRetryAfter against an explicit clock, so
+// the HTTP-date arithmetic is testable without real sleeps.
+func parseRetryAfterAt(v string, now time.Time) time.Duration {
 	v = strings.TrimSpace(v)
 	if v == "" {
 		return -1
 	}
-	secs, err := strconv.ParseFloat(v, 64)
-	if err != nil || secs < 0 {
-		return -1
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs < 0 {
+			return -1
+		}
+		return time.Duration(secs * float64(time.Second))
 	}
-	return time.Duration(secs * float64(time.Second))
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+		return 0
+	}
+	return -1
 }
 
 func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, payload []byte, out any) error {

@@ -212,17 +212,103 @@ func TestParseRetryAfter(t *testing.T) {
 	}{
 		{"", -1},
 		{"garbage", -1},
-		{"Tue, 29 Oct 2024 16:56:32 GMT", -1},
 		{"-3", -1},
 		{"0", 0},
 		{"2", 2 * time.Second},
 		{"0.5", 500 * time.Millisecond},
 		{" 1 ", time.Second},
+		// An HTTP-date in the past means "retry now", not "no hint".
+		{"Tue, 29 Oct 2024 16:56:32 GMT", 0},
 	}
 	for _, tc := range cases {
 		if got := parseRetryAfter(tc.in); got != tc.want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestParseRetryAfterHTTPDate pins the RFC 7231 HTTP-date form against a
+// fixed clock: the hint is the remaining wait until the given instant.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2024, 10, 29, 16, 56, 30, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"Tue, 29 Oct 2024 16:56:32 GMT", 2 * time.Second},   // IMF-fixdate
+		{"Tuesday, 29-Oct-24 16:56:32 GMT", 2 * time.Second}, // RFC 850
+		{"Tue Oct 29 16:56:32 2024", 2 * time.Second},        // asctime
+		{"Tue, 29 Oct 2024 16:56:30 GMT", 0},                 // exactly now
+		{"Tue, 29 Oct 2024 16:55:00 GMT", 0},                 // past: retry now
+		{"Tue, 29 Oct 2024 17:56:30 GMT", time.Hour},         // far future
+		{"Tue, 32 Oct 2024 16:56:32 GMT", -1},                // invalid date
+		{"29 Oct 2024", -1},                                  // not an HTTP-date layout
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfterAt(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfterAt(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestHTTPDateRetryAfterHonoured runs the full loop: a 503 whose
+// Retry-After is an HTTP-date a moment away is slept through, and the
+// retry succeeds.
+func TestHTTPDateRetryAfterHonoured(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(20*time.Millisecond).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		w.Write([]byte(`[]`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	// Backoff would be an hour; the date hint (≤20ms, capped at MaxDelay)
+	// must win.
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Hour, MaxDelay: 100 * time.Millisecond}
+	start := time.Now()
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatalf("Jobs = %v, want success after date-hinted retry", err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("attempts = %d, want 2", calls.Load())
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("HTTP-date hint not honoured: took %v", d)
+	}
+}
+
+// TestCancelDuringRetrySleep pins that a context cancelled while the
+// client is sleeping between attempts aborts the sleep promptly instead
+// of serving out the full backoff.
+func TestCancelDuringRetrySleep(t *testing.T) {
+	h, calls := flaky(1000, http.StatusServiceUnavailable)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the first attempt fail and the hour-long sleep begin.
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Jobs(ctx)
+	if err == nil {
+		t.Fatal("cancelled retry loop reported success")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancel during retry sleep took %v, want prompt return", d)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (cancel hit during the first sleep)", got)
 	}
 }
 

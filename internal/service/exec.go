@@ -133,6 +133,9 @@ func (s *Server) execSim(ctx context.Context, spec api.JobSpec, eval exp.FaultEv
 			return err
 		}
 		rec := obs.New()
+		if s.opts.Node != "" {
+			rec.SetNode(s.opts.Node)
+		}
 		rec.SetRun(fmt.Sprintf("%s/%dx%d", p, cfg.NPRC, cfg.NCG))
 		start := time.Now()
 		rep, err = exp.RunPointObserved(ctx, w, cfg, p, seed, fo, rec)

@@ -80,9 +80,6 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // writes the 429 + Retry-After response itself on rejection. Clients are
 // keyed by the X-Client-ID header when present, else by remote IP.
 func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) bool {
-	if s.limiter == nil {
-		return true
-	}
 	key := r.Header.Get("X-Client-ID")
 	if key == "" {
 		key = r.RemoteAddr
@@ -90,7 +87,7 @@ func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) bool {
 			key = host
 		}
 	}
-	ok, wait := s.limiter.allow(key, time.Now())
+	ok, wait := s.router.Admit(key, time.Now())
 	if ok {
 		return true
 	}
@@ -168,7 +165,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.admitClient(w, r) {
 		return
 	}
-	if s.draining.Load() {
+	if s.router.Draining() {
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
 		return

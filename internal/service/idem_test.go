@@ -70,6 +70,58 @@ func TestSubmitIdemDedupes(t *testing.T) {
 	}
 }
 
+// TestIdemTableLRUEviction pins the dedupe-table bound: beyond
+// IdemTableSize the least-recently-used key is evicted (its retry is
+// accepted as fresh work instead of the table growing without bound), a
+// touched key survives eviction pressure, and the mrts_idem_entries gauge
+// tracks the live mapping count.
+func TestIdemTableLRUEviction(t *testing.T) {
+	s := New(Options{Workers: 2, IdemTableSize: 3})
+	defer s.Close()
+
+	submit := func(key string) *Job {
+		t.Helper()
+		j, _, err := s.SubmitIdem(key, simSpec())
+		if err != nil {
+			t.Fatalf("submit %s: %v", key, err)
+		}
+		return j
+	}
+	first := submit("lru-0")
+	submit("lru-1")
+	submit("lru-2")
+	// Touch lru-0 so lru-1 becomes the eviction victim.
+	if j, deduped, _ := s.SubmitIdem("lru-0", simSpec()); !deduped || j.ID != first.ID {
+		t.Fatalf("lru-0 replay not deduped (job %s, want %s)", j.ID, first.ID)
+	}
+	victim := submit("lru-1") // still present: dedupes
+	submit("lru-3")           // table full: evicts lru-1 (LRU after the touch order 0,2,1,3... )
+
+	s.mu.Lock()
+	idem := s.router.idem.snapshot()
+	n := s.router.idem.len()
+	s.mu.Unlock()
+	if n != 3 {
+		t.Errorf("idem table holds %d mappings, want 3 (cap)", n)
+	}
+	if got := s.Metrics().Gauge("mrts_idem_entries").Value(); got != int64(n) {
+		t.Errorf("mrts_idem_entries = %d, want %d", got, n)
+	}
+	if _, ok := idem["lru-0"]; !ok {
+		t.Error("recently-touched key lru-0 was evicted")
+	}
+	// The evicted key's retry is accepted as a fresh submission — the
+	// graceful-degradation contract of the bounded table.
+	if _, evicted := idem["lru-2"]; !evicted {
+		if j, deduped, err := s.SubmitIdem("lru-2", simSpec()); err != nil {
+			t.Fatal(err)
+		} else if deduped {
+			t.Errorf("evicted key lru-2 still deduped onto job %s", j.ID)
+		}
+	}
+	_ = victim
+}
+
 func TestSubmitIdemQueueFullRollsBack(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	defer s.Close()
@@ -92,7 +144,7 @@ func TestSubmitIdemQueueFullRollsBack(t *testing.T) {
 		t.Fatal("queue never reported full")
 	}
 	s.mu.Lock()
-	_, lingers := s.idem[fullKey]
+	_, lingers := s.router.idem.get(fullKey)
 	s.mu.Unlock()
 	if lingers {
 		t.Errorf("key %s of a rejected submission lingers in the dedupe table", fullKey)
@@ -157,10 +209,7 @@ func TestQueueFullRaceKeepsJobTableConsistent(t *testing.T) {
 		inTable[id] = true
 	}
 	order := append([]string(nil), s.order...)
-	idem := make(map[string]string, len(s.idem))
-	for k, id := range s.idem {
-		idem[k] = id
-	}
+	idem := s.router.idem.snapshot()
 	s.mu.Unlock()
 
 	for id := range returned {

@@ -49,6 +49,11 @@ const (
 	// Current servers decide admission before journaling the submit and
 	// never write rejects; replay still honors them in older journals.
 	KindReject = "reject"
+	// KindForget voids a submit whose job was handed to another cluster
+	// node (work stealing): the receiving node journaled it durably
+	// before the donor forgets it, so replay drops the pair — the job
+	// lives on, just not here.
+	KindForget = "forget"
 )
 
 // Record is one journaled job transition. Only the fields relevant to

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync/atomic"
+	"time"
+
+	"mrts/internal/service/api"
+	"mrts/internal/service/journal"
+)
+
+// Router owns the admission half of the daemon — everything that decides
+// *whether* a job enters the system, as opposed to running it: draining
+// state, the per-client rate limiter, the idempotency dedupe table and
+// the queue-slot reservation that decides admission before any durable
+// state exists. The Server keeps the execution half (worker pool, job
+// table, journal, caches, result serving).
+//
+// The split is what the cluster layer builds on: internal/cluster places
+// jobs on nodes by consistent hashing and calls the owning node's
+// router-backed submission path (SubmitWithID, so a pre-replicated job ID
+// survives the hop), steals queued-but-unstarted jobs from hot nodes
+// (TakeQueued / Requeue / Forget) and adopts a dead peer's replicated
+// journal (Adopt) — all without touching the execution machinery.
+type Router struct {
+	s       *Server
+	limiter *rateLimiter
+
+	draining atomic.Bool
+	// queued counts reserved queue slots: incremented under s.mu by
+	// submit before the job is published anywhere, decremented by a
+	// worker when it receives the job (or by Forget after a successful
+	// steal handoff). Because only reservation holders send on s.queue
+	// and queued never exceeds cap(s.queue), the send is guaranteed not
+	// to block — admission is decided entirely under the lock, before the
+	// job table, idem table or journal have seen the job.
+	queued atomic.Int64
+
+	// idem dedupes client idempotency keys; guarded by s.mu.
+	idem *idemTable
+}
+
+func newRouter(s *Server, opts Options) *Router {
+	r := &Router{
+		s:    s,
+		idem: newIdemTable(opts.IdemTableSize, s.metrics),
+	}
+	if opts.RatePerSec > 0 {
+		r.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+	}
+	return r
+}
+
+// Draining reports whether the router has stopped admitting jobs.
+func (r *Router) Draining() bool { return r.draining.Load() }
+
+// SetDraining flips admission off (or back on, for tests).
+func (r *Router) SetDraining(v bool) { r.draining.Store(v) }
+
+// Admit applies the per-client rate limit. When the client is rejected,
+// retryAfter is how long it should wait before the next attempt can
+// succeed. A router without a limiter admits everyone.
+func (r *Router) Admit(clientKey string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if r.limiter == nil {
+		return true, 0
+	}
+	return r.limiter.allow(clientKey, now)
+}
+
+// release frees one reserved queue slot (a worker took the job, or a
+// steal handoff completed).
+func (r *Router) release() {
+	r.queued.Add(-1)
+}
+
+// SubmitIdem admits one job: validation, dedupe, slot reservation,
+// durable journaling, enqueue. An empty id draws a fresh job ID; the
+// cluster layer passes a pre-generated one so the ID it replicated to the
+// follower is the ID that runs. A non-empty key that was already accepted
+// returns the existing job (deduped=true); so does an id this server
+// already knows (an adoption or steal replay).
+func (r *Router) SubmitIdem(id, key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	if r.draining.Load() {
+		return nil, false, ErrDraining
+	}
+	s := r.s
+	if id == "" {
+		id = newJobID()
+	}
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	job = &Job{
+		ID:      id,
+		Spec:    spec,
+		State:   api.StateQueued,
+		Created: time.Now(),
+		IdemKey: key,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		durable: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if prev, ok := s.jobs[id]; ok {
+		// The caller-supplied ID already exists here — a replayed
+		// adoption or steal handoff. Treat it exactly like an idempotent
+		// retry of that job.
+		s.mu.Unlock()
+		cancel(nil)
+		s.jobsDeduped.Inc()
+		<-prev.durable
+		return prev, true, nil
+	}
+	if key != "" {
+		if jid, ok := r.idem.get(key); ok {
+			if prev, ok := s.jobs[jid]; ok {
+				s.mu.Unlock()
+				cancel(nil)
+				s.jobsDeduped.Inc()
+				// The original submission may still be fsyncing its
+				// submit record; a deduped 202 makes the same durability
+				// promise, so wait until the job it points at is safe.
+				<-prev.durable
+				return prev, true, nil
+			}
+			// The deduped job was retired; fall through and accept the
+			// retry as a fresh submission.
+		}
+	}
+	// Reserve a queue slot before publishing the job anywhere. A job
+	// that cannot run is rejected here, while neither the job table, the
+	// idem table nor the journal has seen it — so there is no multi-step
+	// rollback to race, and a deduped retry can never be handed a job
+	// that queue-full later revokes.
+	if r.queued.Load() >= int64(cap(s.queue)) {
+		s.mu.Unlock()
+		cancel(ErrQueueFull)
+		return nil, false, ErrQueueFull
+	}
+	r.queued.Add(1)
+	if key != "" {
+		r.idem.put(key, job.ID)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.retireOldLocked()
+	s.mu.Unlock()
+
+	// Journal the submission before enqueueing it, durably: once the
+	// client sees 202 the job must survive a crash, and the submit record
+	// must precede the start record a worker may write at any moment
+	// after the enqueue below.
+	s.appendJournal(journal.Record{
+		Kind:    journal.KindSubmit,
+		ID:      job.ID,
+		IdemKey: key,
+		Spec:    &spec,
+	}, true)
+	close(job.durable)
+
+	s.queue <- job // cannot block: the reserved slot guarantees room
+	s.jobsSubmitted.Inc()
+	s.queueDepth.Set(int64(len(s.queue)))
+	return job, false, nil
+}
+
+// idemTable is the bounded idempotency dedupe table: client keys map to
+// job IDs so a retried POST lands on the already-created job. It is an
+// LRU — beyond cap the least-recently-used key is evicted, which degrades
+// gracefully: an evicted key's retry is accepted as a fresh submission
+// (at-least-once, deterministic jobs ⇒ identical result) instead of the
+// table growing without bound across a long-lived server. Guarded by the
+// owning Server's mu.
+type idemTable struct {
+	cap     int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	entries *Gauge
+}
+
+type idemEntry struct {
+	key   string
+	jobID string
+}
+
+// DefaultIdemTableSize bounds the idempotency table when Options leave
+// IdemTableSize zero.
+const DefaultIdemTableSize = 4096
+
+func newIdemTable(capacity int, m *Metrics) *idemTable {
+	if capacity <= 0 {
+		capacity = DefaultIdemTableSize
+	}
+	return &idemTable{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		entries: m.Gauge("mrts_idem_entries"),
+	}
+}
+
+// get returns the job ID mapped to key, marking it most recently used.
+func (t *idemTable) get(key string) (string, bool) {
+	el, ok := t.items[key]
+	if !ok {
+		return "", false
+	}
+	t.ll.MoveToFront(el)
+	return el.Value.(*idemEntry).jobID, true
+}
+
+// put maps key to jobID, evicting the least-recently-used mapping when
+// the table is full.
+func (t *idemTable) put(key, jobID string) {
+	if el, ok := t.items[key]; ok {
+		el.Value.(*idemEntry).jobID = jobID
+		t.ll.MoveToFront(el)
+		return
+	}
+	t.items[key] = t.ll.PushFront(&idemEntry{key: key, jobID: jobID})
+	if t.ll.Len() > t.cap {
+		oldest := t.ll.Back()
+		t.ll.Remove(oldest)
+		delete(t.items, oldest.Value.(*idemEntry).key)
+	}
+	t.entries.Set(int64(t.ll.Len()))
+}
+
+// remove drops key's mapping if it still points at jobID (a newer job may
+// have taken the key over).
+func (t *idemTable) remove(key, jobID string) {
+	el, ok := t.items[key]
+	if !ok || el.Value.(*idemEntry).jobID != jobID {
+		return
+	}
+	t.ll.Remove(el)
+	delete(t.items, key)
+	t.entries.Set(int64(t.ll.Len()))
+}
+
+// len returns the number of live mappings.
+func (t *idemTable) len() int { return t.ll.Len() }
+
+// snapshot copies the key → job-ID mappings (tests and debugging).
+func (t *idemTable) snapshot() map[string]string {
+	out := make(map[string]string, len(t.items))
+	for k, el := range t.items {
+		out[k] = el.Value.(*idemEntry).jobID
+	}
+	return out
+}

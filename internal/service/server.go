@@ -25,7 +25,6 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"mrts/internal/service/api"
@@ -79,6 +78,19 @@ type Options struct {
 	RatePerSec float64
 	// RateBurst is the bucket capacity of the per-client limiter.
 	RateBurst int
+	// IdemTableSize bounds the idempotency dedupe table (default
+	// DefaultIdemTableSize): beyond it the least-recently-used key is
+	// evicted, so the table cannot grow without bound across a long-lived
+	// server. An evicted key's retry is accepted as a fresh submission.
+	IdemTableSize int
+	// Node labels this server as a cluster member: captured decision
+	// traces are tagged with it (obs.Event.Node) so traces from several
+	// nodes stay attributable once merged. Empty outside cluster mode.
+	Node string
+	// ExecOverride replaces the job execution path — test harnesses
+	// (panic injection, blocking executors, instant fakes) only; nil in
+	// production.
+	ExecOverride func(context.Context, api.JobSpec) (*api.JobResult, error)
 }
 
 func (o *Options) defaults() {
@@ -110,8 +122,12 @@ type Job struct {
 	// IdemKey is the client-supplied idempotency key, if any; it maps back
 	// to this job in the server's dedupe table until the job is retired.
 	IdemKey string
-	// Recovered marks a job rebuilt from the journal at startup.
+	// Recovered marks a job rebuilt from the journal at startup or
+	// adopted from a dead cluster peer's replicated journal.
 	Recovered bool
+	// taken marks a queued job removed from the queue by TakeQueued for a
+	// steal handoff; only taken jobs may be Forgotten or Requeued.
+	taken bool
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -123,6 +139,10 @@ type Job struct {
 	durable chan struct{}
 }
 
+// Done returns a channel closed when the job reaches a terminal state —
+// the cluster layer waits on it to replicate the completion record.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
 // closedChan is a pre-closed channel for jobs with nothing to wait for
 // (recovered from the journal, or created on a journal-less server).
 var closedChan = func() chan struct{} {
@@ -131,29 +151,24 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// Server owns the worker pool, the job table and the caches.
+// Server owns the execution half of the daemon: the worker pool, the job
+// table, the journal and the caches. Admission — draining, rate limiting,
+// idempotency dedupe, queue-slot reservation — lives in the Router.
 type Server struct {
 	opts      Options
 	metrics   *Metrics
 	results   *ResultCache
 	workloads *WorkloadCache
 	journal   *journal.Journal
-	limiter   *rateLimiter
+	router    *Router
 
-	baseCtx  context.Context
-	stop     context.CancelCauseFunc
-	wg       sync.WaitGroup
-	draining atomic.Bool
-	// queued counts reserved queue slots: incremented under mu by
-	// SubmitIdem before the job is published anywhere, decremented by a
-	// worker when it receives the job. Because only reservation holders
-	// send on s.queue and queued never exceeds cap(s.queue), the send is
-	// guaranteed not to block — admission is decided entirely under the
-	// lock, before the job table, idem table or journal have seen the job.
-	queued atomic.Int64
+	baseCtx context.Context
+	stop    context.CancelCauseFunc
+	wg      sync.WaitGroup
 
 	// execOverride replaces the job execution path in tests (panic
-	// injection, slow jobs). Set before the first Submit; nil in
+	// injection, slow jobs). Set before the first Submit (directly by
+	// in-package tests, via Options.ExecOverride elsewhere); nil in
 	// production.
 	execOverride func(context.Context, api.JobSpec) (*api.JobResult, error)
 
@@ -161,11 +176,6 @@ type Server struct {
 	jobs  map[string]*Job
 	order []string // submission order, for listing and retention
 	queue chan *Job
-	// idem maps client idempotency keys to job IDs, so a retried
-	// submission (the client's POST is replayed after a dropped response)
-	// lands on the already-created job instead of duplicating it. Entries
-	// live as long as their job is retained.
-	idem map[string]string
 
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *Counter
 	jobsDeduped, jobsRecovered                         *Counter
@@ -191,7 +201,6 @@ func New(opts Options) *Server {
 		baseCtx:   ctx,
 		stop:      stop,
 		jobs:      make(map[string]*Job),
-		idem:      make(map[string]string),
 
 		jobsSubmitted:    m.Counter("mrts_jobs_submitted_total"),
 		jobsDone:         m.Counter("mrts_jobs_done_total"),
@@ -210,9 +219,8 @@ func New(opts Options) *Server {
 		e2eSeconds:       m.Histogram("mrts_job_e2e_seconds"),
 		pointSeconds:     m.Histogram("mrts_point_eval_seconds"),
 	}
-	if opts.RatePerSec > 0 {
-		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
-	}
+	s.execOverride = opts.ExecOverride
+	s.router = newRouter(s, opts)
 
 	// Replay before the queue exists so its capacity can grow to hold
 	// every recovered pending job, whatever QueueDepth says.
@@ -227,7 +235,7 @@ func New(opts Options) *Server {
 		depth = len(pending)
 	}
 	s.queue = make(chan *Job, depth)
-	s.queued.Store(int64(len(pending))) // recovered jobs hold their slots
+	s.router.queued.Store(int64(len(pending))) // recovered jobs hold their slots
 	for _, j := range pending {
 		s.queue <- j
 		s.jobsRecovered.Inc()
@@ -248,40 +256,7 @@ func New(opts Options) *Server {
 // dropped. Re-running is safe because jobs are deterministic — the
 // replayed run produces byte-identical results.
 func (s *Server) replayJournal(recs []journal.Record) (pending []*Job) {
-	type fold struct {
-		submit    journal.Record
-		cancelled bool
-		rejected  bool
-		complete  *journal.Record
-	}
-	byID := make(map[string]*fold)
-	var order []string
-	for i := range recs {
-		r := recs[i]
-		switch r.Kind {
-		case journal.KindSubmit:
-			if r.Spec == nil {
-				continue
-			}
-			if _, ok := byID[r.ID]; ok {
-				continue
-			}
-			byID[r.ID] = &fold{submit: r}
-			order = append(order, r.ID)
-		case journal.KindCancel:
-			if f, ok := byID[r.ID]; ok {
-				f.cancelled = true
-			}
-		case journal.KindReject:
-			if f, ok := byID[r.ID]; ok {
-				f.rejected = true
-			}
-		case journal.KindComplete:
-			if f, ok := byID[r.ID]; ok && f.complete == nil {
-				f.complete = &recs[i]
-			}
-		}
-	}
+	byID, order := foldRecords(recs)
 	now := time.Now()
 	for _, id := range order {
 		f := byID[id]
@@ -319,10 +294,54 @@ func (s *Server) replayJournal(recs []journal.Record) (pending []*Job) {
 		s.jobs[id] = job
 		s.order = append(s.order, id)
 		if job.IdemKey != "" {
-			s.idem[job.IdemKey] = id
+			s.router.idem.put(job.IdemKey, id)
 		}
 	}
 	return pending
+}
+
+// foldedJob is the per-job summary of a record stream: the submit that
+// created it plus whatever terminal signal followed.
+type foldedJob struct {
+	submit    journal.Record
+	cancelled bool
+	rejected  bool
+	complete  *journal.Record
+}
+
+// foldRecords collapses a journal record stream into one foldedJob per
+// job ID, in first-submit order. Rejects and forgets void the submit:
+// replay drops the job entirely (it was never admitted, or another node
+// owns it now).
+func foldRecords(recs []journal.Record) (byID map[string]*foldedJob, order []string) {
+	byID = make(map[string]*foldedJob)
+	for i := range recs {
+		r := recs[i]
+		switch r.Kind {
+		case journal.KindSubmit:
+			if r.Spec == nil {
+				continue
+			}
+			if _, ok := byID[r.ID]; ok {
+				continue
+			}
+			byID[r.ID] = &foldedJob{submit: r}
+			order = append(order, r.ID)
+		case journal.KindCancel:
+			if f, ok := byID[r.ID]; ok {
+				f.cancelled = true
+			}
+		case journal.KindReject, journal.KindForget:
+			if f, ok := byID[r.ID]; ok {
+				f.rejected = true
+			}
+		case journal.KindComplete:
+			if f, ok := byID[r.ID]; ok && f.complete == nil {
+				f.complete = &recs[i]
+			}
+		}
+	}
+	return byID, order
 }
 
 func parseRecordTime(v string, fallback time.Time) time.Time {
@@ -359,9 +378,17 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // ResultCache exposes the point cache (for tests and benchmarks).
 func (s *Server) ResultCache() *ResultCache { return s.results }
 
+// Router exposes the admission half of the daemon (draining, rate
+// limiting, dedupe, placement-facing submission).
+func (s *Server) Router() *Router { return s.router }
+
 // Ready reports whether the server admits new jobs (false while
 // draining or shutting down) — the /readyz signal.
-func (s *Server) Ready() bool { return !s.draining.Load() }
+func (s *Server) Ready() bool { return !s.router.Draining() }
+
+// NodeID returns the cluster member label of this server ("" outside
+// cluster mode).
+func (s *Server) NodeID() string { return s.opts.Node }
 
 // RecoveredJobs reports how many unfinished jobs the journal replay
 // re-enqueued at startup.
@@ -373,7 +400,7 @@ func (s *Server) RecoveredJobs() int { return int(s.jobsRecovered.Value()) }
 // with a journal attached those jobs are journaled as incomplete and
 // re-run after restart, so stopping anyway loses nothing.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	s.router.SetDraining(true)
 	t := time.NewTicker(10 * time.Millisecond)
 	defer t.Stop()
 	for {
@@ -408,7 +435,7 @@ func (s *Server) activeJobs() int {
 // on the next start the journal replays them as unfinished and re-runs
 // them.
 func (s *Server) Close() {
-	s.draining.Store(true)
+	s.router.SetDraining(true)
 	s.stop(ErrShuttingDown)
 	s.wg.Wait()
 	s.mu.Lock()
@@ -441,77 +468,192 @@ func (s *Server) Submit(spec api.JobSpec) (*Job, error) {
 // With a journal attached, the submit record is fsynced before the job
 // is acknowledged, so an accepted job survives a crash.
 func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
-	if err := spec.Validate(); err != nil {
-		return nil, false, err
-	}
-	if s.draining.Load() {
-		return nil, false, ErrDraining
-	}
-	ctx, cancel := context.WithCancelCause(s.baseCtx)
-	job = &Job{
-		ID:      newJobID(),
-		Spec:    spec,
-		State:   api.StateQueued,
-		Created: time.Now(),
-		IdemKey: key,
-		ctx:     ctx,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		durable: make(chan struct{}),
+	return s.router.SubmitIdem("", key, spec)
+}
+
+// SubmitWithID is SubmitIdem with a caller-chosen job ID — the cluster
+// layer's entry point: the owning node replicates the (id, key, spec)
+// submit record to its follower before admitting the job, so the ID that
+// survives a node death is the ID that ran. An id this server already
+// knows returns the existing job (deduped=true).
+func (s *Server) SubmitWithID(id, key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
+	return s.router.SubmitIdem(id, key, spec)
+}
+
+// LookupIdem returns the live job an idempotency key maps to, if any,
+// marking the key recently used. The cluster layer checks it before
+// replicating a submit record, so a client replay does not plant a
+// phantom job in the follower's replica.
+func (s *Server) LookupIdem(key string) (*Job, bool) {
+	if key == "" {
+		return nil, false
 	}
 	s.mu.Lock()
-	if key != "" {
-		if id, ok := s.idem[key]; ok {
-			if prev, ok := s.jobs[id]; ok {
+	defer s.mu.Unlock()
+	id, ok := s.router.idem.get(key)
+	if !ok {
+		return nil, false
+	}
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// QueueLen reports how many jobs are queued but not yet picked up — the
+// signal work stealing uses to find hot and idle nodes.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// TakeQueued removes one queued-but-unstarted job from the pool for an
+// external executor (cluster work stealing). The job stays in the job
+// table and keeps its reserved queue slot until the caller settles the
+// handoff: Forget(id) once the thief holds the job durably, or Requeue
+// if the handoff failed. Returns false when nothing is queued.
+func (s *Server) TakeQueued() (*Job, bool) {
+	for {
+		select {
+		case job := <-s.queue:
+			s.queueDepth.Set(int64(len(s.queue)))
+			s.mu.Lock()
+			if job.State != api.StateQueued {
+				// Cancelled while queued: drop it like a worker would,
+				// releasing its slot, and try the next one.
 				s.mu.Unlock()
-				cancel(nil)
-				s.jobsDeduped.Inc()
-				// The original submission may still be fsyncing its
-				// submit record; a deduped 202 makes the same durability
-				// promise, so wait until the job it points at is safe.
-				<-prev.durable
-				return prev, true, nil
+				s.router.release()
+				continue
 			}
-			// The deduped job was retired; fall through and accept the
-			// retry as a fresh submission.
+			job.taken = true
+			s.mu.Unlock()
+			return job, true
+		default:
+			return nil, false
 		}
 	}
-	// Reserve a queue slot before publishing the job anywhere. A job
-	// that cannot run is rejected here, while neither the job table, the
-	// idem table nor the journal has seen it — so there is no multi-step
-	// rollback to race, and a deduped retry can never be handed a job
-	// that queue-full later revokes.
-	if s.queued.Load() >= int64(cap(s.queue)) {
-		s.mu.Unlock()
-		cancel(ErrQueueFull)
-		return nil, false, ErrQueueFull
-	}
-	s.queued.Add(1)
-	if key != "" {
-		s.idem[key] = job.ID
-	}
-	s.jobs[job.ID] = job
-	s.order = append(s.order, job.ID)
-	s.retireOldLocked()
-	s.mu.Unlock()
-
-	// Journal the submission before enqueueing it, durably: once the
-	// client sees 202 the job must survive a crash, and the submit record
-	// must precede the start record a worker may write at any moment
-	// after the enqueue below.
-	s.appendJournal(journal.Record{
-		Kind:    journal.KindSubmit,
-		ID:      job.ID,
-		IdemKey: key,
-		Spec:    &spec,
-	}, true)
-	close(job.durable)
-
-	s.queue <- job // cannot block: the reserved slot guarantees room
-	s.jobsSubmitted.Inc()
-	s.queueDepth.Set(int64(len(s.queue)))
-	return job, false, nil
 }
+
+// Requeue returns a job taken by TakeQueued to the queue — the steal
+// handoff failed. The job's slot was never released, so the send cannot
+// block.
+func (s *Server) Requeue(j *Job) {
+	s.mu.Lock()
+	if !j.taken {
+		s.mu.Unlock()
+		return
+	}
+	j.taken = false
+	s.mu.Unlock()
+	s.queue <- j
+	s.queueDepth.Set(int64(len(s.queue)))
+}
+
+// Forget removes a job taken by TakeQueued from this server entirely —
+// another cluster node now owns it durably. The forget record voids the
+// submit in the journal, so a replay of this node does not re-run the
+// job here. (If this node crashes before the record lands, replay re-runs
+// it — a duplicate execution with a byte-identical result, never a loss.)
+func (s *Server) Forget(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || !j.taken || j.State != api.StateQueued {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if j.IdemKey != "" {
+		s.router.idem.remove(j.IdemKey, id)
+	}
+	s.mu.Unlock()
+	s.router.release()
+	j.cancel(nil)
+	s.appendJournal(journal.Record{Kind: journal.KindForget, ID: id}, false)
+	return true
+}
+
+// Adopt folds journal records replicated from a dead cluster peer into
+// this server: completed jobs are inserted terminal so their results keep
+// being served, unfinished jobs are re-submitted under their original IDs
+// and re-run — deterministic jobs make the re-run byte-identical. Jobs
+// this server already knows are skipped. Every adopted job is journaled
+// here, so a later crash of this node re-covers them too. Pending jobs
+// that do not fit the queue are reported in err; the caller retries.
+func (s *Server) Adopt(recs []journal.Record) (requeued, completed int, err error) {
+	byID, order := foldRecords(recs)
+	now := time.Now()
+	var full int
+	for _, id := range order {
+		f := byID[id]
+		if f.rejected {
+			continue
+		}
+		s.mu.Lock()
+		_, known := s.jobs[id]
+		s.mu.Unlock()
+		if known {
+			continue
+		}
+		switch {
+		case f.complete != nil && f.complete.State.Terminal():
+			job := &Job{
+				ID:        id,
+				Spec:      *f.submit.Spec,
+				IdemKey:   f.submit.IdemKey,
+				State:     f.complete.State,
+				Err:       f.complete.Error,
+				Result:    f.complete.Result,
+				Created:   parseRecordTime(f.submit.Time, now),
+				Finished:  parseRecordTime(f.complete.Time, now),
+				Recovered: true,
+				cancel:    func(error) {},
+				done:      closedChan,
+				durable:   closedChan,
+			}
+			s.mu.Lock()
+			if _, ok := s.jobs[id]; !ok {
+				s.jobs[id] = job
+				s.order = append(s.order, id)
+				if job.IdemKey != "" {
+					s.router.idem.put(job.IdemKey, id)
+				}
+				s.retireOldLocked()
+				completed++
+			}
+			s.mu.Unlock()
+			s.appendJournal(journal.Record{
+				Kind: journal.KindSubmit, ID: id, IdemKey: f.submit.IdemKey, Spec: f.submit.Spec,
+			}, false)
+			s.appendJournal(journal.Record{
+				Kind: journal.KindComplete, ID: id, State: job.State, Error: job.Err, Result: job.Result,
+			}, false)
+		case f.cancelled:
+			// Cancelled before the peer died: nothing to run, nothing to
+			// serve — drop it.
+		default:
+			_, deduped, serr := s.router.SubmitIdem(id, f.submit.IdemKey, *f.submit.Spec)
+			switch {
+			case serr == nil && !deduped:
+				requeued++
+			case errors.Is(serr, ErrQueueFull):
+				full++
+			case serr != nil && !deduped:
+				// Validation failure etc. — the spec ran on the peer, so
+				// this should not happen; surface it.
+				err = errors.Join(err, fmt.Errorf("service: adopt %s: %w", id, serr))
+			}
+		}
+	}
+	if full > 0 {
+		err = errors.Join(err, fmt.Errorf("service: adopt: %d jobs did not fit the queue: %w", full, ErrQueueFull))
+	}
+	return requeued, completed, err
+}
+
+// NewJobID draws a fresh job ID — exported so the cluster layer can
+// assign the ID it replicates before the job exists anywhere.
+func NewJobID() string { return newJobID() }
 
 // retireOldLocked drops the oldest terminal jobs beyond the retention
 // bound so the job table cannot grow without limit.
@@ -521,8 +663,8 @@ func (s *Server) retireOldLocked() {
 		for i, id := range s.order {
 			if j, ok := s.jobs[id]; ok && j.State.Terminal() {
 				delete(s.jobs, id)
-				if j.IdemKey != "" && s.idem[j.IdemKey] == id {
-					delete(s.idem, j.IdemKey)
+				if j.IdemKey != "" {
+					s.router.idem.remove(j.IdemKey, id)
 				}
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				dropped = true
@@ -628,7 +770,7 @@ func (s *Server) worker() {
 		case <-s.baseCtx.Done():
 			return
 		case job := <-s.queue:
-			s.queued.Add(-1) // the reserved slot is free again
+			s.router.release() // the reserved slot is free again
 			s.queueDepth.Set(int64(len(s.queue)))
 			s.runJob(job)
 		}
