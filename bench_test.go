@@ -13,12 +13,14 @@ package mrts
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"mrts/internal/arch"
 	"mrts/internal/baseline"
+	"mrts/internal/batch"
 	"mrts/internal/core"
 	"mrts/internal/ecu"
 	"mrts/internal/exp"
@@ -596,6 +598,134 @@ func BenchmarkOptimalScalability(b *testing.B) {
 // reconfigurations are costed as if the ports were idle.
 func BenchmarkAblationPortBlindProfit(b *testing.B) {
 	ablate(b, core.Options{ChargeOverhead: true, Model: profit.PortBlind})
+}
+
+// --- Batch engine benches --------------------------------------------------
+
+// batchLattice builds the free-capacity request lattice of the batch
+// benchmarks over the 4x20 synthetic library — the scalability case of the
+// CI guard — extended past the block's demand bound so saturation clamping
+// (selector.DemandBound) gives the shared memo real duplicates to absorb,
+// the way oversized fabric combinations repeat in a real sweep.
+func batchLattice() []selector.Request {
+	blk, triggers := iselib.GenerateBlock("s", 4, 20, 11)
+	bp, bc := selector.DemandBound(blk)
+	var reqs []selector.Request
+	for p := 0; p <= bp+4; p++ {
+		for c := 0; c <= bc+4; c++ {
+			reqs = append(reqs, selector.Request{
+				Block:    blk,
+				Triggers: triggers,
+				Fabric:   ise.EmptyFabric{PRC: p, CG: c},
+				Model:    profit.Multigrained,
+			})
+		}
+	}
+	return reqs
+}
+
+// BenchmarkBatchSelection compares one sweep-worth of greedy selections
+// evaluated sequentially against selector.Batch: the batch half spreads
+// the lattice over GOMAXPROCS workers and answers clamp-duplicate points
+// from the shared memo. Results are byte-identical either way (pinned in
+// internal/selector); only wall-clock may differ.
+func BenchmarkBatchSelection(b *testing.B) {
+	reqs := batchLattice()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range reqs {
+				if _, err := selector.Greedy(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var hits, total uint64
+		for i := 0; i < b.N; i++ {
+			memo := selector.NewMemo(0)
+			if _, err := selector.Batch(reqs, 0, memo); err != nil {
+				b.Fatal(err)
+			}
+			st := memo.Stats()
+			hits, total = st.Hits, st.Hits+st.Misses
+		}
+		b.ReportMetric(float64(hits), "seed-hits")
+		b.ReportMetric(float64(total), "points")
+	})
+}
+
+// BenchmarkSweepWallclock measures the figure pipeline (Fig. 8 + 9 + 10 —
+// the core of `mrts-sweep -fig all`) end to end. "sequential" is the
+// pre-batch behaviour: the direct evaluator on a single worker. "batch" is
+// the batch engine with the default worker pool, point deduplication
+// across figures and the shared selection memo; point-replays counts the
+// simulations the engine never re-ran.
+func BenchmarkSweepWallclock(b *testing.B) {
+	w, _ := benchWorkload(b)
+	figs := func(ctx context.Context, eval exp.Evaluator) error {
+		if _, err := exp.Fig8(ctx, eval, 3, 2); err != nil {
+			return err
+		}
+		if _, err := exp.Fig9(ctx, eval, 3, 2); err != nil {
+			return err
+		}
+		_, err := exp.Fig10(ctx, eval, 3, 2)
+		return err
+	}
+	b.Run("sequential", func(b *testing.B) {
+		ctx := exp.WithWorkers(context.Background(), 1)
+		for i := 0; i < b.N; i++ {
+			if err := figs(ctx, exp.DirectEvaluator(w)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var st batch.Stats
+		for i := 0; i < b.N; i++ {
+			eng := batch.New(w, 0)
+			if err := figs(context.Background(), eng.Evaluator()); err != nil {
+				b.Fatal(err)
+			}
+			st = eng.Stats()
+		}
+		b.ReportMetric(float64(st.PointHits), "point-replays")
+		b.ReportMetric(float64(st.SeedHits), "seed-hits")
+	})
+}
+
+// TestBatchNotSlowerThanSequential is the CI guard of the batch engine's
+// reason to exist: on the 4x20 scalability case, selector.Batch must not
+// be slower than the plain sequential loop over the same requests.
+// Benchmarking inside a test is noisy on shared runners, so the guard is
+// opt-in (MRTS_BENCH_SMOKE=1) and allows 20% slack.
+func TestBatchNotSlowerThanSequential(t *testing.T) {
+	if os.Getenv("MRTS_BENCH_SMOKE") == "" {
+		t.Skip("set MRTS_BENCH_SMOKE=1 to run the batch-vs-sequential guard")
+	}
+	reqs := batchLattice()
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range reqs {
+				if _, err := selector.Greedy(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	bat := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selector.Batch(reqs, 0, selector.NewMemo(0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	t.Logf("sequential %d ns/op, batch %d ns/op (%d points)", seq.NsPerOp(), bat.NsPerOp(), len(reqs))
+	if float64(bat.NsPerOp()) > 1.2*float64(seq.NsPerOp()) {
+		t.Errorf("batch selection is slower than sequential: %d ns/op vs %d ns/op",
+			bat.NsPerOp(), seq.NsPerOp())
+	}
 }
 
 // --- Service benches -------------------------------------------------------

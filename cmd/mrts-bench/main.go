@@ -27,7 +27,8 @@ import (
 // a CI guard.
 const defaultPattern = "BenchmarkProfitFunction$|BenchmarkGreedySelection$|BenchmarkOptimalSelection$|" +
 	"BenchmarkSelectionCached$|BenchmarkSelectionUncached$|BenchmarkSelectionObserved$|BenchmarkGreedyIncremental|" +
-	"BenchmarkSelectorScalability|BenchmarkOptimalScalability|BenchmarkServiceThroughput$"
+	"BenchmarkSelectorScalability|BenchmarkOptimalScalability|BenchmarkServiceThroughput$|" +
+	"BenchmarkBatchSelection|BenchmarkSweepWallclock"
 
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`

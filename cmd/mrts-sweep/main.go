@@ -21,8 +21,10 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"time"
 
 	"mrts/internal/arch"
+	"mrts/internal/batch"
 	"mrts/internal/exp"
 	"mrts/internal/fault"
 	"mrts/internal/obs"
@@ -42,9 +44,11 @@ func main() {
 		faultSeed  = flag.Uint64("faultseed", 1, "fault-schedule seed of the faults sweep")
 		tenants    = flag.Int("tenants", 4, "largest tenant count of the tenant sweep")
 		mix        = flag.String("mix", "uniform", "tenant mix of the tenant sweep: "+strings.Join(exp.TenantMixes, "|"))
+		workers    = flag.Int("workers", 0, "sweep worker-pool size (default GOMAXPROCS)")
+		direct     = flag.Bool("direct", false, "bypass the batch engine: no point deduplication, no cross-point selection reuse (results are byte-identical either way)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
-		traceOut   = flag.String("trace", "", "write the decision traces of every point (JSONL, one run label per point) to this file; render with mrts-timeline")
+		traceOut   = flag.String("trace", "", "write the decision traces of every point (JSONL, one run label per point) to this file; render with mrts-timeline (implies -direct: every point must actually run to be traced)")
 	)
 	flag.Parse()
 
@@ -88,8 +92,43 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *workers != 0 {
+		ctx = exp.WithWorkers(ctx, *workers)
+	}
 	eval := exp.DirectEvaluator(w)
 	feval := exp.DirectFaultEvaluator(w)
+
+	// The batch engine deduplicates repeated points and shares selection
+	// work across sweep points; tracing needs every point to really run,
+	// so it falls back to the direct evaluators.
+	var eng *batch.Engine
+	if !*direct && *traceOut == "" {
+		eng = batch.New(w, 0)
+		eval = eng.Evaluator()
+		feval = eng.FaultEvaluator()
+		// The tenant sweep builds its per-tenant instances itself; hand
+		// it the engine's memo through the context.
+		ctx = exp.WithSelectionMemo(ctx, eng.Memo())
+	}
+
+	start := time.Now()
+	summary := func() {
+		elapsed := time.Since(start)
+		poolSize := *workers
+		if poolSize <= 0 {
+			poolSize = runtime.GOMAXPROCS(0)
+		}
+		if eng == nil {
+			fmt.Fprintf(os.Stderr, "mrts-sweep: done in %.2fs (%d workers, direct evaluation)\n",
+				elapsed.Seconds(), poolSize)
+			return
+		}
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr,
+			"mrts-sweep: %d points in %.2fs (%.1f points/sec, %d workers); %d point replays, %d/%d selections seeded\n",
+			st.Points, elapsed.Seconds(), float64(st.Points)/elapsed.Seconds(), poolSize,
+			st.PointHits, st.SeedHits, st.SeedHits+st.SeedMisses)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -202,9 +241,11 @@ func main() {
 			}
 			run(name)
 		}
+		summary()
 		return
 	}
 	run(*fig)
+	summary()
 }
 
 func fatal(err error) {

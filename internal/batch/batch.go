@@ -1,0 +1,167 @@
+// Package batch is the batch sweep-evaluation engine: it wraps the
+// experiment harness's point evaluators (exp.Evaluator, exp.FaultEvaluator)
+// with two layers of cross-point reuse that leave every simulated cycle
+// untouched:
+//
+//   - a point-level report memo, deduplicating identical (config, policy,
+//     seed, fault-scenario) evaluations across figures and concurrent
+//     sweeps (the "-fig all" pipeline re-evaluates the RISC reference and
+//     overlapping combinations many times), with singleflight semantics so
+//     racing workers share one simulation;
+//   - a workload-wide selection memo (selector.Memo) attached to every
+//     greedy-selector policy the evaluators build, so the ISE selection
+//     computed at one sweep point seeds neighbouring points whose selector
+//     inputs coincide once free capacity is clamped at the block's demand
+//     bound (see selector.DemandBound).
+//
+// Both layers replay exact, fingerprint-keyed results, so batch output is
+// byte-identical to direct evaluation for every policy, with and without
+// faults — pinned by the identity tests in this package.
+package batch
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/fault"
+	"mrts/internal/selector"
+	"mrts/internal/sim"
+	"mrts/internal/workload"
+)
+
+// Stats is a snapshot of an Engine's reuse counters.
+type Stats struct {
+	// Points counts point evaluations requested; PointHits of those were
+	// replayed from the point-level report memo (or joined an identical
+	// in-flight evaluation) instead of simulating.
+	Points    int64
+	PointHits int64
+	// SeedHits / SeedMisses are the shared selection memo's traffic: the
+	// selections answered across policy instances and sweep points
+	// without re-running the greedy algorithm, versus computed for real.
+	SeedHits   uint64
+	SeedMisses uint64
+}
+
+// pointKey identifies one simulation exactly: the fabric budget, the
+// policy, and the fault scenario with its seed. Simulations are
+// deterministic functions of this key (for a fixed workload), which is
+// what makes the report memo sound.
+type pointKey struct {
+	cfg  arch.Config
+	pol  exp.Policy
+	seed uint64
+	fo   fault.Options
+}
+
+// pointEntry is a singleflight slot: the first goroutine to claim the key
+// runs the simulation inside once; concurrent requesters block on it and
+// share the result.
+type pointEntry struct {
+	once sync.Once
+	rep  *sim.Report
+	err  error
+}
+
+// Engine evaluates sweep points over one workload with cross-point reuse.
+// It is safe for concurrent use; one Engine is meant to serve a whole
+// sweep job (all figures, all policies). Reports returned by its
+// evaluators are shared across callers and must be treated as read-only —
+// the aggregation code in internal/exp already does.
+type Engine struct {
+	w    *workload.Result
+	memo *selector.Memo
+
+	mu     sync.Mutex
+	points map[pointKey]*pointEntry
+
+	requests atomic.Int64
+	hits     atomic.Int64
+}
+
+// New creates an engine over the workload. memoSize bounds the shared
+// selection memo (selector.DefaultMemoSize if <= 0).
+func New(w *workload.Result, memoSize int) *Engine {
+	return &Engine{
+		w:      w,
+		memo:   selector.NewMemo(memoSize),
+		points: make(map[pointKey]*pointEntry),
+	}
+}
+
+// Workload returns the workload the engine evaluates on.
+func (e *Engine) Workload() *workload.Result { return e.w }
+
+// Memo returns the engine's shared selection memo, for callers that drive
+// additional harness entry points (e.g. the tenant sweep) under the same
+// cross-point reuse via exp.WithSelectionMemo.
+func (e *Engine) Memo() *selector.Memo { return e.memo }
+
+// Stats returns a snapshot of the engine's reuse counters.
+func (e *Engine) Stats() Stats {
+	ms := e.memo.Stats()
+	return Stats{
+		Points:     e.requests.Load(),
+		PointHits:  e.hits.Load(),
+		SeedHits:   ms.Hits,
+		SeedMisses: ms.Misses,
+	}
+}
+
+// Evaluator returns the engine's fault-free point evaluator, the drop-in
+// replacement for exp.DirectEvaluator.
+func (e *Engine) Evaluator() exp.Evaluator {
+	return func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
+		return e.eval(ctx, cfg, p, 0, fault.Options{})
+	}
+}
+
+// FaultEvaluator returns the engine's fault-scenario evaluator, the
+// drop-in replacement for exp.DirectFaultEvaluator.
+func (e *Engine) FaultEvaluator() exp.FaultEvaluator {
+	return func(ctx context.Context, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) (*sim.Report, error) {
+		if fo.IsZero() {
+			// A benign scenario runs the plain fault-free path whatever
+			// its seed, horizon or flap-length fields say (no schedule is
+			// built); normalising the key lets it share the fault-free
+			// point's memo entry.
+			seed, fo = 0, fault.Options{}
+		}
+		return e.eval(ctx, cfg, p, seed, fo)
+	}
+}
+
+func (e *Engine) eval(ctx context.Context, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) (*sim.Report, error) {
+	e.requests.Add(1)
+	key := pointKey{cfg: cfg, pol: p, seed: seed, fo: fo}
+
+	e.mu.Lock()
+	ent, ok := e.points[key]
+	if !ok {
+		ent = &pointEntry{}
+		e.points[key] = ent
+	}
+	e.mu.Unlock()
+	if ok {
+		e.hits.Add(1)
+	}
+
+	ent.once.Do(func() {
+		ent.rep, ent.err = exp.RunPointFaults(
+			exp.WithSelectionMemo(ctx, e.memo), e.w, cfg, p, seed, fo)
+	})
+	if ent.err != nil {
+		// Do not cache failures: a cancelled context would otherwise
+		// poison the point for later, healthy requests.
+		e.mu.Lock()
+		if e.points[key] == ent {
+			delete(e.points, key)
+		}
+		e.mu.Unlock()
+		return nil, ent.err
+	}
+	return ent.rep, nil
+}

@@ -107,6 +107,13 @@ type Stats struct {
 	// CoveredPicks counts ISEs selected directly by Fig. 6 Step 2b (fully
 	// covered by previously selected data paths, no profit evaluation).
 	CoveredPicks int64
+	// SharedHits / SharedMisses count selections answered by (resp.
+	// computed through) the cross-point memo a batch sweep attached via
+	// SetSharedMemo. They subdivide CacheMisses: a shared hit still counts
+	// as an L1 cache miss, it just cost the host a memo lookup instead of
+	// a real selection.
+	SharedHits   int64
+	SharedMisses int64
 
 	// FaultEvents counts fabric fault notifications delivered to the
 	// runtime system.
@@ -165,13 +172,26 @@ type MRTS struct {
 	exec *ecu.ECU
 	opts Options
 
-	selected map[ise.KernelID]*ise.ISE
+	// selected maps the kernel object — the pointer the simulator hands
+	// Execute — to its selected ISE. Pointer keys keep the per-execution
+	// lookup off the string-hashing path; selections resolve kernel IDs to
+	// pointers once, at selection time.
+	selected map[*ise.Kernel]*ise.ISE
 	stats    Stats
 
 	// selCache memoizes selection results per input fingerprint; nil when
 	// disabled. fpBuf is the reusable fingerprint build buffer.
 	selCache *selCache
 	fpBuf    []byte
+
+	// sharedMemo, when non-nil, answers selections the per-run cache
+	// missed from a cross-point memo shared with other policy instances
+	// and sweep points over the same workload (see selector.Memo). Only
+	// honoured when the policy runs the default greedy selector
+	// (greedyDefault): the memo replays greedy Results and must not stand
+	// in for a custom or optimal Select.
+	sharedMemo    *selector.Memo
+	greedyDefault bool
 
 	// obsr records MPU, selector, ECU and cache decision events when
 	// tracing is on; nil otherwise. The recorder never feeds back into the
@@ -195,7 +215,8 @@ func New(cfg arch.Config, opts Options) (*MRTS, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.Select == nil {
+	greedyDefault := opts.Select == nil
+	if greedyDefault {
 		opts.Select = selector.Greedy
 	}
 	name := opts.Name
@@ -203,11 +224,12 @@ func New(cfg arch.Config, opts Options) (*MRTS, error) {
 		name = "mRTS"
 	}
 	m := &MRTS{
-		name:     name,
-		ctrl:     ctrl,
-		pred:     mpu.New(opts.MPU...),
-		opts:     opts,
-		selected: make(map[ise.KernelID]*ise.ISE),
+		name:          name,
+		ctrl:          ctrl,
+		pred:          mpu.New(opts.MPU...),
+		opts:          opts,
+		selected:      make(map[*ise.Kernel]*ise.ISE),
+		greedyDefault: greedyDefault,
 	}
 	m.exec = ecu.New(ctrl, opts.ECU)
 	m.SetSelectionCacheSize(opts.SelectionCacheSize)
@@ -225,6 +247,27 @@ func (m *MRTS) SetSelectionCacheSize(n int) {
 	default:
 		m.selCache = newSelCache(n)
 	}
+}
+
+// SetSharedMemo attaches (or, with nil, detaches) a cross-point selection
+// memo consulted when the per-run selection cache misses. The memo's keys
+// fingerprint the selector's entire input surface (selector.Fingerprint),
+// so a hit replays exactly the Result selector.Greedy would compute and
+// the simulated timeline — including the modelled selection overhead — is
+// byte-identical with the memo attached or not. The batch sweep engine
+// (internal/batch) shares one memo across all policy instances and sweep
+// points of a workload, so a selection computed at one resource point
+// seeds its lattice neighbours. The call is a no-op for policies with a
+// custom Select (the memo replays greedy results only; in particular,
+// Optimal's branch-and-bound node count would not be reproduced). It
+// reports whether the memo was attached. The memo survives Reset: its
+// entries key on immutable workload objects, not run state.
+func (m *MRTS) SetSharedMemo(memo *selector.Memo) bool {
+	if !m.greedyDefault {
+		return false
+	}
+	m.sharedMemo = memo
+	return memo != nil
 }
 
 // SetObserver installs (or, with nil, removes) the decision-trace
@@ -257,8 +300,17 @@ func (m *MRTS) Predictor() *mpu.Predictor { return m.pred }
 // Stats returns a snapshot of the accumulated counters.
 func (m *MRTS) Stats() Stats { return m.stats }
 
-// Selected returns the ISE currently selected for the kernel, or nil.
-func (m *MRTS) Selected(id ise.KernelID) *ise.ISE { return m.selected[id] }
+// Selected returns the ISE currently selected for the kernel, or nil. It
+// scans the (block-sized) selection map — diagnostics and tests only; the
+// hot path in Execute is keyed by kernel pointer.
+func (m *MRTS) Selected(id ise.KernelID) *ise.ISE {
+	for k, e := range m.selected {
+		if k.ID == id {
+			return e
+		}
+	}
+	return nil
+}
 
 // OnTrigger implements RuntimeSystem: it corrects the trigger forecasts via
 // the MPU, runs the ISE selection algorithm, commits the selection to the
@@ -317,13 +369,21 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 			})
 		}
 	} else {
-		var err error
-		res, err = m.opts.Select(selector.Request{
+		req := selector.Request{
 			Block:    block,
 			Triggers: corrected,
 			Fabric:   m.ctrl.SelectionView(),
 			Model:    m.opts.Model,
-		})
+		}
+		var (
+			err    error
+			shared bool
+		)
+		if m.sharedMemo != nil {
+			res, shared, err = m.sharedMemo.GreedyWithHit(req)
+		} else {
+			res, err = m.opts.Select(req)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("core: selection for block %q: %w", block.ID, err)
 		}
@@ -337,7 +397,18 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 				})
 			}
 		}
-		m.stats.EvaluationsSaved += int64(res.SavedEvaluations)
+		if shared {
+			// A shared-memo hit replays the full selection like an L1 hit
+			// does: credit all of its modelled evaluations, which subsume
+			// the incremental greedy's per-run saves.
+			m.stats.SharedHits++
+			m.stats.EvaluationsSaved += int64(res.Evaluations)
+		} else {
+			if m.sharedMemo != nil {
+				m.stats.SharedMisses++
+			}
+			m.stats.EvaluationsSaved += int64(res.SavedEvaluations)
+		}
 	}
 	m.stats.CoveredPicks += int64(res.CoveredPicks)
 	if m.obsr != nil {
@@ -369,7 +440,9 @@ func (m *MRTS) selectAndCommit(block *ise.FunctionalBlock, phase string, trigger
 		delete(m.selected, id)
 	}
 	for _, c := range res.Selected {
-		m.selected[c.Kernel] = c.ISE
+		if k := block.Kernel(c.Kernel); k != nil {
+			m.selected[k] = c.ISE
+		}
 	}
 
 	total := arch.Cycles(res.Evaluations)*OverheadPerEvaluation +
@@ -407,15 +480,15 @@ func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, err
 		for _, id := range lost {
 			lostSet[id] = true
 		}
-		for kid, e := range m.selected {
+		for k, e := range m.selected {
 			for _, d := range e.DataPaths {
 				if lostSet[d.ID] {
-					delete(m.selected, kid)
+					delete(m.selected, k)
 					m.stats.Invalidations++
 					if m.obsr != nil {
 						m.obsr.Record(obs.Event{
 							Cycle: now, Source: obs.SourceCore, Kind: obs.KindInvalidate,
-							Kernel: string(kid), ISE: e.ID, Path: string(d.ID),
+							Kernel: string(k.ID), ISE: e.ID, Path: string(d.ID),
 							Detail: "data path lost to container failure",
 						})
 					}
@@ -454,7 +527,7 @@ func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, err
 
 // Execute implements RuntimeSystem: the ECU steers the execution.
 func (m *MRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
-	d := m.exec.Decide(k, m.selected[k.ID], now)
+	d := m.exec.Decide(k, m.selected[k], now)
 	m.stats.Execs[d.Mode]++
 	m.stats.ExecCycles[d.Mode] += d.Latency
 	if m.obsr != nil {
@@ -463,7 +536,7 @@ func (m *MRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
 			Kernel: string(k.ID), Mode: d.Mode.String(), Level: d.Level,
 			Latency: d.Latency,
 		}
-		if e := m.selected[k.ID]; e != nil {
+		if e := m.selected[k]; e != nil {
 			ev.ISE = e.ID
 		}
 		m.obsr.Record(ev)
@@ -513,7 +586,7 @@ func (m *MRTS) Reset() {
 	m.obsr = nil
 	m.ctrl.Reset()
 	m.pred.Reset()
-	m.selected = make(map[ise.KernelID]*ise.ISE)
+	m.selected = make(map[*ise.Kernel]*ise.ISE)
 	m.stats = Stats{}
 	m.lastBlock, m.lastPhase, m.lastTriggers = nil, "", nil
 	if m.selCache != nil {

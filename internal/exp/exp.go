@@ -134,6 +134,7 @@ func RunPoint(ctx context.Context, w *workload.Result, cfg arch.Config, p Policy
 	if err != nil {
 		return nil, err
 	}
+	attachMemo(ctx, rts)
 	return sim.Run(w.App, w.Trace, rts)
 }
 

@@ -37,6 +37,7 @@ func RunPointFaults(ctx context.Context, w *workload.Result, cfg arch.Config, p 
 	if err != nil {
 		return nil, err
 	}
+	attachMemo(ctx, rts)
 	var sched *fault.Schedule
 	if !fo.IsZero() {
 		if sched, err = fault.NewSchedule(seed, fo); err != nil {

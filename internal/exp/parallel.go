@@ -2,33 +2,34 @@ package exp
 
 import (
 	"context"
-	"runtime"
 	"sync"
 )
 
-// ParMap evaluates f(ctx, 0..n-1) concurrently (bounded by GOMAXPROCS) and
-// returns the results in index order. The first error wins: no further
-// indices are dispatched after it, the context passed to in-flight calls is
-// cancelled so they can bail out early, and the remaining workers are still
-// awaited. Cancelling ctx has the same effect and surfaces its cause.
-// Simulation runs are independent — each builds its own runtime system and
-// only reads the shared workload — so the fabric sweeps parallelise over
-// combinations.
+// ParMap evaluates f(ctx, 0..n-1) concurrently (bounded by the WithWorkers
+// override, GOMAXPROCS by default, and never exceeding n — a small sweep
+// spawns no idle goroutines, and n <= 0 spawns none at all) and returns
+// the results in index order, in a pre-sized output slice. The first error
+// wins: no further indices are dispatched after it, the context passed to
+// in-flight calls is cancelled so they can bail out early, and the
+// remaining workers are still awaited. Cancelling ctx has the same effect
+// and surfaces its cause. Simulation runs are independent — each builds
+// its own runtime system and only reads the shared workload — so the
+// fabric sweeps parallelise over combinations.
 func ParMap[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		return make([]T, 0), nil
 	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 
 	out := make([]T, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := defaultWorkers(ctx, n)
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {

@@ -121,3 +121,72 @@ func TestParMapZeroPoints(t *testing.T) {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
 }
+
+// TestParMapZeroPointsSpawnsNothing pins the n=0 fast path: no worker
+// goroutines at all (the old implementation clamped the pool to one).
+func TestParMapZeroPointsSpawnsNothing(t *testing.T) {
+	runtime.Gosched()
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 100; trial++ {
+		if _, err := ParMap[int](context.Background(), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutine count grew from %d to %d on empty sweeps", before, g)
+	}
+}
+
+// TestParMapWithWorkers pins the WithWorkers override and the n-clamp:
+// the pool is exactly min(override, n) goroutines.
+func TestParMapWithWorkers(t *testing.T) {
+	for _, tc := range []struct{ n, override, wantPool int }{
+		{n: 3, override: 8, wantPool: 3}, // clamp to n: no idle workers
+		{n: 16, override: 2, wantPool: 2},
+	} {
+		runtime.Gosched()
+		before := runtime.NumGoroutine()
+
+		var running atomic.Int64
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			_, err := ParMap(WithWorkers(context.Background(), tc.override), tc.n,
+				func(ctx context.Context, i int) (int, error) {
+					running.Add(1)
+					defer running.Add(-1)
+					<-release
+					return i, nil
+				})
+			done <- err
+		}()
+
+		// Wait until the pool is saturated: every worker blocks in f, so
+		// the running count equals the pool size.
+		deadline := time.Now().Add(5 * time.Second)
+		for running.Load() < int64(tc.wantPool) {
+			if time.Now().After(deadline) {
+				t.Fatalf("n=%d override=%d: only %d workers running, want %d",
+					tc.n, tc.override, running.Load(), tc.wantPool)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Give any excess worker a chance to show up, then assert the
+		// pool never exceeded the clamp — neither in f (running) nor as
+		// idle goroutines (NumGoroutine: baseline + driver + pool; the
+		// dispatcher runs inside the driver goroutine).
+		time.Sleep(20 * time.Millisecond)
+		if got := running.Load(); got != int64(tc.wantPool) {
+			t.Errorf("n=%d override=%d: %d concurrent calls, want exactly %d",
+				tc.n, tc.override, got, tc.wantPool)
+		}
+		if g := runtime.NumGoroutine(); g > before+1+tc.wantPool {
+			t.Errorf("n=%d override=%d: %d goroutines (baseline %d): pool larger than %d",
+				tc.n, tc.override, g, before, tc.wantPool)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -116,6 +116,20 @@ type Controller struct {
 
 	monos map[ise.KernelID]*monoSlot
 
+	// occPRC / occCG mirror the PRC / CG-EDPE units held by c.paths. The
+	// free-capacity queries run once per kernel execution via the ECU, so
+	// they must not iterate the paths map; every insert and delete keeps
+	// these counters in sync instead (occupiedCG adds len(monos) on top).
+	occPRC int
+	occCG  int
+	// version counts state changes that can downgrade an execution-steering
+	// decision: data-path removals, ready-time changes (migration) and
+	// monoCG releases. The ECU's steady-state decision cache is valid only
+	// while the version is unchanged. Additions do not bump it — a new data
+	// path can only improve a later decision, never invalidate a cached
+	// full-ISE or monoCG one.
+	version uint64
+
 	// fabric tracks per-container health; all-healthy (the initial and
 	// fault-free state) makes the capacity arithmetic identical to the
 	// plain budget counts.
@@ -171,6 +185,8 @@ func (c *Controller) Advance(now arch.Cycles) {
 func (c *Controller) Reset() {
 	c.paths = make(map[ise.DataPathID]*slot)
 	c.monos = make(map[ise.KernelID]*monoSlot)
+	c.occPRC, c.occCG = 0, 0
+	c.version++
 	c.fgPortEnd, c.cgPortEnd = 0, 0
 	c.now = 0
 	c.reservedPRC, c.reservedCG = 0, 0
@@ -198,21 +214,15 @@ func (c *Controller) Fabric() *arch.Fabric { return c.fabric }
 
 // occupiedPRC/occupiedCG include in-flight data paths: a PRC is unusable
 // from the moment its partial bitstream starts streaming.
-func (c *Controller) occupiedPRC() int {
-	n := 0
-	for _, s := range c.paths {
-		n += s.dp.PRCs
-	}
-	return n
-}
+func (c *Controller) occupiedPRC() int { return c.occPRC }
 
-func (c *Controller) occupiedCG() int {
-	n := 0
-	for _, s := range c.paths {
-		n += s.dp.CGs
-	}
-	return n + len(c.monos)
-}
+func (c *Controller) occupiedCG() int { return c.occCG + len(c.monos) }
+
+// Version returns the controller's change version: it advances whenever a
+// data path is removed or re-scheduled or a monoCG slot is released —
+// exactly the events that can invalidate a previously optimal
+// execution-steering decision. See ecu's decision cache.
+func (c *Controller) Version() uint64 { return c.version }
 
 // FreePRC implements ise.FabricView: healthy PRCs neither occupied nor
 // reserved.
@@ -311,7 +321,7 @@ func (c *Controller) evictPass(kind arch.FabricKind, units int, pinned, record b
 		if freed >= units {
 			break
 		}
-		delete(c.paths, s.dp.ID)
+		c.removePath(s)
 		c.stats.Evictions++
 		if record {
 			c.stats.FaultEvictions++
@@ -330,6 +340,15 @@ func (c *Controller) evictPass(kind arch.FabricKind, units int, pinned, record b
 		freed += s.dp.PRCs + s.dp.CGs
 	}
 	return freed
+}
+
+// removePath deletes one data path and keeps the occupancy counters and
+// change version in sync. Every `delete(c.paths, ...)` must go through it.
+func (c *Controller) removePath(s *slot) {
+	delete(c.paths, s.dp.ID)
+	c.occPRC -= s.dp.PRCs
+	c.occCG -= s.dp.CGs
+	c.version++
 }
 
 // evictOverflow restores the capacity invariant after a container of the
@@ -359,6 +378,7 @@ func (c *Controller) evictOverflow(kind arch.FabricKind) {
 				break
 			}
 			delete(c.monos, id)
+			c.version++
 			overflow--
 		}
 	}
@@ -467,6 +487,8 @@ func (c *Controller) Request(d ise.DataPath, now arch.Cycles) (arch.Cycles, erro
 		return ready, fmt.Errorf("reconfig: data path %q: %w", d.ID, ErrConfigFailed)
 	}
 	c.paths[d.ID] = &slot{dp: d, ready: ready, pinned: true}
+	c.occPRC += d.PRCs
+	c.occCG += d.CGs
 	return ready, nil
 }
 
@@ -653,6 +675,8 @@ func (v selectionView) PortBacklog(kind arch.FabricKind) arch.Cycles {
 func (c *Controller) EvictAll() {
 	c.stats.Evictions += int64(len(c.paths))
 	c.paths = make(map[ise.DataPathID]*slot)
+	c.occPRC, c.occCG = 0, 0
+	c.version++
 	c.releaseAllMono()
 }
 
@@ -694,13 +718,20 @@ func (c *Controller) MonoCGReady(id ise.KernelID) (arch.Cycles, bool) {
 
 // ReleaseMonoCG frees the kernel's monoCG slot, if any.
 func (c *Controller) ReleaseMonoCG(id ise.KernelID) {
-	delete(c.monos, id)
+	if _, ok := c.monos[id]; ok {
+		delete(c.monos, id)
+		c.version++
+	}
 }
 
 func (c *Controller) releaseAllMono() {
+	if len(c.monos) == 0 {
+		return
+	}
 	for id := range c.monos {
 		delete(c.monos, id)
 	}
+	c.version++
 }
 
 // ConfiguredPaths returns the IDs of all fully configured data paths at the

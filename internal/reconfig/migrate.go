@@ -96,13 +96,17 @@ func (c *Controller) Repartition(kind arch.FabricKind, capacity, retained int, n
 			// path is lost in transit.
 			c.declareFailed(kind)
 			if _, alive := c.paths[s.dp.ID]; alive {
-				delete(c.paths, s.dp.ID)
+				c.removePath(s)
 				c.stats.Evictions++
 				c.invalidated = append(c.invalidated, s.dp.ID)
 			}
 			continue
 		}
+		// The migrated path is unconfigured until it finishes re-streaming:
+		// moving its ready time forward can downgrade steering decisions,
+		// so the change version must advance.
 		s.ready = ready
+		c.version++
 		c.stats.Migrations++
 		c.stats.MigrationCycles += s.dp.ReconfigCycles()
 		if ready > last {

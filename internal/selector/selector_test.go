@@ -402,18 +402,35 @@ func bruteForceBest(q Request) float64 {
 		k := q.Block.Kernel(t.Kernel)
 		ks = append(ks, kern{k: k, p: profit.ParamsFromTrigger(t), exts: k.ISEs})
 	}
+	// Mirror Optimal's group bound EXACTLY — including the unshared/shared
+	// split (unshared options are bounded by their stand-alone profit,
+	// shared ones by their steady-state profit). The bound only drives the
+	// sort, but profit is order-dependent through the configuration-port
+	// backlog, so any key mismatch makes the two enumerations walk
+	// different orders and compare incomparable totals.
+	dpOwners := computeDataPathOwners(q)
 	bound := func(kn kern) float64 {
 		best := 0.0
 		for _, e := range kn.exts {
-			// Mirror Optimal's option filter: never-fitting and
-			// unprofitable unshared options do not contribute.
 			if e.CostPRC() > q.Fabric.FreePRC() || e.CostCG() > q.Fabric.FreeCG() {
 				continue
 			}
-			if profit.Profit(kn.k, e, q.Fabric, kn.p, q.Model) <= 0 {
+			pr := profit.Profit(kn.k, e, q.Fabric, kn.p, q.Model)
+			shared := false
+			for _, d := range e.DataPaths {
+				if dpOwners[d.ID] > 1 {
+					shared = true
+					break
+				}
+			}
+			if pr <= 0 && !shared {
 				continue
 			}
-			if b := profit.SteadyStateProfit(kn.k, e, kn.p.E); b > best {
+			b := pr
+			if shared {
+				b = profit.SteadyStateProfit(kn.k, e, kn.p.E)
+			}
+			if b > best {
 				best = b
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"mrts/internal/exp"
 	"mrts/internal/fault"
 	"mrts/internal/obs"
+	"mrts/internal/selector"
 	"mrts/internal/service/api"
 	"mrts/internal/sim"
 	"mrts/internal/workload"
@@ -19,6 +20,33 @@ import (
 // EvalStats counts the result-cache traffic of one job.
 type EvalStats struct {
 	Hits, Misses atomic.Int64
+
+	// memo is the job's shared selection memo: greedy selections computed
+	// at one sweep point seed neighbouring points of the same job (see
+	// selector.Memo). seedReported is the high-water mark of memo hits
+	// already published to the server-wide counter, so concurrent flushes
+	// count every hit exactly once.
+	memo         *selector.Memo
+	seedReported atomic.Int64
+}
+
+// flushSeedHits publishes memo hits accrued since the last flush to the
+// counter. Safe for concurrent use; cumulative counts never double-report.
+func (st *EvalStats) flushSeedHits(c *Counter) {
+	if st.memo == nil {
+		return
+	}
+	total := int64(st.memo.Stats().Hits)
+	for {
+		prev := st.seedReported.Load()
+		if total <= prev {
+			return
+		}
+		if st.seedReported.CompareAndSwap(prev, total) {
+			c.Add(total - prev)
+			return
+		}
+	}
 }
 
 // FaultEvaluator returns the service's job-execution path as an
@@ -30,10 +58,16 @@ type EvalStats struct {
 // Two jobs racing on the same uncached point may simulate it twice — the
 // second Put is idempotent — which keeps the hot path lock-free outside
 // the cache lookups.
+//
+// Points that miss the result cache simulate under a shared per-evaluator
+// selection memo, so the ISE selections computed at one sweep point seed
+// neighbouring points of the same job (byte-identical results; see
+// selector.Memo). The memo's traffic feeds the mrts_batch_* metrics.
 func (s *Server) FaultEvaluator(opts workload.Options) (exp.FaultEvaluator, *EvalStats) {
 	canon := opts.Canonical()
-	stats := &EvalStats{}
+	stats := &EvalStats{memo: selector.NewMemo(0)}
 	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy, seed uint64, fo fault.Options) (*sim.Report, error) {
+		s.batchPoints.Inc()
 		key := PointKeyFaults(canon, cfg, p, seed, fo)
 		if rep, ok := s.results.Get(key); ok {
 			stats.Hits.Add(1)
@@ -45,11 +79,12 @@ func (s *Server) FaultEvaluator(opts workload.Options) (exp.FaultEvaluator, *Eva
 			return nil, err
 		}
 		start := time.Now()
-		rep, err := exp.RunPointFaults(ctx, w, cfg, p, seed, fo)
+		rep, err := exp.RunPointFaults(exp.WithSelectionMemo(ctx, stats.memo), w, cfg, p, seed, fo)
 		if err != nil {
 			return nil, err
 		}
 		s.pointSeconds.Observe(time.Since(start).Seconds())
+		stats.flushSeedHits(s.batchSeedHits)
 		s.results.Put(key, rep)
 		return rep, nil
 	}
@@ -73,8 +108,13 @@ func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult,
 	eval := func(ctx context.Context, cfg arch.Config, p exp.Policy) (*sim.Report, error) {
 		return feval(ctx, cfg, p, 0, fault.Options{})
 	}
+	// Figures that build runtime instances outside the evaluator (the
+	// tenant sweep's per-tenant systems) pick the job's selection memo up
+	// from the context.
+	ctx = exp.WithSelectionMemo(ctx, stats.memo)
 	res := &api.JobResult{}
 
+	start := time.Now()
 	var err error
 	switch spec.Type {
 	case api.JobSim:
@@ -89,6 +129,10 @@ func (s *Server) execute(ctx context.Context, spec api.JobSpec) (*api.JobResult,
 	if err != nil {
 		return nil, err
 	}
+	if spec.Type == api.JobFig || spec.Type == api.JobSweep {
+		s.batchSeconds.Observe(time.Since(start).Seconds())
+	}
+	stats.flushSeedHits(s.batchSeedHits)
 	res.CacheHits = stats.Hits.Load()
 	res.CacheMisses = stats.Misses.Load()
 	return res, nil

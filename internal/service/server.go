@@ -184,6 +184,8 @@ type Server struct {
 	queueDepth, running                                *Gauge
 	jobSeconds, queueWaitSeconds, e2eSeconds           *Histogram
 	pointSeconds                                       *Histogram
+	batchPoints, batchSeedHits                         *Counter
+	batchSeconds                                       *Histogram
 }
 
 // New creates a server, replays its journal (when one is configured) and
@@ -218,6 +220,9 @@ func New(opts Options) *Server {
 		queueWaitSeconds: m.Histogram("mrts_job_queue_seconds"),
 		e2eSeconds:       m.Histogram("mrts_job_e2e_seconds"),
 		pointSeconds:     m.Histogram("mrts_point_eval_seconds"),
+		batchPoints:      m.Counter("mrts_batch_points_total"),
+		batchSeedHits:    m.Counter("mrts_batch_seed_hits_total"),
+		batchSeconds:     m.Histogram("mrts_batch_seconds"),
 	}
 	s.execOverride = opts.ExecOverride
 	s.router = newRouter(s, opts)

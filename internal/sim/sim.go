@@ -171,6 +171,15 @@ type Stepper struct {
 	rep  *Report
 	t    arch.Cycles
 	next int
+
+	// Per-Step scratch, reused across iterations: the kernel-tracking map
+	// and its arena, and the observation batch handed to OnBlockEnd. The
+	// runtime-system contract is that OnBlockEnd consumes the observations
+	// synchronously (the MPU copies what it keeps), so the slice can be
+	// recycled next Step.
+	tracks   map[ise.KernelID]*track
+	trackBuf []track
+	obsvBuf  []mpu.Observation
 }
 
 // NewStepper validates the trace, resets the runtime system, applies the
@@ -351,9 +360,21 @@ func (s *Stepper) Step() error {
 	t += it.Prologue
 	rep.SoftwareCycles += it.Prologue
 
-	// Replay the merged single-core execution schedule.
-	tracks := make(map[ise.KernelID]*track, len(it.Loads))
-	for _, ev := range trace.Merge(it.Loads) {
+	// Replay the merged single-core execution schedule (memoized on the
+	// trace — identical for every run over the same workload).
+	if s.tracks == nil {
+		s.tracks = make(map[ise.KernelID]*track, len(it.Loads))
+	} else {
+		clear(s.tracks)
+	}
+	// The arena must never reallocate mid-loop (the map holds pointers
+	// into it); one entry per load is an upper bound on distinct kernels.
+	if cap(s.trackBuf) < len(it.Loads) {
+		s.trackBuf = make([]track, 0, len(it.Loads))
+	}
+	s.trackBuf = s.trackBuf[:0]
+	tracks := s.tracks
+	for _, ev := range s.tr.MergedLoads(i) {
 		k := blk.Kernel(ev.Kernel)
 		t += ev.Gap
 		rep.SoftwareCycles += ev.Gap
@@ -373,7 +394,8 @@ func (s *Stepper) Step() error {
 
 		tk := tracks[ev.Kernel]
 		if tk == nil {
-			tk = &track{first: t - start}
+			s.trackBuf = append(s.trackBuf, track{first: t - start})
+			tk = &s.trackBuf[len(s.trackBuf)-1]
 			tracks[ev.Kernel] = tk
 		} else {
 			tk.gaps += t - tk.lastEnd
@@ -384,7 +406,7 @@ func (s *Stepper) Step() error {
 	}
 
 	// Monitored ground truth for the MPU.
-	obsv := make([]mpu.Observation, 0, len(tracks))
+	obsv := s.obsvBuf[:0]
 	for _, l := range it.Loads {
 		tk, ok := tracks[l.Kernel]
 		if !ok {
@@ -397,6 +419,7 @@ func (s *Stepper) Step() error {
 		obsv = append(obsv, mpu.Observation{Kernel: l.Kernel, E: tk.n, TF: tk.first, TB: tb})
 	}
 	s.rts.OnBlockEnd(blk, it.Phase, profile, obsv, t)
+	s.obsvBuf = obsv[:0]
 
 	rep.BlockCycles[it.Block] += t - start
 	rep.BlockIterations[it.Block]++

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"mrts/internal/arch"
 	"mrts/internal/ise"
@@ -66,6 +67,28 @@ type Trace struct {
 	Profile map[string][]ise.Trigger `json:"profile"`
 	// Iterations is the dynamic block sequence in program order.
 	Iterations []Iteration `json:"iterations"`
+
+	// merged memoizes Merge(Iterations[i].Loads) for every iteration. A
+	// trace is immutable once built but replayed once per (policy,
+	// resource-point) pair of a sweep, so re-deriving the merged schedule
+	// per run is pure waste. Built lazily by MergedLoads, safe for
+	// concurrent replays via mergeOnce.
+	merged    [][]Event
+	mergeOnce sync.Once
+}
+
+// MergedLoads returns the merged single-core execution schedule of
+// iteration i — Merge(tr.Iterations[i].Loads), computed once per trace and
+// shared by every subsequent replay. Callers must not mutate the returned
+// slice. The trace must not be modified after the first call.
+func (tr *Trace) MergedLoads(i int) []Event {
+	tr.mergeOnce.Do(func() {
+		tr.merged = make([][]Event, len(tr.Iterations))
+		for j := range tr.Iterations {
+			tr.merged[j] = Merge(tr.Iterations[j].Loads)
+		}
+	})
+	return tr.merged[i]
 }
 
 // Validate checks the trace against an application.
