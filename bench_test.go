@@ -695,6 +695,77 @@ func BenchmarkSweepWallclock(b *testing.B) {
 	})
 }
 
+var (
+	phasedBenchOnce sync.Once
+	phasedBenchW    *workload.Result
+)
+
+// phasedBenchWorkload builds the shared dynamic control-flow workload
+// once: the phase sweep's default shape at divergence 0.5.
+func phasedBenchWorkload(b testing.TB) *workload.Result {
+	b.Helper()
+	phasedBenchOnce.Do(func() {
+		phasedBenchW = workload.MustBuild(workload.Options{
+			Seed:   1,
+			Phased: &workload.PhasedOptions{Divergence: 0.5},
+		})
+	})
+	return phasedBenchW
+}
+
+// BenchmarkPhasedPrediction measures one full mRTS run per MPU predictor
+// kind on a dynamic control-flow workload — the cost of the phase-aware
+// forecasters relative to the back-propagation baseline, with each run's
+// mean absolute forecast error reported alongside.
+func BenchmarkPhasedPrediction(b *testing.B) {
+	w := phasedBenchWorkload(b)
+	for _, k := range mpu.Kinds() {
+		kind := mpu.Kind(k)
+		b.Run(k, func(b *testing.B) {
+			var rep *sim.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = exp.RunPointPredictor(nil, w, arch.Config{NPRC: 2, NCG: 2}, kind, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Forecast.Total.MeanAbsE(), "abs-err/obs")
+		})
+	}
+}
+
+// TestPhasedPredictionOverheadBounded is the MRTS_BENCH_SMOKE speed guard
+// of the phase-aware forecasters: a full mRTS run with the phase or decay
+// predictor must not cost more than 1.5x the back-propagation run on the
+// same dynamic workload — the accuracy win must not be bought with
+// simulation-loop overhead. (In practice the better forecasters are
+// faster: fewer mispredicted selections means fewer reconfigurations.)
+func TestPhasedPredictionOverheadBounded(t *testing.T) {
+	if os.Getenv("MRTS_BENCH_SMOKE") == "" {
+		t.Skip("set MRTS_BENCH_SMOKE=1 to run the phased-prediction overhead guard")
+	}
+	w := phasedBenchWorkload(t)
+	run := func(k mpu.Kind) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.RunPointPredictor(nil, w, arch.Config{NPRC: 2, NCG: 2}, k, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	base := run(mpu.KindBackProp)
+	for _, k := range []mpu.Kind{mpu.KindPhase, mpu.KindDecay} {
+		got := run(k)
+		t.Logf("%s %d ns/op vs backprop %d ns/op", k, got.NsPerOp(), base.NsPerOp())
+		if float64(got.NsPerOp()) > 1.5*float64(base.NsPerOp()) {
+			t.Errorf("%s predictor run costs %d ns/op, more than 1.5x backprop's %d ns/op",
+				k, got.NsPerOp(), base.NsPerOp())
+		}
+	}
+}
+
 // TestBatchNotSlowerThanSequential is the CI guard of the batch engine's
 // reason to exist: on the 4x20 scalability case, selector.Batch must not
 // be slower than the plain sequential loop over the same requests.

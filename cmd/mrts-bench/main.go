@@ -28,7 +28,7 @@ import (
 const defaultPattern = "BenchmarkProfitFunction$|BenchmarkGreedySelection$|BenchmarkOptimalSelection$|" +
 	"BenchmarkSelectionCached$|BenchmarkSelectionUncached$|BenchmarkSelectionObserved$|BenchmarkGreedyIncremental|" +
 	"BenchmarkSelectorScalability|BenchmarkOptimalScalability|BenchmarkServiceThroughput$|" +
-	"BenchmarkBatchSelection|BenchmarkSweepWallclock"
+	"BenchmarkBatchSelection|BenchmarkSweepWallclock|BenchmarkPhasedPrediction"
 
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`

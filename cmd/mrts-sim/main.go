@@ -5,8 +5,10 @@
 // Usage:
 //
 //	mrts-sim -prc 2 -cg 1 -policy mrts -frames 16
+//	mrts-sim -phased -divergence 0.75 -predictor phase   # dynamic control flow
 //
 // Policies: mrts, rispp, morpheus, offline, optimal, risc.
+// Predictors (mrts only): backprop (default), phase, decay.
 package main
 
 import (
@@ -18,36 +20,43 @@ import (
 	"mrts/internal/ecu"
 	"mrts/internal/exp"
 	"mrts/internal/fault"
+	"mrts/internal/mpu"
 	"mrts/internal/obs"
 	"mrts/internal/service/api"
+	"mrts/internal/sim"
 	"mrts/internal/video"
 	"mrts/internal/workload"
 )
 
 func main() {
 	var (
-		prc      = flag.Int("prc", 2, "number of PRCs (fine-grained fabric)")
-		cgN      = flag.Int("cg", 1, "number of CG-EDPEs (coarse-grained fabric)")
-		policy   = flag.String("policy", "mrts", "runtime policy: mrts|rispp|morpheus|offline|optimal|risc")
-		frames   = flag.Int("frames", 16, "video frames to encode")
-		seed     = flag.Uint64("seed", 1, "synthetic video seed")
-		sceneCut = flag.Int("scenecut", 8, "frame of the scene cut (0 = none)")
-		verbose  = flag.Bool("v", false, "print per-block and reconfiguration details")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON (for scripting)")
-		outFile  = flag.String("o", "", "write the JSON report to this file (in addition to stdout output)")
-		traceOut = flag.String("trace", "", "write the decision trace (JSONL) to this file; render it with mrts-timeline")
+		prc       = flag.Int("prc", 2, "number of PRCs (fine-grained fabric)")
+		cgN       = flag.Int("cg", 1, "number of CG-EDPEs (coarse-grained fabric)")
+		policy    = flag.String("policy", "mrts", "runtime policy: mrts|rispp|morpheus|offline|optimal|risc")
+		frames    = flag.Int("frames", 16, "video frames to encode")
+		seed      = flag.Uint64("seed", 1, "synthetic video seed")
+		sceneCut  = flag.Int("scenecut", 8, "frame of the scene cut (0 = none)")
+		verbose   = flag.Bool("v", false, "print per-block and reconfiguration details")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON (for scripting)")
+		outFile   = flag.String("o", "", "write the JSON report to this file (in addition to stdout output)")
+		traceOut  = flag.String("trace", "", "write the decision trace (JSONL) to this file; render it with mrts-timeline")
+		predictor = flag.String("predictor", "", "MPU predictor kind for the mrts policy: backprop|phase|decay (default backprop)")
+		phased    = flag.Bool("phased", false, "run a dynamic control-flow workload instead of the encoder (see -divergence)")
+		diverg    = flag.Float64("divergence", 0.5, "control-flow divergence of the -phased workload in [0, 1]")
 	)
 	flag.Parse()
 
-	var cuts []int
-	if *sceneCut > 0 {
-		cuts = []int{*sceneCut}
+	opts := workload.Options{Frames: *frames, Seed: *seed}
+	if *phased {
+		d := *diverg
+		if d == 0 {
+			d = -1 // explicit zero, not "use the default"
+		}
+		opts = workload.Options{Seed: *seed, Phased: &workload.PhasedOptions{Divergence: d}}
+	} else if *sceneCut > 0 {
+		opts.Video = video.Options{SceneCuts: []int{*sceneCut}}
 	}
-	w, err := workload.Build(workload.Options{
-		Frames: *frames,
-		Seed:   *seed,
-		Video:  video.Options{SceneCuts: cuts},
-	})
+	w, err := workload.Build(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,13 +66,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kind, err := mpu.ParseKind(*predictor)
+	if err != nil {
+		fatal(err)
+	}
+	if *predictor != "" && pol != exp.PolicyMRTS {
+		fatal(fmt.Errorf("-predictor only applies to the mrts policy, not %q", pol))
+	}
 
 	var rec *obs.Recorder
 	if *traceOut != "" {
 		rec = obs.New()
 		rec.SetRun(fmt.Sprintf("%s/%dx%d", pol, cfg.NPRC, cfg.NCG))
 	}
-	rep, err := exp.RunPointObserved(nil, w, cfg, pol, 0, fault.Options{}, rec)
+	var rep *sim.Report
+	if *predictor != "" {
+		rep, err = exp.RunPointPredictor(nil, w, cfg, kind, rec)
+	} else {
+		rep, err = exp.RunPointObserved(nil, w, cfg, pol, 0, fault.Options{}, rec)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +136,10 @@ func main() {
 		100*rep.ModeShare(ecu.Intermediate), 100*rep.ModeShare(ecu.Full))
 	fmt.Printf("overhead      %.3f Mcycles visible (%.2f%% of total)\n",
 		rep.OverheadCycles.MCycles(), 100*float64(rep.OverheadCycles)/float64(rep.TotalCycles))
+	if !rep.Forecast.Total.IsZero() {
+		fmt.Printf("forecast      %s predictor: mean |err| %.1f executions over %d scored observations\n",
+			rep.Forecast.Predictor, rep.Forecast.Total.MeanAbsE(), rep.Forecast.Total.Samples)
+	}
 
 	if *verbose {
 		fmt.Printf("software      %.2f Mcycles, kernels %.2f Mcycles\n",

@@ -10,6 +10,7 @@
 //	mrts-sweep -fig 10 -frames 16 -maxprc 3 -maxcg 3
 //	mrts-sweep -fig faults       # graceful-degradation sweep
 //	mrts-sweep -fig tenants -tenants 4 -mix skewed  # hypervisor sweep
+//	mrts-sweep -fig phase        # predictor comparison on dynamic control flow
 package main
 
 import (
@@ -225,6 +226,12 @@ func main() {
 		case "tenants":
 			r, err := exp.Tenants(ctx, exp.DirectWorkloads(), base,
 				arch.Config{NPRC: *maxPRC, NCG: *maxCG}, *tenants, *mix)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "phase":
+			r, err := exp.Phase(ctx, exp.DirectWorkloads(), arch.Config{}, *seed)
 			if err != nil {
 				fatal(err)
 			}

@@ -220,6 +220,15 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 	var meta string
 	counts := map[string]int{}
 	var maxCycle arch.Cycles
+	// Scored MPU observations carry the absolute forecast error of the
+	// prediction the selector acted on; roll them up per block so the
+	// summary shows where prediction wins and loses.
+	type errAgg struct {
+		n   int
+		abs int64
+	}
+	ferr := map[string]*errAgg{}
+	var ferrAbs int64
 	for _, ev := range events {
 		counts[ev.Source+"/"+ev.Kind]++
 		if ev.Cycle > maxCycle {
@@ -230,6 +239,16 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 		}
 		if ev.Kind == obs.KindRun && meta == "" {
 			meta = ev.Detail
+		}
+		if ev.Source == obs.SourceMPU && ev.Kind == obs.KindObserve {
+			a, ok := ferr[ev.Block]
+			if !ok {
+				a = &errAgg{}
+				ferr[ev.Block] = a
+			}
+			a.n++
+			a.abs += ev.Err
+			ferrAbs += ev.Err
 		}
 	}
 	if meta != "" {
@@ -245,6 +264,21 @@ func renderRun(w io.Writer, run string, events []obs.Event, width int, summaryOn
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(w, "    %-20s %d\n", k, counts[k])
+	}
+	// Older traces predate the err field; a rollup of all-zero errors
+	// would misread as perfect prediction, so it only prints when at
+	// least one observation carries an error.
+	if ferrAbs > 0 {
+		fmt.Fprintf(w, "  forecast |err| per observation (executions), by block:\n")
+		blocks := make([]string, 0, len(ferr))
+		for b := range ferr {
+			blocks = append(blocks, b)
+		}
+		sort.Strings(blocks)
+		for _, b := range blocks {
+			a := ferr[b]
+			fmt.Fprintf(w, "    %-20s %.1f over %d obs\n", b, float64(a.abs)/float64(a.n), a.n)
+		}
 	}
 	if summaryOnly || maxCycle == 0 {
 		return
@@ -360,7 +394,7 @@ func writeCSV(w io.Writer, runs runGroups) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"run", "tenant", "cycle", "source", "kind", "block", "phase", "kernel", "ise",
-		"path", "fabric", "mode", "level", "round", "e", "tf", "tb",
+		"path", "fabric", "mode", "level", "round", "e", "tf", "tb", "err",
 		"profit", "latency", "ready", "detail",
 	}); err != nil {
 		return err
@@ -377,6 +411,7 @@ func writeCSV(w io.Writer, runs runGroups) error {
 				strconv.FormatInt(ev.E, 10),
 				strconv.FormatInt(ev.TF, 10),
 				strconv.FormatInt(ev.TB, 10),
+				strconv.FormatInt(ev.Err, 10),
 				strconv.FormatFloat(ev.Profit, 'g', -1, 64),
 				strconv.FormatInt(int64(ev.Latency), 10),
 				strconv.FormatInt(int64(ev.Ready), 10),

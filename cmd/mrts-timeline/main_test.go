@@ -141,6 +141,59 @@ func TestCSVOutput(t *testing.T) {
 	}
 }
 
+// observeTrace carries scored MPU observations: two blocks with distinct
+// forecast errors plus one error-free observation.
+func observeTrace(t *testing.T) string {
+	t.Helper()
+	r := obs.New()
+	r.SetRun("mRTS/2x2")
+	r.Record(obs.Event{Cycle: 0, Source: obs.SourceSim, Kind: obs.KindRun, Detail: "policy=mRTS fabric=2x2"})
+	r.Record(obs.Event{Cycle: 100, Source: obs.SourceMPU, Kind: obs.KindObserve, Block: "me", Kernel: "sad", E: 120, Err: 30})
+	r.Record(obs.Event{Cycle: 200, Source: obs.SourceMPU, Kind: obs.KindObserve, Block: "me", Kernel: "sad", E: 110, Err: 10})
+	r.Record(obs.Event{Cycle: 300, Source: obs.SourceMPU, Kind: obs.KindObserve, Block: "dbf", Kernel: "lf", E: 40})
+	return r.JSONL()
+}
+
+func TestForecastErrorSummary(t *testing.T) {
+	code, out, errw := render(t, config{width: 40, summary: true}, observeTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr = %q", code, errw)
+	}
+	if !strings.Contains(out, "forecast |err| per observation") {
+		t.Fatalf("summary lost the forecast rollup:\n%s", out)
+	}
+	// me: (30+10)/2 = 20.0; dbf: unscored events average to zero.
+	for _, want := range []string{"me", "20.0 over 2 obs", "dbf", "0.0 over 1 obs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rollup lost %q:\n%s", want, out)
+		}
+	}
+
+	// Traces with no forecast errors (older recorders, perfect static
+	// runs) must not grow a misleading all-zero rollup.
+	code, out, _ = render(t, config{width: 40, summary: true}, goodTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out, "forecast |err|") {
+		t.Errorf("error-free trace grew a forecast rollup:\n%s", out)
+	}
+}
+
+func TestCSVErrColumn(t *testing.T) {
+	code, out, _ := render(t, config{width: 40, csvOut: true}, observeTrace(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(rows[0], ",tb,err,profit") {
+		t.Errorf("csv header lost the err column: %q", rows[0])
+	}
+	if !strings.Contains(out, "mpu,observe,me,,sad,,,,,0,0,120,0,0,30,") {
+		t.Errorf("csv row lost the forecast error:\n%s", out)
+	}
+}
+
 func TestZeroWidthClamped(t *testing.T) {
 	// Degenerate -width values must not divide by zero or panic.
 	if code, _, _ := render(t, config{width: 0}, goodTrace(t)); code != 0 {

@@ -204,6 +204,12 @@ type MRTS struct {
 	lastBlock    *ise.FunctionalBlock
 	lastPhase    string
 	lastTriggers []ise.Trigger
+	// inIteration is true between a trigger instruction and its block end:
+	// the window in which a fault taints in-flight observations. A fault
+	// delivered outside it (between iterations — e.g. by the vfabric
+	// hypervisor, which only delivers to drained tenants) must not mark the
+	// next iteration's clean observations for discard.
+	inIteration bool
 }
 
 var _ RuntimeSystem = (*MRTS)(nil)
@@ -318,6 +324,7 @@ func (m *MRTS) Selected(id ise.KernelID) *ise.ISE {
 func (m *MRTS) OnTrigger(block *ise.FunctionalBlock, phase string, triggers []ise.Trigger, now arch.Cycles) (arch.Cycles, error) {
 	m.lastBlock, m.lastPhase = block, phase
 	m.lastTriggers = triggers
+	m.inIteration = true
 	return m.selectAndCommit(block, phase, triggers, now)
 }
 
@@ -501,16 +508,22 @@ func (m *MRTS) OnFault(lost []ise.DataPathID, now arch.Cycles) (arch.Cycles, err
 		return 0, nil
 	}
 	visible, err := m.selectAndCommit(m.lastBlock, m.lastPhase, m.lastTriggers, now)
-	// Mark the disruption after the re-selection's ForecastAll (which
-	// clears pending marks): the observations of the iteration currently
-	// executing must be discarded at its block end.
-	m.pred.NoteDisruption(forecastKey(m.lastBlock.ID, m.lastPhase))
-	if m.obsr != nil {
-		m.obsr.Record(obs.Event{
-			Cycle: now, Source: obs.SourceMPU, Kind: obs.KindDisrupt,
-			Block: m.lastBlock.ID, Phase: m.lastPhase,
-			Detail: "iteration observations will be discarded",
-		})
+	// A fault that strikes while an iteration is in flight taints the
+	// observations delivered at its block end: tell the MPU to discard
+	// them. The mark lives until that block end consumes it (see
+	// mpu.Predictor.BlockEnd), so it survives forecast pulls a pipelined
+	// driver might issue in between. Faults delivered between iterations
+	// taint nothing — the previous iteration's observations are already
+	// folded and the next iteration's are clean.
+	if m.inIteration {
+		m.pred.NoteDisruption(forecastKey(m.lastBlock.ID, m.lastPhase))
+		if m.obsr != nil {
+			m.obsr.Record(obs.Event{
+				Cycle: now, Source: obs.SourceMPU, Kind: obs.KindDisrupt,
+				Block: m.lastBlock.ID, Phase: m.lastPhase,
+				Detail: "iteration observations will be discarded",
+			})
+		}
 	}
 	if err != nil {
 		// Selection itself failed: degrade to RISC for every kernel
@@ -544,7 +557,10 @@ func (m *MRTS) Execute(k *ise.Kernel, now arch.Cycles) ecu.Decision {
 	return d
 }
 
-// OnBlockEnd implements RuntimeSystem: monitored values update the MPU.
+// OnBlockEnd implements RuntimeSystem: monitored values update the MPU,
+// each observation is scored against the forecast the selector saw (the
+// absolute error rides on the observe trace event), and the predictor's
+// BlockEnd consumes a pending disruption mark at the discard site.
 func (m *MRTS) OnBlockEnd(block *ise.FunctionalBlock, phase string, profile []ise.Trigger, obs []mpu.Observation, now arch.Cycles) {
 	m.ctrl.Advance(now)
 	byKernel := make(map[ise.KernelID]ise.Trigger, len(profile))
@@ -553,13 +569,17 @@ func (m *MRTS) OnBlockEnd(block *ise.FunctionalBlock, phase string, profile []is
 	}
 	key := forecastKey(block.ID, phase)
 	for _, o := range obs {
-		m.pred.Observe(key, byKernel[o.Kernel], o)
-	}
-	if m.obsr != nil {
-		for _, o := range obs {
-			m.obsr.Record(obsEvent(now, block.ID, phase, o))
+		absErr, scored := m.pred.Observe(key, byKernel[o.Kernel], o)
+		if m.obsr != nil {
+			ev := obsEvent(now, block.ID, phase, o)
+			if scored {
+				ev.Err = absErr
+			}
+			m.obsr.Record(ev)
 		}
 	}
+	m.pred.BlockEnd(key)
+	m.inIteration = false
 }
 
 // obsEvent builds the MPU observation event for one monitored kernel.
@@ -570,6 +590,10 @@ func obsEvent(now arch.Cycles, block, phase string, o mpu.Observation) obs.Event
 		E: o.E, TF: int64(o.TF), TB: int64(o.TB),
 	}
 }
+
+// ForecastErrors exposes the MPU's forecast-error accounting; the simulator
+// copies it into sim.Report.Forecast.
+func (m *MRTS) ForecastErrors() mpu.ErrorReport { return m.pred.Errors() }
 
 // forecastKey scopes MPU state to one trigger instruction: the same block
 // may carry distinct trigger instructions on different program paths.
@@ -589,6 +613,7 @@ func (m *MRTS) Reset() {
 	m.selected = make(map[*ise.Kernel]*ise.ISE)
 	m.stats = Stats{}
 	m.lastBlock, m.lastPhase, m.lastTriggers = nil, "", nil
+	m.inIteration = false
 	if m.selCache != nil {
 		m.selCache.clear()
 	}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"mrts/internal/arch"
+	"mrts/internal/mpu"
+	"mrts/internal/obs"
+)
+
+// TestDoubleFaultKeepsDisruptionMark is the regression test for the
+// disruption-flag lifecycle: the mark set by a mid-iteration fault must
+// survive any forecast pull issued before the block end. A second fault in
+// the same iteration re-selects — which pulls ForecastAll — and under the
+// old lifecycle (ForecastAll clears the mark) that pull erased the first
+// fault's mark, so the tainted block-end observation leaked into the MPU.
+func TestDoubleFaultKeepsDisruptionMark(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	blk := testBlock()
+
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnFault(nil, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.pred.Disrupted(forecastKey(blk.ID, "")) {
+		t.Fatal("first mid-iteration fault did not mark the iteration disrupted")
+	}
+	// Second fault in the same iteration: its re-selection pulls fresh
+	// forecasts. The mark must survive that pull.
+	if _, err := m.OnFault(nil, 1_500_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.pred.Disrupted(forecastKey(blk.ID, "")) {
+		t.Fatal("second fault's forecast pull cleared the disruption mark")
+	}
+
+	wild := []mpu.Observation{{Kernel: "k", E: 9999, TF: 1, TB: 1}}
+	m.OnBlockEnd(blk, "", triggers(), wild, 2_000_000)
+	if got := m.pred.Forecast(forecastKey(blk.ID, ""), triggers()[0]); got.E != triggers()[0].E {
+		t.Errorf("tainted observation leaked into the forecast: E = %d, want profile %d",
+			got.E, triggers()[0].E)
+	}
+	// The block end consumed the mark: the next iteration learns again.
+	if m.pred.Disrupted(forecastKey(blk.ID, "")) {
+		t.Error("block end did not consume the disruption mark")
+	}
+	if _, err := m.OnTrigger(blk, "", triggers(), 2_500_000); err != nil {
+		t.Fatal(err)
+	}
+	ok := []mpu.Observation{{Kernel: "k", E: 120, TF: 60, TB: 25}}
+	m.OnBlockEnd(blk, "", triggers(), ok, 3_000_000)
+	if got := m.pred.Forecast(forecastKey(blk.ID, ""), triggers()[0]); got.E == triggers()[0].E {
+		t.Error("post-disruption observation ignored: MPU learning did not resume")
+	}
+}
+
+// TestFaultBetweenIterationsTaintsNothing pins the other side of the
+// lifecycle: a fault delivered between a block end and the next trigger
+// (the vfabric hypervisor injects faults into drained tenants this way)
+// perturbs no in-flight iteration, so it must neither mark the block
+// disrupted nor emit a disrupt trace event, and the next iteration's
+// observation folds normally.
+func TestFaultBetweenIterationsTaintsNothing(t *testing.T) {
+	m := MustNew(arch.Config{NCG: 1, NPRC: 1}, Options{ChargeOverhead: true})
+	rec := obs.New()
+	m.SetObserver(rec)
+	blk := testBlock()
+
+	if _, err := m.OnTrigger(blk, "", triggers(), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.OnBlockEnd(blk, "", triggers(), nil, 1_000_000)
+	if _, err := m.OnFault(nil, 1_500_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.pred.Disrupted(forecastKey(blk.ID, "")) {
+		t.Error("between-iterations fault marked the block disrupted")
+	}
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindDisrupt {
+			t.Errorf("between-iterations fault emitted a disrupt event: %+v", ev)
+		}
+	}
+	if _, err := m.OnTrigger(blk, "", triggers(), 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ok := []mpu.Observation{{Kernel: "k", E: 120, TF: 60, TB: 25}}
+	m.OnBlockEnd(blk, "", triggers(), ok, 2_500_000)
+	if got := m.pred.Forecast(forecastKey(blk.ID, ""), triggers()[0]); got.E == triggers()[0].E {
+		t.Error("clean observation after a between-iterations fault was discarded")
+	}
+}

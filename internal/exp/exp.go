@@ -95,7 +95,7 @@ func NewPolicy(p Policy, cfg arch.Config, app *ise.Application, tr *trace.Trace)
 // FigNames are the figure/sweep names the CLIs and the service accept, in
 // presentation order. It is the single figure-name table shared by
 // mrts-sweep, mrts-submit and the service API.
-var FigNames = []string{"8", "9", "10", "overhead", "shared", "mix", "faults", "tenants"}
+var FigNames = []string{"8", "9", "10", "overhead", "shared", "mix", "faults", "tenants", "phase"}
 
 // ValidFig reports whether name is a known figure name.
 func ValidFig(name string) bool {

@@ -56,22 +56,39 @@ type FrameStats struct {
 }
 
 // Config tunes the encoder.
+//
+// For the three tunables below a real zero is meaningful (QP 0 is the
+// finest quantiser, SearchRange 0 is zero-MV-only motion search,
+// SkipThreshold 0 disables skipping), but the zero value selects the
+// documented default. Pass any negative value to request an explicit
+// zero; Canonical folds every negative spelling to -1 so all of them
+// hash to the same cache key.
 type Config struct {
-	// QP is the quantisation parameter (default 28).
+	// QP is the quantisation parameter (default 28; negative = QP 0).
 	QP int
-	// SearchRange is the motion-search range in pels (default 8).
+	// SearchRange is the motion-search range in pels (default 8;
+	// negative = 0, zero-MV only).
 	SearchRange int
 	// SkipThreshold is the zero-MV SAD below which a macroblock is
-	// skipped (default 600).
+	// skipped (default 600; negative = 0, never skip).
 	SkipThreshold int32
 	// ForceIntraEvery inserts periodic intra frames (0 = only frame 0).
 	ForceIntraEvery int
 }
 
 // Canonical returns the configuration with every default applied, for
-// content-addressed cache keys.
+// content-addressed cache keys. Explicit-zero sentinels normalise to -1.
 func (c Config) Canonical() Config {
 	c.defaults()
+	if c.QP < 0 {
+		c.QP = -1
+	}
+	if c.SearchRange < 0 {
+		c.SearchRange = -1
+	}
+	if c.SkipThreshold < 0 {
+		c.SkipThreshold = -1
+	}
 	return c
 }
 
@@ -84,6 +101,21 @@ func (c *Config) defaults() {
 	}
 	if c.SkipThreshold == 0 {
 		c.SkipThreshold = 600
+	}
+}
+
+// effective resolves the explicit-zero sentinels to the values the
+// encoding loops use.
+func (c *Config) effective() {
+	c.defaults()
+	if c.QP < 0 {
+		c.QP = 0
+	}
+	if c.SearchRange < 0 {
+		c.SearchRange = 0
+	}
+	if c.SkipThreshold < 0 {
+		c.SkipThreshold = 0
 	}
 }
 
@@ -104,7 +136,7 @@ func NewEncoder(w, h int, cfg Config) (*Encoder, error) {
 	if w <= 0 || h <= 0 || w%16 != 0 || h%16 != 0 {
 		return nil, fmt.Errorf("h264: frame size %dx%d is not a multiple of 16", w, h)
 	}
-	cfg.defaults()
+	cfg.effective()
 	return &Encoder{cfg: cfg, w: w, h: h, mbW: w / 16, mbH: h / 16}, nil
 }
 

@@ -1,12 +1,35 @@
 // Package mpu implements the Monitoring & Prediction Unit of mRTS
 // (paper Section 4): it keeps track of the observed kernel execution
 // behaviour per functional block and corrects the forecasts embedded in the
-// trigger instructions with a lightweight error back-propagation update
-// (paper reference [12]), so the ISE selector works with run-time accurate
+// trigger instructions, so the ISE selector works with run-time accurate
 // execution counts even when the input data changes.
+//
+// Three predictors are selectable via WithPredictor:
+//
+//   - KindBackProp (default): the paper's lightweight error
+//     back-propagation update, pred += alpha * (observed - pred). Ideal for
+//     content-driven but regular workloads like the H.264 traces.
+//   - KindPhase: per-phase history tables. Completed iterations are matched
+//     against a bounded set of learned execution regimes; a recurring phase
+//     is recalled instantly instead of re-converged to, which wins on
+//     abruptly phase-changing control flow (see internal/workload's Phased
+//     generator).
+//   - KindDecay: exponential-decay blending. A fast and a slow EWMA track
+//     each kernel; the forecast blends them weighted by their recent error,
+//     so the predictor follows shifts quickly without giving up the slow
+//     average's stability within a phase.
+//
+// The Predictor also keeps forecast-error accounting: every issued
+// execution-count forecast is scored against the iteration's monitored
+// ground truth, and Errors() reports the absolute-error totals per trigger
+// instruction — the surface sim.Report and the decision trace expose so
+// mrts-timeline can show where prediction wins or loses.
 package mpu
 
 import (
+	"fmt"
+	"strings"
+
 	"mrts/internal/arch"
 	"mrts/internal/ise"
 )
@@ -22,11 +45,93 @@ type Observation struct {
 	TB     arch.Cycles
 }
 
+// Kind selects the forecast-correction algorithm of a Predictor.
+type Kind string
+
+// Predictor kinds, in presentation order.
+const (
+	// KindBackProp is the paper's error back-propagation update (default).
+	KindBackProp Kind = "backprop"
+	// KindPhase keeps per-phase history tables and recalls recurring
+	// execution regimes.
+	KindPhase Kind = "phase"
+	// KindDecay blends a fast and a slow exponentially decaying average by
+	// their recent error.
+	KindDecay Kind = "decay"
+)
+
+// Kinds returns the valid predictor names, in presentation order. It is
+// the single predictor-name table shared by the CLIs and the service API.
+func Kinds() []string {
+	return []string{string(KindBackProp), string(KindPhase), string(KindDecay)}
+}
+
+// ParseKind resolves a predictor name; the empty string is the default
+// back-propagation predictor. The error lists the valid names.
+func ParseKind(name string) (Kind, error) {
+	switch Kind(strings.ToLower(name)) {
+	case "", KindBackProp:
+		return KindBackProp, nil
+	case KindPhase:
+		return KindPhase, nil
+	case KindDecay:
+		return KindDecay, nil
+	}
+	return "", fmt.Errorf("mpu: unknown predictor %q (valid: %s)", name, strings.Join(Kinds(), ", "))
+}
+
+// ErrorStats accumulate forecast-error accounting: for every scored
+// observation, the absolute difference between the issued execution-count
+// forecast and the monitored count.
+type ErrorStats struct {
+	// Samples counts scored observations (one per kernel per completed,
+	// undisrupted iteration).
+	Samples int64
+	// AbsErrE is the summed absolute execution-count forecast error.
+	AbsErrE int64
+	// ObsE is the summed observed execution count (the error's scale).
+	ObsE int64
+}
+
+// MeanAbsE is the mean absolute execution-count error per scored
+// observation (0 with no samples).
+func (s ErrorStats) MeanAbsE() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.AbsErrE) / float64(s.Samples)
+}
+
+// IsZero reports whether no observation was scored.
+func (s ErrorStats) IsZero() bool { return s == ErrorStats{} }
+
+func (s *ErrorStats) add(absErr, obsE int64) {
+	s.Samples++
+	s.AbsErrE += absErr
+	s.ObsE += obsE
+}
+
+// ErrorReport is the Predictor's forecast-accuracy summary: totals plus a
+// per-trigger-instruction breakdown (keys are the block IDs core hands
+// ForecastAll, i.e. "block" or "block#phase").
+type ErrorReport struct {
+	// Predictor is the kind that produced the forecasts.
+	Predictor string
+	Total     ErrorStats
+	// Keys breaks the totals down per trigger-instruction key; nil when
+	// nothing was scored.
+	Keys map[string]ErrorStats
+}
+
+// IsZero reports whether no observation was scored.
+func (r ErrorReport) IsZero() bool { return r.Total.IsZero() }
+
 // Predictor is the MPU forecast store. The zero value is not usable; use New.
 type Predictor struct {
 	// alpha is the error back-propagation learning rate: the fraction of
 	// the forecast error folded back into the prediction after each
-	// functional-block iteration.
+	// functional-block iteration. The decay predictor reuses it as its
+	// slow-average rate.
 	alpha float64
 	// enabled gates the correction (ablation switch); when disabled the
 	// Predictor passes the static profile forecasts through unchanged.
@@ -36,12 +141,26 @@ type Predictor struct {
 	// accelerated execution differs wildly from the profile values, and
 	// folding it back can destabilise selection.
 	timing bool
+	// kind selects the forecast-correction algorithm.
+	kind Kind
 
-	state map[key]*entry
-	// disrupted marks trigger-instruction keys whose next observations
+	state  map[key]*entry       // back-propagation state
+	phases map[string]*phaseTbl // per-phase history tables (KindPhase)
+	blend  map[key]*blendEntry  // fast/slow EWMA pairs (KindDecay)
+
+	// disrupted marks trigger-instruction keys whose pending observations
 	// must be discarded: a fabric fault mid-iteration perturbs the
-	// monitored timings in a way that says nothing about the workload.
+	// monitored timings in a way that says nothing about the workload. The
+	// mark lives until the iteration it taints is over — BlockEnd consumes
+	// it at the discard site; pulling the next iteration's forecasts early
+	// (a pipelined driver) must not launder the tainted observations in.
 	disrupted map[string]bool
+
+	// issued remembers the last execution-count forecast handed out per
+	// (key, kernel), so the matching observation can be scored.
+	issued  map[key]int64
+	errTot  ErrorStats
+	errKeys map[string]*ErrorStats
 }
 
 type key struct {
@@ -55,13 +174,71 @@ type entry struct {
 	tb float64
 }
 
+// fold moves the entry toward the observation at rate a.
+func (en *entry) fold(a float64, obs Observation) {
+	en.e += a * (float64(obs.E) - en.e)
+	en.tf += a * (float64(obs.TF) - en.tf)
+	en.tb += a * (float64(obs.TB) - en.tb)
+}
+
+// apply writes the entry's values into the trigger (counts always, timing
+// only when tracked).
+func (en *entry) apply(t ise.Trigger, timing bool) ise.Trigger {
+	t.E = int64(en.e + 0.5)
+	if timing {
+		t.TF = arch.Cycles(en.tf + 0.5)
+		t.TB = arch.Cycles(en.tb + 0.5)
+	}
+	return t
+}
+
+// Phase-table tuning. A regime is one learned execution phase of a trigger
+// instruction; iterations whose counts sit within matchThreshold relative
+// distance of a regime's predictions refine that regime, anything farther
+// founds a new one (evicting the least recently used beyond maxRegimes).
+const (
+	maxRegimes     = 6
+	matchThreshold = 0.30
+	phaseAlpha     = 0.5
+)
+
+type phaseTbl struct {
+	regimes []*regime
+	cur     *regime
+	clock   int64
+	pending []pendingObs
+}
+
+type regime struct {
+	vals map[ise.KernelID]*entry
+	used int64
+}
+
+type pendingObs struct {
+	obs  Observation
+	prof ise.Trigger
+}
+
+// Decay-blend tuning: the fast average follows shifts within a couple of
+// iterations, the slow one (rate alpha) smooths within a phase; errDecay
+// is the EWMA rate of the per-average error trackers that weight the blend.
+const (
+	fastAlpha = 0.8
+	errDecay  = 0.5
+)
+
+type blendEntry struct {
+	fast, slow       entry
+	errFast, errSlow float64
+}
+
 // Option configures a Predictor.
 type Option func(*Predictor)
 
 // WithAlpha sets the error back-propagation rate (default 0.25 — a damped
 // correction: forecast noise otherwise oscillates the ISE selection, and
 // the reconfiguration churn costs more than the accuracy gains). Values are
-// clamped to [0, 1].
+// clamped to [0, 1]. The decay predictor uses it as its slow-average rate.
 func WithAlpha(a float64) Option {
 	return func(p *Predictor) {
 		if a < 0 {
@@ -86,17 +263,43 @@ func WithTimingTracking() Option {
 	return func(p *Predictor) { p.timing = true }
 }
 
+// WithPredictor selects the forecast-correction algorithm (KindBackProp by
+// default). An empty kind keeps the default.
+func WithPredictor(k Kind) Option {
+	return func(p *Predictor) {
+		if k != "" {
+			p.kind = k
+		}
+	}
+}
+
 // New creates a Predictor.
 func New(opts ...Option) *Predictor {
-	p := &Predictor{alpha: 0.25, enabled: true, state: make(map[key]*entry), disrupted: make(map[string]bool)}
+	p := &Predictor{
+		alpha:     0.25,
+		enabled:   true,
+		kind:      KindBackProp,
+		state:     make(map[key]*entry),
+		disrupted: make(map[string]bool),
+		issued:    make(map[key]int64),
+	}
 	for _, o := range opts {
 		o(p)
+	}
+	switch p.kind {
+	case KindPhase:
+		p.phases = make(map[string]*phaseTbl)
+	case KindDecay:
+		p.blend = make(map[key]*blendEntry)
 	}
 	return p
 }
 
 // Enabled reports whether run-time correction is active.
 func (p *Predictor) Enabled() bool { return p.enabled }
+
+// Kind returns the active forecast-correction algorithm.
+func (p *Predictor) Kind() Kind { return p.kind }
 
 // Forecast corrects the profile trigger of a kernel in a block with the
 // MPU's learned state. On first sight (or when disabled) the profile values
@@ -105,26 +308,53 @@ func (p *Predictor) Forecast(block string, t ise.Trigger) ise.Trigger {
 	if !p.enabled {
 		return t
 	}
-	en, ok := p.state[key{block, t.Kernel}]
-	if !ok {
+	switch p.kind {
+	case KindPhase:
+		pt := p.phases[block]
+		if pt == nil || pt.cur == nil {
+			return t
+		}
+		en, ok := pt.cur.vals[t.Kernel]
+		if !ok {
+			return t
+		}
+		return en.apply(t, p.timing)
+	case KindDecay:
+		en, ok := p.blend[key{block, t.Kernel}]
+		if !ok {
+			return t
+		}
+		// Weight each average by the other's recent error: the one that
+		// has been wrong lately contributes less.
+		w := 0.5
+		if denom := en.errFast + en.errSlow; denom > 0 {
+			w = en.errSlow / denom
+		}
+		t.E = int64(w*en.fast.e + (1-w)*en.slow.e + 0.5)
+		if p.timing {
+			t.TF = arch.Cycles(w*en.fast.tf + (1-w)*en.slow.tf + 0.5)
+			t.TB = arch.Cycles(w*en.fast.tb + (1-w)*en.slow.tb + 0.5)
+		}
 		return t
+	default:
+		en, ok := p.state[key{block, t.Kernel}]
+		if !ok {
+			return t
+		}
+		return en.apply(t, p.timing)
 	}
-	t.E = int64(en.e + 0.5)
-	if p.timing {
-		t.TF = arch.Cycles(en.tf + 0.5)
-		t.TB = arch.Cycles(en.tb + 0.5)
-	}
-	return t
 }
 
-// ForecastAll corrects a whole trigger instruction. Reaching the next
-// trigger instruction also clears a pending disruption mark for the key:
-// the iteration the fault perturbed is over.
+// ForecastAll corrects a whole trigger instruction and records the issued
+// execution-count forecasts for error accounting, so the iteration's
+// observations can be scored against what the selector actually saw.
 func (p *Predictor) ForecastAll(block string, ts []ise.Trigger) []ise.Trigger {
-	delete(p.disrupted, block)
 	out := make([]ise.Trigger, len(ts))
 	for i, t := range ts {
 		out[i] = p.Forecast(block, t)
+		if p.enabled {
+			p.issued[key{block, t.Kernel}] = out[i].E
+		}
 	}
 	return out
 }
@@ -132,36 +362,223 @@ func (p *Predictor) ForecastAll(block string, ts []ise.Trigger) []ise.Trigger {
 // NoteDisruption tells the MPU that a fabric fault disturbed the current
 // iteration of the trigger instruction: the observations delivered at its
 // block end reflect executions stalled by dying containers, not workload
-// behaviour, and folding them back would poison the learned forecasts.
+// behaviour, and folding them back would poison the learned forecasts. The
+// mark is consumed by BlockEnd — the end of the iteration it taints — not
+// by the next forecast pull, so a driver that pre-fetches the next
+// iteration's forecasts cannot launder the tainted observations in.
 func (p *Predictor) NoteDisruption(block string) {
 	if p.enabled {
 		p.disrupted[block] = true
 	}
 }
 
-// Observe folds the monitored values of a completed block iteration back
-// into the forecasts: pred += alpha * (observed - pred). The first
-// observation seeds the state from the profile trigger that was used.
-func (p *Predictor) Observe(block string, profile ise.Trigger, obs Observation) {
+// Disrupted reports whether the key's pending observations are marked for
+// discard (tests and diagnostics).
+func (p *Predictor) Disrupted(block string) bool { return p.disrupted[block] }
+
+// Observe folds the monitored values of one kernel of a completed block
+// iteration back into the forecasts and scores the issued forecast against
+// the observation. It returns the absolute execution-count error and
+// whether the observation was scored; disrupted or disabled observations
+// are discarded unscored. The first observation seeds the state from the
+// profile trigger that was used.
+//
+// The caller signals the end of the iteration with BlockEnd, which consumes
+// a pending disruption mark and lets the phase predictor match the
+// iteration's observation vector against its regime table.
+func (p *Predictor) Observe(block string, profile ise.Trigger, obs Observation) (absErr int64, scored bool) {
 	if !p.enabled || p.disrupted[block] {
-		return
+		return 0, false
 	}
 	k := key{block, obs.Kernel}
-	en, ok := p.state[k]
-	if !ok {
-		en = &entry{e: float64(profile.E), tf: float64(profile.TF), tb: float64(profile.TB)}
-		p.state[k] = en
+	if iss, ok := p.issued[k]; ok {
+		absErr = iss - obs.E
+		if absErr < 0 {
+			absErr = -absErr
+		}
+		scored = true
+		p.errTot.add(absErr, obs.E)
+		if p.errKeys == nil {
+			p.errKeys = make(map[string]*ErrorStats)
+		}
+		ks := p.errKeys[block]
+		if ks == nil {
+			ks = &ErrorStats{}
+			p.errKeys[block] = ks
+		}
+		ks.add(absErr, obs.E)
 	}
-	en.e += p.alpha * (float64(obs.E) - en.e)
-	en.tf += p.alpha * (float64(obs.TF) - en.tf)
-	en.tb += p.alpha * (float64(obs.TB) - en.tb)
+	switch p.kind {
+	case KindPhase:
+		pt := p.phases[block]
+		if pt == nil {
+			pt = &phaseTbl{}
+			p.phases[block] = pt
+		}
+		pt.pending = append(pt.pending, pendingObs{obs: obs, prof: profile})
+	case KindDecay:
+		en, ok := p.blend[k]
+		if !ok {
+			seed := entry{e: float64(profile.E), tf: float64(profile.TF), tb: float64(profile.TB)}
+			en = &blendEntry{fast: seed, slow: seed}
+			p.blend[k] = en
+		}
+		ef, es := float64(obs.E)-en.fast.e, float64(obs.E)-en.slow.e
+		if ef < 0 {
+			ef = -ef
+		}
+		if es < 0 {
+			es = -es
+		}
+		en.errFast += errDecay * (ef - en.errFast)
+		en.errSlow += errDecay * (es - en.errSlow)
+		en.fast.fold(fastAlpha, obs)
+		en.slow.fold(p.alpha, obs)
+	default:
+		en, ok := p.state[k]
+		if !ok {
+			en = &entry{e: float64(profile.E), tf: float64(profile.TF), tb: float64(profile.TB)}
+			p.state[k] = en
+		}
+		en.fold(p.alpha, obs)
+	}
+	return absErr, scored
 }
 
-// Reset clears all learned state.
+// BlockEnd marks the end of the trigger instruction's current iteration:
+// it consumes a pending disruption mark (every observation of the tainted
+// iteration has been delivered and discarded by now) and, for the phase
+// predictor, matches the iteration's buffered observation vector against
+// the learned regimes. Runtime systems call it once per OnBlockEnd, after
+// the iteration's Observes.
+func (p *Predictor) BlockEnd(block string) {
+	delete(p.disrupted, block)
+	if p.kind != KindPhase || !p.enabled {
+		return
+	}
+	pt := p.phases[block]
+	if pt == nil || len(pt.pending) == 0 {
+		return
+	}
+	pt.clock++
+	best, bestD := (*regime)(nil), matchThreshold
+	for _, r := range pt.regimes {
+		if d := pt.distance(r); d <= bestD {
+			best, bestD = r, d
+		}
+	}
+	if best == nil {
+		best = pt.newRegime()
+	}
+	for _, po := range pt.pending {
+		en, ok := best.vals[po.obs.Kernel]
+		if !ok {
+			en = &entry{e: float64(po.prof.E), tf: float64(po.prof.TF), tb: float64(po.prof.TB)}
+			best.vals[po.obs.Kernel] = en
+		}
+		en.fold(phaseAlpha, po.obs)
+	}
+	best.used = pt.clock
+	pt.cur = best
+	pt.pending = pt.pending[:0]
+}
+
+// distance is the relative L1 distance between the pending observation
+// vector and the regime's predicted execution counts. Kernels the regime
+// has not seen yet contribute nothing — a regime is judged on what it
+// claims to know.
+func (pt *phaseTbl) distance(r *regime) float64 {
+	var num, den float64
+	seen := false
+	for _, po := range pt.pending {
+		en, ok := r.vals[po.obs.Kernel]
+		if !ok {
+			continue
+		}
+		seen = true
+		d := float64(po.obs.E) - en.e
+		if d < 0 {
+			d = -d
+		}
+		num += d
+		o := float64(po.obs.E)
+		if en.e > o {
+			o = en.e
+		}
+		if o < 1 {
+			o = 1
+		}
+		den += o
+	}
+	if !seen {
+		return matchThreshold + 1
+	}
+	return num / den
+}
+
+// newRegime founds a regime for an unseen execution phase, evicting the
+// least recently used one beyond the table bound.
+func (pt *phaseTbl) newRegime() *regime {
+	r := &regime{vals: make(map[ise.KernelID]*entry), used: pt.clock}
+	if len(pt.regimes) < maxRegimes {
+		pt.regimes = append(pt.regimes, r)
+		return r
+	}
+	lru := 0
+	for i, cand := range pt.regimes {
+		if cand.used < pt.regimes[lru].used {
+			lru = i
+		}
+	}
+	pt.regimes[lru] = r
+	return r
+}
+
+// Errors returns a snapshot of the forecast-error accounting.
+func (p *Predictor) Errors() ErrorReport {
+	rep := ErrorReport{Predictor: string(p.kind), Total: p.errTot}
+	if len(p.errKeys) > 0 {
+		rep.Keys = make(map[string]ErrorStats, len(p.errKeys))
+		for k, v := range p.errKeys {
+			rep.Keys[k] = *v
+		}
+	}
+	return rep
+}
+
+// Reset clears all learned state, disruption marks and error accounting.
 func (p *Predictor) Reset() {
 	p.state = make(map[key]*entry)
 	p.disrupted = make(map[string]bool)
+	p.issued = make(map[key]int64)
+	p.errTot = ErrorStats{}
+	p.errKeys = nil
+	switch p.kind {
+	case KindPhase:
+		p.phases = make(map[string]*phaseTbl)
+	case KindDecay:
+		p.blend = make(map[key]*blendEntry)
+	}
 }
 
 // Len returns the number of (block, kernel) forecasts currently tracked.
-func (p *Predictor) Len() int { return len(p.state) }
+func (p *Predictor) Len() int {
+	switch p.kind {
+	case KindPhase:
+		n := 0
+		for _, pt := range p.phases {
+			kernels := map[ise.KernelID]bool{}
+			for _, r := range pt.regimes {
+				for k := range r.vals {
+					kernels[k] = true
+				}
+			}
+			n += len(kernels)
+		}
+		return n
+	case KindDecay:
+		return len(p.blend)
+	default:
+		return len(p.state)
+	}
+}

@@ -174,12 +174,26 @@ func TestNoteDisruptionSkipsObservations(t *testing.T) {
 	if got := p.Forecast("other", prof); got.E == prof.E {
 		t.Error("undisrupted key skipped its observation")
 	}
-	// ForecastAll (the next trigger instruction) clears the mark, so the
-	// following iteration's observation counts again.
+	// Pulling the next iteration's forecasts does NOT clear the mark — a
+	// pipelined driver may fetch them before the tainted observations
+	// arrive, and those must still be discarded.
 	p.ForecastAll("blk", []ise.Trigger{prof})
+	if !p.Disrupted("blk") {
+		t.Error("ForecastAll cleared the disruption mark (pipelined-driver bug)")
+	}
+	p.Observe("blk", prof, Observation{Kernel: "k", E: 200})
+	if got := p.Forecast("blk", prof); got.E != prof.E {
+		t.Errorf("tainted observation after a pipelined forecast pull leaked in: E = %d", got.E)
+	}
+	// BlockEnd — the end of the iteration the fault perturbed — consumes
+	// the mark, so the following iteration's observation counts again.
+	p.BlockEnd("blk")
+	if p.Disrupted("blk") {
+		t.Error("BlockEnd did not consume the disruption mark")
+	}
 	p.Observe("blk", prof, Observation{Kernel: "k", E: 200})
 	if got := p.Forecast("blk", prof); got.E == prof.E {
-		t.Error("observation after the clearing trigger still skipped")
+		t.Error("observation after the consuming block end still skipped")
 	}
 }
 

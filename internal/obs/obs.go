@@ -98,6 +98,11 @@ type Event struct {
 	E  int64 `json:"e,omitempty"`
 	TF int64 `json:"tf,omitempty"`
 	TB int64 `json:"tb,omitempty"`
+	// Err is the absolute execution-count forecast error of a scored
+	// observe event: |issued forecast - observed count|. Omitted when the
+	// observation was discarded (disrupted iteration) or nothing was
+	// issued; a perfect forecast encodes as 0 and is omitted too.
+	Err int64 `json:"err,omitempty"`
 
 	// Profit is the expected profit of a selector claim.
 	Profit float64 `json:"profit,omitempty"`

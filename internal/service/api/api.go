@@ -40,6 +40,62 @@ var Figs = exp.FigNames
 // where the paper-style fabric (4/3) stops subdividing meaningfully.
 const MaxTenants = 8
 
+// PhasedSpec selects the dynamic control-flow workload generator instead
+// of the encoder pipeline (workload.PhasedOptions). Zero fields take the
+// generator's defaults; Divergence follows the workload package's
+// explicit-zero convention (0 = default, negative = static).
+type PhasedSpec struct {
+	Blocks     int     `json:"blocks,omitempty"`
+	Kernels    int     `json:"kernels,omitempty"`
+	ISEs       int     `json:"ises,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Phases     int     `json:"phases,omitempty"`
+	Divergence float64 `json:"divergence,omitempty"`
+}
+
+// Generator-size caps for phased workload specs: each round simulates
+// every block, so the product bounds the job's work.
+const (
+	MaxPhasedBlocks = 16
+	MaxPhasedRounds = 4096
+)
+
+// Validate bounds the generator sizes so oversized jobs fail at submit
+// time with a 400 instead of occupying a worker.
+func (p *PhasedSpec) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Blocks < 0 || p.Blocks > MaxPhasedBlocks {
+		return fmt.Errorf("api: phased blocks %d outside 0..%d", p.Blocks, MaxPhasedBlocks)
+	}
+	if p.Rounds < 0 || p.Rounds > MaxPhasedRounds {
+		return fmt.Errorf("api: phased rounds %d outside 0..%d", p.Rounds, MaxPhasedRounds)
+	}
+	if p.Kernels < 0 || p.ISEs < 0 || p.Phases < 0 {
+		return fmt.Errorf("api: negative phased generator size")
+	}
+	if p.Divergence > 1 {
+		return fmt.Errorf("api: phased divergence %v above 1", p.Divergence)
+	}
+	return nil
+}
+
+// Options converts the spec to phased generator options.
+func (p *PhasedSpec) Options() *workload.PhasedOptions {
+	if p == nil {
+		return nil
+	}
+	return &workload.PhasedOptions{
+		Blocks:     p.Blocks,
+		Kernels:    p.Kernels,
+		ISEs:       p.ISEs,
+		Rounds:     p.Rounds,
+		Phases:     p.Phases,
+		Divergence: p.Divergence,
+	}
+}
+
 // WorkloadSpec selects the workload a job runs on. The zero value is the
 // default experiment workload geometry with no scene cuts.
 type WorkloadSpec struct {
@@ -49,6 +105,9 @@ type WorkloadSpec struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	ProfileSeed uint64 `json:"profile_seed,omitempty"`
 	SceneCuts   []int  `json:"scene_cuts,omitempty"`
+	// Phased switches the job to a dynamic control-flow workload; the
+	// frame-geometry fields above are unused then.
+	Phased *PhasedSpec `json:"phased,omitempty"`
 }
 
 // Options converts the spec to workload build options.
@@ -60,6 +119,7 @@ func (ws WorkloadSpec) Options() workload.Options {
 		Seed:        ws.Seed,
 		ProfileSeed: ws.ProfileSeed,
 		Video:       video.Options{SceneCuts: ws.SceneCuts},
+		Phased:      ws.Phased.Options(),
 	}
 }
 
@@ -186,6 +246,9 @@ func (s JobSpec) Validate() error {
 	if s.Workload.Frames < 0 {
 		return fmt.Errorf("api: negative frame count %d", s.Workload.Frames)
 	}
+	if err := s.Workload.Phased.Validate(); err != nil {
+		return err
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
 	}
@@ -275,6 +338,19 @@ type Report struct {
 	// encoding of fault-free reports is byte-identical to earlier
 	// versions.
 	Fault *sim.FaultStats `json:"fault,omitempty"`
+	// Forecast summarises the MPU's forecast-error accounting; present
+	// only when the run scored observations (predictor-less policies and
+	// older cached reports omit it).
+	Forecast *ForecastSummary `json:"forecast,omitempty"`
+}
+
+// ForecastSummary is the flat encoding of the MPU error accounting
+// (mpu.ErrorReport totals; the per-key split stays inside sim.Report).
+type ForecastSummary struct {
+	Predictor  string  `json:"predictor"`
+	Samples    int64   `json:"samples"`
+	AbsErrE    int64   `json:"abs_err_e"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
 }
 
 // NewReport flattens a simulation report; ref is the RISC-mode reference
@@ -285,8 +361,18 @@ func NewReport(rep, ref *sim.Report) Report {
 		f := rep.Fault
 		fs = &f
 	}
+	var fc *ForecastSummary
+	if !rep.Forecast.IsZero() {
+		fc = &ForecastSummary{
+			Predictor:  rep.Forecast.Predictor,
+			Samples:    rep.Forecast.Total.Samples,
+			AbsErrE:    rep.Forecast.Total.AbsErrE,
+			MeanAbsErr: rep.Forecast.Total.MeanAbsE(),
+		}
+	}
 	return Report{
 		Fault:           fs,
+		Forecast:        fc,
 		Policy:          rep.Policy,
 		PRC:             rep.Config.NPRC,
 		CG:              rep.Config.NCG,

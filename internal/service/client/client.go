@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mrts/internal/service/api"
@@ -46,8 +48,9 @@ func (r RetryPolicy) maxDelay() time.Duration {
 	return 2 * time.Second
 }
 
-// delay returns the jittered backoff before attempt+1 (attempt is 1-based).
-func (r RetryPolicy) delay(attempt int) time.Duration {
+// delay returns the jittered backoff before attempt+1 (attempt is 1-based),
+// drawing the jitter from j.
+func (r RetryPolicy) delay(attempt int, j *jitter) time.Duration {
 	base := r.BaseDelay
 	if base <= 0 {
 		base = 100 * time.Millisecond
@@ -57,7 +60,7 @@ func (r RetryPolicy) delay(attempt int) time.Duration {
 	if d > maxd || d <= 0 {
 		d = maxd
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(j.int63n(int64(d/2)+1))
 }
 
 // nextDelay picks the sleep before the next attempt: when the server
@@ -65,7 +68,7 @@ func (r RetryPolicy) delay(attempt int) time.Duration {
 // hint wins over the computed exponential backoff — the server knows its
 // own load — but is capped at MaxDelay so a large hint cannot stall the
 // client beyond its own patience.
-func (r RetryPolicy) nextDelay(attempt int, lastErr error) time.Duration {
+func (r RetryPolicy) nextDelay(attempt int, lastErr error, j *jitter) time.Duration {
 	var se *StatusError
 	if errors.As(lastErr, &se) && se.RetryAfter >= 0 {
 		if maxd := r.maxDelay(); se.RetryAfter > maxd {
@@ -73,7 +76,51 @@ func (r RetryPolicy) nextDelay(attempt int, lastErr error) time.Duration {
 		}
 		return se.RetryAfter
 	}
-	return r.delay(attempt)
+	return r.delay(attempt, j)
+}
+
+// jitter is a concurrency-safe random stream for backoff jitter, seeded
+// per client from the OS entropy pool. The global math/rand source it
+// replaces handed every client in the process the same backoff schedule
+// (and one contended lock): clients retrying against the same recovering
+// daemon would sleep in lockstep and arrive together. The seed is drawn
+// lazily on first use so idle clients cost no entropy.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter() *jitter { return &jitter{} }
+
+// fallbackJitter serves zero-literal clients built without New; they all
+// share one stream, which is still properly seeded and race-free.
+var fallbackJitter = newJitter()
+
+func (j *jitter) int63n(n int64) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(cryptoSeed()))
+	}
+	return j.rng.Int63n(n)
+}
+
+// reseed pins the stream to a fixed seed, making delays reproducible.
+func (j *jitter) reseed(seed int64) {
+	j.mu.Lock()
+	j.rng = rand.New(rand.NewSource(seed))
+	j.mu.Unlock()
+}
+
+// cryptoSeed draws a 63-bit seed from crypto/rand. Entropy failure is
+// not worth crashing a retry loop over: the wall clock still separates
+// clients well enough for backoff spreading.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]) >> 1)
 }
 
 // StatusError is the error returned for every non-2xx response, so
@@ -116,11 +163,33 @@ type Client struct {
 	// (not the streaming Sweep, which cannot resume mid-stream). The
 	// zero value performs no retries.
 	Retry RetryPolicy
+
+	// jitter is the client's private backoff jitter stream. A pointer so
+	// the shallow copies the cluster client makes share one stream.
+	jitter *jitter
 }
 
 // New creates a client for the daemon at baseURL.
 func New(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), jitter: newJitter()}
+}
+
+func (c *Client) jitterSrc() *jitter {
+	if c.jitter != nil {
+		return c.jitter
+	}
+	return fallbackJitter
+}
+
+// SeedRetryJitter pins the client's backoff jitter to a fixed seed, making
+// retry delays reproducible. Intended for tests and simulations; production
+// clients keep the default entropy-seeded stream. Not safe to call
+// concurrently with in-flight requests.
+func (c *Client) SeedRetryJitter(seed int64) {
+	if c.jitter == nil {
+		c.jitter = newJitter()
+	}
+	c.jitter.reseed(seed)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -178,7 +247,7 @@ func (c *Client) doHdr(ctx context.Context, method, path string, hdr http.Header
 		select {
 		case <-ctx.Done():
 			return lastErr
-		case <-time.After(c.Retry.nextDelay(attempt, lastErr)):
+		case <-time.After(c.Retry.nextDelay(attempt, lastErr, c.jitterSrc())):
 		}
 	}
 }

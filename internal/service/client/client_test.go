@@ -380,3 +380,63 @@ func TestEmptyErrorBody(t *testing.T) {
 		t.Errorf("Error() = %q, want bare status", err)
 	}
 }
+
+// The backoff jitter is a per-client stream: seeding it pins the delay
+// schedule (reproducible chaos tests), different seeds diverge, and a
+// zero-literal Client without New still draws from the shared fallback.
+func TestRetryJitterSeededReproducible(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	seq := func(seed int64) []time.Duration {
+		c := New("http://example.invalid")
+		c.SeedRetryJitter(seed)
+		ds := make([]time.Duration, 0, 8)
+		for a := 1; a <= 8; a++ {
+			ds = append(ds, r.delay(a, c.jitterSrc()))
+		}
+		return ds
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, d := seq(1), seq(2)
+	same := true
+	for i := range c {
+		if c[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical delay schedule")
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	r := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	var zero Client // no New: must fall back, not panic
+	for attempt := 1; attempt <= 12; attempt++ {
+		full := r.BaseDelay << uint(attempt-1)
+		if full > r.MaxDelay || full <= 0 {
+			full = r.MaxDelay
+		}
+		got := r.delay(attempt, zero.jitterSrc())
+		if got < full/2 || got > full {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, got, full/2, full)
+		}
+	}
+}
+
+// Cluster backoff shares the same seedable stream.
+func TestClusterSeedRetryJitter(t *testing.T) {
+	cc := NewCluster([]string{"http://a.invalid", "http://b.invalid"})
+	cc.SeedRetryJitter(7)
+	r := RetryPolicy{BaseDelay: 50 * time.Millisecond, MaxDelay: 400 * time.Millisecond}
+	first := r.delay(2, cc.jitterSrc())
+	cc.SeedRetryJitter(7)
+	if again := r.delay(2, cc.jitterSrc()); again != first {
+		t.Errorf("reseeded cluster jitter diverged: %v vs %v", first, again)
+	}
+}

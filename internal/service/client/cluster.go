@@ -34,6 +34,10 @@ type Cluster struct {
 
 	clients []*Client
 
+	// jitter is the cluster's private backoff jitter stream (see
+	// Client.jitter); rotations across members draw from one source.
+	jitter *jitter
+
 	mu  sync.Mutex
 	cur int
 }
@@ -41,12 +45,28 @@ type Cluster struct {
 // NewCluster creates a failover client over the member base URLs. A
 // single address behaves exactly like New(addr) with retries.
 func NewCluster(addrs []string) *Cluster {
-	cc := &Cluster{}
+	cc := &Cluster{jitter: newJitter()}
 	for _, a := range addrs {
 		c := New(a)
 		cc.clients = append(cc.clients, c)
 	}
 	return cc
+}
+
+func (cc *Cluster) jitterSrc() *jitter {
+	if cc.jitter != nil {
+		return cc.jitter
+	}
+	return fallbackJitter
+}
+
+// SeedRetryJitter pins the cluster's backoff jitter to a fixed seed,
+// making failover delays reproducible (see Client.SeedRetryJitter).
+func (cc *Cluster) SeedRetryJitter(seed int64) {
+	if cc.jitter == nil {
+		cc.jitter = newJitter()
+	}
+	cc.jitter.reseed(seed)
 }
 
 // Addrs returns the configured member base URLs.
@@ -108,7 +128,7 @@ func (cc *Cluster) call(ctx context.Context, f func(*Client) error) error {
 			select {
 			case <-ctx.Done():
 				return lastErr
-			case <-time.After(cc.Retry.nextDelay((i+1)/n, lastErr)):
+			case <-time.After(cc.Retry.nextDelay((i+1)/n, lastErr, cc.jitterSrc())):
 			}
 		}
 	}

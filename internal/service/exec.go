@@ -289,6 +289,21 @@ func (s *Server) execFig(ctx context.Context, spec api.JobSpec, opts workload.Op
 			return err
 		}
 		r.Render(&buf)
+	case "phase":
+		// The sweep builds one phased workload per divergence level; the
+		// singleflight workload cache dedupes them across jobs.
+		wp := func(ctx context.Context, o workload.Options) (*workload.Result, error) {
+			return s.workloads.Get(ctx, o.Canonical())
+		}
+		seed := spec.Workload.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r, err := exp.Phase(ctx, wp, arch.Config{NPRC: min(maxPRC, 2), NCG: min(maxCG, 2)}, seed)
+		if err != nil {
+			return err
+		}
+		r.Render(&buf)
 	default:
 		return fmt.Errorf("service: unknown fig %q", spec.Fig)
 	}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"mrts/internal/arch"
+	"mrts/internal/exp"
+	"mrts/internal/service/api"
+)
+
+// TestPhaseFigJob pins the service's phase sweep to the offline harness:
+// the job's rendered text must be byte-identical to what exp.Phase
+// renders directly for the same seed and fabric.
+func TestPhaseFigJob(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	want, err := exp.Phase(ctx, exp.DirectWorkloads(), arch.Config{NPRC: 2, NCG: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText bytes.Buffer
+	want.Render(&wantText)
+
+	spec := api.JobSpec{Type: api.JobFig, Fig: "phase"}
+	st, err := c.Run(ctx, spec, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("phase fig job %s: %s", st.State, st.Error)
+	}
+	if st.Result.Text != wantText.String() {
+		t.Errorf("service phase fig differs from offline render:\n--- service ---\n%s--- offline ---\n%s",
+			st.Result.Text, wantText.String())
+	}
+}
+
+// The per-divergence phased workloads flow through the workload cache: a
+// second identical job rebuilds nothing.
+func TestPhaseFigUsesWorkloadCache(t *testing.T) {
+	s, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	spec := api.JobSpec{Type: api.JobFig, Fig: "phase"}
+	if _, err := c.Run(ctx, spec, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	misses := s.metrics.Counter("mrts_workload_cache_misses_total").Value()
+	if misses == 0 {
+		t.Fatal("first phase job built no workloads through the cache")
+	}
+	if _, err := c.Run(ctx, spec, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.metrics.Counter("mrts_workload_cache_misses_total").Value(); got != misses {
+		t.Errorf("second phase job rebuilt workloads: misses %d -> %d", misses, got)
+	}
+}
+
+func TestPhasedSpecValidation(t *testing.T) {
+	base := api.JobSpec{
+		Type: api.JobSim, Policy: "mrts", PRC: 1, CG: 1,
+		Workload: api.WorkloadSpec{Phased: &api.PhasedSpec{Divergence: 0.5}},
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("phased sim spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*api.JobSpec){
+		"oversized blocks":  func(s *api.JobSpec) { s.Workload.Phased.Blocks = api.MaxPhasedBlocks + 1 },
+		"oversized rounds":  func(s *api.JobSpec) { s.Workload.Phased.Rounds = api.MaxPhasedRounds + 1 },
+		"negative kernels":  func(s *api.JobSpec) { s.Workload.Phased.Kernels = -1 },
+		"divergence over 1": func(s *api.JobSpec) { s.Workload.Phased.Divergence = 1.5 },
+	} {
+		s := base
+		p := *base.Workload.Phased
+		s.Workload.Phased = &p
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// A sim job on a phased workload runs end to end and surfaces the MPU
+// forecast-error summary in its report.
+func TestPhasedSimJobReportsForecast(t *testing.T) {
+	_, c := newTestServer(t, Options{Workers: 1})
+	ctx := context.Background()
+	spec := api.JobSpec{
+		Type: api.JobSim, Policy: "mrts", PRC: 1, CG: 1,
+		Workload: api.WorkloadSpec{Seed: 3, Phased: &api.PhasedSpec{Divergence: 0.5, Rounds: 12}},
+	}
+	st, err := c.Run(ctx, spec, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateDone {
+		t.Fatalf("phased sim job %s: %s", st.State, st.Error)
+	}
+	rep := st.Result.Report
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Forecast == nil || rep.Forecast.Samples == 0 {
+		t.Fatalf("phased mrts report lacks forecast accounting: %+v", rep.Forecast)
+	}
+	if rep.Forecast.Predictor == "" {
+		t.Error("forecast summary lacks the predictor name")
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("phased mrts speedup %.2f, want > 1", rep.Speedup)
+	}
+}

@@ -53,6 +53,11 @@ type Report struct {
 	// reaction; all-zero (and omitted from the wire encoding) for
 	// fault-free runs.
 	Fault FaultStats
+	// Forecast summarises the MPU's forecast accuracy: per-trigger and
+	// total absolute execution-count error of the forecasts the selector
+	// actually saw. Zero for policies without a predictor (static
+	// baselines, RISC mode) and for runs with correction disabled.
+	Forecast mpu.ErrorReport
 }
 
 // FaultStats aggregates fault activity of one run: what the fault engine
@@ -446,6 +451,9 @@ func (s *Stepper) Finish() *Report {
 		rep.Fault.Reselections = st.Reselections
 		rep.Fault.Invalidations = st.Invalidations
 		rep.Fault.Degradations = st.Degradations
+	}
+	if fe, ok := s.rts.(interface{ ForecastErrors() mpu.ErrorReport }); ok {
+		rep.Forecast = fe.ForecastErrors()
 	}
 	return rep
 }

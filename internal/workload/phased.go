@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+
+	"mrts/internal/arch"
+	"mrts/internal/ise"
+	"mrts/internal/iselib"
+	"mrts/internal/trace"
+	"mrts/internal/video"
+)
+
+// PhasedOptions configure the dynamic control-flow workload generator: a
+// synthetic application whose per-iteration kernel execution counts follow
+// a Markov chain over a small set of control-flow regimes ("phases"), with
+// data-dependent noise and occasional abrupt mid-iteration regime shifts.
+// It models branchy, input-driven codes — the regime the static profile
+// averages over is rarely the regime any single iteration runs in, which
+// is exactly the workload class where forecast quality separates the MPU
+// predictors (see exp.Phase).
+//
+// The regime definitions and the application structure derive from the
+// deployment Seed alone, so a profiling pass (ProfileSeed) sees the same
+// regimes but walks them in a different order with different noise — the
+// paper's offline-profiling setup transplanted to dynamic control flow.
+type PhasedOptions struct {
+	// Blocks, Kernels, ISEs size the generated application (defaults
+	// 3 functional blocks of 4 kernels with 4 candidate ISEs each).
+	Blocks  int
+	Kernels int
+	ISEs    int
+	// Rounds is the number of iterations generated per block (default 48).
+	Rounds int
+	// Phases is the number of control-flow regimes per block (default 3).
+	Phases int
+	// Divergence in [0, 1] scales how dynamic the control flow is: the
+	// regime-switch probability, the data-dependent count noise, and the
+	// mid-iteration shift probability all grow with it. 0 selects the
+	// default (0.5); pass a negative value for an explicitly static
+	// workload (as with h264.Config, the canonical form folds every
+	// negative spelling to -1 so re-canonicalising cannot resurrect the
+	// default).
+	Divergence float64
+}
+
+func (p *PhasedOptions) defaults() {
+	if p.Blocks == 0 {
+		p.Blocks = 3
+	}
+	if p.Kernels == 0 {
+		p.Kernels = 4
+	}
+	if p.ISEs == 0 {
+		p.ISEs = 4
+	}
+	if p.Rounds == 0 {
+		p.Rounds = 48
+	}
+	if p.Phases == 0 {
+		p.Phases = 3
+	}
+	// Zero-value sentinel, documented on the field: 0 means "default",
+	// negative means "explicitly zero divergence" and stays negative so
+	// that canonicalising twice cannot turn it back into the default.
+	if p.Divergence == 0 {
+		p.Divergence = 0.5
+	} else if p.Divergence < 0 {
+		p.Divergence = -1
+	} else if p.Divergence > 1 {
+		p.Divergence = 1
+	}
+}
+
+// divergence resolves the explicit-zero sentinel to the effective value.
+func (p PhasedOptions) divergence() float64 {
+	if p.Divergence < 0 {
+		return 0
+	}
+	return p.Divergence
+}
+
+// Canonical returns the options with every default applied; the explicit-
+// zero divergence sentinel stays -1 (resolved at build time).
+func (p PhasedOptions) Canonical() PhasedOptions {
+	p.defaults()
+	return p
+}
+
+// regime is one control-flow phase of a block: a per-kernel multiplier on
+// the block's base execution counts, in fixed-point thousandths (the
+// generator is integer-only for cross-platform determinism).
+type regimeVec []int64
+
+// phasedStructure holds everything derived from the deployment seed alone:
+// the generated application, the per-block profile triggers, and the
+// per-block regime tables. Profiling and deployment traces share one
+// structure so the profile describes the same program.
+type phasedStructure struct {
+	app      *ise.Application
+	blocks   []*ise.FunctionalBlock
+	triggers map[string][]ise.Trigger
+	regimes  map[string][]regimeVec
+}
+
+func phasedApp(seed uint64, p PhasedOptions) (*phasedStructure, error) {
+	var blocks []*ise.FunctionalBlock
+	triggers := make(map[string][]ise.Trigger, p.Blocks)
+	for b := 0; b < p.Blocks; b++ {
+		id := fmt.Sprintf("pb%d", b)
+		blk, tg := iselib.GenerateBlock(id, p.Kernels, p.ISEs, seed+uint64(b)*104729)
+		blocks = append(blocks, blk)
+		triggers[id] = tg
+	}
+	app, err := ise.NewApplication("phased", blocks...)
+	if err != nil {
+		return nil, err
+	}
+	// Regime multipliers come from a structural RNG stream separate from
+	// the block generator so that resizing one knob does not reshuffle the
+	// other. Each regime scales each kernel by 0.25x .. 2.75x.
+	rng := video.NewRNG(seed ^ 0xFA5ED)
+	regimes := make(map[string][]regimeVec, p.Blocks)
+	for _, blk := range blocks {
+		vecs := make([]regimeVec, p.Phases)
+		for ph := range vecs {
+			v := make(regimeVec, p.Kernels)
+			for k := range v {
+				v[k] = int64(250 + rng.Intn(2501))
+			}
+			vecs[ph] = v
+		}
+		regimes[blk.ID] = vecs
+	}
+	return &phasedStructure{app: app, blocks: blocks, triggers: triggers, regimes: regimes}, nil
+}
+
+// phasedTrace walks the regime Markov chain with content drawn from
+// contentSeed and emits one trace. The iteration's Phase field is left
+// empty on purpose: the runtime system is not told which regime it is in —
+// inferring that from observations is the phase-aware predictors' job.
+func phasedTrace(s *phasedStructure, p PhasedOptions, contentSeed uint64) *trace.Trace {
+	rng := video.NewRNG(contentSeed ^ 0xD1CE)
+	// Fixed-point probabilities per thousand, all proportional to the
+	// divergence so an explicitly static workload really is static.
+	// The switch probability caps at 25% so regimes keep a dwell time of a
+	// few iterations even at full divergence — the workload stays *phased*
+	// rather than collapsing into white noise, where no predictor could
+	// beat the global average.
+	d := p.divergence()
+	switchP := int(250 * d)
+	shiftP := int(350 * d)
+	noiseP := int(400 * d) // +/- noise amplitude, thousandths
+
+	cur := make(map[string]int, len(s.blocks))
+	tr := &trace.Trace{App: s.app.Name}
+	for round := 0; round < p.Rounds; round++ {
+		for _, blk := range s.blocks {
+			vecs := s.regimes[blk.ID]
+			// Markov step: mostly stay, sometimes jump to another regime.
+			if len(vecs) > 1 && rng.Intn(1000) < switchP {
+				next := rng.Intn(len(vecs) - 1)
+				if next >= cur[blk.ID] {
+					next++
+				}
+				cur[blk.ID] = next
+			}
+			from := vecs[cur[blk.ID]]
+			to := from
+			blend := int64(1000) // fraction of the iteration spent in `from`
+			if len(vecs) > 1 && rng.Intn(1000) < shiftP {
+				// Abrupt mid-iteration shift: the counts blend the old
+				// and new regime by where in the iteration it struck.
+				next := rng.Intn(len(vecs) - 1)
+				if next >= cur[blk.ID] {
+					next++
+				}
+				to = vecs[next]
+				cur[blk.ID] = next
+				blend = int64(100 + rng.Intn(801))
+			}
+			iter := trace.Iteration{
+				Block:    blk.ID,
+				Seq:      round,
+				Prologue: arch.Cycles(500 + rng.Intn(2000)),
+			}
+			for ki, tg := range s.triggers[blk.ID] {
+				mult := (from[ki]*blend + to[ki]*(1000-blend)) / 1000
+				e := tg.E * mult / 1000
+				if noiseP > 0 {
+					// Data-dependent iteration count: uniform noise of
+					// +/- noiseP thousandths around the regime value.
+					e += e * int64(rng.Intn(2*noiseP+1)-noiseP) / 1000
+				}
+				if e <= 0 {
+					e = 1
+				}
+				iter.Loads = append(iter.Loads, trace.KernelLoad{
+					Kernel: tg.Kernel,
+					E:      e,
+					GapSW:  arch.Cycles(8 + rng.Intn(24)),
+				})
+			}
+			tr.Iterations = append(tr.Iterations, iter)
+		}
+	}
+	return tr
+}
+
+// buildPhased builds a dynamic control-flow workload: structure from the
+// deployment seed, the deployment walk from Seed, and the static profile
+// from a separate ProfileSeed walk over the same structure (or an oracle
+// profile when ProfileSeed == Seed, as in Build).
+func buildPhased(opts Options) (*Result, error) {
+	p := opts.Phased.Canonical()
+	if p.Blocks < 0 || p.Kernels <= 0 || p.ISEs <= 0 || p.Rounds < 0 || p.Phases <= 0 {
+		return nil, fmt.Errorf("workload: phased sizes must be positive")
+	}
+	s, err := phasedApp(opts.Seed, p)
+	if err != nil {
+		return nil, err
+	}
+	tr := phasedTrace(s, p, opts.Seed)
+	if opts.ProfileSeed == opts.Seed {
+		if err := tr.BuildProfile(s.app); err != nil {
+			return nil, err
+		}
+	} else {
+		profTr := phasedTrace(s, p, opts.ProfileSeed)
+		if err := profTr.BuildProfile(s.app); err != nil {
+			return nil, err
+		}
+		tr.Profile = profTr.Profile
+	}
+	if err := tr.Validate(s.app); err != nil {
+		return nil, err
+	}
+	return &Result{App: s.app, Trace: tr}, nil
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mrts/internal/h264"
+)
+
+func phasedOpts(divergence float64) Options {
+	return Options{Seed: 7, Phased: &PhasedOptions{Divergence: divergence}}
+}
+
+func TestPhasedBuildDeterministic(t *testing.T) {
+	a := MustBuild(phasedOpts(0.8))
+	for i := 0; i < 3; i++ {
+		b := MustBuild(phasedOpts(0.8))
+		if len(a.Trace.Iterations) != len(b.Trace.Iterations) {
+			t.Fatalf("iteration counts differ: %d vs %d", len(a.Trace.Iterations), len(b.Trace.Iterations))
+		}
+		if !reflect.DeepEqual(a.Trace.Iterations, b.Trace.Iterations) {
+			t.Fatal("repeat phased build produced a different trace")
+		}
+		if !reflect.DeepEqual(a.Trace.Profile, b.Trace.Profile) {
+			t.Fatal("repeat phased build produced a different profile")
+		}
+	}
+}
+
+func TestPhasedSeedAndDivergenceMatter(t *testing.T) {
+	base := MustBuild(phasedOpts(0.8))
+	other := MustBuild(Options{Seed: 8, Phased: &PhasedOptions{Divergence: 0.8}})
+	if reflect.DeepEqual(base.Trace.Iterations, other.Trace.Iterations) {
+		t.Error("different seeds produced identical phased traces")
+	}
+	static := MustBuild(phasedOpts(-1)) // explicit zero divergence
+	if reflect.DeepEqual(base.Trace.Iterations, static.Trace.Iterations) {
+		t.Error("divergence has no effect on the trace")
+	}
+}
+
+func TestPhasedZeroDivergenceIsStatic(t *testing.T) {
+	r := MustBuild(phasedOpts(-1))
+	// With no regime switches, no shifts, and no noise every iteration of
+	// a block repeats the first one's counts exactly.
+	first := map[string][]int64{}
+	for _, it := range r.Trace.Iterations {
+		var counts []int64
+		for _, ld := range it.Loads {
+			counts = append(counts, ld.E)
+		}
+		if prev, ok := first[it.Block]; !ok {
+			first[it.Block] = counts
+		} else if !reflect.DeepEqual(prev, counts) {
+			t.Fatalf("block %s: counts vary at zero divergence: %v vs %v", it.Block, prev, counts)
+		}
+	}
+}
+
+func TestPhasedDivergenceVariesCounts(t *testing.T) {
+	r := MustBuild(phasedOpts(1))
+	varies := false
+	first := map[string][]int64{}
+	for _, it := range r.Trace.Iterations {
+		var counts []int64
+		for _, ld := range it.Loads {
+			counts = append(counts, ld.E)
+		}
+		if prev, ok := first[it.Block]; !ok {
+			first[it.Block] = counts
+		} else if !reflect.DeepEqual(prev, counts) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("full divergence produced a static trace")
+	}
+}
+
+func TestPhasedProfileSharesStructure(t *testing.T) {
+	r := MustBuild(phasedOpts(0.8))
+	if len(r.Trace.Profile) == 0 {
+		t.Fatal("no profile built")
+	}
+	// The profile (from the separate ProfileSeed walk) must cover exactly
+	// the blocks the deployment trace iterates.
+	blocks := map[string]bool{}
+	for _, it := range r.Trace.Iterations {
+		blocks[it.Block] = true
+	}
+	for b := range blocks {
+		if _, ok := r.Trace.Profile[b]; !ok {
+			t.Errorf("block %s has no profile entry", b)
+		}
+	}
+	// An oracle build (ProfileSeed == Seed) differs from the offline one.
+	oracle := MustBuild(Options{Seed: 7, ProfileSeed: 7, Phased: &PhasedOptions{Divergence: 0.8}})
+	if reflect.DeepEqual(r.Trace.Profile, oracle.Trace.Profile) {
+		t.Error("offline profile identical to the oracle profile")
+	}
+	if !reflect.DeepEqual(r.Trace.Iterations, oracle.Trace.Iterations) {
+		t.Error("profiling choice changed the deployment trace")
+	}
+}
+
+func TestOracleProfileSeedSentinel(t *testing.T) {
+	c := Options{Seed: 7, ProfileSeed: OracleProfileSeed}.Canonical()
+	if c.ProfileSeed != 7 {
+		t.Errorf("sentinel resolved to %d, want the deployment seed 7", c.ProfileSeed)
+	}
+	// The sentinel works even when Seed itself is defaulted — the case
+	// ProfileSeed == Seed cannot express.
+	c = Options{ProfileSeed: OracleProfileSeed}.Canonical()
+	if c.ProfileSeed != c.Seed {
+		t.Errorf("sentinel with defaulted seed: ProfileSeed %d != Seed %d", c.ProfileSeed, c.Seed)
+	}
+	oracle := MustBuild(Options{Seed: 7, ProfileSeed: OracleProfileSeed, Phased: &PhasedOptions{Divergence: 0.8}})
+	direct := MustBuild(Options{Seed: 7, ProfileSeed: 7, Phased: &PhasedOptions{Divergence: 0.8}})
+	if !reflect.DeepEqual(oracle.Trace.Profile, direct.Trace.Profile) {
+		t.Error("OracleProfileSeed build differs from ProfileSeed == Seed build")
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	cases := []Options{
+		{},
+		{Seed: 5, Encoder: h264.Config{QP: -5, SkipThreshold: -1, SearchRange: -2}},
+		phasedOpts(0),
+		phasedOpts(-1),
+		{Seed: 3, ProfileSeed: OracleProfileSeed},
+	}
+	for i, o := range cases {
+		once := o.Canonical()
+		twice := once.Canonical()
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("case %d: Canonical not idempotent:\n once: %+v\ntwice: %+v", i, once, twice)
+		}
+	}
+}
+
+// Every negative spelling of an explicit zero must land on one canonical
+// cache key, and the sentinel must reach the encoder as a real zero.
+func TestEncoderSentinelsCanonicalise(t *testing.T) {
+	a := Options{Encoder: h264.Config{QP: -1, SkipThreshold: -7}}.Canonical()
+	b := Options{Encoder: h264.Config{QP: -9, SkipThreshold: -2}}.Canonical()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("negative sentinel spellings canonicalise differently:\n%+v\n%+v", a, b)
+	}
+	if a.Encoder.QP != -1 || a.Encoder.SkipThreshold != -1 {
+		t.Errorf("canonical sentinel form = %+v, want -1s", a.Encoder)
+	}
+	def := Options{}.Canonical()
+	if def.Encoder.QP != 24 || def.Encoder.SkipThreshold != 1400 {
+		t.Errorf("zero still selects the defaults: %+v", def.Encoder)
+	}
+}
+
+func TestCanonicalDoesNotAliasPhased(t *testing.T) {
+	o := phasedOpts(0.8)
+	c := o.Canonical()
+	if c.Phased == o.Phased {
+		t.Fatal("Canonical aliased the caller's PhasedOptions")
+	}
+	c.Phased.Divergence = 0.1
+	if o.Phased.Divergence != 0.8 {
+		t.Error("mutating the canonical form changed the caller's options")
+	}
+}
+
+// TestCanonicalHashStability pins the cache key of the standard regular
+// workload: the canonical JSON — and hence every content-addressed cache
+// entry keyed on it — must not change when options grow new fields, which
+// is why Phased is a pointer with omitempty.
+func TestCanonicalHashStability(t *testing.T) {
+	b, err := json.Marshal(Options{}.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "e43a3f62ec419e50d810115c1cc719d6afe40541cd1e9b8bdbf5e1be745a8108"
+	if got := shaHex(b); got != want {
+		t.Errorf("canonical JSON of the default options changed:\n%s\nhash %s, want %s\n"+
+			"(this invalidates every mrts-serve cache key; bump the pinned hash only "+
+			"if the workload identity really changed)", b, got, want)
+	}
+}
+
+func shaHex(b []byte) string {
+	s := sha256.Sum256(b)
+	const hex = "0123456789abcdef"
+	out := make([]byte, 0, 64)
+	for _, c := range s {
+		out = append(out, hex[c>>4], hex[c&0xf])
+	}
+	return string(out)
+}

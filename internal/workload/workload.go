@@ -18,7 +18,22 @@ import (
 	"mrts/internal/video"
 )
 
+// OracleProfileSeed is a ProfileSeed sentinel requesting an oracle profile
+// (profiling on the deployment content) without having to know the
+// effective deployment seed. Setting ProfileSeed equal to Seed does the
+// same when Seed is explicit, but Seed's own zero-default (0 means 1)
+// makes "ProfileSeed: 0, Seed: 0" mean a *separate* profiling sequence —
+// this sentinel is the unambiguous spelling.
+const OracleProfileSeed = ^uint64(0)
+
 // Options configure a workload build.
+//
+// Zero-value convention: a zero field means "use the documented default",
+// never "literally zero". Fields for which a real zero is meaningful
+// (h264.Config.QP, SkipThreshold, SearchRange; PhasedOptions.Divergence)
+// accept a negative value as the explicit-zero spelling, and ProfileSeed
+// has the OracleProfileSeed sentinel. Canonical resolves every sentinel
+// to its effective value.
 type Options struct {
 	// Width, Height are the frame dimensions (default QCIF, 176x144,
 	// which puts the functional-block windows in the paper's regime of a
@@ -26,22 +41,43 @@ type Options struct {
 	Width, Height int
 	// Frames is the sequence length (default 16, as in Fig. 2).
 	Frames int
-	// Seed drives the synthetic video generator (default 1).
+	// Seed drives the synthetic video generator (default 1; 0 is not a
+	// usable seed — it selects the default).
 	Seed uint64
 	// ProfileSeed drives the separate profiling sequence from which the
 	// static trigger-instruction values are derived — the binary's
 	// forecasts come from an offline profiling run on different content
 	// than the deployment input (paper Section 4). Default Seed + 1000.
-	// Set ProfileSeed == Seed to profile on the deployment content
-	// (oracle forecasts).
+	// Set ProfileSeed == Seed (or the OracleProfileSeed sentinel) to
+	// profile on the deployment content (oracle forecasts).
 	ProfileSeed uint64
 	// Video tunes the synthetic content.
 	Video video.Options
 	// Encoder tunes the encoder.
 	Encoder h264.Config
+	// Phased, when non-nil, selects the dynamic control-flow generator
+	// (Markov regime walks over a synthetic application) instead of the
+	// encoder pipeline. Width/Height/Frames/Video/Encoder are unused
+	// then; Seed drives both the structure and the deployment walk, and
+	// ProfileSeed the profiling walk.
+	Phased *PhasedOptions `json:"Phased,omitempty"`
 }
 
 func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	switch o.ProfileSeed {
+	case OracleProfileSeed:
+		o.ProfileSeed = o.Seed
+	case 0:
+		o.ProfileSeed = o.Seed + 1000
+	}
+	if o.Phased != nil {
+		// The encoder pipeline is not involved; leave its knobs alone so
+		// the canonical form does not invent irrelevant detail.
+		return
+	}
 	if o.Width == 0 {
 		o.Width = 176
 	}
@@ -50,12 +86,6 @@ func (o *Options) defaults() {
 	}
 	if o.Frames == 0 {
 		o.Frames = 16
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.ProfileSeed == 0 {
-		o.ProfileSeed = o.Seed + 1000
 	}
 	// Experiment defaults: a moderate QP keeps enough coded blocks for
 	// the entropy-coding and reconstruction kernels, and the skip
@@ -68,12 +98,21 @@ func (o *Options) defaults() {
 	}
 }
 
-// Canonical returns the options with every default applied. Two Options
-// values that build the same workload have the same Canonical form, which
-// is what content-addressed caches (the mrts-serve result and workload
-// caches) hash instead of the raw user input.
+// Canonical returns the options with every default applied and every
+// sentinel resolved. Two Options values that build the same workload have
+// the same Canonical form, which is what content-addressed caches (the
+// mrts-serve result and workload caches) hash instead of the raw user
+// input; Canonical is idempotent, so re-canonicalising a cached key is
+// harmless.
 func (o Options) Canonical() Options {
 	o.defaults()
+	if o.Phased != nil {
+		// Only the fields the phased generator reads participate in the
+		// identity; the pointer is deep-copied so the caller's options
+		// are never aliased by the cache key.
+		p := o.Phased.Canonical()
+		return Options{Seed: o.Seed, ProfileSeed: o.ProfileSeed, Phased: &p}
+	}
 	o.Video = o.Video.Canonical()
 	o.Encoder = o.Encoder.Canonical()
 	return o
@@ -93,6 +132,9 @@ type Result struct {
 // at run time when the deployment content behaves differently.
 func Build(opts Options) (*Result, error) {
 	opts.defaults()
+	if opts.Phased != nil {
+		return buildPhased(opts)
+	}
 	app, err := iselib.NewApplication()
 	if err != nil {
 		return nil, err
