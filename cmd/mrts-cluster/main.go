@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"mrts/internal/cluster"
+	"mrts/internal/netfault"
 	"mrts/internal/service"
 	"mrts/internal/service/journal"
 )
@@ -58,9 +59,13 @@ func main() {
 		burst      = flag.Int("burst", 0, "per-client burst size (0 = ceil(rate))")
 		drain      = flag.Duration("drain", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
 
-		probe     = flag.Duration("probe", time.Second, "peer liveness probe interval")
-		deadAfter = flag.Int("deadafter", 3, "consecutive failed probes before a peer is declared dead")
-		steal     = flag.Duration("steal", 250*time.Millisecond, "work-steal poll interval (negative disables)")
+		probe        = flag.Duration("probe", time.Second, "peer liveness probe interval")
+		probeTimeout = flag.Duration("probetimeout", 0, "per-attempt probe deadline (0 = probe interval)")
+		deadAfter    = flag.Int("deadafter", 3, "consecutive failed probes before a peer is declared suspect")
+		suspectGrace = flag.Duration("suspectgrace", 0, "how long a suspect peer keeps failing before it is declared dead and adopted from (0 = 2x probe interval)")
+		steal        = flag.Duration("steal", 250*time.Millisecond, "work-steal poll interval (negative disables)")
+
+		netfaultSpec = flag.String("netfault", "", "seeded network-fault injection for chaos runs, e.g. seed=42,drop=0.02,dup=0.02,partitions=1,horizon=30s (empty disables; see internal/netfault)")
 	)
 	flag.Parse()
 
@@ -96,13 +101,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrts-cluster[%s]: re-running %d unfinished jobs from the journal\n", *id, n)
 	}
 
+	var nf *netfault.Network
+	if *netfaultSpec != "" {
+		seed, opts, err := netfault.ParseSpec(*netfaultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		var ids []string
+		for _, m := range members {
+			ids = append(ids, m.ID)
+		}
+		opts.Members = ids
+		nf, err = netfault.New(seed, opts)
+		if err != nil {
+			fatal(err)
+		}
+		nf.Start(time.Now())
+		fmt.Fprintf(os.Stderr, "mrts-cluster[%s]: netfault seed %d active: %s\n",
+			*id, seed, strings.Join(nf.Windows(), "; "))
+	}
+
 	node, err := cluster.New(cluster.Config{
 		Self:          *id,
 		Members:       members,
 		Dir:           *dir,
 		ProbeInterval: *probe,
+		ProbeTimeout:  *probeTimeout,
 		DeadAfter:     *deadAfter,
+		SuspectGrace:  *suspectGrace,
 		StealInterval: *steal,
+		NetFault:      nf,
 	}, s)
 	if err != nil {
 		fatal(err)

@@ -60,6 +60,7 @@ func main() {
 		cancel  = flag.String("cancel", "", "cancel the job with this ID and exit")
 		nowait  = flag.Bool("nowait", false, "submit without waiting; print the job ID")
 		retries = flag.Int("retries", 3, "attempts per API call for transient daemon errors (1 = no retry)")
+		hedge   = flag.Duration("hedge", 0, "hedged submission: race the next cluster member when the preferred one has not answered within this delay (0 disables; needs a comma list in -addr)")
 
 		failPRC   = flag.Int("failprc", 0, "fault scenario: PRCs failing permanently")
 		failCG    = flag.Int("failcg", 0, "fault scenario: CG-EDPEs failing permanently")
@@ -77,7 +78,7 @@ func main() {
 
 	ctx, stop := context.WithTimeout(context.Background(), *timeout)
 	defer stop()
-	c := newClient(*addr, *retries)
+	c := newClient(*addr, *retries, *hedge)
 
 	faults := &api.FaultSpec{
 		Seed: *faultSeed, FailPRC: *failPRC, FailCG: *failCG,
@@ -169,8 +170,11 @@ type jobClient interface {
 }
 
 // newClient builds a plain client for one address or a failover client
-// for a comma list of cluster member addresses.
-func newClient(addr string, retries int) jobClient {
+// for a comma list of cluster member addresses. A positive hedge makes
+// cluster submissions race the next member instead of waiting out a
+// timeout on the preferred one (same Idempotency-Key, so at most one
+// job is created however many attempts land).
+func newClient(addr string, retries int, hedge time.Duration) jobClient {
 	addrs := strings.Split(addr, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
@@ -182,6 +186,7 @@ func newClient(addr string, retries int) jobClient {
 	}
 	cc := client.NewCluster(addrs)
 	cc.Retry = client.RetryPolicy{MaxAttempts: retries}
+	cc.Hedge = hedge
 	return cc
 }
 

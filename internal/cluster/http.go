@@ -20,18 +20,62 @@ import (
 
 // Cluster-internal wire types (under /cluster/v1, node-to-node only).
 type replicateRequest struct {
-	From    string           `json:"from"`
+	From string `json:"from"`
+	// Seq is the batch sequence number of the owner->follower stream
+	// (1-based; monotonic per owner process).
+	Seq uint64 `json:"seq,omitempty"`
+	// Reset replaces the follower's stream with this batch — the owner's
+	// full authoritative history — instead of appending.
+	Reset   bool             `json:"reset,omitempty"`
 	Records []journal.Record `json:"records"`
+}
+
+// replicateResponse is the follower's explicit ack: the sequence number
+// and record-CRC chain its stream is at after the batch. The owner
+// compares both against its own expectation; any mismatch means a
+// delivery was lost, duplicated-with-loss, reordered or corrupted, and
+// triggers a full-history resync.
+type replicateResponse struct {
+	Seq uint64 `json:"seq"`
+	CRC uint32 `json:"crc"`
+}
+
+type stealRequest struct {
+	// Thief names the requesting node, so the victim can confirm an
+	// expiring grant against the thief before requeueing.
+	Thief string `json:"thief,omitempty"`
 }
 
 type stealResponse struct {
 	ID      string      `json:"id"`
 	IdemKey string      `json:"idem_key,omitempty"`
 	Spec    api.JobSpec `json:"spec"`
+	// Fence is the grant's fencing token; the ack must echo it.
+	Fence uint64 `json:"fence,omitempty"`
 }
 
 type ackRequest struct {
-	ID string `json:"id"`
+	ID    string `json:"id"`
+	Fence uint64 `json:"fence,omitempty"`
+}
+
+// resyncRequest carries the terminal states a rejoined node's adopter
+// computed while the node was partitioned away, so the node can settle
+// its still-queued copies instead of double-running them.
+type resyncRequest struct {
+	From string      `json:"from"`
+	Jobs []resyncJob `json:"jobs"`
+}
+
+type resyncJob struct {
+	ID     string         `json:"id"`
+	State  api.JobState   `json:"state"`
+	Error  string         `json:"error,omitempty"`
+	Result *api.JobResult `json:"result,omitempty"`
+}
+
+type resyncResponse struct {
+	Resolved int `json:"resolved"`
 }
 
 type statsResponse struct {
@@ -62,9 +106,17 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/v1/replicate", n.handleReplicate)
 	mux.HandleFunc("POST /cluster/v1/steal", n.handleSteal)
 	mux.HandleFunc("POST /cluster/v1/steal-ack", n.handleStealAck)
+	mux.HandleFunc("POST /cluster/v1/resync", n.handleResync)
 	mux.HandleFunc("GET /cluster/v1/stats", n.handleStats)
 	mux.HandleFunc("GET /cluster/v1/jobs", n.handleLocalList)
 	mux.HandleFunc("GET /cluster/v1/jobs/{id}", n.handleLocalGet)
+
+	// /metrics reads through the node so the fault engine's counters are
+	// synced into the registry right before the page renders.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		n.syncNetfaultStats()
+		base.ServeHTTP(w, r)
+	})
 
 	mux.Handle("/", base)
 	return mux
@@ -276,22 +328,27 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "replicate request needs a from member")
 		return
 	}
-	if err := n.storeReplica(req.From, req.Records); err != nil {
+	seq, crc, err := n.storeReplica(req.From, req.Seq, req.Reset, req.Records)
+	if err != nil {
 		// The in-memory stream still holds the records; report the
 		// degraded disk copy without failing the owner's ack path.
 		n.replicateFails.Inc()
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// The explicit ack: the owner verifies seq and chain CRC against its
+	// expectation and resyncs on any mismatch.
+	writeJSON(w, http.StatusOK, replicateResponse{Seq: seq, CRC: crc})
 }
 
 func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
-	job := n.grantSteal()
+	var req stealRequest
+	_ = json.NewDecoder(r.Body).Decode(&req) // empty body = anonymous thief
+	job, fence := n.grantSteal(req.Thief)
 	if job == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	st := n.srv.Status(job, false)
-	writeJSON(w, http.StatusOK, stealResponse{ID: job.ID, IdemKey: job.IdemKey, Spec: st.Spec})
+	writeJSON(w, http.StatusOK, stealResponse{ID: job.ID, IdemKey: job.IdemKey, Spec: st.Spec, Fence: fence})
 }
 
 func (n *Node) handleStealAck(w http.ResponseWriter, r *http.Request) {
@@ -300,13 +357,31 @@ func (n *Node) handleStealAck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid ack: %v", err)
 		return
 	}
-	if !n.ackSteal(req.ID) {
-		// Expired or unknown: the job was requeued here; the thief's
-		// copy runs as a harmless duplicate.
-		writeError(w, http.StatusConflict, "steal of %q expired", req.ID)
+	if !n.ackSteal(req.ID, req.Fence) {
+		// Expired, unknown, or fence-rejected: the grant this ack names
+		// is not outstanding; whatever copy exists here settles itself.
+		writeError(w, http.StatusConflict, "steal of %q expired or fenced off", req.ID)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResync accepts the terminal states an adopter computed for jobs
+// this (rejoined) node still holds queued, settling each local copy with
+// the replicated result instead of re-running it.
+func (n *Node) handleResync(w http.ResponseWriter, r *http.Request) {
+	var req resyncRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid resync request: %v", err)
+		return
+	}
+	resolved := 0
+	for _, j := range req.Jobs {
+		if n.srv.Resolve(j.ID, j.State, j.Error, j.Result) {
+			resolved++
+		}
+	}
+	writeJSON(w, http.StatusOK, resyncResponse{Resolved: resolved})
 }
 
 func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -18,20 +18,40 @@ type Member struct {
 	Addr string `json:"addr"`
 }
 
+// Peer liveness states. Peers move alive -> suspect after DeadAfter
+// consecutive probe failures, suspect -> dead after SuspectGrace more
+// time of failure, and back to alive on the first success from either
+// state. The suspect stage is flap damping: routing and follower
+// selection already avoid a suspect peer (cheap, reversible), but the
+// expensive irreversible reaction — adopting its jobs — waits until the
+// peer is well and truly gone, so a transient partition does not trigger
+// a wave of duplicate executions.
+const (
+	peerAlive = iota
+	peerSuspect
+	peerDead
+)
+
 // Membership tracks peer liveness by probing each peer's /healthz on a
-// fixed interval. A peer is declared dead after DeadAfter consecutive
-// probe failures and alive again on the first success; both transitions
-// fire their callback exactly once per transition. Peers start alive —
-// optimism costs one failed request, pessimism would reject work during
-// a clean rolling start.
+// fixed interval, each probe with its own deadline so one hung peer can
+// never stall its probe loop. Transition callbacks fire exactly once per
+// transition: onSuspect (alive->suspect), onDeath (suspect->dead),
+// onAlive (suspect->alive: a damped flap), onRejoin (dead->alive: the
+// peer returned after its jobs may already have been adopted). Peers
+// start alive — optimism costs one failed request, pessimism would
+// reject work during a clean rolling start.
 type Membership struct {
-	self      string
-	peers     []Member
-	interval  time.Duration
-	deadAfter int
-	client    *http.Client
-	onDeath   func(id string)
-	onAlive   func(id string)
+	self         string
+	peers        []Member
+	interval     time.Duration
+	probeTimeout time.Duration
+	deadAfter    int
+	suspectGrace time.Duration
+	client       *http.Client
+	onDeath      func(id string)
+	onAlive      func(id string)
+	onSuspect    func(id string)
+	onRejoin     func(id string)
 
 	mu    sync.Mutex
 	state map[string]*peerState
@@ -42,25 +62,31 @@ type Membership struct {
 }
 
 type peerState struct {
-	alive bool
-	fails int
+	status    int
+	fails     int
+	suspectAt time.Time
 }
 
-// newMembership wires the prober; Start launches it.
-func newMembership(self string, peers []Member, interval time.Duration, deadAfter int, client *http.Client, onDeath, onAlive func(string)) *Membership {
+// newMembership wires the prober; Start launches it. Nil callbacks are
+// allowed.
+func newMembership(self string, peers []Member, interval, probeTimeout time.Duration, deadAfter int, suspectGrace time.Duration, client *http.Client, onDeath, onAlive, onSuspect, onRejoin func(string)) *Membership {
 	m := &Membership{
-		self:      self,
-		peers:     peers,
-		interval:  interval,
-		deadAfter: deadAfter,
-		client:    client,
-		onDeath:   onDeath,
-		onAlive:   onAlive,
-		state:     make(map[string]*peerState, len(peers)),
-		stop:      make(chan struct{}),
+		self:         self,
+		peers:        peers,
+		interval:     interval,
+		probeTimeout: probeTimeout,
+		deadAfter:    deadAfter,
+		suspectGrace: suspectGrace,
+		client:       client,
+		onDeath:      onDeath,
+		onAlive:      onAlive,
+		onSuspect:    onSuspect,
+		onRejoin:     onRejoin,
+		state:        make(map[string]*peerState, len(peers)),
+		stop:         make(chan struct{}),
 	}
 	for _, p := range peers {
-		m.state[p.ID] = &peerState{alive: true}
+		m.state[p.ID] = &peerState{status: peerAlive}
 	}
 	return m
 }
@@ -87,11 +113,15 @@ func (m *Membership) Start() {
 	}
 }
 
-// probe checks one peer's liveness. Any 2xx/3xx/4xx answer proves the
-// process is up; only transport failures and 5xx count against it (a
-// draining node still owns its jobs until it is actually gone).
+// probe checks one peer's liveness. Each attempt carries its own
+// deadline (probeTimeout), independent of the shared HTTP client's
+// timeout: a peer that accepts connections but never answers must not
+// hold its probe loop hostage for longer than one detection step. Any
+// 2xx/3xx/4xx answer proves the process is up; only transport failures
+// and 5xx count against it (a draining node still owns its jobs until
+// it is actually gone).
 func (m *Membership) probe(addr string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), m.interval)
+	ctx, cancel := context.WithTimeout(context.Background(), m.probeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
 	if err != nil {
@@ -108,23 +138,36 @@ func (m *Membership) probe(addr string) error {
 	return nil
 }
 
-// record folds one probe outcome into the peer's state, firing the
-// transition callback outside the lock.
+// record folds one probe outcome into the peer's state machine, firing
+// the transition callback outside the lock.
 func (m *Membership) record(id string, err error) {
 	var fire func(string)
 	m.mu.Lock()
 	st := m.state[id]
 	if err == nil {
 		st.fails = 0
-		if !st.alive {
-			st.alive = true
+		switch st.status {
+		case peerSuspect:
+			st.status = peerAlive
 			fire = m.onAlive
+		case peerDead:
+			st.status = peerAlive
+			fire = m.onRejoin
 		}
 	} else {
 		st.fails++
-		if st.alive && st.fails >= m.deadAfter {
-			st.alive = false
-			fire = m.onDeath
+		switch st.status {
+		case peerAlive:
+			if st.fails >= m.deadAfter {
+				st.status = peerSuspect
+				st.suspectAt = time.Now()
+				fire = m.onSuspect
+			}
+		case peerSuspect:
+			if time.Since(st.suspectAt) >= m.suspectGrace {
+				st.status = peerDead
+				fire = m.onDeath
+			}
 		}
 	}
 	m.mu.Unlock()
@@ -133,7 +176,10 @@ func (m *Membership) record(id string, err error) {
 	}
 }
 
-// Alive reports whether the member is believed up. Self is always alive.
+// Alive reports whether the member is fully alive — suspect peers are
+// excluded, so routing and follower selection stop using a peer the
+// moment it goes quiet, long before adoption fires. Self is always
+// alive.
 func (m *Membership) Alive(id string) bool {
 	if id == m.self {
 		return true
@@ -141,15 +187,40 @@ func (m *Membership) Alive(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st, ok := m.state[id]
-	return ok && st.alive
+	return ok && st.status == peerAlive
 }
 
-// AliveCount counts members believed up, self included.
+// Dead reports whether the member has been declared dead (suspect peers
+// are not dead yet).
+func (m *Membership) Dead(id string) bool {
+	if id == m.self {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.state[id]
+	return ok && st.status == peerDead
+}
+
+// AliveCount counts members fully alive, self included.
 func (m *Membership) AliveCount() int {
 	n := 1
 	m.mu.Lock()
 	for _, st := range m.state {
-		if st.alive {
+		if st.status == peerAlive {
+			n++
+		}
+	}
+	m.mu.Unlock()
+	return n
+}
+
+// SuspectCount counts members currently in the suspect state.
+func (m *Membership) SuspectCount() int {
+	n := 0
+	m.mu.Lock()
+	for _, st := range m.state {
+		if st.status == peerSuspect {
 			n++
 		}
 	}

@@ -1,12 +1,17 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
 
+	"mrts/internal/netfault"
+	"mrts/internal/obs"
 	"mrts/internal/service"
 	"mrts/internal/service/api"
 	"mrts/internal/service/journal"
@@ -26,18 +31,41 @@ type Config struct {
 
 	// ProbeInterval is the liveness probe period (default 1s).
 	ProbeInterval time.Duration
-	// DeadAfter is how many consecutive probe failures declare a peer
-	// dead (default 3).
+	// ProbeTimeout is the per-attempt deadline of one liveness probe
+	// (default ProbeInterval). Each probe carries its own deadline so a
+	// hung peer — accepting connections, never answering — cannot stall
+	// its probe loop past one detection step, whatever the shared HTTP
+	// client's timeout is.
+	ProbeTimeout time.Duration
+	// DeadAfter is how many consecutive probe failures move a peer from
+	// alive to suspect (default 3).
 	DeadAfter int
+	// SuspectGrace is how long a peer stays suspect — excluded from
+	// routing and follower selection, but not yet adopted from — before
+	// continued probe failure declares it dead (default
+	// 2*ProbeInterval). The grace dampens membership flapping: a
+	// transient partition shorter than it never triggers adoption.
+	SuspectGrace time.Duration
 	// StealInterval is how often an idle node looks for queued work on
 	// hot peers (default 250ms). Negative disables stealing.
 	StealInterval time.Duration
 	// StealAckTimeout bounds how long a granted steal may stay
-	// unacknowledged before the job is requeued locally (default 5s).
+	// unacknowledged before the victim settles it — forgetting the job
+	// if the thief holds it durably, requeueing it otherwise (default
+	// 5s).
 	StealAckTimeout time.Duration
 	// HTTPClient is used for all peer traffic (default: a client with a
 	// 10s timeout).
 	HTTPClient *http.Client
+	// NetFault, when set, routes every peer-bound request of this node
+	// (probes, redirects, replication, steals, lookups) through the
+	// fault engine's RoundTripper, and surfaces the engine's counters as
+	// mrts_netfault_* metrics. Nil — the default — leaves the HTTP path
+	// byte-identical to an unfaulted build.
+	NetFault *netfault.Network
+	// Obs, when set, records cluster liveness transitions and fencing
+	// rejections as decision-trace events (source "net"). Nil disables.
+	Obs *obs.Recorder
 }
 
 func (c *Config) defaults() error {
@@ -64,8 +92,14 @@ func (c *Config) defaults() error {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = time.Second
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 3
+	}
+	if c.SuspectGrace <= 0 {
+		c.SuspectGrace = 2 * c.ProbeInterval
 	}
 	if c.StealInterval == 0 {
 		c.StealInterval = 250 * time.Millisecond
@@ -79,10 +113,21 @@ func (c *Config) defaults() error {
 	return nil
 }
 
+// pushState is the owner-side view of one follower's replica stream: the
+// batch sequence number and chained record CRC the follower must be at
+// if no delivery was lost, reordered or corrupted.
+type pushState struct {
+	seq   uint64
+	chain uint32
+	init  bool // a full-history push established the stream
+	reset bool // divergence detected: next push resends full history
+}
+
 // Node is one cluster member: it wraps a service.Server with
-// fingerprint routing, journal replication to a follower, death-driven
-// adoption and work stealing. Create it with New, serve its Handler,
-// and Close it before closing the underlying server.
+// fingerprint routing, acked journal replication to a follower,
+// death-driven adoption with rejoin resync, and fenced work stealing.
+// Create it with New, serve its Handler, and Close it before closing the
+// underlying server.
 type Node struct {
 	cfg  Config
 	srv  *service.Server
@@ -96,6 +141,19 @@ type Node struct {
 	mu            sync.Mutex
 	pendingSteals map[string]*stealGrant
 
+	// fence is the monotonic steal-grant counter, seeded above every
+	// token the journal has ever recorded (service.MaxFence).
+	fenceMu sync.Mutex
+	fence   uint64
+
+	// pushMu serializes replica pushes per node so the per-follower
+	// sequence numbers and CRC chains cannot interleave.
+	pushMu sync.Mutex
+	pushes map[string]*pushState
+
+	nfMu   sync.Mutex
+	nfLast netfault.Stats
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -107,6 +165,15 @@ type Node struct {
 	stealsAcked, stealsExpired    *service.Counter
 	peerDeaths, adoptedJobs       *service.Counter
 	aliveMembers                  *service.Gauge
+
+	fenceRejections, lateSettles  *service.Counter
+	replicaResyncs, rejoinResyncs *service.Counter
+	peerSuspects, peerRejoins     *service.Counter
+	suspectMembers                *service.Gauge
+
+	nfRequests, nfBlocked       *service.Counter
+	nfDroppedReq, nfDroppedResp *service.Counter
+	nfDuplicated, nfDelayed     *service.Counter
 }
 
 // New wires a node around srv. The node registers its metrics in the
@@ -127,6 +194,8 @@ func New(cfg Config, srv *service.Server) (*Node, error) {
 		reps:          reps,
 		addrs:         make(map[string]string, len(cfg.Members)),
 		pendingSteals: make(map[string]*stealGrant),
+		pushes:        make(map[string]*pushState),
+		fence:         srv.MaxFence(),
 		stop:          make(chan struct{}),
 
 		redirects:      m.Counter("mrts_cluster_redirects_total"),
@@ -141,6 +210,21 @@ func New(cfg Config, srv *service.Server) (*Node, error) {
 		peerDeaths:     m.Counter("mrts_cluster_peer_deaths_total"),
 		adoptedJobs:    m.Counter("mrts_cluster_adopted_jobs_total"),
 		aliveMembers:   m.Gauge("mrts_cluster_alive_members"),
+
+		fenceRejections: m.Counter("mrts_cluster_fence_rejections_total"),
+		lateSettles:     m.Counter("mrts_cluster_steal_late_settles_total"),
+		replicaResyncs:  m.Counter("mrts_cluster_replica_resyncs_total"),
+		rejoinResyncs:   m.Counter("mrts_cluster_rejoin_resyncs_total"),
+		peerSuspects:    m.Counter("mrts_cluster_peer_suspects_total"),
+		peerRejoins:     m.Counter("mrts_cluster_peer_rejoins_total"),
+		suspectMembers:  m.Gauge("mrts_cluster_suspect_members"),
+
+		nfRequests:    m.Counter("mrts_netfault_requests_total"),
+		nfBlocked:     m.Counter("mrts_netfault_blocked_total"),
+		nfDroppedReq:  m.Counter("mrts_netfault_dropped_requests_total"),
+		nfDroppedResp: m.Counter("mrts_netfault_dropped_responses_total"),
+		nfDuplicated:  m.Counter("mrts_netfault_duplicated_total"),
+		nfDelayed:     m.Counter("mrts_netfault_delayed_total"),
 	}
 	ids := make([]string, 0, len(cfg.Members))
 	var peers []Member
@@ -154,11 +238,27 @@ func New(cfg Config, srv *service.Server) (*Node, error) {
 	sort.Strings(ids)
 	n.sortedID = ids
 	n.ring = NewRing(ids)
-	n.mem = newMembership(cfg.Self, peers, cfg.ProbeInterval, cfg.DeadAfter,
-		cfg.HTTPClient, n.onPeerDeath, n.onPeerAlive)
+
+	if nf := cfg.NetFault; nf != nil {
+		// Route every peer-bound request of this node through the fault
+		// engine. The shared client is copied so other nodes in the same
+		// process (tests) can wrap their own identity.
+		for id, addr := range n.addrs {
+			if u, err := url.Parse(addr); err == nil && u.Host != "" {
+				nf.Register(id, u.Host)
+			}
+		}
+		c := *n.cfg.HTTPClient
+		c.Transport = nf.Transport(cfg.Self, c.Transport)
+		n.cfg.HTTPClient = &c
+	}
+
+	n.mem = newMembership(cfg.Self, peers, n.cfg.ProbeInterval, n.cfg.ProbeTimeout,
+		n.cfg.DeadAfter, n.cfg.SuspectGrace, n.cfg.HTTPClient,
+		n.onPeerDeath, n.onPeerAlive, n.onPeerSuspect, n.onPeerRejoin)
 	n.aliveMembers.Set(int64(len(ids)))
 	n.mem.Start()
-	if cfg.StealInterval > 0 && len(peers) > 0 {
+	if n.cfg.StealInterval > 0 && len(peers) > 0 {
 		n.wg.Add(1)
 		go n.stealLoop()
 	}
@@ -187,6 +287,44 @@ func (n *Node) follower() string {
 	return ""
 }
 
+// nextFence issues the next monotonic fencing token for a steal grant,
+// journaling it durably first: a restarted victim replays every grant
+// record and resumes the counter above it, so a stale ack from before
+// the restart can never match a fresh grant.
+func (n *Node) nextFence(jobID, thief string) uint64 {
+	n.fenceMu.Lock()
+	n.fence++
+	f := n.fence
+	n.fenceMu.Unlock()
+	n.srv.AppendRecord(journal.Record{Kind: journal.KindGrant, ID: jobID, Fence: f, Peer: thief}, true)
+	return f
+}
+
+// recordObs emits one cluster liveness/fencing trace event when a
+// recorder is configured.
+func (n *Node) recordObs(kind, detail string) {
+	if n.cfg.Obs == nil {
+		return
+	}
+	n.cfg.Obs.Record(obs.Event{
+		Source: obs.SourceNet,
+		Kind:   kind,
+		Node:   n.cfg.Self,
+		Detail: detail,
+	})
+}
+
+// onPeerSuspect marks a peer quiet-but-not-yet-dead: routing and
+// follower selection already avoid it (Membership.Alive is false), but
+// adoption waits for the suspect grace to expire. A transient partition
+// heals inside the grace without any duplicate executions.
+func (n *Node) onPeerSuspect(id string) {
+	n.peerSuspects.Inc()
+	n.suspectMembers.Set(int64(n.mem.SuspectCount()))
+	n.aliveMembers.Set(int64(n.mem.AliveCount()))
+	n.recordObs(obs.KindSuspect, id)
+}
+
 // onPeerDeath adopts whatever the dead peer replicated to this node:
 // completed jobs keep serving their results here, unfinished jobs are
 // re-run locally to byte-identical results. Every surviving holder of a
@@ -194,6 +332,7 @@ func (n *Node) follower() string {
 // harmless (deterministic jobs, at-least-once).
 func (n *Node) onPeerDeath(id string) {
 	n.peerDeaths.Inc()
+	n.suspectMembers.Set(int64(n.mem.SuspectCount()))
 	n.aliveMembers.Set(int64(n.mem.AliveCount()))
 	recs := n.reps.snapshot(id)
 	if len(recs) == 0 {
@@ -214,27 +353,153 @@ func (n *Node) onPeerDeath(id string) {
 	}
 }
 
+// onPeerAlive is the damped flap: a suspect peer answered before the
+// grace expired, so nothing was adopted and nothing needs resync.
 func (n *Node) onPeerAlive(id string) {
+	n.suspectMembers.Set(int64(n.mem.SuspectCount()))
 	n.aliveMembers.Set(int64(n.mem.AliveCount()))
 }
 
-// pushRecords replicates records to peer's replica endpoint. Returns
-// the transport error; callers on the ack path treat failure as
-// degraded durability, not as a reason to reject the job.
+// onPeerRejoin runs when a peer declared dead comes back: by now this
+// node may have adopted and completed the peer's jobs, and the healed
+// peer still holds the same jobs queued — about to double-run them. The
+// resync pushes the terminal states back so the peer resolves its copies
+// with the already-computed (byte-identical) results instead.
+func (n *Node) onPeerRejoin(id string) {
+	n.peerRejoins.Inc()
+	n.suspectMembers.Set(int64(n.mem.SuspectCount()))
+	n.aliveMembers.Set(int64(n.mem.AliveCount()))
+	n.recordObs(obs.KindRejoin, id)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.resyncRejoined(id)
+	}()
+}
+
+// resyncRejoined sends the terminal states of every job this node holds
+// from the rejoined peer's replica stream back to it.
+func (n *Node) resyncRejoined(peer string) {
+	addr, ok := n.addrs[peer]
+	if !ok {
+		return
+	}
+	var jobs []resyncJob
+	for _, rec := range n.reps.snapshot(peer) {
+		if rec.Kind != journal.KindSubmit {
+			continue
+		}
+		j, ok := n.srv.Job(rec.ID)
+		if !ok {
+			continue
+		}
+		st := n.srv.Status(j, true)
+		if !st.State.Terminal() {
+			continue
+		}
+		jobs = append(jobs, resyncJob{ID: st.ID, State: st.State, Error: st.Error, Result: st.Result})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	var resp resyncResponse
+	if err := n.postJSON(addr+"/cluster/v1/resync", resyncRequest{From: n.cfg.Self, Jobs: jobs}, &resp); err != nil {
+		return // the peer re-runs; duplicates are byte-identical
+	}
+	n.rejoinResyncs.Add(int64(resp.Resolved))
+}
+
+// chainCRC folds records into a running CRC32 chain over their canonical
+// JSON encodings — the divergence detector of the replication protocol.
+func chainCRC(prev uint32, recs []journal.Record) uint32 {
+	h := prev
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			continue // unmarshalable records cannot ride the wire either
+		}
+		h = crc32.Update(h, crc32.IEEETable, b)
+	}
+	return h
+}
+
+// pushRecords replicates records to peer's replica endpoint with an
+// explicit ack: every batch carries a sequence number, and the
+// follower's response echoes the sequence and CRC chain it is now at.
+// Any mismatch — a lost, duplicated-with-loss, reordered or corrupted
+// delivery, or a follower restart — marks the stream diverged, and the
+// next push (retried immediately once) resends the full history with
+// Reset set, rebuilding the follower's replica from the owner's
+// authoritative job table. Returns the transport error; callers on the
+// ack path treat failure as degraded durability, not as a reason to
+// reject the job.
 func (n *Node) pushRecords(peer string, recs []journal.Record) error {
 	addr, ok := n.addrs[peer]
 	if !ok || len(recs) == 0 {
 		return nil
 	}
-	err := n.postJSON(addr+"/cluster/v1/replicate", replicateRequest{
-		From:    n.cfg.Self,
-		Records: recs,
-	}, nil)
+	n.pushMu.Lock()
+	defer n.pushMu.Unlock()
+	err := n.pushLocked(peer, addr, recs)
+	if err == nil {
+		return nil
+	}
+	if st := n.pushes[peer]; st != nil && st.reset {
+		// Divergence (not transport failure): retry once with the full
+		// history before giving up until the next push.
+		err = n.pushLocked(peer, addr, recs)
+	}
 	if err != nil {
 		n.replicateFails.Inc()
+	}
+	return err
+}
+
+// pushLocked sends one replica batch (pushMu held). A follower this node
+// has not pushed to yet — or one marked diverged — gets the full history
+// (owner job table plus the new records) with Reset set.
+func (n *Node) pushLocked(peer, addr string, recs []journal.Record) error {
+	st := n.pushes[peer]
+	if st == nil {
+		st = &pushState{}
+		n.pushes[peer] = st
+	}
+	payload := recs
+	reset := false
+	if !st.init || st.reset {
+		// Full history: the submit/complete records of every job this
+		// node retains. The new records ride along; duplicate submits
+		// fold idempotently on replay.
+		payload = append(n.srv.ExportRecords(), recs...)
+		reset = true
+		st.chain = 0
+		st.seq = 0
+	}
+	want := chainCRC(st.chain, payload)
+	var resp replicateResponse
+	err := n.postJSON(addr+"/cluster/v1/replicate", replicateRequest{
+		From:    n.cfg.Self,
+		Seq:     st.seq + 1,
+		Reset:   reset,
+		Records: payload,
+	}, &resp)
+	if err != nil {
+		// Unknown whether the follower applied the batch: mark diverged
+		// so the next successful push rebuilds the stream.
+		st.reset = true
 		return err
 	}
-	n.replicatedOut.Add(int64(len(recs)))
+	if resp.Seq != st.seq+1 || resp.CRC != want {
+		st.reset = true
+		n.replicaResyncs.Inc()
+		return fmt.Errorf("cluster: replica %s diverged (seq %d/%d crc %08x/%08x)",
+			peer, resp.Seq, st.seq+1, resp.CRC, want)
+	}
+	st.seq++
+	st.chain = want
+	st.init = true
+	st.reset = false
+	n.replicatedOut.Add(int64(len(payload)))
 	return nil
 }
 
@@ -302,6 +567,27 @@ func (n *Node) watchComplete(j *service.Job) {
 			Result: st.Result,
 		}})
 	}
+}
+
+// syncNetfaultStats folds the fault engine's counters into the metrics
+// registry (delta since the last sync), so /metrics always shows current
+// mrts_netfault_* values. No-op without a fault engine.
+func (n *Node) syncNetfaultStats() {
+	nf := n.cfg.NetFault
+	if nf == nil {
+		return
+	}
+	cur := nf.Stats()
+	n.nfMu.Lock()
+	last := n.nfLast
+	n.nfLast = cur
+	n.nfMu.Unlock()
+	n.nfRequests.Add(cur.Requests - last.Requests)
+	n.nfBlocked.Add(cur.Blocked - last.Blocked)
+	n.nfDroppedReq.Add(cur.DroppedRequests - last.DroppedRequests)
+	n.nfDroppedResp.Add(cur.DroppedResponses - last.DroppedResponses)
+	n.nfDuplicated.Add(cur.Duplicated - last.Duplicated)
+	n.nfDelayed.Add(cur.Delayed - last.Delayed)
 }
 
 // Close stops probing, stealing and watchers, requeues any unacked

@@ -1,0 +1,580 @@
+// Package netfault is a seeded, deterministic network-fault scheduler for
+// the mrts-serve cluster: the wire-level sibling of internal/fault. Where
+// internal/fault corrupts the fabric under the runtime system, netfault
+// sickens the network under the cluster — symmetric partitions that cut a
+// minority off, asymmetric one-way link failures, per-link latency spikes,
+// and per-delivery drops, duplications and reorderings — all drawn from a
+// seed so every partition scenario is reproducible.
+//
+// Two mechanisms compose:
+//
+//   - Scheduled windows: partitions, link failures and latency spikes are
+//     time intervals drawn over a horizon, anchored at Start. While a
+//     window is open, deliveries on its links fail (or slow down).
+//   - Per-delivery decisions: the k-th delivery on a directed link is
+//     dropped / duplicated / delayed by a decision that is a pure function
+//     of (seed, category, link, k) — independent of wall time, so a test
+//     replaying the same request sequence sees the same decisions.
+//
+// Like internal/fault, each category draws from its own sub-stream:
+// raising the partition count never moves the latency spikes, and a
+// scenario that grows one knob grows prefix-stably. The whole engine is
+// exposed as an http.RoundTripper (Network.Transport) that every cluster
+// code path — membership probes, redirect submission, replication,
+// steal/adopt RPCs, and the failover client — can route through; with no
+// Network configured the cluster never touches this package and its wire
+// behavior is byte-identical to an unfaulted build.
+package netfault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options parameterise a network-fault schedule. The zero value is the
+// benign no-fault network.
+type Options struct {
+	// Members are the participant IDs the scheduler draws partitions and
+	// link events over. Required whenever any scheduled count is non-zero.
+	Members []string
+
+	// Partitions is the number of symmetric partition windows: each cuts
+	// a seeded minority group off from the rest, both directions, for
+	// PartitionDur.
+	Partitions int
+	// LinkFails is the number of asymmetric link-failure windows: one
+	// directed link goes dark for PartitionDur while the reverse
+	// direction keeps working.
+	LinkFails int
+	// Spikes is the number of per-link latency-spike windows: deliveries
+	// on one directed link are delayed by SpikeDelay for SpikeDur.
+	Spikes int
+
+	// PartitionDur is the length of one partition or link-failure window
+	// (default 2s).
+	PartitionDur time.Duration
+	// SpikeDur is the length of one latency-spike window (default 1s).
+	SpikeDur time.Duration
+	// SpikeDelay is the added per-delivery latency inside a spike window
+	// (default 50ms).
+	SpikeDelay time.Duration
+
+	// DropRate is the per-delivery probability that a delivery is lost.
+	// Half of the drops (drawn from the same decision) lose the request
+	// before the receiver sees it; the other half deliver the request and
+	// lose the response — the ack-loss case that opens duplicate-run
+	// windows. In [0,1].
+	DropRate float64
+	// DupRate is the per-delivery probability that the receiver sees the
+	// request twice (the sender gets the second response). In [0,1].
+	DupRate float64
+	// ReorderRate is the per-delivery probability that a delivery is
+	// held for ReorderDelay before being forwarded, letting later
+	// deliveries on the same link overtake it. In [0,1].
+	ReorderRate float64
+	// ReorderDelay is the hold applied to reordered deliveries
+	// (default 20ms).
+	ReorderDelay time.Duration
+
+	// Horizon is the window scheduled events are drawn from. Required
+	// (> 0) whenever any scheduled count is non-zero.
+	Horizon time.Duration
+}
+
+// IsZero reports whether the options describe the benign network.
+func (o Options) IsZero() bool {
+	return o.Partitions == 0 && o.LinkFails == 0 && o.Spikes == 0 &&
+		o.DropRate == 0 && o.DupRate == 0 && o.ReorderRate == 0
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"Partitions", o.Partitions}, {"LinkFails", o.LinkFails}, {"Spikes", o.Spikes},
+	} {
+		if c.n < 0 {
+			return fmt.Errorf("netfault: negative %s %d", c.name, c.n)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		r    float64
+	}{
+		{"DropRate", o.DropRate}, {"DupRate", o.DupRate}, {"ReorderRate", o.ReorderRate},
+	} {
+		if c.r < 0 || c.r > 1 {
+			return fmt.Errorf("netfault: %s %v outside [0,1]", c.name, c.r)
+		}
+	}
+	scheduled := o.Partitions > 0 || o.LinkFails > 0 || o.Spikes > 0
+	if scheduled && o.Horizon <= 0 {
+		return fmt.Errorf("netfault: horizon %v must be positive when windows are requested", o.Horizon)
+	}
+	if scheduled && len(o.Members) < 2 {
+		return fmt.Errorf("netfault: scheduled windows need at least 2 members, have %d", len(o.Members))
+	}
+	return nil
+}
+
+// Defaults for zero-valued durations.
+const (
+	DefaultPartitionDur = 2 * time.Second
+	DefaultSpikeDur     = time.Second
+	DefaultSpikeDelay   = 50 * time.Millisecond
+	DefaultReorderDelay = 20 * time.Millisecond
+)
+
+// rng is the same splitmix64 stream internal/fault uses: tiny,
+// full-period, owned by the schedule, race-free by construction.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// within draws a uniform duration in [0, horizon).
+func (r *rng) within(horizon time.Duration) time.Duration {
+	return time.Duration(r.next() % uint64(horizon))
+}
+
+// intn draws a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Per-category stream identifiers. Each category consumes only its own
+// stream, so growing one count never perturbs another category — or that
+// category's own prefix.
+const (
+	catPartition = iota
+	catLinkFail
+	catSpike
+	catDrop
+	catDup
+	catReorder
+	catChaos // minority pick + heal delay for the chaos harness
+)
+
+// stream derives an independent sub-stream for an event category,
+// mirroring internal/fault's derivation.
+func stream(seed uint64, category uint64) *rng {
+	base := rng{s: seed}
+	for i := uint64(0); i <= category; i++ {
+		base.next()
+	}
+	return &rng{s: base.next() ^ (category+1)*0xd1342543de82ef95}
+}
+
+// decision is the deterministic per-delivery draw: a pure function of
+// (seed, category, directed link, delivery ordinal) in [0,1). It is NOT a
+// stream cursor — replaying the same delivery sequence replays the same
+// decisions, and decisions for one link never depend on traffic on
+// another.
+func decision(seed uint64, category uint64, link string, k uint64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(link))
+	r := rng{s: seed ^ (category+1)*0x9e3779b97f4a7c15 ^ h.Sum64()}
+	r.next()
+	r.s += k * 0xd1342543de82ef95
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// window is one scheduled interval during which a set of directed links
+// is blocked (partitions, link failures) or slowed (spikes).
+type window struct {
+	start, end time.Duration // offsets from the anchor
+	links      map[string]bool
+	delay      time.Duration // zero for blocking windows
+	kind       string        // "partition" | "linkfail" | "spike"
+}
+
+// link names a directed edge.
+func link(from, to string) string { return from + ">" + to }
+
+// Stats count the engine's applied decisions since construction.
+type Stats struct {
+	// Requests is the number of deliveries inspected by the transport.
+	Requests int64
+	// Blocked is the number of deliveries refused by an open partition or
+	// link-failure window (scheduled or manual).
+	Blocked int64
+	// DroppedRequests / DroppedResponses split the drop decisions by
+	// which half of the round trip was lost.
+	DroppedRequests  int64
+	DroppedResponses int64
+	// Duplicated is the number of deliveries the receiver saw twice.
+	Duplicated int64
+	// Delayed is the number of deliveries held by a spike or reorder.
+	Delayed int64
+}
+
+// Network is the runtime engine: an immutable schedule plus mutable
+// anchor, manual-partition state and counters. Safe for concurrent use by
+// every node's transport.
+type Network struct {
+	seed    uint64
+	opts    Options
+	windows []window
+
+	mu       sync.Mutex
+	anchor   time.Time         // zero until Start
+	manual   []map[string]bool // manually partitioned groups
+	registry map[string]string
+	counts   map[string]*uint64 // per-link delivery ordinals
+	chaos    *rng               // seeded draws for the chaos harness
+
+	requests, blocked   atomic.Int64
+	dropReq, dropResp   atomic.Int64
+	duplicated, delayed atomic.Int64
+}
+
+// New draws a network-fault engine from the seed and options.
+func New(seed uint64, opts Options) (*Network, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PartitionDur <= 0 {
+		opts.PartitionDur = DefaultPartitionDur
+	}
+	if opts.SpikeDur <= 0 {
+		opts.SpikeDur = DefaultSpikeDur
+	}
+	if opts.SpikeDelay <= 0 {
+		opts.SpikeDelay = DefaultSpikeDelay
+	}
+	if opts.ReorderDelay <= 0 {
+		opts.ReorderDelay = DefaultReorderDelay
+	}
+	n := &Network{
+		seed:     seed,
+		opts:     opts,
+		registry: make(map[string]string),
+		counts:   make(map[string]*uint64),
+		chaos:    stream(seed, catChaos),
+	}
+	members := append([]string(nil), opts.Members...)
+	sort.Strings(members) // draws must not depend on caller order
+
+	r := stream(seed, catPartition)
+	for i := 0; i < opts.Partitions; i++ {
+		at := r.within(opts.Horizon)
+		group := drawMinority(r, members)
+		n.windows = append(n.windows, window{
+			start: at, end: at + opts.PartitionDur,
+			links: cutLinks(group, members), kind: "partition",
+		})
+	}
+	r = stream(seed, catLinkFail)
+	for i := 0; i < opts.LinkFails; i++ {
+		at := r.within(opts.Horizon)
+		from, to := drawPair(r, members)
+		n.windows = append(n.windows, window{
+			start: at, end: at + opts.PartitionDur,
+			links: map[string]bool{link(from, to): true}, kind: "linkfail",
+		})
+	}
+	r = stream(seed, catSpike)
+	for i := 0; i < opts.Spikes; i++ {
+		at := r.within(opts.Horizon)
+		from, to := drawPair(r, members)
+		n.windows = append(n.windows, window{
+			start: at, end: at + opts.SpikeDur,
+			links: map[string]bool{link(from, to): true},
+			delay: opts.SpikeDelay, kind: "spike",
+		})
+	}
+	// Windows stay in draw order: category sub-streams make each
+	// category's list grow prefix-stably, and sorting would hide that.
+	return n, nil
+}
+
+// Must is New for options known to be valid.
+func Must(seed uint64, opts Options) *Network {
+	n, err := New(seed, opts)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// drawMinority picks a strict minority subset (1 <= k <= (len-1)/2,
+// clamped to at least one member) of the sorted member list.
+func drawMinority(r *rng, members []string) []string {
+	maxK := (len(members) - 1) / 2
+	if maxK < 1 {
+		maxK = 1
+	}
+	k := 1 + r.intn(maxK)
+	picked := make(map[int]bool, k)
+	for len(picked) < k {
+		picked[r.intn(len(members))] = true
+	}
+	out := make([]string, 0, k)
+	for i, m := range members {
+		if picked[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// drawPair picks an ordered pair of distinct members.
+func drawPair(r *rng, members []string) (from, to string) {
+	i := r.intn(len(members))
+	j := r.intn(len(members) - 1)
+	if j >= i {
+		j++
+	}
+	return members[i], members[j]
+}
+
+// cutLinks returns every directed link between the group and the rest,
+// both directions — a symmetric partition.
+func cutLinks(group, members []string) map[string]bool {
+	in := make(map[string]bool, len(group))
+	for _, g := range group {
+		in[g] = true
+	}
+	links := make(map[string]bool)
+	for _, a := range members {
+		for _, b := range members {
+			if a != b && in[a] != in[b] {
+				links[link(a, b)] = true
+			}
+		}
+	}
+	return links
+}
+
+// Seed returns the seed the engine was drawn from.
+func (n *Network) Seed() uint64 { return n.seed }
+
+// Options returns the (defaulted) options.
+func (n *Network) Options() Options { return n.opts }
+
+// Windows returns a human-readable description of the scheduled windows,
+// in start order — the reproduction recipe a seed implies.
+func (n *Network) Windows() []string {
+	out := make([]string, 0, len(n.windows))
+	for _, w := range n.windows {
+		links := make([]string, 0, len(w.links))
+		for l := range w.links {
+			links = append(links, l)
+		}
+		sort.Strings(links)
+		out = append(out, fmt.Sprintf("%s @%v..%v %s", w.kind, w.start, w.end, strings.Join(links, ",")))
+	}
+	return out
+}
+
+// Start anchors the scheduled windows at now. Before Start only manual
+// partitions and per-delivery decisions apply. Calling Start twice keeps
+// the first anchor.
+func (n *Network) Start(now time.Time) {
+	n.mu.Lock()
+	if n.anchor.IsZero() {
+		n.anchor = now
+	}
+	n.mu.Unlock()
+}
+
+// Register maps an HTTP host ("127.0.0.1:8341") to a member ID so the
+// transport can resolve request destinations. Unregistered hosts pass
+// through the transport untouched.
+func (n *Network) Register(member, host string) {
+	n.mu.Lock()
+	n.registry[host] = member
+	n.mu.Unlock()
+}
+
+// memberOf resolves a request host to its member ID ("" if unknown).
+func (n *Network) memberOf(host string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.registry[host]
+}
+
+// PartitionNow manually cuts the group off from every other member (both
+// directions) until Heal. The chaos harness uses it to place a partition
+// at an exact moment mid-sweep; scheduled windows keep applying
+// independently. A delivery is blocked when exactly one of its endpoints
+// is inside a partitioned group, so the universe of members never needs
+// enumerating.
+func (n *Network) PartitionNow(group []string) {
+	in := make(map[string]bool, len(group))
+	for _, g := range group {
+		in[g] = true
+	}
+	n.mu.Lock()
+	n.manual = append(n.manual, in)
+	n.mu.Unlock()
+}
+
+// Heal clears every manual partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.manual = nil
+	n.mu.Unlock()
+}
+
+// DrawMinority returns a seeded strict-minority subset of members — the
+// chaos harness's reproducible victim pick.
+func (n *Network) DrawMinority(members []string) []string {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return drawMinority(n.chaos, sorted)
+}
+
+// DrawHealDelay returns a seeded duration in [min, max) — the chaos
+// harness's reproducible heal interval.
+func (n *Network) DrawHealDelay(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return min + n.chaos.within(max-min)
+}
+
+// blockedAt reports whether the directed link is inside an open blocking
+// window (scheduled or manual) at now.
+func (n *Network) blockedAt(from, to string, now time.Time) bool {
+	l := link(from, to)
+	n.mu.Lock()
+	manual := false
+	for _, in := range n.manual {
+		if in[from] != in[to] {
+			manual = true
+			break
+		}
+	}
+	anchor := n.anchor
+	n.mu.Unlock()
+	if manual {
+		return true
+	}
+	if anchor.IsZero() {
+		return false
+	}
+	off := now.Sub(anchor)
+	for _, w := range n.windows {
+		if w.delay == 0 && off >= w.start && off < w.end && w.links[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// spikeAt returns the latency-spike delay open on the directed link at
+// now (zero outside every spike window).
+func (n *Network) spikeAt(from, to string, now time.Time) time.Duration {
+	n.mu.Lock()
+	anchor := n.anchor
+	n.mu.Unlock()
+	if anchor.IsZero() {
+		return 0
+	}
+	off := now.Sub(anchor)
+	l := link(from, to)
+	for _, w := range n.windows {
+		if w.delay > 0 && off >= w.start && off < w.end && w.links[l] {
+			return w.delay
+		}
+	}
+	return 0
+}
+
+// nextOrdinal returns the 0-based ordinal of the next delivery on the
+// directed link.
+func (n *Network) nextOrdinal(l string) uint64 {
+	n.mu.Lock()
+	c, ok := n.counts[l]
+	if !ok {
+		c = new(uint64)
+		n.counts[l] = c
+	}
+	n.mu.Unlock()
+	return atomic.AddUint64(c, 1) - 1
+}
+
+// Stats snapshots the applied-decision counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Requests:         n.requests.Load(),
+		Blocked:          n.blocked.Load(),
+		DroppedRequests:  n.dropReq.Load(),
+		DroppedResponses: n.dropResp.Load(),
+		Duplicated:       n.duplicated.Load(),
+		Delayed:          n.delayed.Load(),
+	}
+}
+
+// ParseSpec parses the CLI scenario syntax
+//
+//	"seed=1,partitions=2,linkfails=1,spikes=2,drop=0.02,dup=0.02,reorder=0.02,horizon=30s"
+//
+// into a seed and Options (Members are filled in by the caller). Keys may
+// appear in any order; unknown keys are an error.
+func ParseSpec(spec string) (seed uint64, opts Options, err error) {
+	seed = 1
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, Options{}, fmt.Errorf("netfault: bad spec entry %q (want key=value)", part)
+		}
+		switch k {
+		case "seed":
+			seed, err = strconv.ParseUint(v, 10, 64)
+		case "partitions":
+			opts.Partitions, err = strconv.Atoi(v)
+		case "linkfails":
+			opts.LinkFails, err = strconv.Atoi(v)
+		case "spikes":
+			opts.Spikes, err = strconv.Atoi(v)
+		case "drop":
+			opts.DropRate, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			opts.DupRate, err = strconv.ParseFloat(v, 64)
+		case "reorder":
+			opts.ReorderRate, err = strconv.ParseFloat(v, 64)
+		case "horizon":
+			opts.Horizon, err = time.ParseDuration(v)
+		case "partdur":
+			opts.PartitionDur, err = time.ParseDuration(v)
+		case "spikedur":
+			opts.SpikeDur, err = time.ParseDuration(v)
+		case "spikedelay":
+			opts.SpikeDelay, err = time.ParseDuration(v)
+		case "reorderdelay":
+			opts.ReorderDelay, err = time.ParseDuration(v)
+		default:
+			return 0, Options{}, fmt.Errorf("netfault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return 0, Options{}, fmt.Errorf("netfault: bad %s: %w", k, err)
+		}
+	}
+	return seed, opts, nil
+}

@@ -1,0 +1,292 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var members = []string{"n1", "n2", "n3", "n4", "n5"}
+
+func opts(mod func(*Options)) Options {
+	o := Options{Members: members, Horizon: 30 * time.Second}
+	if mod != nil {
+		mod(&o)
+	}
+	return o
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	o := opts(func(o *Options) { o.Partitions = 3; o.LinkFails = 2; o.Spikes = 4 })
+	a := Must(7, o)
+	b := Must(7, o)
+	if !reflect.DeepEqual(a.Windows(), b.Windows()) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a.Windows(), b.Windows())
+	}
+	c := Must(8, o)
+	if reflect.DeepEqual(a.Windows(), c.Windows()) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// Growing one category's count must neither move another category's
+// windows nor the category's own existing windows — the prefix-stability
+// property internal/fault established.
+func TestScheduleGrowsPrefixStably(t *testing.T) {
+	base := Must(11, opts(func(o *Options) { o.Partitions = 2; o.Spikes = 2 }))
+	grown := Must(11, opts(func(o *Options) { o.Partitions = 4; o.Spikes = 2 }))
+
+	filter := func(ws []string, kind string) []string {
+		var out []string
+		for _, w := range ws {
+			if strings.HasPrefix(w, kind) {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	bp, gp := filter(base.Windows(), "partition"), filter(grown.Windows(), "partition")
+	if len(gp) != 4 || !reflect.DeepEqual(bp, gp[:2]) {
+		t.Fatalf("partition prefix moved:\nbase  %v\ngrown %v", bp, gp)
+	}
+	bs, gs := filter(base.Windows(), "spike"), filter(grown.Windows(), "spike")
+	if !reflect.DeepEqual(bs, gs) {
+		t.Fatalf("growing partitions moved the spikes:\nbase  %v\ngrown %v", bs, gs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		ok   bool
+	}{
+		{"zero", Options{}, true},
+		{"negative count", Options{Partitions: -1}, false},
+		{"rate above one", Options{DropRate: 1.5}, false},
+		{"windows without horizon", Options{Partitions: 1, Members: members}, false},
+		{"windows without members", Options{Partitions: 1, Horizon: time.Second}, false},
+		{"full", opts(func(o *Options) { o.Partitions = 2; o.DropRate = 0.5 }), true},
+	}
+	for _, c := range cases {
+		if err := c.o.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDecisionIsPerLinkStable(t *testing.T) {
+	// The k-th decision on a link is a pure function of (seed, cat, link,
+	// k): replaying it gives the same value, and traffic on other links
+	// cannot shift it.
+	for k := uint64(0); k < 64; k++ {
+		if decision(3, catDrop, "a>b", k) != decision(3, catDrop, "a>b", k) {
+			t.Fatalf("decision not deterministic at k=%d", k)
+		}
+	}
+	same := 0
+	for k := uint64(0); k < 64; k++ {
+		if decision(3, catDrop, "a>b", k) == decision(3, catDup, "a>b", k) {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("drop and dup decisions track each other (%d/64 equal)", same)
+	}
+}
+
+func TestDrawMinorityIsStrictAndSeeded(t *testing.T) {
+	a := Must(5, Options{})
+	b := Must(5, Options{})
+	ga, gb := a.DrawMinority(members), b.DrawMinority(members)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Fatalf("same seed drew different minorities: %v vs %v", ga, gb)
+	}
+	if len(ga) == 0 || len(ga) > (len(members)-1)/2 {
+		t.Fatalf("minority %v is not a strict minority of %v", ga, members)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	seed, o, err := ParseSpec("seed=9,partitions=2,linkfails=1,spikes=3,drop=0.1,dup=0.05,reorder=0.2,horizon=45s,partdur=3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 9 || o.Partitions != 2 || o.LinkFails != 1 || o.Spikes != 3 ||
+		o.DropRate != 0.1 || o.DupRate != 0.05 || o.ReorderRate != 0.2 ||
+		o.Horizon != 45*time.Second || o.PartitionDur != 3*time.Second {
+		t.Fatalf("parsed %d %+v", seed, o)
+	}
+	if _, _, err := ParseSpec("bogus=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, _, err := ParseSpec("drop"); err == nil {
+		t.Fatal("entry without '=' accepted")
+	}
+}
+
+// twoNodes wires a registered httptest server plus a transport from a
+// second member, returning the server hit counter.
+func twoNodes(t *testing.T, n *Network) (*httptest.Server, *http.Client, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	n.Register("n2", strings.TrimPrefix(srv.URL, "http://"))
+	client := &http.Client{Transport: n.Transport("n1", nil)}
+	return srv, client, &hits
+}
+
+func TestTransportManualPartitionAndHeal(t *testing.T) {
+	n := Must(1, Options{})
+	srv, client, hits := twoNodes(t, n)
+
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("healthy link failed: %v", err)
+	}
+	n.PartitionNow([]string{"n2"})
+	_, err := client.Get(srv.URL)
+	var le *LinkError
+	if !errors.As(err, &le) || le.To != "n2" {
+		t.Fatalf("partitioned link returned %v, want LinkError to n2", err)
+	}
+	if !le.Temporary() || le.Timeout() {
+		t.Fatalf("LinkError should be temporary, not a timeout")
+	}
+	n.Heal()
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (partitioned one never delivered)", got)
+	}
+	st := n.Stats()
+	if st.Requests != 3 || st.Blocked != 1 {
+		t.Fatalf("stats %+v, want Requests=3 Blocked=1", st)
+	}
+}
+
+func TestTransportUnregisteredHostPassesThrough(t *testing.T) {
+	n := Must(1, Options{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	n.PartitionNow([]string{"n2"}) // must not affect unknown hosts
+	client := &http.Client{Transport: n.Transport("n1", nil)}
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("unregistered host blocked: %v", err)
+	}
+	if st := n.Stats(); st.Requests != 0 {
+		t.Fatalf("pass-through delivery was counted: %+v", st)
+	}
+}
+
+func TestTransportDropsSplitRequestAndResponse(t *testing.T) {
+	n := Must(1, Options{DropRate: 1})
+	srv, client, hits := twoNodes(t, n)
+	for i := 0; i < 20; i++ {
+		if _, err := client.Get(srv.URL); err == nil {
+			t.Fatalf("delivery %d survived DropRate=1", i)
+		}
+	}
+	st := n.Stats()
+	if st.DroppedRequests+st.DroppedResponses != 20 {
+		t.Fatalf("stats %+v, want 20 drops", st)
+	}
+	if st.DroppedRequests == 0 || st.DroppedResponses == 0 {
+		t.Fatalf("drops all on one side: %+v — want a mix of lost requests and lost responses", st)
+	}
+	// Response drops mean the server DID the work the sender will retry.
+	if hits.Load() != st.DroppedResponses {
+		t.Fatalf("server saw %d requests, want %d (one per response drop)", hits.Load(), st.DroppedResponses)
+	}
+}
+
+func TestTransportDuplicatesDeliveries(t *testing.T) {
+	n := Must(1, Options{DupRate: 1})
+	srv, client, hits := twoNodes(t, n)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", hits.Load())
+	}
+	if st := n.Stats(); st.Duplicated != 1 {
+		t.Fatalf("stats %+v, want Duplicated=1", st)
+	}
+}
+
+func TestTransportScheduledPartitionWindow(t *testing.T) {
+	o := Options{
+		Members:      []string{"n1", "n2"},
+		Partitions:   1,
+		PartitionDur: 200 * time.Millisecond,
+		Horizon:      time.Nanosecond, // window opens immediately at the anchor
+	}
+	n := Must(1, o)
+	srv, client, _ := twoNodes(t, n)
+
+	// Before Start nothing is anchored: the link works.
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("pre-anchor delivery failed: %v", err)
+	}
+	n.Start(time.Now())
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("delivery inside the partition window succeeded")
+	}
+	time.Sleep(250 * time.Millisecond)
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("delivery after the window closed failed: %v", err)
+	}
+}
+
+func TestTransportSpikeDelaysDelivery(t *testing.T) {
+	o := Options{
+		Members:    []string{"n1", "n2"},
+		Spikes:     1,
+		SpikeDur:   time.Minute,
+		SpikeDelay: 80 * time.Millisecond,
+		Horizon:    time.Nanosecond,
+	}
+	n := Must(1, o)
+	mkSrv := func(member string) *httptest.Server {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "ok")
+		}))
+		t.Cleanup(srv.Close)
+		n.Register(member, strings.TrimPrefix(srv.URL, "http://"))
+		return srv
+	}
+	srv1, srv2 := mkSrv("n1"), mkSrv("n2")
+	n.Start(time.Now())
+
+	// The single spike hits one directed link between n1 and n2; probe
+	// both directions and assert exactly one is slowed.
+	probe := func(from string, srv *httptest.Server) time.Duration {
+		client := &http.Client{Transport: n.Transport(from, nil)}
+		t0 := time.Now()
+		if _, err := client.Get(srv.URL); err != nil {
+			t.Fatalf("spiked delivery failed: %v", err)
+		}
+		return time.Since(t0)
+	}
+	d12, d21 := probe("n1", srv2), probe("n2", srv1)
+	if d12 < 80*time.Millisecond && d21 < 80*time.Millisecond {
+		t.Fatalf("no direction saw the spike delay (n1>n2 %v, n2>n1 %v)", d12, d21)
+	}
+	if st := n.Stats(); st.Delayed == 0 {
+		t.Fatalf("delayed delivery not counted: %+v", st)
+	}
+}

@@ -1,0 +1,157 @@
+package netfault
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// LinkError is the transport-level failure the engine injects on blocked
+// or dropped deliveries. It reports Temporary so retry classifiers treat
+// it like any other transient dial failure.
+type LinkError struct {
+	From, To, Reason string
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("netfault: %s->%s %s", e.From, e.To, e.Reason)
+}
+
+// Timeout and Temporary implement net.Error: an injected fault looks like
+// a transient network failure, never a deadline.
+func (e *LinkError) Timeout() bool   { return false }
+func (e *LinkError) Temporary() bool { return true }
+
+// Transport wraps base (http.DefaultTransport if nil) with the engine's
+// fault decisions for deliveries originating at the named member.
+// Requests to hosts that were never Registered — or to the member itself
+// — pass through untouched, so a wrapped client keeps working against
+// non-cluster endpoints.
+func (n *Network) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{n: n, from: from, base: base}
+}
+
+type transport struct {
+	n    *Network
+	from string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n
+	to := n.memberOf(req.URL.Host)
+	if to == "" || to == t.from {
+		return t.base.RoundTrip(req)
+	}
+	l := link(t.from, to)
+	n.requests.Add(1)
+	now := time.Now()
+
+	if n.blockedAt(t.from, to, now) {
+		n.blocked.Add(1)
+		closeBody(req)
+		return nil, &LinkError{From: t.from, To: to, Reason: "partitioned"}
+	}
+
+	// One ordinal per delivery; every per-delivery category keys its
+	// decision off the same (link, k) so categories stay independent yet
+	// individually prefix-stable.
+	k := n.nextOrdinal(l)
+
+	if d := n.spikeAt(t.from, to, now); d > 0 {
+		n.delayed.Add(1)
+		if err := sleepCtx(req.Context(), d); err != nil {
+			closeBody(req)
+			return nil, err
+		}
+	}
+	if n.opts.ReorderRate > 0 && decision(n.seed, catReorder, l, k) < n.opts.ReorderRate {
+		n.delayed.Add(1)
+		if err := sleepCtx(req.Context(), n.opts.ReorderDelay); err != nil {
+			closeBody(req)
+			return nil, err
+		}
+	}
+	if n.opts.DropRate > 0 {
+		if d := decision(n.seed, catDrop, l, k); d < n.opts.DropRate {
+			if d < n.opts.DropRate/2 {
+				// The request is lost before the receiver sees it.
+				n.dropReq.Add(1)
+				closeBody(req)
+				return nil, &LinkError{From: t.from, To: to, Reason: "request dropped"}
+			}
+			// The receiver processes the request; the response is lost on
+			// the way back — the ack-loss case that makes senders retry
+			// work the receiver already did.
+			resp, err := t.base.RoundTrip(req)
+			if err == nil {
+				drainClose(resp)
+			}
+			n.dropResp.Add(1)
+			return nil, &LinkError{From: t.from, To: to, Reason: "response dropped"}
+		}
+	}
+	if n.opts.DupRate > 0 && decision(n.seed, catDup, l, k) < n.opts.DupRate {
+		if dup, ok := cloneRequest(req); ok {
+			n.duplicated.Add(1)
+			resp, err := t.base.RoundTrip(req)
+			if err != nil {
+				// First copy died in the base transport; the duplicate is
+				// now just a retry.
+				return t.base.RoundTrip(dup)
+			}
+			drainClose(resp)
+			return t.base.RoundTrip(dup)
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// cloneRequest builds a second sendable copy of req. Requests with a
+// non-replayable body (no GetBody) cannot be duplicated and report !ok.
+func cloneRequest(req *http.Request) (*http.Request, bool) {
+	dup := req.Clone(req.Context())
+	if req.Body == nil {
+		return dup, true
+	}
+	if req.GetBody == nil {
+		return nil, false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	dup.Body = body
+	return dup, true
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+func drainClose(resp *http.Response) {
+	if resp.Body != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the context's
+// error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

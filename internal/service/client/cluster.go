@@ -31,6 +31,17 @@ type Cluster struct {
 	// HTTPClient is shared by every member client (default
 	// http.DefaultClient).
 	HTTPClient *http.Client
+	// Hedge, when positive, makes Submit race members instead of trying
+	// them strictly in sequence: if the preferred member has not answered
+	// within Hedge, the submission is also sent to the next member, and
+	// so on until one answers. All racing attempts share one
+	// Idempotency-Key, so however many land — on however many entry
+	// points, each redirecting to the same owner — at most one job is
+	// created. This keeps tail latency bounded when the preferred member
+	// sits on the wrong side of a partition: the client does not have to
+	// burn a full timeout before failing over. Zero disables hedging
+	// (strictly sequential failover, the default).
+	Hedge time.Duration
 
 	clients []*Client
 
@@ -137,10 +148,18 @@ func (cc *Cluster) call(ctx context.Context, f func(*Client) error) error {
 
 // Submit enqueues a job on the owning member (following its redirect)
 // and returns the job ID. One idempotency key spans every attempt and
-// every member, so a retry that lands on a different entry point still
-// dedupes onto the already-created job.
+// every member — hedged or sequential — so a retry that lands on a
+// different entry point still dedupes onto the already-created job.
 func (cc *Cluster) Submit(ctx context.Context, spec api.JobSpec) (string, error) {
 	hdr := http.Header{"Idempotency-Key": []string{newIdemKey()}}
+	if cc.Hedge > 0 && len(cc.clients) > 1 {
+		if id, err := cc.hedgedSubmit(ctx, spec, hdr); err == nil || !retryable(err) || ctx.Err() != nil {
+			return id, err
+		}
+		// Every raced attempt failed retryably (the whole cluster looked
+		// down from here). Fall through to the sequential loop, which
+		// backs off between rotations — still under the same key.
+	}
 	var resp api.SubmitResponse
 	err := cc.call(ctx, func(c *Client) error {
 		return c.doHdr(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &resp)
@@ -149,6 +168,67 @@ func (cc *Cluster) Submit(ctx context.Context, spec api.JobSpec) (string, error)
 		return "", err
 	}
 	return resp.ID, nil
+}
+
+// hedgedSubmit races the submission across members: the preferred member
+// goes first, and every Hedge interval without an answer (or immediately
+// when an attempt fails retryably) the next member is tried too. The
+// first success wins; its member becomes preferred. Because every
+// attempt carries the caller's single Idempotency-Key, concurrent
+// landings dedupe server-side onto one job — hedging trades duplicate
+// requests for bounded tail latency, never for duplicate work.
+func (cc *Cluster) hedgedSubmit(ctx context.Context, spec api.JobSpec, hdr http.Header) (string, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the losing attempts
+	n := len(cc.clients)
+	type outcome struct {
+		idx int
+		id  string
+		err error
+	}
+	results := make(chan outcome, n) // buffered: losers must not leak
+	attempt := func(idx int) {
+		c := *cc.clients[idx]
+		c.HTTPClient = cc.HTTPClient
+		var resp api.SubmitResponse
+		err := c.doHdr(ctx, http.MethodPost, "/v1/jobs", hdr, spec, &resp)
+		results <- outcome{idx: idx, id: resp.ID, err: err}
+	}
+	start := cc.pick()
+	launched := 1
+	go attempt(start % n)
+	t := time.NewTimer(cc.Hedge)
+	defer t.Stop()
+	var lastErr error
+	for done := 0; done < launched; {
+		select {
+		case <-ctx.Done():
+			return "", context.Cause(ctx)
+		case <-t.C:
+			if launched < n {
+				go attempt((start + launched) % n)
+				launched++
+				t.Reset(cc.Hedge)
+			}
+		case out := <-results:
+			done++
+			if out.err == nil {
+				cc.pin(out.idx % n)
+				return out.id, nil
+			}
+			lastErr = out.err
+			if !retryable(out.err) {
+				return "", out.err
+			}
+			if launched < n {
+				// A failed attempt frees its slot: hedge immediately
+				// rather than waiting out the interval.
+				go attempt((start + launched) % n)
+				launched++
+			}
+		}
+	}
+	return "", lastErr
 }
 
 // Job polls one job; any member can answer (lookups fan out

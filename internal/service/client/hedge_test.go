@@ -1,0 +1,150 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mrts/internal/service/api"
+)
+
+// hedgeMember is a fake cluster member that records the Idempotency-Key
+// of every submission it sees and answers with a fixed job ID after an
+// optional delay.
+type hedgeMember struct {
+	id    string
+	delay time.Duration
+
+	mu   sync.Mutex
+	keys []string
+}
+
+func (m *hedgeMember) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/jobs" {
+			http.NotFound(w, r)
+			return
+		}
+		m.mu.Lock()
+		m.keys = append(m.keys, r.Header.Get("Idempotency-Key"))
+		m.mu.Unlock()
+		if m.delay > 0 {
+			select {
+			case <-time.After(m.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(api.SubmitResponse{ID: m.id})
+	})
+}
+
+func (m *hedgeMember) seenKeys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.keys...)
+}
+
+// TestHedgedSubmitRacesSlowMember: when the preferred member sits on the
+// wrong side of a partition (here: very slow), the hedge fires the same
+// submission — same Idempotency-Key — at the next member instead of
+// waiting out a full timeout, and the fast answer wins.
+func TestHedgedSubmitRacesSlowMember(t *testing.T) {
+	slow := &hedgeMember{id: "jslow", delay: 2 * time.Second}
+	fast := &hedgeMember{id: "jfast"}
+	tsSlow := httptest.NewServer(slow.handler())
+	defer tsSlow.Close()
+	tsFast := httptest.NewServer(fast.handler())
+	defer tsFast.Close()
+
+	cc := NewCluster([]string{tsSlow.URL, tsFast.URL})
+	cc.Hedge = 30 * time.Millisecond
+
+	start := time.Now()
+	id, err := cc.Submit(context.Background(), api.JobSpec{Type: api.JobSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "jfast" {
+		t.Errorf("hedged submit returned %q, want the fast member's jfast", id)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedged submit took %v — it waited out the slow member instead of racing", elapsed)
+	}
+
+	// At-most-once depends on every racing attempt sharing one key: the
+	// slow member saw the very same Idempotency-Key the fast one did.
+	slowKeys, fastKeys := slow.seenKeys(), fast.seenKeys()
+	if len(slowKeys) != 1 || len(fastKeys) != 1 {
+		t.Fatalf("attempt fan-out wrong: slow saw %d, fast saw %d, want 1 each", len(slowKeys), len(fastKeys))
+	}
+	if slowKeys[0] == "" || slowKeys[0] != fastKeys[0] {
+		t.Errorf("hedged attempts split keys: slow %q, fast %q — duplicates would not dedupe", slowKeys[0], fastKeys[0])
+	}
+
+	// The answering member becomes preferred: the next submit goes to it
+	// first and the slow member is not bothered again.
+	if _, err := cc.Submit(context.Background(), api.JobSpec{Type: api.JobSim}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(slow.seenKeys()); got != 1 {
+		t.Errorf("slow member saw %d submissions, want 1 — the winner was not pinned", got)
+	}
+}
+
+// TestHedgedSubmitFailsOverOnDeadMember: a hard-down preferred member
+// (connection refused) frees its hedge slot immediately — the client
+// does not wait for the hedge interval to try the next member.
+func TestHedgedSubmitFailsOverOnDeadMember(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	up := &hedgeMember{id: "jup"}
+	tsUp := httptest.NewServer(up.handler())
+	defer tsUp.Close()
+
+	cc := NewCluster([]string{deadURL, tsUp.URL})
+	cc.Hedge = 10 * time.Second // immediate failover must not wait for this
+
+	start := time.Now()
+	id, err := cc.Submit(context.Background(), api.JobSpec{Type: api.JobSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "jup" {
+		t.Errorf("submit returned %q, want jup", id)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failover took %v — the hedge interval gated an already-failed attempt", elapsed)
+	}
+}
+
+// TestHedgedSubmitStopsOnDefinitiveError: a non-retryable answer (the
+// daemon rejected the spec) ends the race — hedging is for members that
+// cannot answer, not for re-asking a question that was answered.
+func TestHedgedSubmitStopsOnDefinitiveError(t *testing.T) {
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad spec"}`, http.StatusBadRequest)
+	}))
+	defer reject.Close()
+	up := &hedgeMember{id: "jup"}
+	tsUp := httptest.NewServer(up.handler())
+	defer tsUp.Close()
+
+	cc := NewCluster([]string{reject.URL, tsUp.URL})
+	cc.Hedge = 50 * time.Millisecond
+
+	if _, err := cc.Submit(context.Background(), api.JobSpec{}); err == nil {
+		t.Fatal("submit of a rejected spec returned no error")
+	}
+	if got := len(up.seenKeys()); got != 0 {
+		t.Errorf("second member saw %d attempts after a definitive 400, want 0", got)
+	}
+}

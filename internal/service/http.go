@@ -28,7 +28,9 @@ import (
 //	                            ndjson SweepEvent per completed point
 //	GET    /healthz             liveness                -> 200 "ok"
 //	GET    /readyz              readiness: 200 while admitting,
-//	                            503 "draining" during drain/shutdown
+//	                            503 "draining" during drain/shutdown,
+//	                            503 "journal error: ..." once the journal
+//	                            can no longer persist submissions
 //	GET    /metrics             plain-text metrics
 //
 // Overload responses carry a Retry-After hint (seconds): 503 when the
@@ -52,6 +54,13 @@ func (s *Server) Handler() http.Handler {
 		if !s.Ready() {
 			w.Header().Set("Retry-After", "5")
 			w.WriteHeader(http.StatusServiceUnavailable)
+			// A node whose journal can no longer persist submissions must
+			// leave the load balancer's rotation even though it is up: an
+			// accepted job could be lost by the next crash.
+			if jerr := s.JournalErr(); jerr != nil {
+				fmt.Fprintf(w, "journal error: %v\n", jerr)
+				return
+			}
 			fmt.Fprintln(w, "draining")
 			return
 		}

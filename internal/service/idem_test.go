@@ -70,6 +70,42 @@ func TestSubmitIdemDedupes(t *testing.T) {
 	}
 }
 
+// TestSubmitWithIDNeverDivertsOntoKeyDuplicate pins the identity-by-ID
+// rule for caller-chosen job IDs: a steal handoff or adoption admitting
+// job X must land on exactly X even when X's idempotency key already
+// maps to a local same-key duplicate Y. Diverting onto Y used to lose X
+// cluster-wide — the thief acked the grant, the victim forgot X, and
+// the client polling X saw 404 forever.
+func TestSubmitWithIDNeverDivertsOntoKeyDuplicate(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	dup, _, err := s.SubmitIdem("key-steal", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen, deduped, err := s.SubmitWithID("jstolen", "key-steal", simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || stolen.ID != "jstolen" {
+		t.Fatalf("explicit-ID admission got job %s (deduped %v), want jstolen — "+
+			"key dedupe diverted a steal onto %s", stolen.ID, deduped, dup.ID)
+	}
+	// Replaying the same explicit ID IS idempotent — by ID.
+	replay, deduped, err := s.SubmitWithID("jstolen", "key-steal", simSpec())
+	if err != nil || !deduped || replay.ID != "jstolen" {
+		t.Errorf("explicit-ID replay: job %s, deduped %v, err %v, want jstolen deduped", replay.ID, deduped, err)
+	}
+	// Both copies stay live and queryable — the duplicate is the
+	// harmless outcome (deterministic jobs, identical bytes).
+	for _, id := range []string{dup.ID, "jstolen"} {
+		if _, ok := s.Job(id); !ok {
+			t.Errorf("job %s vanished from the table", id)
+		}
+	}
+}
+
 // TestIdemTableLRUEviction pins the dedupe-table bound: beyond
 // IdemTableSize the least-recently-used key is evicted (its retry is
 // accepted as fresh work instead of the table growing without bound), a

@@ -54,6 +54,13 @@ const (
 	// before the donor forgets it, so replay drops the pair — the job
 	// lives on, just not here.
 	KindForget = "forget"
+	// KindGrant records a steal grant with its fencing token (Fence) and
+	// the thief it was issued to (Peer). Grants do not change a job's
+	// replay outcome — an unacked grant replays as a queued job — but
+	// replaying them keeps the fence counter monotonic across restarts,
+	// so a stale ack from before the restart can never match a fresh
+	// grant.
+	KindGrant = "grant"
 )
 
 // Record is one journaled job transition. Only the fields relevant to
@@ -67,6 +74,10 @@ type Record struct {
 	State   api.JobState   `json:"state,omitempty"`
 	Error   string         `json:"error,omitempty"`
 	Result  *api.JobResult `json:"result,omitempty"`
+	// Fence is the monotonic fencing token of a grant record.
+	Fence uint64 `json:"fence,omitempty"`
+	// Peer is the cluster member a grant was issued to.
+	Peer string `json:"peer,omitempty"`
 }
 
 // envelope is the on-disk line: the CRC guards rec byte-for-byte.
@@ -191,6 +202,16 @@ func (j *Journal) Stats() Stats {
 
 // Path returns the journal file path.
 func (j *Journal) Path() string { return j.path }
+
+// Err returns the sticky write error, if any: once an append, flush or
+// fsync has failed, every later append fails with the same error. A
+// non-nil Err means the journal can no longer persist submissions —
+// readiness probes use it to take the node out of rotation.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 // encode renders the CRC-enveloped line for rec.
 func encode(rec Record) ([]byte, error) {

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mrts/internal/service/journal"
+)
+
+// TestReadyzReportsJournalError: a node whose journal has a sticky write
+// error can no longer persist submissions, so /readyz must pull it out
+// of the load balancer's rotation — while /healthz keeps answering ok
+// (the process is up; restarting it would not help the disk).
+func TestReadyzReportsJournalError(t *testing.T) {
+	j, err := journal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, Journal: j})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with healthy journal = %d (%s), want 200", code, body)
+	}
+
+	// Close the journal under the server: every later append fails with
+	// the sticky error, the same terminal state a dead disk leaves.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with broken journal = %d (%s), want 503", code, body)
+	}
+	if !strings.Contains(body, "journal error") {
+		t.Errorf("/readyz body %q does not name the journal error", body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d after journal failure, want 200 (liveness is not readiness)", code)
+	}
+}

@@ -77,9 +77,17 @@ func (r *Router) release() {
 // SubmitIdem admits one job: validation, dedupe, slot reservation,
 // durable journaling, enqueue. An empty id draws a fresh job ID; the
 // cluster layer passes a pre-generated one so the ID it replicated to the
-// follower is the ID that runs. A non-empty key that was already accepted
-// returns the existing job (deduped=true); so does an id this server
-// already knows (an adoption or steal replay).
+// follower is the ID that runs. An id this server already knows returns
+// the existing job (deduped=true); with an EMPTY id, so does a non-empty
+// key that was already accepted.
+//
+// A caller-chosen id deliberately bypasses the key dedupe: identity is
+// by ID. A stolen or adopted job may share its idempotency key with a
+// local duplicate admitted during an ownership flip, but its ID is the
+// one the submitting client holds — diverting the admission onto the
+// duplicate would let the steal ack (or the adoption) erase the only
+// copy of that ID cluster-wide. A duplicate run is byte-identical; a
+// lost ID is a 404 forever.
 func (r *Router) SubmitIdem(id, key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
@@ -88,7 +96,8 @@ func (r *Router) SubmitIdem(id, key string, spec api.JobSpec) (job *Job, deduped
 		return nil, false, ErrDraining
 	}
 	s := r.s
-	if id == "" {
+	callerID := id != ""
+	if !callerID {
 		id = newJobID()
 	}
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
@@ -114,7 +123,8 @@ func (r *Router) SubmitIdem(id, key string, spec api.JobSpec) (job *Job, deduped
 		<-prev.durable
 		return prev, true, nil
 	}
-	if key != "" {
+	if !callerID && key != "" {
+		// Only a server-drawn ID consults the key table (see above).
 		if jid, ok := r.idem.get(key); ok {
 			if prev, ok := s.jobs[jid]; ok {
 				s.mu.Unlock()

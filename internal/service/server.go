@@ -177,6 +177,11 @@ type Server struct {
 	order []string // submission order, for listing and retention
 	queue chan *Job
 
+	// maxFence is the highest fencing token found in the replayed journal
+	// (see journal.KindGrant); the cluster layer seeds its grant counter
+	// from it so fences stay monotonic across restarts.
+	maxFence uint64
+
 	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled *Counter
 	jobsDeduped, jobsRecovered                         *Counter
 	panics, rateLimited                                *Counter
@@ -263,6 +268,11 @@ func New(opts Options) *Server {
 func (s *Server) replayJournal(recs []journal.Record) (pending []*Job) {
 	byID, order := foldRecords(recs)
 	now := time.Now()
+	for _, r := range recs {
+		if r.Kind == journal.KindGrant && r.Fence > s.maxFence {
+			s.maxFence = r.Fence
+		}
+	}
 	for _, id := range order {
 		f := byID[id]
 		if f.rejected {
@@ -377,6 +387,28 @@ func (s *Server) appendJournal(rec journal.Record, durable bool) {
 	s.journalRecords.Inc()
 }
 
+// AppendRecord journals one record on behalf of the cluster layer (steal
+// grants carry fencing tokens that must be recoverable). Durable appends
+// block until the record is fsynced. Like every journal write, failures
+// degrade durability, not availability.
+func (s *Server) AppendRecord(rec journal.Record, durable bool) {
+	s.appendJournal(rec, durable)
+}
+
+// MaxFence returns the highest fencing token the journal replay saw, so
+// the cluster layer's grant counter resumes above every token ever
+// issued by this node.
+func (s *Server) MaxFence() uint64 { return s.maxFence }
+
+// JournalErr returns the journal's sticky write error ("" state = nil):
+// non-nil means this node can no longer persist submissions.
+func (s *Server) JournalErr() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Err()
+}
+
 // Metrics exposes the registry (for /metrics and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
@@ -388,8 +420,9 @@ func (s *Server) ResultCache() *ResultCache { return s.results }
 func (s *Server) Router() *Router { return s.router }
 
 // Ready reports whether the server admits new jobs (false while
-// draining or shutting down) — the /readyz signal.
-func (s *Server) Ready() bool { return !s.router.Draining() }
+// draining, shutting down, or once the journal has hit a sticky write
+// error and can no longer persist submissions) — the /readyz signal.
+func (s *Server) Ready() bool { return !s.router.Draining() && s.JournalErr() == nil }
 
 // NodeID returns the cluster member label of this server ("" outside
 // cluster mode).
@@ -480,7 +513,12 @@ func (s *Server) SubmitIdem(key string, spec api.JobSpec) (job *Job, deduped boo
 // layer's entry point: the owning node replicates the (id, key, spec)
 // submit record to its follower before admitting the job, so the ID that
 // survives a node death is the ID that ran. An id this server already
-// knows returns the existing job (deduped=true).
+// knows returns the existing job (deduped=true). The key is recorded for
+// future client replays but NOT consulted for dedupe here: a stolen or
+// adopted job must be admitted under exactly the given id even when a
+// same-key duplicate already lives in the table, because the settlement
+// that follows (steal ack, adoption) assumes this node now holds that id
+// (see Router.SubmitIdem).
 func (s *Server) SubmitWithID(id, key string, spec api.JobSpec) (job *Job, deduped bool, err error) {
 	return s.router.SubmitIdem(id, key, spec)
 }
@@ -654,6 +692,67 @@ func (s *Server) Adopt(recs []journal.Record) (requeued, completed int, err erro
 		err = errors.Join(err, fmt.Errorf("service: adopt: %d jobs did not fit the queue: %w", full, ErrQueueFull))
 	}
 	return requeued, completed, err
+}
+
+// Resolve finishes a still-queued job with a result computed elsewhere —
+// the rejoin-resync path: a healed node learns that its adopter already
+// ran the job (to byte-identical output, jobs being deterministic) and
+// settles the local copy instead of re-running it. The terminal state is
+// journaled like a local completion. Returns false when the job is
+// unknown, already running or terminal, or mid-steal — those copies
+// finish on their own.
+func (s *Server) Resolve(id string, state api.JobState, errMsg string, res *api.JobResult) bool {
+	if !state.Terminal() {
+		return false
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.taken || j.State != api.StateQueued {
+		s.mu.Unlock()
+		return false
+	}
+	// The job stays in the queue channel; the worker that eventually
+	// drains it sees a non-queued state and drops it (releasing the
+	// reserved slot), exactly like a job cancelled while queued.
+	s.finishLocked(j, state, errMsg, res)
+	s.mu.Unlock()
+	j.cancel(nil)
+	return true
+}
+
+// ExportRecords snapshots the retained job table as a journal record
+// stream: one submit per job, plus the completion for terminal jobs. It
+// is the canonical full-history payload the cluster layer pushes when a
+// follower's replica has diverged and must be rebuilt from scratch.
+func (s *Server) ExportRecords() []journal.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]journal.Record, 0, 2*len(s.order))
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		spec := j.Spec
+		recs = append(recs, journal.Record{
+			Kind:    journal.KindSubmit,
+			ID:      j.ID,
+			Time:    j.Created.UTC().Format(time.RFC3339Nano),
+			IdemKey: j.IdemKey,
+			Spec:    &spec,
+		})
+		if j.State.Terminal() {
+			recs = append(recs, journal.Record{
+				Kind:   journal.KindComplete,
+				ID:     j.ID,
+				Time:   j.Finished.UTC().Format(time.RFC3339Nano),
+				State:  j.State,
+				Error:  j.Err,
+				Result: j.Result,
+			})
+		}
+	}
+	return recs
 }
 
 // NewJobID draws a fresh job ID — exported so the cluster layer can
